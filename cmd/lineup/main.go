@@ -1,0 +1,525 @@
+// Command lineup is the command-line front end of the Line-Up
+// reproduction: it regenerates the paper's tables and figures, runs the
+// checker on the bundled classes, and reproduces the Section 5.6
+// comparisons.
+//
+// Usage:
+//
+//	lineup table1                      class inventory (Table 1)
+//	lineup table2 [flags]              evaluation results (Table 2)
+//	lineup causes                      directed minimal test per root cause A..L
+//	lineup check -class NAME [flags]   RandomCheck one class
+//	lineup fig1                        the Fig. 1 queue violation
+//	lineup fig4                        the Fig. 4 counter (classic vs generalized)
+//	lineup fig7                        the Fig. 7 observation file and violation report
+//	lineup fig9                        the Fig. 9 ManualResetEvent bug
+//	lineup compare [flags]             race + serializability comparison (Section 5.6)
+//	lineup ablate                      preemption-bound ablation
+//	lineup list                        list the registered classes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"lineup/internal/bench"
+	"lineup/internal/collections"
+	"lineup/internal/core"
+	"lineup/internal/obsfile"
+	"lineup/internal/sched"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		bench.WriteTable1(os.Stdout)
+	case "table2":
+		err = cmdTable2(args)
+	case "causes":
+		err = cmdCauses(args)
+	case "check":
+		err = cmdCheck(args)
+	case "fig1":
+		err = cmdFig1()
+	case "fig4":
+		err = cmdFig4()
+	case "fig7":
+		err = cmdFig7()
+	case "fig9":
+		err = cmdFig9()
+	case "compare":
+		err = cmdCompare(args)
+	case "ablate":
+		err = cmdAblate(args)
+	case "memory":
+		err = cmdMemory(args)
+	case "record":
+		err = cmdRecord(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "list":
+		for _, e := range bench.Registry() {
+			fmt.Println(e.Subject.Name)
+			if e.Pre != nil {
+				fmt.Println(e.Pre.Name)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lineup:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lineup <table1|table2|causes|check|fig1|fig4|fig7|fig9|compare|ablate|memory|record|verify|list> [flags]`)
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	samples := fs.Int("samples", 100, "random tests per class (paper: 100)")
+	rows := fs.Int("rows", 3, "threads per test")
+	cols := fs.Int("cols", 3, "invocations per thread")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers per class")
+	pre := fs.Bool("pre", true, "include the (Pre) variants")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	table, err := bench.RunTable2(bench.Table2Options{
+		Samples: *samples, Rows: *rows, Cols: *cols, Seed: *seed,
+		Workers: *workers, IncludePre: *pre,
+	}, func(class string) { fmt.Fprintf(os.Stderr, "checking %s...\n", class) })
+	if err != nil {
+		return err
+	}
+	bench.WriteTable2(os.Stdout, table)
+	return nil
+}
+
+func cmdCauses(args []string) error {
+	fs := flag.NewFlagSet("causes", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "print violation reports")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-4s %-26s %-8s %-10s %s\n", "id", "class", "min dim", "kind", "scenario")
+	fmt.Println(strings.Repeat("-", 110))
+	for _, c := range bench.CauseCases() {
+		res, err := core.Check(c.Subject, c.Test, core.Options{PreemptionBound: c.Bound})
+		if err != nil {
+			return err
+		}
+		threads, ops := c.Test.Dim()
+		kind := "PASS?!"
+		if res.Verdict == core.Fail {
+			kind = map[core.ViolationKind]string{
+				core.Nondeterminism: "nondet",
+				core.NoWitness:      "value",
+				core.StuckNoWitness: "stuck",
+			}[res.Violation.Kind]
+		}
+		fmt.Printf("%-4s %-26s %dx%-6d %-10s %s\n", c.Cause, c.Subject.Name, threads, ops, kind, c.Note)
+		if *verbose && res.Violation != nil {
+			fmt.Println(indent(res.Violation.String()))
+		}
+	}
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	class := fs.String("class", "", "class name (see 'lineup list')")
+	samples := fs.Int("samples", 100, "random tests")
+	rows := fs.Int("rows", 3, "threads per test")
+	cols := fs.Int("cols", 3, "invocations per thread")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	bound := fs.Int("pb", 0, "preemption bound (0 = class default)")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers")
+	shrink := fs.Bool("shrink", true, "minimize the first failing test")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sub, entry, ok := bench.Find(*class)
+	if !ok {
+		return fmt.Errorf("unknown class %q (try 'lineup list')", *class)
+	}
+	pb := entry.Bound
+	if *bound != 0 {
+		pb = *bound
+	}
+	sum, err := core.RandomCheck(sub, nil, core.RandomOptions{
+		Rows: *rows, Cols: *cols, Samples: *samples, Seed: *seed,
+		Workers: *workers,
+		Options: core.Options{PreemptionBound: pb},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d passed, %d failed (of %d sampled %dx%d tests, PB=%d)\n",
+		sub.Name, sum.Passed, sum.Failed, *samples, *rows, *cols, pb)
+	fmt.Printf("phase 1: %.1f serial histories avg (max %d), %v avg\n",
+		sum.SerialHistAvg, sum.SerialHistMax, sum.Phase1TimeAvg)
+	fmt.Printf("phase 2: %v avg (passing), %v avg (failing), %d tests with stuck histories\n",
+		sum.Phase2PassAvg, sum.Phase2FailAvg, sum.StuckTests)
+	if sum.FirstFailure != nil {
+		fmt.Println("\nfirst failing test:")
+		fmt.Println(indent(sum.FirstFailure.Test.String()))
+		if *shrink {
+			min, res, err := core.Shrink(sub, sum.FirstFailure.Test, core.Options{PreemptionBound: pb})
+			if err != nil {
+				return err
+			}
+			threads, ops := min.Dim()
+			fmt.Printf("shrunk to %dx%d:\n%s\n", threads, ops, indent(min.String()))
+			fmt.Println(indent(res.Violation.String()))
+		} else {
+			fmt.Println(indent(sum.FirstFailure.Violation.String()))
+		}
+	}
+	return nil
+}
+
+// fig1Test builds the Fig. 1 scenario on the CTP-like BlockingCollection.
+func fig1Test() (*core.Subject, *core.Test) {
+	sub, _, _ := bench.Find("BlockingCollection(Pre)")
+	add := func(v int) core.Op {
+		return core.Op{Method: "Add", Args: fmt.Sprint(v), Run: func(t *sched.Thread, o any) string {
+			type adder interface{ Add(*sched.Thread, int) bool }
+			o.(adder).Add(t, v)
+			return "ok"
+		}}
+	}
+	tryTake, _ := sub.FindOp("TryTake()")
+	return sub, &core.Test{Rows: [][]core.Op{{add(200), tryTake}, {add(400), tryTake}}}
+}
+
+func cmdFig1() error {
+	sub, m := fig1Test()
+	fmt.Println("Fig. 1 — the CTP TryTake bug (lock acquire allowed to time out):")
+	fmt.Println(indent(m.String()))
+	res, err := core.Check(sub, m, core.Options{PreemptionBound: 2, KeepSpec: true})
+	if err != nil {
+		return err
+	}
+	if res.Verdict != core.Fail {
+		return fmt.Errorf("expected a violation")
+	}
+	fmt.Println(indent(res.Violation.String()))
+	fmt.Println("corrected BlockingCollection on the same test:")
+	cur, _, _ := bench.Find("BlockingCollection")
+	res2, err := core.Check(cur, m, core.Options{PreemptionBound: 2})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  verdict: %v\n", res2.Verdict)
+	return nil
+}
+
+func cmdFig4() error {
+	incOp := core.Op{Method: "Inc", Run: func(t *sched.Thread, o any) string {
+		o.(interface{ Inc(*sched.Thread) }).Inc(t)
+		return "ok"
+	}}
+	getOp := core.Op{Method: "Get", Run: func(t *sched.Thread, o any) string {
+		return collections.Int(o.(interface{ Get(*sched.Thread) int }).Get(t))
+	}}
+	impl := &core.Subject{
+		Name: "Counter2",
+		New:  func(t *sched.Thread) any { return collections.NewCounter2(t) },
+		Ops:  []core.Op{incOp, getOp},
+	}
+	model := &core.Subject{
+		Name: "Counter",
+		New:  func(t *sched.Thread) any { return collections.NewCounter(t) },
+		Ops:  []core.Op{incOp, getOp},
+	}
+	m := &core.Test{Rows: [][]core.Op{{incOp, getOp}, {incOp}}}
+	fmt.Println("Fig. 4 — Counter2 forgets to release the lock in Get:")
+	fmt.Println(indent(m.String()))
+	classic, err := core.CheckAgainstModel(impl, model, m, core.RefOptions{ClassicOnly: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  classic linearizability (Def. 1) vs counter spec:     %v\n", classic.Verdict)
+	gen, err := core.CheckAgainstModel(impl, model, m, core.RefOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  generalized linearizability (Def. 3) vs counter spec: %v\n", gen.Verdict)
+	if gen.Violation != nil {
+		fmt.Println(indent(gen.Violation.String()))
+	}
+	return nil
+}
+
+func cmdFig7() error {
+	// The Fig. 7 test: Thread A = Add(200); Add(400), Thread B = Take();
+	// TryTake() on the (correct-for-these-methods) CTP collection.
+	sub, _, _ := bench.Find("BlockingCollection(Pre)")
+	add := func(v int) core.Op {
+		return core.Op{Method: "Add", Args: fmt.Sprint(v), Run: func(t *sched.Thread, o any) string {
+			type adder interface{ Add(*sched.Thread, int) bool }
+			o.(adder).Add(t, v)
+			return "ok"
+		}}
+	}
+	take, _ := sub.FindOp("Take()")
+	tryTake, _ := sub.FindOp("TryTake()")
+	m := &core.Test{Rows: [][]core.Op{{add(200), add(400)}, {take, tryTake}}}
+	fmt.Println("Fig. 7 (top) — the test:")
+	fmt.Println(indent(m.String()))
+	res, err := core.Check(sub, m, core.Options{PreemptionBound: 2, KeepSpec: true})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 7 (middle) — the observation file (phase 1):")
+	if err := obsfile.Write(os.Stdout, res.Spec); err != nil {
+		return err
+	}
+	fmt.Println("Fig. 7 (bottom) — the violation report, from the Fig. 1 test")
+	fmt.Println("(under the TryLock timeout model the original Take/TryTake layout")
+	fmt.Println("does not fail — see the substitution note in DESIGN.md):")
+	if res.Violation == nil {
+		fsub, fm := fig1Test()
+		res, err = core.Check(fsub, fm, core.Options{PreemptionBound: 2})
+		if err != nil {
+			return err
+		}
+	}
+	if res.Violation != nil && res.Violation.History != nil {
+		return obsfile.WriteViolation(os.Stdout, res.Violation.History)
+	}
+	fmt.Println("  (no violation found)")
+	return nil
+}
+
+func cmdFig9() error {
+	cases := bench.CauseCases()
+	var c bench.CauseCase
+	for _, cc := range cases {
+		if cc.Cause == bench.CauseA {
+			c = cc
+		}
+	}
+	fmt.Println("Fig. 9 — the ManualResetEvent CAS typo (root cause A):")
+	fmt.Println(indent(c.Test.String()))
+	res, err := core.Check(c.Subject, c.Test, core.Options{PreemptionBound: c.Bound})
+	if err != nil {
+		return err
+	}
+	if res.Verdict != core.Fail {
+		return fmt.Errorf("expected a violation")
+	}
+	fmt.Println(indent(res.Violation.String()))
+	fmt.Println("corrected ManualResetEvent on the same test:")
+	res2, err := core.Check(c.Counterpart, c.Test, core.Options{PreemptionBound: c.Bound})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  verdict: %v\n", res2.Verdict)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	samples := fs.Int("samples", 10, "random tests per class")
+	seed := fs.Int64("seed", 5, "sampling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("Section 5.6 — Line-Up vs race detection vs conflict-serializability")
+	fmt.Printf("%-26s %8s %8s %10s %10s\n", "Class", "races", "atomWarn", "warnTests", "lineupFail")
+	fmt.Println(strings.Repeat("-", 70))
+	for _, e := range bench.Registry() {
+		res, err := bench.CompareRandom(e.Subject, 2, 2, *samples, *seed, core.Options{PreemptionBound: 2})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-26s %8d %8d %10d %10d\n",
+			res.Subject, len(res.Races), res.AtomicityWarnings, res.AtomicityTests, res.LineUpFailures)
+	}
+	fmt.Println("\nsample serializability warnings (all false alarms on correct classes):")
+	stack, _, _ := bench.Find("ConcurrentStack")
+	res, err := bench.CompareRandom(stack, 2, 2, *samples, *seed, core.Options{PreemptionBound: 2})
+	if err != nil {
+		return err
+	}
+	for _, w := range res.WarningSamples {
+		fmt.Println(" ", w)
+	}
+	return nil
+}
+
+func cmdAblate(args []string) error {
+	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("Preemption-bound ablation: which directed root-cause tests fail at each bound")
+	fmt.Printf("%-4s %-26s", "id", "class")
+	bounds := []int{core.NoPreemptions, 1, 2, 3, 4}
+	for _, b := range bounds {
+		n := b
+		if b == core.NoPreemptions {
+			n = 0
+		}
+		fmt.Printf(" %6s", fmt.Sprintf("PB=%d", n))
+	}
+	fmt.Println(" (execs at class PB)")
+	fmt.Println(strings.Repeat("-", 90))
+	for _, c := range bench.CauseCases() {
+		fmt.Printf("%-4s %-26s", c.Cause, c.Subject.Name)
+		var execs int
+		for _, b := range bounds {
+			res, err := core.Check(c.Subject, c.Test, core.Options{PreemptionBound: b})
+			if err != nil {
+				return err
+			}
+			mark := "pass"
+			if res.Verdict == core.Fail {
+				mark = "FAIL"
+			}
+			if b == c.Bound {
+				execs = res.Phase2.Executions
+			}
+			fmt.Printf(" %6s", mark)
+		}
+		fmt.Printf(" %8d\n", execs)
+	}
+	return nil
+}
+
+// cmdMemory runs the Section 5.7 relaxed-memory scan: every class's
+// executions are checked for store-buffer SC-violation patterns.
+func cmdMemory(args []string) error {
+	fs := flag.NewFlagSet("memory", flag.ExitOnError)
+	samples := fs.Int("samples", 6, "random tests per class")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("Section 5.7 — store-buffer (TSO) SC-violation scan")
+	fmt.Printf("%-26s %8s %10s %10s\n", "Class", "tests", "execs", "violations")
+	fmt.Println(strings.Repeat("-", 60))
+	total := 0
+	for _, e := range bench.Registry() {
+		res, err := bench.SoberRandom(e.Subject, 2, 2, *samples, 9, core.Options{PreemptionBound: 2})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-26s %8d %10d %10d\n", res.Subject, res.Tests, res.Executions, len(res.Violations))
+		total += len(res.Violations)
+		for _, v := range res.Violations {
+			fmt.Println("   ", v)
+		}
+	}
+	if total == 0 {
+		fmt.Println()
+		fmt.Println("no potential sequential-consistency violations found, matching the")
+		fmt.Println("paper: the classes' cross-thread protocols use volatiles, interlocked")
+		fmt.Println("operations and monitors throughout.")
+	}
+	return nil
+}
+
+// cmdRecord synthesizes the specification of one test (phase 1) and writes
+// it as an observation file — the recording half of the Section 4.2
+// regression workflow.
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	class := fs.String("class", "", "class name (see 'lineup list')")
+	testSpec := fs.String("test", "", `test matrix, e.g. "Enqueue(10) TryDequeue() / Count()"`)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sub, _, ok := bench.Find(*class)
+	if !ok {
+		return fmt.Errorf("unknown class %q (try 'lineup list')", *class)
+	}
+	m, err := bench.ParseTest(sub, *testSpec)
+	if err != nil {
+		return err
+	}
+	spec, stats, err := core.SynthesizeSpec(sub, m, core.Options{})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obsfile.Write(w, spec); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d full and %d stuck serial histories (%d serial executions, %v)\n",
+		stats.Histories, stats.Stuck, stats.Executions, stats.Duration.Round(time.Millisecond))
+	return nil
+}
+
+// cmdVerify replays phase 2 of one test against a recorded observation file
+// — the checking half of the regression workflow.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	class := fs.String("class", "", "class name (see 'lineup list')")
+	testSpec := fs.String("test", "", `test matrix, e.g. "Enqueue(10) TryDequeue() / Count()"`)
+	in := fs.String("obs", "", "observation file recorded with 'lineup record'")
+	bound := fs.Int("pb", 2, "preemption bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sub, _, ok := bench.Find(*class)
+	if !ok {
+		return fmt.Errorf("unknown class %q (try 'lineup list')", *class)
+	}
+	m, err := bench.ParseTest(sub, *testSpec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	parsed, err := obsfile.Parse(f)
+	if err != nil {
+		return err
+	}
+	res, err := core.CheckAgainstSpec(sub, m, parsed.ToSpec(), core.Options{PreemptionBound: *bound})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("verdict: %v (%d histories, %d stuck, %d schedules)\n",
+		res.Verdict, res.Phase2.Histories, res.Phase2.Stuck, res.Phase2.Executions)
+	if res.Violation != nil {
+		fmt.Println(indent(res.Violation.String()))
+		os.Exit(1)
+	}
+	return nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

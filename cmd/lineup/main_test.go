@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout around fn and returns what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestCmdCauses(t *testing.T) {
+	out := captureStdout(t, func() error { return cmdCauses(nil) })
+	for _, want := range []string{"A ", "L ", "Fig. 9", "Fig. 1", "stuck", "value"} {
+		if !contains(out, want) {
+			t.Fatalf("causes output missing %q:\n%s", want, out)
+		}
+	}
+	if contains(out, "PASS?!") {
+		t.Fatalf("a directed cause test passed unexpectedly:\n%s", out)
+	}
+}
+
+func TestCmdFig4(t *testing.T) {
+	out := captureStdout(t, func() error { return cmdFig4() })
+	if !contains(out, "classic linearizability (Def. 1) vs counter spec:     PASS") {
+		t.Fatalf("classic verdict wrong:\n%s", out)
+	}
+	if !contains(out, "generalized linearizability (Def. 3) vs counter spec: FAIL") {
+		t.Fatalf("generalized verdict wrong:\n%s", out)
+	}
+}
+
+func TestCmdFig1(t *testing.T) {
+	out := captureStdout(t, func() error { return cmdFig1() })
+	if !contains(out, "violation") || !contains(out, "verdict: PASS") {
+		t.Fatalf("fig1 output incomplete:\n%s", out)
+	}
+}
+
+func TestCmdFig9(t *testing.T) {
+	out := captureStdout(t, func() error { return cmdFig9() })
+	if !contains(out, "stuck history") || !contains(out, "verdict: PASS") {
+		t.Fatalf("fig9 output incomplete:\n%s", out)
+	}
+}
+
+func TestCmdRecordVerifyRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	obs := filepath.Join(dir, "queue.obs")
+	_ = captureStdout(t, func() error {
+		return cmdRecord([]string{"-class", "ConcurrentQueue", "-test", "Enqueue(10) TryDequeue() / Count()", "-o", obs})
+	})
+	if _, err := os.Stat(obs); err != nil {
+		t.Fatalf("observation file not written: %v", err)
+	}
+	out := captureStdout(t, func() error {
+		return cmdVerify([]string{"-class", "ConcurrentQueue", "-test", "Enqueue(10) TryDequeue() / Count()", "-obs", obs})
+	})
+	if !contains(out, "verdict: PASS") {
+		t.Fatalf("verify against own recording failed:\n%s", out)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,65 @@
+// Regression demonstrates the observation-file workflow of Section 4.2 as
+// a library: synthesize the specification of a test once on a known-good
+// build, persist it as an observation file, and from then on re-verify only
+// phase 2 against the recorded file — catching regressions (here: swapping
+// in the CTP-like queue) without re-deriving the spec.
+//
+// Run with: go run ./examples/regression
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"lineup"
+	"lineup/internal/bench"
+	"lineup/internal/core"
+	"lineup/internal/obsfile"
+)
+
+func main() {
+	good, _, _ := bench.Find("ConcurrentQueue")
+	bad, _, _ := bench.Find("ConcurrentQueue(Pre)")
+	m, err := bench.ParseTest(good, "Enqueue(10) TryDequeue() / Count()")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Record: phase 1 on the good build, persisted as an observation file.
+	spec, stats, err := core.SynthesizeSpec(good, m, lineup.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var file bytes.Buffer
+	if err := obsfile.Write(&file, spec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d serial histories (%d serial executions):\n\n%s\n",
+		stats.Histories+stats.Stuck, stats.Executions, file.String())
+
+	// Verify: parse the file back and run phase 2 only, against both
+	// builds. ParseTest resolves the same ops for the (Pre) variant because
+	// the two share one invocation vocabulary.
+	parsed, err := obsfile.Parse(&file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reloaded := parsed.ToSpec()
+
+	for _, sub := range []*lineup.Subject{good, bad} {
+		m2, err := bench.ParseTest(sub, "Enqueue(10) TryDequeue() / Count()")
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.CheckAgainstSpec(sub, m2, reloaded, lineup.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s -> %v (phase 2: %d histories over %d schedules)\n",
+			sub.Name, res.Verdict, res.Phase2.Histories, res.Phase2.Executions)
+		if res.Violation != nil {
+			fmt.Println(res.Violation)
+		}
+	}
+}

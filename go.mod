@@ -1,0 +1,3 @@
+module lineup
+
+go 1.22

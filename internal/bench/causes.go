@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"lineup/internal/core"
+	"lineup/internal/sched"
+)
+
+// CauseCase is a directed minimal test for one root cause of Table 2: the
+// smallest test matrix (found by running core.Shrink on random failures,
+// mirroring the paper's manual minimization) that exposes the cause, the
+// subject it fails on, and the correct counterpart expected to pass the
+// same test.
+type CauseCase struct {
+	Cause Cause
+	// Subject is the implementation the cause manifests on.
+	Subject *core.Subject
+	// Counterpart is the corrected implementation expected to pass the same
+	// test (nil for intentional causes H..L, which live on the corrected
+	// class itself).
+	Counterpart *core.Subject
+	// Test is the minimal failing matrix.
+	Test *core.Test
+	// Bound is the preemption bound needed to expose the cause.
+	Bound int
+	// WantKind is the expected violation kind.
+	WantKind core.ViolationKind
+	// Note explains the failing scenario in one sentence.
+	Note string
+}
+
+func find(name string) *core.Subject {
+	s, _, ok := Find(name)
+	if !ok {
+		panic("bench: unknown subject " + name)
+	}
+	return s
+}
+
+func mustOp(s *core.Subject, name string) core.Op {
+	o, ok := s.FindOp(name)
+	if !ok {
+		panic("bench: subject " + s.Name + " has no op " + name)
+	}
+	return o
+}
+
+// figOp builds an extra invocation outside the registry universe (used by
+// the Fig. 1 scenario, which adds the values 200 and 400).
+func figOp(method, args string, run func(t *sched.Thread, obj any) string) core.Op {
+	return core.Op{Method: method, Args: args, Run: run}
+}
+
+// CauseCases returns the directed minimal test for every root cause A..L.
+func CauseCases() []CauseCase {
+	var cases []CauseCase
+
+	// A — ManualResetEvent(Pre), Fig. 9: Wait's CAS typo; Set/Reset between
+	// the two reads corrupts the state word; the final Set skips the wakeup.
+	{
+		pre := find("ManualResetEvent(Pre)")
+		cur := find("ManualResetEvent")
+		wait := mustOp(pre, "Wait()")
+		set := mustOp(pre, "Set()")
+		reset := mustOp(pre, "Reset()")
+		cases = append(cases, CauseCase{
+			Cause: CauseA, Subject: pre, Counterpart: cur,
+			Test:     &core.Test{Rows: [][]core.Op{{wait}, {set, reset, set}}},
+			Bound:    4,
+			WantKind: core.StuckNoWitness,
+			Note:     "Fig. 9: Wait never unblocks although Set was called last",
+		})
+	}
+
+	// B — BlockingCollection(Pre), Fig. 1: TryTake's lock acquire times out
+	// while another operation holds the lock; it fails on a non-empty
+	// collection.
+	{
+		pre := find("BlockingCollection(Pre)")
+		cur := find("BlockingCollection")
+		add200 := figOp("Add", "200", func(t *sched.Thread, o any) string {
+			type adder interface{ Add(*sched.Thread, int) bool }
+			o.(adder).Add(t, 200)
+			return "ok"
+		})
+		add400 := figOp("Add", "400", func(t *sched.Thread, o any) string {
+			type adder interface{ Add(*sched.Thread, int) bool }
+			o.(adder).Add(t, 400)
+			return "ok"
+		})
+		tryTake := mustOp(pre, "TryTake()")
+		cases = append(cases, CauseCase{
+			Cause: CauseB, Subject: pre, Counterpart: cur,
+			Test:     &core.Test{Rows: [][]core.Op{{add200, tryTake}, {add400, tryTake}}},
+			Bound:    2,
+			WantKind: core.NoWitness,
+			Note:     "Fig. 1: TryTake fails although both Adds completed",
+		})
+	}
+
+	// B' — ConcurrentQueue(Pre): Count derived from a torn pair of counter
+	// reads; a dequeue between the reads yields a size the queue never had.
+	{
+		pre := find("ConcurrentQueue(Pre)")
+		cur := find("ConcurrentQueue")
+		count := mustOp(pre, "Count()")
+		enq := mustOp(pre, "Enqueue(10)")
+		deq := mustOp(pre, "TryDequeue()")
+		cases = append(cases, CauseCase{
+			Cause: CauseB + "'", Subject: pre, Counterpart: cur,
+			Test:     &core.Test{Rows: [][]core.Op{{count}, {enq, deq}}},
+			Bound:    2,
+			WantKind: core.NoWitness,
+			Note:     "Count returns -1 when a dequeue lands between its two counter reads",
+		})
+	}
+
+	// C — ConcurrentStack(Pre): TryPopRange assembled from single pops; a
+	// concurrent push interleaves into the observed range.
+	{
+		pre := find("ConcurrentStack(Pre)")
+		cur := find("ConcurrentStack")
+		popRange := mustOp(pre, "TryPopRange(2)")
+		push10 := mustOp(pre, "Push(10)")
+		push20 := mustOp(pre, "Push(20)")
+		push30 := figOp("Push", "30", func(t *sched.Thread, o any) string {
+			type pusher interface{ Push(*sched.Thread, int) }
+			o.(pusher).Push(t, 30)
+			return "ok"
+		})
+		cases = append(cases, CauseCase{
+			Cause: CauseC, Subject: pre, Counterpart: cur,
+			Test: &core.Test{
+				Init: []core.Op{push10, push20},
+				Rows: [][]core.Op{{popRange}, {push30}},
+			},
+			Bound:    2,
+			WantKind: core.NoWitness,
+			Note:     "TryPopRange(2) observes a range that was never on the stack",
+		})
+	}
+
+	// D — SemaphoreSlim(Pre): waiter count published after the monitor is
+	// released; a Release in the window wakes nobody.
+	{
+		pre := find("SemaphoreSlim(Pre)")
+		cur := find("SemaphoreSlim")
+		wait := mustOp(pre, "Wait()")
+		release := mustOp(pre, "Release()")
+		cases = append(cases, CauseCase{
+			Cause: CauseD, Subject: pre, Counterpart: cur,
+			Test:     &core.Test{Rows: [][]core.Op{{wait}, {release}}},
+			Bound:    2,
+			WantKind: core.StuckNoWitness,
+			Note:     "Wait blocks forever although Release completed and a permit is available",
+		})
+	}
+
+	// E — CountdownEvent(Pre): unsynchronized Signal decrement loses an
+	// update; the event never becomes set.
+	{
+		pre := find("CountdownEvent(Pre)")
+		cur := find("CountdownEvent")
+		signal := mustOp(pre, "Signal(1)")
+		wait := mustOp(pre, "Wait()")
+		cases = append(cases, CauseCase{
+			Cause: CauseE, Subject: pre, Counterpart: cur,
+			Test:     &core.Test{Rows: [][]core.Op{{signal}, {signal, wait}}},
+			Bound:    2,
+			WantKind: core.StuckNoWitness,
+			Note:     "a lost decrement leaves the count at 1; Wait blocks although both Signals completed",
+		})
+	}
+
+	// F — Lazy(Pre): the value factory runs twice; the two Values return
+	// different results.
+	{
+		pre := find("Lazy(Pre)")
+		cur := find("Lazy")
+		value := mustOp(pre, "Value()")
+		cases = append(cases, CauseCase{
+			Cause: CauseF, Subject: pre, Counterpart: cur,
+			Test:     &core.Test{Rows: [][]core.Op{{value}, {value}}},
+			Bound:    2,
+			WantKind: core.NoWitness,
+			Note:     "two racing Values observe two distinct factory results",
+		})
+	}
+
+	// G — TaskCompletionSource(Pre): two completions both report success.
+	{
+		pre := find("TaskCompletionSource(Pre)")
+		cur := find("TaskCompletionSource")
+		set10 := mustOp(pre, "TrySetResult(10)")
+		set20 := mustOp(pre, "TrySetResult(20)")
+		cases = append(cases, CauseCase{
+			Cause: CauseG, Subject: pre, Counterpart: cur,
+			Test:     &core.Test{Rows: [][]core.Op{{set10}, {set20}}},
+			Bound:    2,
+			WantKind: core.NoWitness,
+			Note:     "both TrySetResult calls win",
+		})
+	}
+
+	// H — ConcurrentBag: the list-at-a-time Count observes two elements
+	// although the bag never held more than one (intentional, documented).
+	{
+		bag := find("ConcurrentBag")
+		count := mustOp(bag, "Count()")
+		tryTake := mustOp(bag, "TryTake()")
+		add10 := mustOp(bag, "Add(10)")
+		addInit := figOp("Add", "1", func(t *sched.Thread, o any) string {
+			type adder interface{ Add(*sched.Thread, int) }
+			o.(adder).Add(t, 1)
+			return "ok"
+		})
+		cases = append(cases, CauseCase{
+			Cause: CauseH, Subject: bag,
+			Test: &core.Test{
+				Init: []core.Op{addInit},
+				Rows: [][]core.Op{{tryTake, add10}, {count}},
+			},
+			Bound:    2,
+			WantKind: core.NoWitness,
+			Note:     "Count=2 although the bag never held two elements at once",
+		})
+	}
+
+	// I — BlockingCollection: Count lags the contents (intentional).
+	{
+		bc := find("BlockingCollection")
+		add := mustOp(bc, "TryAdd(10)")
+		toArray := mustOp(bc, "ToArray()")
+		count := mustOp(bc, "Count()")
+		cases = append(cases, CauseCase{
+			Cause: CauseI, Subject: bc,
+			Test:     &core.Test{Rows: [][]core.Op{{add}, {toArray, count}}},
+			Bound:    2,
+			WantKind: core.NoWitness,
+			Note:     "Count=0 right after ToArray observed the element",
+		})
+	}
+
+	// J — BlockingCollection: TryTake's count fast path fails on a
+	// non-empty collection (intentional).
+	{
+		bc := find("BlockingCollection")
+		add10 := mustOp(bc, "TryAdd(10)")
+		add20 := mustOp(bc, "TryAdd(20)")
+		tryTake := mustOp(bc, "TryTake()")
+		cases = append(cases, CauseCase{
+			Cause: CauseJ, Subject: bc,
+			Test:     &core.Test{Rows: [][]core.Op{{add10}, {add20, tryTake, tryTake}}},
+			Bound:    2,
+			WantKind: core.NoWitness,
+			Note:     "the second TryTake fails although an element remains",
+		})
+	}
+
+	// K — BlockingCollection: CompleteAdding's effect on a blocked Take
+	// materializes after the method returned (intentional
+	// nonlinearizability).
+	{
+		bc := find("BlockingCollection")
+		take := mustOp(bc, "Take()")
+		complete := mustOp(bc, "CompleteAdding()")
+		cases = append(cases, CauseCase{
+			Cause: CauseK, Subject: bc,
+			Test:     &core.Test{Rows: [][]core.Op{{take}, {complete}}},
+			Bound:    2,
+			WantKind: core.StuckNoWitness,
+			Note:     "a blocked Take stays blocked although CompleteAdding returned",
+		})
+	}
+
+	// L — Barrier: two SignalAndWait calls release each other, which no
+	// serial execution can do (the classic nonlinearizable class).
+	{
+		barrier := find("Barrier")
+		saw := mustOp(barrier, "SignalAndWait()")
+		cases = append(cases, CauseCase{
+			Cause: CauseL, Subject: barrier,
+			Test:     &core.Test{Rows: [][]core.Op{{saw}, {saw}}},
+			Bound:    2,
+			WantKind: core.NoWitness,
+			Note:     "both SignalAndWait calls complete; every serial execution is stuck",
+		})
+	}
+
+	return cases
+}

@@ -1,0 +1,41 @@
+package bench_test
+
+import (
+	"testing"
+
+	"lineup/internal/bench"
+	"lineup/internal/core"
+)
+
+// TestRootCauses verifies the Section 5.2 results: every root cause A..L is
+// exposed by its directed minimal test, with the expected violation kind,
+// and — for the seeded bugs A..G — the corrected counterpart passes the
+// very same test.
+func TestRootCauses(t *testing.T) {
+	for _, c := range bench.CauseCases() {
+		c := c
+		t.Run(string(c.Cause), func(t *testing.T) {
+			res, err := core.Check(c.Subject, c.Test, core.Options{PreemptionBound: c.Bound})
+			if err != nil {
+				t.Fatalf("check %s: %v", c.Subject.Name, err)
+			}
+			if res.Verdict != core.Fail {
+				t.Fatalf("cause %s: %s unexpectedly passed\n%s", c.Cause, c.Subject.Name, c.Test)
+			}
+			if res.Violation.Kind != c.WantKind {
+				t.Fatalf("cause %s: violation kind = %v, want %v\n%s",
+					c.Cause, res.Violation.Kind, c.WantKind, res.Violation)
+			}
+			if c.Counterpart != nil {
+				res2, err := core.Check(c.Counterpart, c.Test, core.Options{PreemptionBound: c.Bound})
+				if err != nil {
+					t.Fatalf("check counterpart %s: %v", c.Counterpart.Name, err)
+				}
+				if res2.Verdict != core.Pass {
+					t.Fatalf("cause %s: corrected %s fails the same test: %v",
+						c.Cause, c.Counterpart.Name, res2.Violation)
+				}
+			}
+		})
+	}
+}

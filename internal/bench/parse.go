@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"lineup/internal/core"
+)
+
+// ParseTest parses a textual test matrix against a subject's invocation
+// universe. Rows (threads) are separated by '/', invocations within a row
+// by commas or spaces, and optional init/final sequences are prefixed with
+// "init:" and "final:". Example:
+//
+//	"init: Enqueue(10) / TryDequeue(), Count() / Enqueue(20) / final: ToArray()"
+//
+// parses into an init sequence, two test threads, and a final sequence.
+func ParseTest(sub *core.Subject, s string) (*core.Test, error) {
+	m := &core.Test{}
+	for _, part := range strings.Split(s, "/") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		target := &m.Rows
+		switch {
+		case strings.HasPrefix(part, "init:"):
+			part = strings.TrimSpace(strings.TrimPrefix(part, "init:"))
+			ops, err := parseOps(sub, part)
+			if err != nil {
+				return nil, err
+			}
+			m.Init = ops
+			continue
+		case strings.HasPrefix(part, "final:"):
+			part = strings.TrimSpace(strings.TrimPrefix(part, "final:"))
+			ops, err := parseOps(sub, part)
+			if err != nil {
+				return nil, err
+			}
+			m.Final = ops
+			continue
+		}
+		ops, err := parseOps(sub, part)
+		if err != nil {
+			return nil, err
+		}
+		if len(ops) > 0 {
+			*target = append(*target, ops)
+		}
+	}
+	if len(m.Rows) == 0 {
+		return nil, fmt.Errorf("bench: test %q has no threads", s)
+	}
+	return m, nil
+}
+
+// tokenizeOps splits on commas and whitespace, except inside parentheses
+// (so "PushRange(30,40)" stays one token).
+func tokenizeOps(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	depth := 0
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case (r == ',' || r == ' ' || r == '\t') && depth == 0:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+func parseOps(sub *core.Subject, s string) ([]core.Op, error) {
+	var ops []core.Op
+	for _, tok := range tokenizeOps(s) {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if !strings.HasSuffix(tok, ")") {
+			tok += "()"
+		}
+		op, ok := sub.FindOp(tok)
+		if !ok {
+			var known []string
+			for _, o := range sub.Ops {
+				known = append(known, o.Name())
+			}
+			return nil, fmt.Errorf("bench: %s has no invocation %q (have: %s)",
+				sub.Name, tok, strings.Join(known, ", "))
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}

@@ -1,0 +1,128 @@
+package bench_test
+
+import (
+	"testing"
+
+	"lineup/internal/bench"
+)
+
+func TestParseTest(t *testing.T) {
+	sub, _, ok := bench.Find("ConcurrentQueue")
+	if !ok {
+		t.Fatal("queue not found")
+	}
+	m, err := bench.ParseTest(sub, "init: Enqueue(10) / TryDequeue(), Count() / Enqueue(20) / final: ToArray()")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(m.Init) != 1 || m.Init[0].Name() != "Enqueue(10)" {
+		t.Fatalf("init = %v", m.Init)
+	}
+	if len(m.Rows) != 2 {
+		t.Fatalf("rows = %d", len(m.Rows))
+	}
+	if m.Rows[0][0].Name() != "TryDequeue()" || m.Rows[0][1].Name() != "Count()" {
+		t.Fatalf("row 0 = %v %v", m.Rows[0][0].Name(), m.Rows[0][1].Name())
+	}
+	if len(m.Final) != 1 || m.Final[0].Name() != "ToArray()" {
+		t.Fatalf("final = %v", m.Final)
+	}
+}
+
+func TestParseTestBareMethodNames(t *testing.T) {
+	sub, _, ok := bench.Find("ConcurrentQueue")
+	if !ok {
+		t.Fatal("queue not found")
+	}
+	m, err := bench.ParseTest(sub, "Count / TryPeek")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if m.Rows[0][0].Name() != "Count()" || m.Rows[1][0].Name() != "TryPeek()" {
+		t.Fatalf("bare names not resolved")
+	}
+}
+
+func TestParseTestParenthesizedArgs(t *testing.T) {
+	sub, _, ok := bench.Find("ConcurrentStack")
+	if !ok {
+		t.Fatal("stack not found")
+	}
+	// PushRange(30,40) contains a comma that must not split the token.
+	m, err := bench.ParseTest(sub, "PushRange(30,40) TryPopRange(2) / Count()")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if m.Rows[0][0].Name() != "PushRange(30,40)" {
+		t.Fatalf("got %q", m.Rows[0][0].Name())
+	}
+	if m.Rows[0][1].Name() != "TryPopRange(2)" {
+		t.Fatalf("got %q", m.Rows[0][1].Name())
+	}
+}
+
+func TestParseTestErrors(t *testing.T) {
+	sub, _, ok := bench.Find("ConcurrentQueue")
+	if !ok {
+		t.Fatal("queue not found")
+	}
+	if _, err := bench.ParseTest(sub, "Nope()"); err == nil {
+		t.Fatalf("unknown op accepted")
+	}
+	if _, err := bench.ParseTest(sub, "init: Enqueue(10)"); err == nil {
+		t.Fatalf("test with no threads accepted")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := bench.Table1()
+	if len(rows) != 13 {
+		t.Fatalf("expected 13 classes, got %d", len(rows))
+	}
+	methods := 0
+	for _, r := range rows {
+		if r.LOC <= 0 {
+			t.Errorf("%s: no source lines counted", r.Class)
+		}
+		if len(r.Methods) == 0 {
+			t.Errorf("%s: no methods", r.Class)
+		}
+		methods += len(r.Methods)
+	}
+	// The paper checks 90 methods across the 13 classes; our universes
+	// should be in the same ballpark.
+	if methods < 80 || methods > 120 {
+		t.Errorf("total invocations = %d, want ~90-100", methods)
+	}
+}
+
+func TestCauseCasesCoverAllRootCauses(t *testing.T) {
+	seen := make(map[bench.Cause]bool)
+	for _, c := range bench.CauseCases() {
+		seen[c.Cause] = true
+		if c.Test == nil || c.Subject == nil {
+			t.Fatalf("case %s incomplete", c.Cause)
+		}
+	}
+	for _, want := range []bench.Cause{
+		bench.CauseA, bench.CauseB, bench.CauseC, bench.CauseD, bench.CauseE,
+		bench.CauseF, bench.CauseG, bench.CauseH, bench.CauseI, bench.CauseJ,
+		bench.CauseK, bench.CauseL,
+	} {
+		if !seen[want] {
+			t.Errorf("no directed case for root cause %s", want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if bench.Classify(bench.CauseA) != bench.Bug {
+		t.Errorf("A should be a bug")
+	}
+	if bench.Classify(bench.CauseH) != bench.Nondeterminism {
+		t.Errorf("H should be nondeterminism")
+	}
+	if bench.Classify(bench.CauseL) != bench.Nonlinearizable {
+		t.Errorf("L should be nonlinearizable")
+	}
+}

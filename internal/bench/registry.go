@@ -1,0 +1,589 @@
+// Package bench hosts the evaluation harness: the registry of the 13
+// classes of Table 1 (correct and "(Pre)" variants with their invocation
+// universes and root-cause annotations), line counting for Table 1, and the
+// row formatters used by cmd/lineup and the repository benchmarks to
+// regenerate the paper's tables.
+package bench
+
+import (
+	"fmt"
+
+	"lineup/internal/buggy"
+	"lineup/internal/collections"
+	"lineup/internal/core"
+	"lineup/internal/sched"
+)
+
+// Cause identifies a root cause of Table 2 (A..G bugs, H..J intentional
+// nondeterminism, K..L intentional nonlinearizability).
+type Cause string
+
+// Root causes of Table 2.
+const (
+	CauseA Cause = "A" // ManualResetEvent(Pre): CAS typo re-reads state (Fig. 9)
+	CauseB Cause = "B" // BlockingCollection(Pre): TryTake lock acquire times out (Fig. 1)
+	CauseC Cause = "C" // ConcurrentStack(Pre): TryPopRange assembled from single pops
+	CauseD Cause = "D" // SemaphoreSlim(Pre): waiter published after monitor release
+	CauseE Cause = "E" // CountdownEvent(Pre): unsynchronized Signal decrement
+	CauseF Cause = "F" // Lazy(Pre): value factory can run twice
+	CauseG Cause = "G" // TaskCompletionSource(Pre): check-then-act completion
+	CauseH Cause = "H" // ConcurrentBag: weak-snapshot Count/ToArray (intentional)
+	CauseI Cause = "I" // BlockingCollection: Count lags contents (intentional)
+	CauseJ Cause = "J" // BlockingCollection: TryTake count fast path (intentional)
+	CauseK Cause = "K" // BlockingCollection: CompleteAdding effect after return (intentional)
+	CauseL Cause = "L" // Barrier: SignalAndWait is inherently non-serial (intentional)
+)
+
+// Classification buckets of Section 5.2.
+type Classification int
+
+const (
+	// Bug marks a real implementation error (fixed by the developers).
+	Bug Classification = iota
+	// Nondeterminism marks intentional nondeterministic behavior.
+	Nondeterminism
+	// Nonlinearizable marks intentionally non-linearizable behavior.
+	Nonlinearizable
+)
+
+// Classify buckets a root cause as in Section 5.2.
+func Classify(c Cause) Classification {
+	switch c {
+	case CauseH, CauseI, CauseJ:
+		return Nondeterminism
+	case CauseK, CauseL:
+		return Nonlinearizable
+	default:
+		return Bug
+	}
+}
+
+// Entry is one row of the registry: a class with its subjects and its
+// expected Table 2 outcome.
+type Entry struct {
+	// Subject is the corrected (Beta 2-like) implementation.
+	Subject *core.Subject
+	// Pre is the defect-seeded CTP-like variant (nil if the class had no
+	// (Pre) version under test).
+	Pre *core.Subject
+	// Bound is the preemption bound used for this class's Table 2 runs (the
+	// paper's PB column: "2, except where it performed unacceptably slow" —
+	// and some seeded defects need deeper schedules; see the ablation
+	// benchmark).
+	Bound int
+	// Causes are the root causes expected on the corrected subject
+	// (intentional nondeterminism/nonlinearizability that was documented
+	// rather than fixed).
+	Causes []Cause
+	// PreCauses are the root causes expected on the (Pre) subject, in
+	// addition to Causes that the class retains.
+	PreCauses []Cause
+}
+
+// op builds a core.Op from a method name, rendered arguments, and body.
+func op(method, args string, run func(t *sched.Thread, obj any) string) core.Op {
+	return core.Op{Method: method, Args: args, Run: run}
+}
+
+// ----- shared class vocabularies (correct and (Pre) variants both satisfy
+// these structural interfaces, so one invocation universe serves both) -----
+
+type queueAPI interface {
+	Enqueue(*sched.Thread, int)
+	TryDequeue(*sched.Thread) (int, bool)
+	TryPeek(*sched.Thread) (int, bool)
+	Count(*sched.Thread) int
+	IsEmpty(*sched.Thread) bool
+	ToArray(*sched.Thread) []int
+}
+
+func queueOps() []core.Op {
+	return []core.Op{
+		op("Count", "", func(t *sched.Thread, o any) string { return collections.Int(o.(queueAPI).Count(t)) }),
+		op("IsEmpty", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(queueAPI).IsEmpty(t)) }),
+		op("Enqueue", "10", func(t *sched.Thread, o any) string { o.(queueAPI).Enqueue(t, 10); return collections.OK }),
+		op("Enqueue", "20", func(t *sched.Thread, o any) string { o.(queueAPI).Enqueue(t, 20); return collections.OK }),
+		op("ToArray", "", func(t *sched.Thread, o any) string { return collections.Ints(o.(queueAPI).ToArray(t)) }),
+		op("TryDequeue", "", func(t *sched.Thread, o any) string { return collections.TryInt(o.(queueAPI).TryDequeue(t)) }),
+		op("TryPeek", "", func(t *sched.Thread, o any) string { return collections.TryInt(o.(queueAPI).TryPeek(t)) }),
+	}
+}
+
+type stackAPI interface {
+	Push(*sched.Thread, int)
+	PushRange(*sched.Thread, []int)
+	TryPop(*sched.Thread) (int, bool)
+	TryPopRange(*sched.Thread, int) []int
+	TryPeek(*sched.Thread) (int, bool)
+	Count(*sched.Thread) int
+	IsEmpty(*sched.Thread) bool
+	ToArray(*sched.Thread) []int
+	Clear(*sched.Thread)
+}
+
+func stackOps() []core.Op {
+	return []core.Op{
+		op("Clear", "", func(t *sched.Thread, o any) string { o.(stackAPI).Clear(t); return collections.OK }),
+		op("Count", "", func(t *sched.Thread, o any) string { return collections.Int(o.(stackAPI).Count(t)) }),
+		op("Push", "10", func(t *sched.Thread, o any) string { o.(stackAPI).Push(t, 10); return collections.OK }),
+		op("Push", "20", func(t *sched.Thread, o any) string { o.(stackAPI).Push(t, 20); return collections.OK }),
+		op("PushRange", "30,40", func(t *sched.Thread, o any) string {
+			o.(stackAPI).PushRange(t, []int{30, 40})
+			return collections.OK
+		}),
+		op("TryPop", "", func(t *sched.Thread, o any) string { return collections.TryInt(o.(stackAPI).TryPop(t)) }),
+		op("TryPopRange", "1", func(t *sched.Thread, o any) string { return collections.Ints(o.(stackAPI).TryPopRange(t, 1)) }),
+		op("TryPopRange", "2", func(t *sched.Thread, o any) string { return collections.Ints(o.(stackAPI).TryPopRange(t, 2)) }),
+		op("TryPopRange", "4", func(t *sched.Thread, o any) string { return collections.Ints(o.(stackAPI).TryPopRange(t, 4)) }),
+		op("TryPeek", "", func(t *sched.Thread, o any) string { return collections.TryInt(o.(stackAPI).TryPeek(t)) }),
+		op("ToArray", "", func(t *sched.Thread, o any) string { return collections.Ints(o.(stackAPI).ToArray(t)) }),
+	}
+}
+
+type mreAPI interface {
+	Set(*sched.Thread)
+	Reset(*sched.Thread)
+	Wait(*sched.Thread)
+	IsSet(*sched.Thread) bool
+	WaitOne(*sched.Thread) bool
+}
+
+func mreOps() []core.Op {
+	return []core.Op{
+		op("Set", "", func(t *sched.Thread, o any) string { o.(mreAPI).Set(t); return collections.OK }),
+		op("Wait", "", func(t *sched.Thread, o any) string { o.(mreAPI).Wait(t); return collections.OK }),
+		op("Reset", "", func(t *sched.Thread, o any) string { o.(mreAPI).Reset(t); return collections.OK }),
+		op("IsSet", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(mreAPI).IsSet(t)) }),
+		op("WaitOne", "0", func(t *sched.Thread, o any) string { return collections.Bool(o.(mreAPI).WaitOne(t)) }),
+	}
+}
+
+type semaphoreAPI interface {
+	Wait(*sched.Thread)
+	WaitZero(*sched.Thread) bool
+	Release(*sched.Thread, int) int
+	CurrentCount(*sched.Thread) int
+}
+
+func semaphoreOps() []core.Op {
+	return []core.Op{
+		op("CurrentCount", "", func(t *sched.Thread, o any) string { return collections.Int(o.(semaphoreAPI).CurrentCount(t)) }),
+		op("Release", "", func(t *sched.Thread, o any) string { return collections.Int(o.(semaphoreAPI).Release(t, 1)) }),
+		op("Release", "2", func(t *sched.Thread, o any) string { return collections.Int(o.(semaphoreAPI).Release(t, 2)) }),
+		op("Wait", "", func(t *sched.Thread, o any) string { o.(semaphoreAPI).Wait(t); return collections.OK }),
+		op("Wait", "0", func(t *sched.Thread, o any) string { return collections.Bool(o.(semaphoreAPI).WaitZero(t)) }),
+	}
+}
+
+type countdownAPI interface {
+	Signal(*sched.Thread, int) bool
+	AddCount(*sched.Thread, int) bool
+	TryAddCount(*sched.Thread, int) bool
+	IsSet(*sched.Thread) bool
+	CurrentCount(*sched.Thread) int
+	Wait(*sched.Thread)
+	WaitZero(*sched.Thread) bool
+}
+
+func countdownOps() []core.Op {
+	ops := []core.Op{
+		op("IsSet", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(countdownAPI).IsSet(t)) }),
+		op("Wait", "", func(t *sched.Thread, o any) string { o.(countdownAPI).Wait(t); return collections.OK }),
+		op("Wait", "0", func(t *sched.Thread, o any) string { return collections.Bool(o.(countdownAPI).WaitZero(t)) }),
+		op("CurrentCount", "", func(t *sched.Thread, o any) string { return collections.Int(o.(countdownAPI).CurrentCount(t)) }),
+	}
+	for _, x := range []int{1, 2} {
+		x := x
+		ops = append(ops,
+			op("Signal", fmt.Sprint(x), func(t *sched.Thread, o any) string { return collections.Bool(o.(countdownAPI).Signal(t, x)) }),
+			op("AddCount", fmt.Sprint(x), func(t *sched.Thread, o any) string { return collections.Bool(o.(countdownAPI).AddCount(t, x)) }),
+			op("TryAddCount", fmt.Sprint(x), func(t *sched.Thread, o any) string { return collections.Bool(o.(countdownAPI).TryAddCount(t, x)) }),
+		)
+	}
+	return ops
+}
+
+func lazyOps() []core.Op {
+	type lazyAPI interface {
+		Value(*sched.Thread) int
+		IsValueCreated(*sched.Thread) bool
+		ToString(*sched.Thread) string
+	}
+	return []core.Op{
+		op("Value", "", func(t *sched.Thread, o any) string { return collections.Int(o.(lazyAPI).Value(t)) }),
+		op("ToString", "", func(t *sched.Thread, o any) string { return o.(lazyAPI).ToString(t) }),
+		op("IsValueCreated", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(lazyAPI).IsValueCreated(t)) }),
+	}
+}
+
+type tcsAPI interface {
+	TrySetResult(*sched.Thread, int) bool
+	TrySetCanceled(*sched.Thread) bool
+	TrySetException(*sched.Thread) bool
+	SetResult(*sched.Thread, int) bool
+	SetCanceled(*sched.Thread) bool
+	SetException(*sched.Thread) bool
+	Wait(*sched.Thread) string
+	TryResult(*sched.Thread) string
+}
+
+func tcsOps() []core.Op {
+	return []core.Op{
+		op("TrySetCanceled", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(tcsAPI).TrySetCanceled(t)) }),
+		op("TrySetException", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(tcsAPI).TrySetException(t)) }),
+		op("TrySetResult", "10", func(t *sched.Thread, o any) string { return collections.Bool(o.(tcsAPI).TrySetResult(t, 10)) }),
+		op("TrySetResult", "20", func(t *sched.Thread, o any) string { return collections.Bool(o.(tcsAPI).TrySetResult(t, 20)) }),
+		op("SetResult", "30", func(t *sched.Thread, o any) string { return collections.Bool(o.(tcsAPI).SetResult(t, 30)) }),
+		op("SetCanceled", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(tcsAPI).SetCanceled(t)) }),
+		op("SetException", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(tcsAPI).SetException(t)) }),
+		op("Wait", "", func(t *sched.Thread, o any) string { return o.(tcsAPI).Wait(t) }),
+		op("TryResult", "", func(t *sched.Thread, o any) string { return o.(tcsAPI).TryResult(t) }),
+	}
+}
+
+type bcAPI interface {
+	Add(*sched.Thread, int) bool
+	TryAdd(*sched.Thread, int) bool
+	Take(*sched.Thread) (int, bool)
+	TryTake(*sched.Thread) (int, bool)
+	Count(*sched.Thread) int
+	ToArray(*sched.Thread) []int
+	CompleteAdding(*sched.Thread)
+	IsAddingCompleted(*sched.Thread) bool
+	IsCompleted(*sched.Thread) bool
+}
+
+func bcOps() []core.Op {
+	return []core.Op{
+		op("Count", "", func(t *sched.Thread, o any) string { return collections.Int(o.(bcAPI).Count(t)) }),
+		op("ToArray", "", func(t *sched.Thread, o any) string { return collections.Ints(o.(bcAPI).ToArray(t)) }),
+		op("TryAdd", "10", func(t *sched.Thread, o any) string { return collections.Bool(o.(bcAPI).TryAdd(t, 10)) }),
+		op("TryAdd", "20", func(t *sched.Thread, o any) string { return collections.Bool(o.(bcAPI).TryAdd(t, 20)) }),
+		op("IsCompleted", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(bcAPI).IsCompleted(t)) }),
+		op("IsAddingCompleted", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(bcAPI).IsAddingCompleted(t)) }),
+		op("CompleteAdding", "", func(t *sched.Thread, o any) string { o.(bcAPI).CompleteAdding(t); return collections.OK }),
+		op("Add", "30", func(t *sched.Thread, o any) string { return collections.Bool(o.(bcAPI).Add(t, 30)) }),
+		op("Take", "", func(t *sched.Thread, o any) string {
+			v, ok := o.(bcAPI).Take(t)
+			return collections.TryInt(v, ok)
+		}),
+		op("TryTake", "", func(t *sched.Thread, o any) string {
+			v, ok := o.(bcAPI).TryTake(t)
+			return collections.TryInt(v, ok)
+		}),
+	}
+}
+
+func dictOps() []core.Op {
+	ops := []core.Op{
+		op("Count", "", func(t *sched.Thread, o any) string { return collections.Int(o.(*collections.Dictionary).Count(t)) }),
+		op("IsEmpty", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(*collections.Dictionary).IsEmpty(t)) }),
+		op("Clear", "", func(t *sched.Thread, o any) string { o.(*collections.Dictionary).Clear(t); return collections.OK }),
+	}
+	for _, x := range []int{10, 20} {
+		x := x
+		xs := fmt.Sprint(x)
+		ops = append(ops,
+			op("TryAdd", xs, func(t *sched.Thread, o any) string {
+				return collections.Bool(o.(*collections.Dictionary).TryAdd(t, x, x))
+			}),
+			op("TryRemove", xs, func(t *sched.Thread, o any) string {
+				return collections.TryInt(o.(*collections.Dictionary).TryRemove(t, x))
+			}),
+			op("TryGet", xs, func(t *sched.Thread, o any) string {
+				return collections.TryInt(o.(*collections.Dictionary).TryGetValue(t, x))
+			}),
+			op("GetOrAdd", xs, func(t *sched.Thread, o any) string {
+				return collections.Int(o.(*collections.Dictionary).GetOrAdd(t, x, x))
+			}),
+			op("Set", xs, func(t *sched.Thread, o any) string {
+				o.(*collections.Dictionary).Set(t, x, x+1)
+				return collections.OK
+			}),
+			op("TryUpdate", xs, func(t *sched.Thread, o any) string {
+				return collections.Bool(o.(*collections.Dictionary).TryUpdate(t, x, x+2, x))
+			}),
+			op("ContainsKey", xs, func(t *sched.Thread, o any) string {
+				return collections.Bool(o.(*collections.Dictionary).ContainsKey(t, x))
+			}),
+		)
+	}
+	return ops
+}
+
+func bagOps() []core.Op {
+	return []core.Op{
+		op("Count", "", func(t *sched.Thread, o any) string { return collections.Int(o.(*collections.Bag).Count(t)) }),
+		op("Add", "10", func(t *sched.Thread, o any) string { o.(*collections.Bag).Add(t, 10); return collections.OK }),
+		op("Add", "20", func(t *sched.Thread, o any) string { o.(*collections.Bag).Add(t, 20); return collections.OK }),
+		op("TryTake", "", func(t *sched.Thread, o any) string { return collections.TryInt(o.(*collections.Bag).TryTake(t)) }),
+		op("IsEmpty", "", func(t *sched.Thread, o any) string { return collections.Bool(o.(*collections.Bag).IsEmpty(t)) }),
+		op("TryPeek", "", func(t *sched.Thread, o any) string { return collections.TryInt(o.(*collections.Bag).TryPeek(t)) }),
+		op("ToArray", "", func(t *sched.Thread, o any) string { return collections.IntsSorted(o.(*collections.Bag).ToArray(t)) }),
+	}
+}
+
+func ctsOps() []core.Op {
+	return []core.Op{
+		op("Cancel", "", func(t *sched.Thread, o any) string {
+			o.(*collections.CancellationTokenSource).Cancel(t)
+			return collections.OK
+		}),
+		op("IsCancellationRequested", "", func(t *sched.Thread, o any) string {
+			return collections.Bool(o.(*collections.CancellationTokenSource).IsCancellationRequested(t))
+		}),
+		op("Register", "", func(t *sched.Thread, o any) string {
+			return collections.Int(o.(*collections.CancellationTokenSource).Register(t))
+		}),
+		op("WaitForCancel", "", func(t *sched.Thread, o any) string {
+			o.(*collections.CancellationTokenSource).WaitForCancel(t)
+			return collections.OK
+		}),
+	}
+}
+
+func barrierOps() []core.Op {
+	return []core.Op{
+		op("SignalAndWait", "", func(t *sched.Thread, o any) string {
+			o.(*collections.Barrier).SignalAndWait(t)
+			return collections.OK
+		}),
+		op("ParticipantsRemaining", "", func(t *sched.Thread, o any) string {
+			return collections.Int(o.(*collections.Barrier).ParticipantsRemaining(t))
+		}),
+		op("RemoveParticipant", "", func(t *sched.Thread, o any) string {
+			return collections.Bool(o.(*collections.Barrier).RemoveParticipant(t))
+		}),
+		op("CurrentPhaseNumber", "", func(t *sched.Thread, o any) string {
+			return collections.Int(o.(*collections.Barrier).CurrentPhaseNumber(t))
+		}),
+		op("ParticipantCount", "", func(t *sched.Thread, o any) string {
+			return collections.Int(o.(*collections.Barrier).ParticipantCount(t))
+		}),
+		op("AddParticipant", "", func(t *sched.Thread, o any) string {
+			return collections.Int(o.(*collections.Barrier).AddParticipant(t))
+		}),
+	}
+}
+
+func linkedListOps() []core.Op {
+	return []core.Op{
+		op("Count", "", func(t *sched.Thread, o any) string { return collections.Int(o.(*collections.LinkedList).Count(t)) }),
+		op("AddFirst", "10", func(t *sched.Thread, o any) string {
+			o.(*collections.LinkedList).AddFirst(t, 10)
+			return collections.OK
+		}),
+		op("AddLast", "20", func(t *sched.Thread, o any) string {
+			o.(*collections.LinkedList).AddLast(t, 20)
+			return collections.OK
+		}),
+		op("RemoveFirst", "", func(t *sched.Thread, o any) string {
+			return collections.TryInt(o.(*collections.LinkedList).RemoveFirst(t))
+		}),
+		op("RemoveLast", "", func(t *sched.Thread, o any) string {
+			return collections.TryInt(o.(*collections.LinkedList).RemoveLast(t))
+		}),
+		op("ToArray", "", func(t *sched.Thread, o any) string {
+			return collections.Ints(o.(*collections.LinkedList).ToArray(t))
+		}),
+	}
+}
+
+// Registry returns the 13 classes of Table 1 with their (Pre) variants and
+// expected root causes.
+func Registry() []Entry {
+	return []Entry{
+		{
+			Subject: &core.Subject{
+				Name:        "Lazy",
+				New:         func(t *sched.Thread) any { return collections.NewLazy(t) },
+				Ops:         lazyOps(),
+				SourceFiles: []string{"internal/collections/lazy.go"},
+			},
+			Pre: &core.Subject{
+				Name:        "Lazy(Pre)",
+				New:         func(t *sched.Thread) any { return buggy.NewLazyPre(t) },
+				Ops:         lazyOps(),
+				SourceFiles: []string{"internal/buggy/lazy_pre.go"},
+			},
+			Bound:     2,
+			PreCauses: []Cause{CauseF},
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "ManualResetEvent",
+				New:         func(t *sched.Thread) any { return collections.NewManualResetEventSlim(t) },
+				Ops:         mreOps(),
+				SourceFiles: []string{"internal/collections/mre.go"},
+			},
+			Pre: &core.Subject{
+				Name:        "ManualResetEvent(Pre)",
+				New:         func(t *sched.Thread) any { return buggy.NewManualResetEventSlimPre(t) },
+				Ops:         mreOps(),
+				SourceFiles: []string{"internal/buggy/mre_pre.go"},
+			},
+			Bound:     4, // the Fig. 9 interleaving needs four preemptions (see ablation)
+			PreCauses: []Cause{CauseA},
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "SemaphoreSlim",
+				New:         func(t *sched.Thread) any { return collections.NewSemaphoreSlim(t, 0) },
+				Ops:         semaphoreOps(),
+				SourceFiles: []string{"internal/collections/semaphore.go"},
+			},
+			Pre: &core.Subject{
+				Name:        "SemaphoreSlim(Pre)",
+				New:         func(t *sched.Thread) any { return buggy.NewSemaphoreSlimPre(t, 0) },
+				Ops:         semaphoreOps(),
+				SourceFiles: []string{"internal/buggy/semaphore_pre.go"},
+			},
+			Bound:     2,
+			PreCauses: []Cause{CauseD},
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "CountdownEvent",
+				New:         func(t *sched.Thread) any { return collections.NewCountdownEvent(t, 2) },
+				Ops:         countdownOps(),
+				SourceFiles: []string{"internal/collections/countdown.go"},
+			},
+			Pre: &core.Subject{
+				Name:        "CountdownEvent(Pre)",
+				New:         func(t *sched.Thread) any { return buggy.NewCountdownEventPre(t, 2) },
+				Ops:         countdownOps(),
+				SourceFiles: []string{"internal/buggy/countdown_pre.go"},
+			},
+			Bound:     2,
+			PreCauses: []Cause{CauseE},
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "ConcurrentDictionary",
+				New:         func(t *sched.Thread) any { return collections.NewDictionary(t) },
+				Ops:         dictOps(),
+				SourceFiles: []string{"internal/collections/dictionary.go"},
+			},
+			Bound: 2,
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "ConcurrentQueue",
+				New:         func(t *sched.Thread) any { return collections.NewQueue(t) },
+				Ops:         queueOps(),
+				SourceFiles: []string{"internal/collections/queue.go"},
+			},
+			Pre: &core.Subject{
+				Name:        "ConcurrentQueue(Pre)",
+				New:         func(t *sched.Thread) any { return buggy.NewQueuePre(t) },
+				Ops:         queueOps(),
+				SourceFiles: []string{"internal/buggy/queue_pre.go"},
+			},
+			Bound:     2,
+			PreCauses: []Cause{CauseB + "'"},
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "ConcurrentStack",
+				New:         func(t *sched.Thread) any { return collections.NewStack(t) },
+				Ops:         stackOps(),
+				SourceFiles: []string{"internal/collections/stack.go"},
+			},
+			Pre: &core.Subject{
+				Name:        "ConcurrentStack(Pre)",
+				New:         func(t *sched.Thread) any { return buggy.NewStackPre(t) },
+				Ops:         stackOps(),
+				SourceFiles: []string{"internal/buggy/stack_pre.go"},
+			},
+			Bound:     2,
+			PreCauses: []Cause{CauseC},
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "ConcurrentLinkedList",
+				New:         func(t *sched.Thread) any { return collections.NewLinkedList(t) },
+				Ops:         linkedListOps(),
+				SourceFiles: []string{"internal/collections/linkedlist.go"},
+			},
+			Bound: 2,
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "BlockingCollection",
+				New:         func(t *sched.Thread) any { return collections.NewBlockingCollection(t) },
+				Ops:         bcOps(),
+				SourceFiles: []string{"internal/collections/blockingcollection.go"},
+			},
+			Pre: &core.Subject{
+				Name:        "BlockingCollection(Pre)",
+				New:         func(t *sched.Thread) any { return buggy.NewBlockingCollectionPre(t) },
+				Ops:         bcOps(),
+				SourceFiles: []string{"internal/buggy/blockingcollection_pre.go"},
+			},
+			Bound:     2,
+			Causes:    []Cause{CauseI, CauseJ, CauseK},
+			PreCauses: []Cause{CauseB},
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "ConcurrentBag",
+				New:         func(t *sched.Thread) any { return collections.NewBag(t) },
+				Ops:         bagOps(),
+				SourceFiles: []string{"internal/collections/bag.go"},
+			},
+			Bound:  2,
+			Causes: []Cause{CauseH},
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "TaskCompletionSource",
+				New:         func(t *sched.Thread) any { return collections.NewTaskCompletionSource(t) },
+				Ops:         tcsOps(),
+				SourceFiles: []string{"internal/collections/tcs.go"},
+			},
+			Pre: &core.Subject{
+				Name:        "TaskCompletionSource(Pre)",
+				New:         func(t *sched.Thread) any { return buggy.NewTaskCompletionSourcePre(t) },
+				Ops:         tcsOps(),
+				SourceFiles: []string{"internal/buggy/tcs_pre.go"},
+			},
+			Bound:     2,
+			PreCauses: []Cause{CauseG},
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "CancellationTokenSource",
+				New:         func(t *sched.Thread) any { return collections.NewCancellationTokenSource(t) },
+				Ops:         ctsOps(),
+				SourceFiles: []string{"internal/collections/cts.go"},
+			},
+			Bound: 2,
+		},
+		{
+			Subject: &core.Subject{
+				Name:        "Barrier",
+				New:         func(t *sched.Thread) any { return collections.NewBarrier(t, 2) },
+				Ops:         barrierOps(),
+				SourceFiles: []string{"internal/collections/barrier.go"},
+			},
+			Bound:  2,
+			Causes: []Cause{CauseL},
+		},
+	}
+}
+
+// Find returns the registry entry whose subject (or Pre subject) has the
+// given name.
+func Find(name string) (*core.Subject, *Entry, bool) {
+	reg := Registry()
+	for i := range reg {
+		e := &reg[i]
+		if e.Subject.Name == name {
+			return e.Subject, e, true
+		}
+		if e.Pre != nil && e.Pre.Name == name {
+			return e.Pre, e, true
+		}
+	}
+	return nil, nil, false
+}

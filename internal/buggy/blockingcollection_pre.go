@@ -1,0 +1,130 @@
+package buggy
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// BlockingCollectionPre reproduces root cause B, the bug of Fig. 1 that the
+// paper found in the .NET 4.0 community technology preview [19]: "the buggy
+// behavior ... was caused by accidentally allowing a lock acquire in
+// TryTake to time out". Under the checker the timed-out acquire is modeled
+// by TryLock — the timeout elapses exactly in those schedules where the
+// lock is observed held (see DESIGN.md) — so a TryTake racing with any
+// other operation's critical section fails even when the collection is
+// provably non-empty, which is the non-linearizable outcome of Fig. 1:
+//
+//	Thread 1            Thread 2
+//	Add(200)            Add(400)
+//	TryTake() = 200     TryTake() = FAIL
+//
+// The class otherwise matches the corrected BlockingCollection, including
+// its blocking Take.
+type BlockingCollectionPre struct {
+	mu        *vsync.Mutex
+	cond      *vsync.Cond
+	items     *vsync.Cell[[]int]
+	completed *vsync.Atomic[bool]
+}
+
+// NewBlockingCollectionPre constructs an empty collection.
+func NewBlockingCollectionPre(t *sched.Thread) *BlockingCollectionPre {
+	mu := vsync.NewMutex(t, "BCPre.lock")
+	return &BlockingCollectionPre{
+		mu:        mu,
+		cond:      vsync.NewCond(mu),
+		items:     vsync.NewCell(t, "BCPre.items", []int(nil)),
+		completed: vsync.NewAtomic(t, "BCPre.completed", false),
+	}
+}
+
+// Add appends v; false if adding has been completed.
+func (b *BlockingCollectionPre) Add(t *sched.Thread, v int) bool {
+	if b.completed.Load(t) {
+		return false
+	}
+	b.mu.Lock(t)
+	b.items.Store(t, append(b.items.Load(t), v))
+	b.cond.Broadcast(t)
+	b.mu.Unlock(t)
+	return true
+}
+
+// TryAdd is Add without blocking semantics.
+func (b *BlockingCollectionPre) TryAdd(t *sched.Thread, v int) bool {
+	return b.Add(t, v)
+}
+
+// Take removes and returns the head element, blocking while the collection
+// is empty.
+func (b *BlockingCollectionPre) Take(t *sched.Thread) (v int, ok bool) {
+	b.mu.Lock(t)
+	for {
+		items := b.items.Load(t)
+		if len(items) > 0 {
+			v = items[0]
+			b.items.Store(t, items[1:])
+			b.mu.Unlock(t)
+			return v, true
+		}
+		if b.completed.Load(t) {
+			b.mu.Unlock(t)
+			return 0, false
+		}
+		b.cond.Wait(t)
+	}
+}
+
+// TryTake removes and returns the head element without blocking. BUG (root
+// cause B, Fig. 1): the lock acquire may time out, making the operation
+// fail regardless of the collection's contents.
+func (b *BlockingCollectionPre) TryTake(t *sched.Thread) (v int, ok bool) {
+	if !b.mu.TryLock(t) { // BUG: Monitor.TryEnter(timeout) instead of Enter
+		return 0, false
+	}
+	defer b.mu.Unlock(t)
+	items := b.items.Load(t)
+	if len(items) == 0 {
+		return 0, false
+	}
+	v = items[0]
+	b.items.Store(t, items[1:])
+	return v, true
+}
+
+// Count returns the number of elements (monitor-protected here; the count
+// quirk of the corrected class postdates the CTP).
+func (b *BlockingCollectionPre) Count(t *sched.Thread) int {
+	b.mu.Lock(t)
+	defer b.mu.Unlock(t)
+	return len(b.items.Load(t))
+}
+
+// ToArray returns a snapshot in FIFO order.
+func (b *BlockingCollectionPre) ToArray(t *sched.Thread) []int {
+	b.mu.Lock(t)
+	defer b.mu.Unlock(t)
+	return append([]int(nil), b.items.Load(t)...)
+}
+
+// CompleteAdding closes the collection for producers (without waking
+// blocked takers, as in the corrected class).
+func (b *BlockingCollectionPre) CompleteAdding(t *sched.Thread) {
+	b.completed.Store(t, true)
+}
+
+// IsAddingCompleted reports whether CompleteAdding has been called.
+func (b *BlockingCollectionPre) IsAddingCompleted(t *sched.Thread) bool {
+	return b.completed.Load(t)
+}
+
+// IsCompleted reports whether adding is completed and the collection is
+// empty.
+func (b *BlockingCollectionPre) IsCompleted(t *sched.Thread) bool {
+	if !b.completed.Load(t) {
+		return false
+	}
+	b.mu.Lock(t)
+	defer b.mu.Unlock(t)
+	return len(b.items.Load(t)) == 0
+}

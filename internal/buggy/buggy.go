@@ -1,0 +1,9 @@
+// Package buggy contains the "(Pre)" variants of the collections: versions
+// seeded with the defects that the paper found in the .NET Framework 4.0
+// community technology preview (Table 2, root causes A through G). Each
+// type documents its root cause, the minimal failing scenario, and how the
+// corrected version in package collections differs. The defects are modeled
+// directly on the paper's descriptions where the paper gives them (A is the
+// CAS typo of Fig. 9, B the lock-timeout of Fig. 1) and on the class's
+// natural failure mode otherwise.
+package buggy

@@ -1,0 +1,210 @@
+package buggy_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lineup/internal/buggy"
+	"lineup/internal/sched"
+)
+
+// seq runs body as a single thread; every seeded defect is concurrency-only,
+// so the (Pre) classes must behave perfectly in sequential use — that is
+// what makes them hard to catch without a checker.
+func seq(t *testing.T, body func(th *sched.Thread)) {
+	t.Helper()
+	s := sched.NewScheduler(sched.Config{}, nil)
+	out := s.Run(sched.Program{Threads: []func(*sched.Thread){body}})
+	if out.Err != nil {
+		t.Fatalf("execution error: %v", out.Err)
+	}
+	if out.Stuck {
+		t.Fatalf("sequential execution got stuck")
+	}
+}
+
+func TestQueuePreSequential(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		q := buggy.NewQueuePre(th)
+		q.Enqueue(th, 1)
+		q.Enqueue(th, 2)
+		if q.Count(th) != 2 || q.IsEmpty(th) {
+			t.Errorf("count = %d", q.Count(th))
+		}
+		if v, ok := q.TryPeek(th); !ok || v != 1 {
+			t.Errorf("peek = %d,%v", v, ok)
+		}
+		if v, ok := q.TryDequeue(th); !ok || v != 1 {
+			t.Errorf("dequeue = %d,%v", v, ok)
+		}
+		if got := fmt.Sprint(q.ToArray(th)); got != "[2]" {
+			t.Errorf("toarray = %s", got)
+		}
+		q.TryDequeue(th)
+		if q.Count(th) != 0 {
+			t.Errorf("count = %d", q.Count(th))
+		}
+	})
+}
+
+func TestStackPreSequential(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		s := buggy.NewStackPre(th)
+		s.Push(th, 1)
+		s.PushRange(th, []int{2, 3})
+		if got := fmt.Sprint(s.TryPopRange(th, 2)); got != "[3 2]" {
+			t.Errorf("poprange = %s", got)
+		}
+		if v, ok := s.TryPop(th); !ok || v != 1 {
+			t.Errorf("pop = %d,%v", v, ok)
+		}
+		if !s.IsEmpty(th) || s.Count(th) != 0 {
+			t.Errorf("not empty")
+		}
+		s.Push(th, 9)
+		if v, ok := s.TryPeek(th); !ok || v != 9 {
+			t.Errorf("peek = %d,%v", v, ok)
+		}
+		if got := fmt.Sprint(s.ToArray(th)); got != "[9]" {
+			t.Errorf("toarray = %s", got)
+		}
+		s.Clear(th)
+		if _, ok := s.TryPop(th); ok {
+			t.Errorf("pop after clear succeeded")
+		}
+	})
+}
+
+func TestMREPreSequential(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		e := buggy.NewManualResetEventSlimPre(th)
+		if e.IsSet(th) || e.WaitOne(th) {
+			t.Errorf("fresh event set")
+		}
+		e.Set(th)
+		e.Wait(th) // immediate
+		e.Reset(th)
+		if e.IsSet(th) {
+			t.Errorf("reset ineffective")
+		}
+		e.Set(th)
+		if !e.WaitOne(th) {
+			t.Errorf("waitone after set failed")
+		}
+	})
+}
+
+func TestSemaphorePreSequential(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		s := buggy.NewSemaphoreSlimPre(th, 1)
+		if s.CurrentCount(th) != 1 {
+			t.Errorf("count = %d", s.CurrentCount(th))
+		}
+		s.Wait(th)
+		if s.WaitZero(th) {
+			t.Errorf("Wait(0) without permits succeeded")
+		}
+		if prev := s.Release(th, 2); prev != 0 {
+			t.Errorf("release returned %d", prev)
+		}
+		if !s.WaitZero(th) {
+			t.Errorf("Wait(0) with permits failed")
+		}
+	})
+}
+
+func TestCountdownPreSequential(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		c := buggy.NewCountdownEventPre(th, 2)
+		if !c.Signal(th, 1) || c.CurrentCount(th) != 1 {
+			t.Errorf("signal broken")
+		}
+		if !c.AddCount(th, 1) || !c.TryAddCount(th, 1) {
+			t.Errorf("addcount broken")
+		}
+		if !c.Signal(th, 3) || !c.IsSet(th) || !c.WaitZero(th) {
+			t.Errorf("final state broken")
+		}
+		c.Wait(th) // immediate
+		if c.Signal(th, 1) {
+			t.Errorf("signal below zero succeeded")
+		}
+	})
+}
+
+func TestLazyPreSequential(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		l := buggy.NewLazyPre(th)
+		if l.IsValueCreated(th) || l.ToString(th) != "unset" {
+			t.Errorf("fresh state broken")
+		}
+		if l.Value(th) != 101 || l.Value(th) != 101 {
+			t.Errorf("sequential lazy must memoize")
+		}
+		if l.ToString(th) != "101" {
+			t.Errorf("tostring = %s", l.ToString(th))
+		}
+	})
+}
+
+func TestTCSPreSequential(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		s := buggy.NewTaskCompletionSourcePre(th)
+		if s.TryResult(th) != "pending" {
+			t.Errorf("not pending")
+		}
+		if !s.TrySetResult(th, 7) || s.TrySetResult(th, 8) {
+			t.Errorf("sequential double-set must fail")
+		}
+		if s.SetCanceled(th) || s.SetException(th) || s.SetResult(th, 9) {
+			t.Errorf("set after completion succeeded")
+		}
+		if s.Wait(th) != "result(7)" {
+			t.Errorf("wait = %s", s.Wait(th))
+		}
+	})
+	seq(t, func(th *sched.Thread) {
+		s := buggy.NewTaskCompletionSourcePre(th)
+		if !s.TrySetException(th) || s.TryResult(th) != "exception" {
+			t.Errorf("exception path broken")
+		}
+	})
+	seq(t, func(th *sched.Thread) {
+		s := buggy.NewTaskCompletionSourcePre(th)
+		if !s.TrySetCanceled(th) || s.TryResult(th) != "canceled" {
+			t.Errorf("cancel path broken")
+		}
+	})
+}
+
+func TestBCPreSequential(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		b := buggy.NewBlockingCollectionPre(th)
+		if !b.Add(th, 1) || !b.TryAdd(th, 2) {
+			t.Errorf("adds failed")
+		}
+		if b.Count(th) != 2 {
+			t.Errorf("count = %d", b.Count(th))
+		}
+		// Sequentially the TryLock always succeeds: no timeout fires.
+		if v, ok := b.TryTake(th); !ok || v != 1 {
+			t.Errorf("trytake = %d,%v", v, ok)
+		}
+		if v, ok := b.Take(th); !ok || v != 2 {
+			t.Errorf("take = %d,%v", v, ok)
+		}
+		if got := fmt.Sprint(b.ToArray(th)); got != "[]" {
+			t.Errorf("toarray = %s", got)
+		}
+		b.CompleteAdding(th)
+		if !b.IsAddingCompleted(th) || !b.IsCompleted(th) {
+			t.Errorf("completion flags broken")
+		}
+		if b.Add(th, 3) {
+			t.Errorf("add after completion succeeded")
+		}
+		if _, ok := b.Take(th); ok {
+			t.Errorf("take on completed empty collection succeeded")
+		}
+	})
+}

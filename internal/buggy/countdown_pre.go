@@ -1,0 +1,74 @@
+package buggy
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// CountdownEventPre reproduces root cause E: Signal decrements the count
+// with an unsynchronized read-modify-write instead of an interlocked CAS,
+// so concurrent signals can lose a decrement. The event then never becomes
+// set: waiters block forever (stuck history) and CurrentCount/IsSet report
+// values no serial execution produces.
+type CountdownEventPre struct {
+	count *vsync.Cell[int] // BUG: plain field where the corrected version uses CAS
+	ws    sched.WaitSet
+}
+
+// NewCountdownEventPre constructs an event with the given initial count.
+func NewCountdownEventPre(t *sched.Thread, initial int) *CountdownEventPre {
+	return &CountdownEventPre{count: vsync.NewCell(t, "CountdownEventPre.count", initial)}
+}
+
+// Signal decrements the count by n. BUG (root cause E): load and store are
+// separate unsynchronized accesses, so a concurrent Signal's decrement can
+// be overwritten.
+func (c *CountdownEventPre) Signal(t *sched.Thread, n int) bool {
+	cur := c.count.Load(t)
+	if cur < n {
+		return false
+	}
+	c.count.Store(t, cur-n) // BUG: lost update window between load and store
+	if cur-n == 0 {
+		c.ws.Broadcast(t)
+	}
+	return true
+}
+
+// TryAddCount increments the count by n unless the event is already set.
+// It shares the unsynchronized read-modify-write defect.
+func (c *CountdownEventPre) TryAddCount(t *sched.Thread, n int) bool {
+	cur := c.count.Load(t)
+	if cur == 0 {
+		return false
+	}
+	c.count.Store(t, cur+n)
+	return true
+}
+
+// AddCount increments the count by n; false if the event is already set.
+func (c *CountdownEventPre) AddCount(t *sched.Thread, n int) bool {
+	return c.TryAddCount(t, n)
+}
+
+// IsSet reports whether the count has reached zero.
+func (c *CountdownEventPre) IsSet(t *sched.Thread) bool {
+	return c.count.Load(t) == 0
+}
+
+// CurrentCount returns the remaining count.
+func (c *CountdownEventPre) CurrentCount(t *sched.Thread) int {
+	return c.count.Load(t)
+}
+
+// Wait blocks until the event is set.
+func (c *CountdownEventPre) Wait(t *sched.Thread) {
+	for c.count.Load(t) != 0 {
+		c.ws.Wait(t)
+	}
+}
+
+// WaitZero is Wait(0): it reports whether the event is set.
+func (c *CountdownEventPre) WaitZero(t *sched.Thread) bool {
+	return c.IsSet(t)
+}

@@ -1,0 +1,60 @@
+package buggy
+
+import (
+	"fmt"
+
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// LazyPre reproduces root cause F: the value factory is not protected by
+// the initialization lock, so two racing Value calls both execute it. The
+// factory has an observable side effect (each run yields a distinct value),
+// so the two callers can return different values — and no serial execution
+// ever runs the factory twice.
+type LazyPre struct {
+	created *vsync.Cell[bool]
+	value   *vsync.Cell[int]
+	calls   *vsync.Cell[int]
+}
+
+// NewLazyPre constructs an uninitialized lazy cell.
+func NewLazyPre(t *sched.Thread) *LazyPre {
+	return &LazyPre{
+		created: vsync.NewCell(t, "LazyPre.created", false),
+		value:   vsync.NewCell(t, "LazyPre.value", 0),
+		calls:   vsync.NewCell(t, "LazyPre.calls", 0),
+	}
+}
+
+func (l *LazyPre) factory(t *sched.Thread) int {
+	n := l.calls.Load(t) + 1
+	l.calls.Store(t, n)
+	return 100 + n
+}
+
+// Value returns the lazily created value. BUG (root cause F): the
+// check-compute-publish sequence is not atomic, so two threads can both
+// find the cell uncreated and both run the factory.
+func (l *LazyPre) Value(t *sched.Thread) int {
+	if l.created.Load(t) {
+		return l.value.Load(t)
+	}
+	v := l.factory(t) // BUG: factory may run more than once
+	l.value.Store(t, v)
+	l.created.Store(t, true)
+	return v
+}
+
+// IsValueCreated reports whether the factory has run.
+func (l *LazyPre) IsValueCreated(t *sched.Thread) bool {
+	return l.created.Load(t)
+}
+
+// ToString renders the cell: the value if created, a placeholder otherwise.
+func (l *LazyPre) ToString(t *sched.Thread) string {
+	if !l.created.Load(t) {
+		return "unset"
+	}
+	return fmt.Sprintf("%d", l.value.Load(t))
+}

@@ -1,0 +1,87 @@
+package buggy
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// ManualResetEventSlimPre reproduces root cause A (Fig. 9), the bug the
+// paper describes in most detail: Wait's compare-and-swap update reads the
+// shared state word a second time while computing the new value —
+//
+//	int localstate = state;
+//	int newstate = f(state);              // BUG: should be f(localstate)
+//	compare_and_swap(&state, localstate, newstate);
+//
+// If another thread performs Set between the two reads and Reset before the
+// CAS, the CAS succeeds (the state changed and changed back — the paper's
+// "pernicious typographical error") but the new value carries a ghost set
+// bit. A later Set then observes "already set" and skips the wakeup, so the
+// waiter blocks forever: the stuck history of Fig. 9 with no stuck serial
+// witness.
+type ManualResetEventSlimPre struct {
+	state *vsync.AtomicInt // (waiters << 1) | isSet
+	ws    sched.WaitSet
+}
+
+// NewManualResetEventSlimPre constructs an event in the unset state.
+func NewManualResetEventSlimPre(t *sched.Thread) *ManualResetEventSlimPre {
+	return &ManualResetEventSlimPre{state: vsync.NewAtomicInt(t, "MREPre.state", 0)}
+}
+
+// Set signals the event, waking all current waiters; like the corrected
+// version it skips the wakeup when the state word claims the event is
+// already set — which the corrupted state produced by Wait's typo turns
+// into a lost wakeup.
+func (e *ManualResetEventSlimPre) Set(t *sched.Thread) {
+	for {
+		s := e.state.Load(t)
+		if s&1 == 1 {
+			return
+		}
+		if e.state.CompareAndSwap(t, s, 1) {
+			if s>>1 > 0 {
+				e.ws.Broadcast(t)
+			}
+			return
+		}
+	}
+}
+
+// Reset returns the event to the unset state.
+func (e *ManualResetEventSlimPre) Reset(t *sched.Thread) {
+	for {
+		s := e.state.Load(t)
+		if s&1 == 0 {
+			return
+		}
+		if e.state.CompareAndSwap(t, s, s&^1) {
+			return
+		}
+	}
+}
+
+// Wait blocks until the event is set. It contains the seeded typo.
+func (e *ManualResetEventSlimPre) Wait(t *sched.Thread) {
+	for {
+		s := e.state.Load(t)
+		if s&1 == 1 {
+			return
+		}
+		ns := e.state.Load(t) + 2 // BUG (root cause A): re-reads state; correct: ns := s + 2
+		if e.state.CompareAndSwap(t, s, ns) {
+			e.ws.Wait(t)
+			continue
+		}
+	}
+}
+
+// IsSet reports whether the event is currently set.
+func (e *ManualResetEventSlimPre) IsSet(t *sched.Thread) bool {
+	return e.state.Load(t)&1 == 1
+}
+
+// WaitOne is Wait(0): it reports whether the event is set without blocking.
+func (e *ManualResetEventSlimPre) WaitOne(t *sched.Thread) bool {
+	return e.IsSet(t)
+}

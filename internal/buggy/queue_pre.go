@@ -1,0 +1,83 @@
+package buggy
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// QueuePre reproduces root cause B': the CTP queue derived Count from two
+// separate interlocked counters (elements enqueued and elements dequeued)
+// read one after the other without a consistent snapshot. A dequeue that
+// lands between the two reads makes Count report a value — possibly
+// negative — that the queue never held, which no serial witness justifies.
+// (The corrected Queue computes Count under the monitor.)
+type QueuePre struct {
+	mu    *vsync.Mutex
+	items *vsync.Cell[[]int]
+	enq   *vsync.AtomicInt
+	deq   *vsync.AtomicInt
+}
+
+// NewQueuePre constructs an empty queue.
+func NewQueuePre(t *sched.Thread) *QueuePre {
+	return &QueuePre{
+		mu:    vsync.NewMutex(t, "QueuePre.lock"),
+		items: vsync.NewCell(t, "QueuePre.items", []int(nil)),
+		enq:   vsync.NewAtomicInt(t, "QueuePre.enq", 0),
+		deq:   vsync.NewAtomicInt(t, "QueuePre.deq", 0),
+	}
+}
+
+// Enqueue appends v to the tail.
+func (q *QueuePre) Enqueue(t *sched.Thread, v int) {
+	q.mu.Lock(t)
+	q.items.Store(t, append(q.items.Load(t), v))
+	q.enq.Add(t, 1)
+	q.mu.Unlock(t)
+}
+
+// TryDequeue removes and returns the head element.
+func (q *QueuePre) TryDequeue(t *sched.Thread) (v int, ok bool) {
+	q.mu.Lock(t)
+	defer q.mu.Unlock(t)
+	items := q.items.Load(t)
+	if len(items) == 0 {
+		return 0, false
+	}
+	v = items[0]
+	q.items.Store(t, items[1:])
+	q.deq.Add(t, 1)
+	return v, true
+}
+
+// TryPeek returns the head element without removing it.
+func (q *QueuePre) TryPeek(t *sched.Thread) (v int, ok bool) {
+	q.mu.Lock(t)
+	defer q.mu.Unlock(t)
+	items := q.items.Load(t)
+	if len(items) == 0 {
+		return 0, false
+	}
+	return items[0], true
+}
+
+// Count derives the size from the two counters. BUG (root cause B'): the
+// counters are read one after the other without a snapshot, so concurrent
+// operations between the reads produce sizes the queue never had.
+func (q *QueuePre) Count(t *sched.Thread) int {
+	e := q.enq.Load(t)
+	d := q.deq.Load(t) // BUG: torn read pair
+	return e - d
+}
+
+// IsEmpty reports whether the queue appears empty (inherits the torn read).
+func (q *QueuePre) IsEmpty(t *sched.Thread) bool {
+	return q.Count(t) == 0
+}
+
+// ToArray returns a snapshot of the elements in FIFO order.
+func (q *QueuePre) ToArray(t *sched.Thread) []int {
+	q.mu.Lock(t)
+	defer q.mu.Unlock(t)
+	return append([]int(nil), q.items.Load(t)...)
+}

@@ -1,0 +1,81 @@
+package buggy
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// SemaphoreSlimPre reproduces root cause D, a lost wakeup. The fast-path
+// design keeps the monitor out of Release: a waiter that finds no permit
+// publishes itself in an interlocked waiter count and parks; Release checks
+// the waiter count and only then wakes. The seeded defect is the ordering:
+// the waiter publishes its count *after* releasing the monitor, so a
+// Release that runs in the window observes zero waiters, skips the wakeup,
+// and the waiter parks forever even though a permit is available — a stuck
+// history with no stuck serial witness. (The corrected SemaphoreSlim keeps
+// waiters registered through the monitor's condition variable, closing the
+// window.)
+type SemaphoreSlimPre struct {
+	mu      *vsync.Mutex
+	ws      sched.WaitSet
+	count   *vsync.Cell[int]
+	waiters *vsync.AtomicInt
+}
+
+// NewSemaphoreSlimPre constructs a semaphore with the given initial count.
+func NewSemaphoreSlimPre(t *sched.Thread, initial int) *SemaphoreSlimPre {
+	return &SemaphoreSlimPre{
+		mu:      vsync.NewMutex(t, "SemaphoreSlimPre.lock"),
+		count:   vsync.NewCell(t, "SemaphoreSlimPre.count", initial),
+		waiters: vsync.NewAtomicInt(t, "SemaphoreSlimPre.waiters", 0),
+	}
+}
+
+// Wait acquires one permit, blocking while none is available. BUG (root
+// cause D): the waiter count is published only after the monitor is
+// released, leaving a window in which Release sees no waiters.
+func (s *SemaphoreSlimPre) Wait(t *sched.Thread) {
+	for {
+		s.mu.Lock(t)
+		c := s.count.Load(t)
+		if c > 0 {
+			s.count.Store(t, c-1)
+			s.mu.Unlock(t)
+			return
+		}
+		s.mu.Unlock(t)
+		s.waiters.Add(t, 1) // BUG: published outside the monitor, too late
+		s.ws.Wait(t)
+		s.waiters.Add(t, -1)
+	}
+}
+
+// WaitZero is Wait(0): it acquires a permit only if immediately available.
+func (s *SemaphoreSlimPre) WaitZero(t *sched.Thread) bool {
+	s.mu.Lock(t)
+	defer s.mu.Unlock(t)
+	c := s.count.Load(t)
+	if c == 0 {
+		return false
+	}
+	s.count.Store(t, c-1)
+	return true
+}
+
+// Release returns n permits and wakes waiters — but only if the (stale)
+// waiter count says there are any.
+func (s *SemaphoreSlimPre) Release(t *sched.Thread, n int) int {
+	s.mu.Lock(t)
+	prev := s.count.Load(t)
+	s.count.Store(t, prev+n)
+	s.mu.Unlock(t)
+	if s.waiters.Load(t) > 0 {
+		s.ws.Broadcast(t)
+	}
+	return prev
+}
+
+// CurrentCount returns the number of available permits.
+func (s *SemaphoreSlimPre) CurrentCount(t *sched.Thread) int {
+	return s.count.Load(t)
+}

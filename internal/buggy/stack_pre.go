@@ -1,0 +1,118 @@
+package buggy
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// StackPre reproduces root cause C: TryPopRange is implemented as a loop of
+// single pops instead of one atomic multi-pop CAS, so elements pushed by
+// other threads can interleave into the middle of the popped range — the
+// range observed is one that never existed on the stack, which no serial
+// witness can justify.
+type StackPre struct {
+	head *vsync.Atomic[*preNode]
+}
+
+type preNode struct {
+	value int
+	next  *preNode
+}
+
+// NewStackPre constructs an empty stack.
+func NewStackPre(t *sched.Thread) *StackPre {
+	return &StackPre{head: vsync.NewAtomic[*preNode](t, "StackPre.head", nil)}
+}
+
+// Push adds v on top of the stack.
+func (s *StackPre) Push(t *sched.Thread, v int) {
+	for {
+		h := s.head.Load(t)
+		n := &preNode{value: v, next: h}
+		if s.head.CompareAndSwap(t, h, n) {
+			return
+		}
+	}
+}
+
+// PushRange pushes all values atomically (this part is correct).
+func (s *StackPre) PushRange(t *sched.Thread, vs []int) {
+	if len(vs) == 0 {
+		return
+	}
+	for {
+		h := s.head.Load(t)
+		top := h
+		for _, v := range vs {
+			top = &preNode{value: v, next: top}
+		}
+		if s.head.CompareAndSwap(t, h, top) {
+			return
+		}
+	}
+}
+
+// TryPop removes and returns the top element (correct).
+func (s *StackPre) TryPop(t *sched.Thread) (v int, ok bool) {
+	for {
+		h := s.head.Load(t)
+		if h == nil {
+			return 0, false
+		}
+		if s.head.CompareAndSwap(t, h, h.next) {
+			return h.value, true
+		}
+	}
+}
+
+// TryPopRange pops up to n elements. BUG (root cause C): the range is
+// assembled from n independent single pops, so concurrent pushes can
+// interleave into the observed range.
+func (s *StackPre) TryPopRange(t *sched.Thread, n int) []int {
+	var out []int
+	for len(out) < n {
+		v, ok := s.TryPop(t) // BUG: should be a single CAS over the range
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TryPeek returns the top element without removing it.
+func (s *StackPre) TryPeek(t *sched.Thread) (v int, ok bool) {
+	h := s.head.Load(t)
+	if h == nil {
+		return 0, false
+	}
+	return h.value, true
+}
+
+// Count returns the number of elements.
+func (s *StackPre) Count(t *sched.Thread) int {
+	n := 0
+	for node := s.head.Load(t); node != nil; node = node.next {
+		n++
+	}
+	return n
+}
+
+// IsEmpty reports whether the stack is empty.
+func (s *StackPre) IsEmpty(t *sched.Thread) bool {
+	return s.head.Load(t) == nil
+}
+
+// ToArray returns a snapshot of the elements, top first.
+func (s *StackPre) ToArray(t *sched.Thread) []int {
+	var out []int
+	for node := s.head.Load(t); node != nil; node = node.next {
+		out = append(out, node.value)
+	}
+	return out
+}
+
+// Clear removes all elements atomically.
+func (s *StackPre) Clear(t *sched.Thread) {
+	s.head.Store(t, nil)
+}

@@ -1,0 +1,101 @@
+package buggy
+
+import (
+	"fmt"
+
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// Completion states (mirroring the corrected TaskCompletionSource).
+const (
+	tcsPending = iota
+	tcsResult
+	tcsCanceled
+	tcsException
+)
+
+// TaskCompletionSourcePre reproduces root cause G: the TrySet* family
+// checks the status and then stores the new state as two separate accesses
+// instead of one interlocked CAS, so two racing completions can both
+// observe "pending" and both report success — while only the later one's
+// payload survives. No serial execution lets two TrySet* calls both win.
+type TaskCompletionSourcePre struct {
+	status *vsync.Cell[int] // BUG: plain check-then-act where CAS is needed
+	value  *vsync.Cell[int]
+	ws     sched.WaitSet
+}
+
+// NewTaskCompletionSourcePre constructs a pending completion source.
+func NewTaskCompletionSourcePre(t *sched.Thread) *TaskCompletionSourcePre {
+	return &TaskCompletionSourcePre{
+		status: vsync.NewCell(t, "TCSPre.status", tcsPending),
+		value:  vsync.NewCell(t, "TCSPre.value", 0),
+	}
+}
+
+func (s *TaskCompletionSourcePre) trySet(t *sched.Thread, status, v int) bool {
+	if s.status.Load(t) != tcsPending { // BUG: check...
+		return false
+	}
+	s.value.Store(t, v)
+	s.status.Store(t, status) // BUG: ...then act, without atomicity
+	s.ws.Broadcast(t)
+	return true
+}
+
+// TrySetResult completes the task with a value, reporting whether it won.
+func (s *TaskCompletionSourcePre) TrySetResult(t *sched.Thread, v int) bool {
+	return s.trySet(t, tcsResult, v)
+}
+
+// TrySetCanceled cancels the task, reporting whether it won.
+func (s *TaskCompletionSourcePre) TrySetCanceled(t *sched.Thread) bool {
+	return s.trySet(t, tcsCanceled, 0)
+}
+
+// TrySetException faults the task, reporting whether it won.
+func (s *TaskCompletionSourcePre) TrySetException(t *sched.Thread) bool {
+	return s.trySet(t, tcsException, 0)
+}
+
+// SetResult completes the task with a value; false if already completed.
+func (s *TaskCompletionSourcePre) SetResult(t *sched.Thread, v int) bool {
+	return s.TrySetResult(t, v)
+}
+
+// SetCanceled cancels the task; false if already completed.
+func (s *TaskCompletionSourcePre) SetCanceled(t *sched.Thread) bool {
+	return s.TrySetCanceled(t)
+}
+
+// SetException faults the task; false if already completed.
+func (s *TaskCompletionSourcePre) SetException(t *sched.Thread) bool {
+	return s.TrySetException(t)
+}
+
+func renderStatus(status, value int) string {
+	switch status {
+	case tcsResult:
+		return fmt.Sprintf("result(%d)", value)
+	case tcsCanceled:
+		return "canceled"
+	case tcsException:
+		return "exception"
+	default:
+		return "pending"
+	}
+}
+
+// Wait blocks until the task completes and returns its outcome.
+func (s *TaskCompletionSourcePre) Wait(t *sched.Thread) string {
+	for s.status.Load(t) == tcsPending {
+		s.ws.Wait(t)
+	}
+	return renderStatus(s.status.Load(t), s.value.Load(t))
+}
+
+// TryResult returns the current outcome without blocking.
+func (s *TaskCompletionSourcePre) TryResult(t *sched.Thread) string {
+	return renderStatus(s.status.Load(t), s.value.Load(t))
+}

@@ -1,0 +1,143 @@
+package collections
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// bagSlots is the number of per-thread lists of the bag.
+const bagSlots = 4
+
+// Bag is the ConcurrentBag: an unordered multiset of integers organized as
+// per-thread lists with work stealing, like the .NET 4.0 implementation.
+// Add appends to the calling thread's own list; TryTake prefers the own
+// list (newest element first) and otherwise steals the oldest element from
+// another thread's list.
+//
+// Count, IsEmpty and ToArray visit the lists one at a time rather than
+// under a global lock. This weak-snapshot behavior is deliberate — it is
+// the intentional nondeterminism that Line-Up reports for this class (root
+// cause H of Table 2): a scan can observe a state that no serial execution
+// produces, and the .NET developers chose to document rather than fix the
+// analogous behavior (Section 5.2.2; the paper's instance is TryTake's
+// freedom to remove any element, ours is the sibling snapshot weakness —
+// see DESIGN.md for the substitution note).
+type Bag struct {
+	locks [bagSlots]*vsync.Mutex
+	lists [bagSlots]*vsync.Cell[[]int]
+}
+
+// NewBag constructs an empty bag.
+func NewBag(t *sched.Thread) *Bag {
+	b := &Bag{}
+	for i := 0; i < bagSlots; i++ {
+		b.locks[i] = vsync.NewMutex(t, "Bag.lock")
+		b.lists[i] = vsync.NewCell(t, "Bag.list", []int(nil))
+	}
+	return b
+}
+
+func (b *Bag) slot(t *sched.Thread) int { return int(t.ID()) % bagSlots }
+
+// Add inserts v into the calling thread's list.
+func (b *Bag) Add(t *sched.Thread, v int) {
+	s := b.slot(t)
+	b.locks[s].Lock(t)
+	b.lists[s].Store(t, append(b.lists[s].Load(t), v))
+	b.locks[s].Unlock(t)
+}
+
+// TryTake removes some element: the newest of the caller's own list if
+// non-empty, otherwise the oldest element stolen from the first non-empty
+// list of another thread. ok is false if the bag appears empty.
+func (b *Bag) TryTake(t *sched.Thread) (v int, ok bool) {
+	own := b.slot(t)
+	b.locks[own].Lock(t)
+	list := b.lists[own].Load(t)
+	if len(list) > 0 {
+		v = list[len(list)-1]
+		b.lists[own].Store(t, list[:len(list)-1])
+		b.locks[own].Unlock(t)
+		return v, true
+	}
+	b.locks[own].Unlock(t)
+	for i := 0; i < bagSlots; i++ {
+		if i == own {
+			continue
+		}
+		b.locks[i].Lock(t)
+		list := b.lists[i].Load(t)
+		if len(list) > 0 {
+			v = list[0] // steal the oldest
+			b.lists[i].Store(t, list[1:])
+			b.locks[i].Unlock(t)
+			return v, true
+		}
+		b.locks[i].Unlock(t)
+	}
+	return 0, false
+}
+
+// TryPeek returns some element without removing it, with the same
+// preference order as TryTake.
+func (b *Bag) TryPeek(t *sched.Thread) (v int, ok bool) {
+	own := b.slot(t)
+	b.locks[own].Lock(t)
+	list := b.lists[own].Load(t)
+	if len(list) > 0 {
+		v = list[len(list)-1]
+		b.locks[own].Unlock(t)
+		return v, true
+	}
+	b.locks[own].Unlock(t)
+	for i := 0; i < bagSlots; i++ {
+		if i == own {
+			continue
+		}
+		b.locks[i].Lock(t)
+		list := b.lists[i].Load(t)
+		if len(list) > 0 {
+			v = list[0]
+			b.locks[i].Unlock(t)
+			return v, true
+		}
+		b.locks[i].Unlock(t)
+	}
+	return 0, false
+}
+
+// Count returns the number of elements, visiting the lists one at a time
+// (weak snapshot; see the type comment).
+func (b *Bag) Count(t *sched.Thread) int {
+	n := 0
+	for i := 0; i < bagSlots; i++ {
+		b.locks[i].Lock(t)
+		n += len(b.lists[i].Load(t))
+		b.locks[i].Unlock(t)
+	}
+	return n
+}
+
+// IsEmpty reports whether the bag appears empty (weak snapshot).
+func (b *Bag) IsEmpty(t *sched.Thread) bool {
+	for i := 0; i < bagSlots; i++ {
+		b.locks[i].Lock(t)
+		n := len(b.lists[i].Load(t))
+		b.locks[i].Unlock(t)
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ToArray returns the elements as a sorted multiset (weak snapshot).
+func (b *Bag) ToArray(t *sched.Thread) []int {
+	var out []int
+	for i := 0; i < bagSlots; i++ {
+		b.locks[i].Lock(t)
+		out = append(out, b.lists[i].Load(t)...)
+		b.locks[i].Unlock(t)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package collections
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// Barrier is the classic nonlinearizable class of the paper (root cause L
+// of Table 2, Section 5.3): SignalAndWait blocks each arriving thread until
+// every participant has arrived, "a behavior that is not equivalent to any
+// serial execution". The implementation itself is correct; Line-Up flags it
+// because no serial witness for two mutually-releasing SignalAndWait calls
+// can exist.
+type Barrier struct {
+	mu           *vsync.Mutex
+	cond         *vsync.Cond
+	participants *vsync.Cell[int]
+	arrived      *vsync.Cell[int]
+	phase        *vsync.Cell[int]
+	postPhase    *vsync.Cell[int] // optional post-phase action counter
+}
+
+// NewBarrier constructs a barrier for the given number of participants.
+func NewBarrier(t *sched.Thread, participants int) *Barrier {
+	mu := vsync.NewMutex(t, "Barrier.lock")
+	return &Barrier{
+		mu:           mu,
+		cond:         vsync.NewCond(mu),
+		participants: vsync.NewCell(t, "Barrier.participants", participants),
+		arrived:      vsync.NewCell(t, "Barrier.arrived", 0),
+		phase:        vsync.NewCell(t, "Barrier.phase", 0),
+	}
+}
+
+// SignalAndWait signals arrival and blocks until all participants of the
+// current phase have arrived.
+func (b *Barrier) SignalAndWait(t *sched.Thread) {
+	b.mu.Lock(t)
+	arrived := b.arrived.Load(t) + 1
+	if arrived >= b.participants.Load(t) {
+		// Last arrival: run the post-phase action, advance the phase, and
+		// release everyone.
+		if b.postPhase != nil {
+			b.postPhase.Store(t, b.postPhase.Load(t)+1)
+		}
+		b.arrived.Store(t, 0)
+		b.phase.Store(t, b.phase.Load(t)+1)
+		b.cond.Broadcast(t)
+		b.mu.Unlock(t)
+		return
+	}
+	b.arrived.Store(t, arrived)
+	gen := b.phase.Load(t)
+	for b.phase.Load(t) == gen {
+		b.cond.Wait(t)
+	}
+	b.mu.Unlock(t)
+}
+
+// AddParticipant registers one more participant and returns the current
+// phase number.
+func (b *Barrier) AddParticipant(t *sched.Thread) int {
+	b.mu.Lock(t)
+	defer b.mu.Unlock(t)
+	b.participants.Store(t, b.participants.Load(t)+1)
+	return b.phase.Load(t)
+}
+
+// RemoveParticipant deregisters one participant; it reports false if there
+// are none to remove. Removing a participant can complete the current
+// phase.
+func (b *Barrier) RemoveParticipant(t *sched.Thread) bool {
+	b.mu.Lock(t)
+	defer b.mu.Unlock(t)
+	p := b.participants.Load(t)
+	if p <= 0 {
+		return false
+	}
+	b.participants.Store(t, p-1)
+	if p-1 > 0 && b.arrived.Load(t) >= p-1 {
+		b.arrived.Store(t, 0)
+		b.phase.Store(t, b.phase.Load(t)+1)
+		b.cond.Broadcast(t)
+	}
+	return true
+}
+
+// ParticipantCount returns the number of registered participants.
+func (b *Barrier) ParticipantCount(t *sched.Thread) int {
+	b.mu.Lock(t)
+	defer b.mu.Unlock(t)
+	return b.participants.Load(t)
+}
+
+// ParticipantsRemaining returns how many participants have not yet arrived
+// in the current phase.
+func (b *Barrier) ParticipantsRemaining(t *sched.Thread) int {
+	b.mu.Lock(t)
+	defer b.mu.Unlock(t)
+	return b.participants.Load(t) - b.arrived.Load(t)
+}
+
+// CurrentPhaseNumber returns the phase counter.
+func (b *Barrier) CurrentPhaseNumber(t *sched.Thread) int {
+	b.mu.Lock(t)
+	defer b.mu.Unlock(t)
+	return b.phase.Load(t)
+}
+
+// SetPostPhaseAction registers a counter cell that the last-arriving
+// participant increments before releasing the phase, modeling the .NET
+// post-phase action callback. It must be called before any SignalAndWait.
+func (b *Barrier) SetPostPhaseAction(t *sched.Thread, counter *vsync.Cell[int]) {
+	b.mu.Lock(t)
+	defer b.mu.Unlock(t)
+	b.postPhase = counter
+}
+
+// PostPhaseCount returns how many times the post-phase action has run.
+func (b *Barrier) PostPhaseCount(t *sched.Thread) int {
+	b.mu.Lock(t)
+	defer b.mu.Unlock(t)
+	if b.postPhase == nil {
+		return 0
+	}
+	return b.postPhase.Load(t)
+}

@@ -1,0 +1,489 @@
+package collections_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lineup/internal/collections"
+	"lineup/internal/sched"
+)
+
+// seq runs body as the single thread of one execution, failing the test on
+// stuckness or panic.
+func seq(t *testing.T, body func(th *sched.Thread)) {
+	t.Helper()
+	s := sched.NewScheduler(sched.Config{}, nil)
+	out := s.Run(sched.Program{Threads: []func(*sched.Thread){body}})
+	if out.Err != nil {
+		t.Fatalf("execution error: %v", out.Err)
+	}
+	if out.Stuck {
+		t.Fatalf("sequential execution got stuck")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		q := collections.NewQueue(th)
+		if !q.IsEmpty(th) {
+			t.Errorf("new queue not empty")
+		}
+		if _, ok := q.TryDequeue(th); ok {
+			t.Errorf("dequeue from empty queue succeeded")
+		}
+		q.Enqueue(th, 1)
+		q.Enqueue(th, 2)
+		q.Enqueue(th, 3)
+		if q.Count(th) != 3 {
+			t.Errorf("count = %d", q.Count(th))
+		}
+		if v, ok := q.TryPeek(th); !ok || v != 1 {
+			t.Errorf("peek = %d,%v", v, ok)
+		}
+		if got := fmt.Sprint(q.ToArray(th)); got != "[1 2 3]" {
+			t.Errorf("toarray = %s", got)
+		}
+		for want := 1; want <= 3; want++ {
+			v, ok := q.TryDequeue(th)
+			if !ok || v != want {
+				t.Errorf("dequeue = %d,%v want %d", v, ok, want)
+			}
+		}
+		if !q.IsEmpty(th) {
+			t.Errorf("queue not empty after draining")
+		}
+	})
+}
+
+func TestStackLIFOAndRanges(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		s := collections.NewStack(th)
+		s.Push(th, 1)
+		s.Push(th, 2)
+		s.PushRange(th, []int{3, 4}) // 4 ends on top
+		if got := fmt.Sprint(s.ToArray(th)); got != "[4 3 2 1]" {
+			t.Errorf("toarray = %s", got)
+		}
+		if v, ok := s.TryPeek(th); !ok || v != 4 {
+			t.Errorf("peek = %d,%v", v, ok)
+		}
+		if got := fmt.Sprint(s.TryPopRange(th, 2)); got != "[4 3]" {
+			t.Errorf("poprange = %s", got)
+		}
+		if s.Count(th) != 2 {
+			t.Errorf("count = %d", s.Count(th))
+		}
+		if v, ok := s.TryPop(th); !ok || v != 2 {
+			t.Errorf("pop = %d,%v", v, ok)
+		}
+		s.Clear(th)
+		if !s.IsEmpty(th) {
+			t.Errorf("not empty after clear")
+		}
+		if got := s.TryPopRange(th, 3); got != nil {
+			t.Errorf("poprange on empty = %v", got)
+		}
+	})
+}
+
+func TestStackSnapshotImmutableUnderPop(t *testing.T) {
+	// The linearizability of Count/ToArray hinges on popped nodes never
+	// being mutated: a snapshot taken before pops still sees the old state.
+	seq(t, func(th *sched.Thread) {
+		s := collections.NewStack(th)
+		s.Push(th, 1)
+		s.Push(th, 2)
+		before := s.ToArray(th)
+		s.TryPop(th)
+		s.TryPop(th)
+		if got := fmt.Sprint(before); got != "[2 1]" {
+			t.Errorf("snapshot mutated: %s", got)
+		}
+	})
+}
+
+func TestDictionaryBasics(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		d := collections.NewDictionary(th)
+		if !d.TryAdd(th, 10, 100) || d.TryAdd(th, 10, 101) {
+			t.Errorf("TryAdd semantics broken")
+		}
+		if v, ok := d.TryGetValue(th, 10); !ok || v != 100 {
+			t.Errorf("get = %d,%v", v, ok)
+		}
+		if d.GetOrAdd(th, 10, 999) != 100 {
+			t.Errorf("GetOrAdd overwrote")
+		}
+		if d.GetOrAdd(th, 20, 200) != 200 {
+			t.Errorf("GetOrAdd missed")
+		}
+		if !d.TryUpdate(th, 10, 111, 100) || d.TryUpdate(th, 10, 112, 100) {
+			t.Errorf("TryUpdate comparand semantics broken")
+		}
+		d.Set(th, 30, 300)
+		if d.Count(th) != 3 {
+			t.Errorf("count = %d", d.Count(th))
+		}
+		if got := fmt.Sprint(d.Keys(th)); got != "[10 20 30]" {
+			t.Errorf("keys = %s", got)
+		}
+		if v, ok := d.TryRemove(th, 20); !ok || v != 200 {
+			t.Errorf("remove = %d,%v", v, ok)
+		}
+		if d.ContainsKey(th, 20) {
+			t.Errorf("removed key still present")
+		}
+		d.Clear(th)
+		if !d.IsEmpty(th) {
+			t.Errorf("not empty after clear")
+		}
+	})
+}
+
+func TestBagOwnListLIFOAndSteal(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		b := collections.NewBag(th)
+		b.Add(th, 1)
+		b.Add(th, 2)
+		if v, ok := b.TryPeek(th); !ok || v != 2 {
+			t.Errorf("peek = %d,%v (own list is LIFO)", v, ok)
+		}
+		if v, ok := b.TryTake(th); !ok || v != 2 {
+			t.Errorf("take = %d,%v", v, ok)
+		}
+		if b.Count(th) != 1 {
+			t.Errorf("count = %d", b.Count(th))
+		}
+		if got := fmt.Sprint(b.ToArray(th)); got != "[1]" {
+			t.Errorf("toarray = %s", got)
+		}
+		b.TryTake(th)
+		if !b.IsEmpty(th) {
+			t.Errorf("not empty")
+		}
+		if _, ok := b.TryTake(th); ok {
+			t.Errorf("take from empty bag succeeded")
+		}
+	})
+}
+
+func TestBagStealsOldestFromOtherThread(t *testing.T) {
+	var bag *collections.Bag
+	s := sched.NewScheduler(sched.Config{}, nil)
+	out := s.Run(sched.Program{
+		Setup: func(th *sched.Thread) {
+			bag = collections.NewBag(th)
+			bag.Add(th, 7) // lands in the setup thread's slot
+			bag.Add(th, 8)
+		},
+		Threads: []func(*sched.Thread){
+			func(th *sched.Thread) {
+				if v, ok := bag.TryTake(th); !ok || v != 7 {
+					panic(fmt.Sprintf("steal = %d,%v; want oldest (7)", v, ok))
+				}
+			},
+		},
+	})
+	if out.Err != nil || out.Stuck {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestSemaphoreCountingAndBlocking(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		s := collections.NewSemaphoreSlim(th, 2)
+		if s.CurrentCount(th) != 2 {
+			t.Errorf("count = %d", s.CurrentCount(th))
+		}
+		s.Wait(th)
+		if !s.WaitZero(th) {
+			t.Errorf("Wait(0) with a permit failed")
+		}
+		if s.WaitZero(th) {
+			t.Errorf("Wait(0) without permits succeeded")
+		}
+		if prev := s.Release(th, 2); prev != 0 {
+			t.Errorf("release returned %d", prev)
+		}
+		if s.CurrentCount(th) != 2 {
+			t.Errorf("count = %d", s.CurrentCount(th))
+		}
+	})
+	// A Wait with no permits blocks; a Release lets it through.
+	var sem *collections.SemaphoreSlim
+	s := sched.NewScheduler(sched.Config{}, nil)
+	out := s.Run(sched.Program{
+		Setup: func(th *sched.Thread) { sem = collections.NewSemaphoreSlim(th, 0) },
+		Threads: []func(*sched.Thread){
+			func(th *sched.Thread) { sem.Wait(th) },
+			func(th *sched.Thread) { sem.Release(th, 1) },
+		},
+	})
+	if out.Stuck || out.Err != nil {
+		t.Fatalf("waiter not released: %+v", out)
+	}
+}
+
+func TestMRESetResetWait(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		e := collections.NewManualResetEventSlim(th)
+		if e.IsSet(th) || e.WaitOne(th) {
+			t.Errorf("new event is set")
+		}
+		e.Set(th)
+		if !e.IsSet(th) {
+			t.Errorf("set event not set")
+		}
+		e.Wait(th) // returns immediately
+		e.Reset(th)
+		if e.IsSet(th) {
+			t.Errorf("reset event still set")
+		}
+	})
+	// A blocked Wait is released by Set.
+	var mre *collections.ManualResetEventSlim
+	s := sched.NewScheduler(sched.Config{}, nil)
+	out := s.Run(sched.Program{
+		Setup: func(th *sched.Thread) { mre = collections.NewManualResetEventSlim(th) },
+		Threads: []func(*sched.Thread){
+			func(th *sched.Thread) { mre.Wait(th) },
+			func(th *sched.Thread) { mre.Set(th) },
+		},
+	})
+	if out.Stuck || out.Err != nil {
+		t.Fatalf("waiter not released: %+v", out)
+	}
+}
+
+func TestCountdownEvent(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		c := collections.NewCountdownEvent(th, 2)
+		if c.IsSet(th) || c.WaitZero(th) {
+			t.Errorf("fresh event set")
+		}
+		if !c.Signal(th, 1) || c.CurrentCount(th) != 1 {
+			t.Errorf("signal broken")
+		}
+		if c.Signal(th, 2) {
+			t.Errorf("over-signal succeeded")
+		}
+		if !c.AddCount(th, 1) || c.CurrentCount(th) != 2 {
+			t.Errorf("addcount broken")
+		}
+		if !c.Signal(th, 2) || !c.IsSet(th) {
+			t.Errorf("final signal broken")
+		}
+		c.Wait(th) // returns immediately once set
+		if c.TryAddCount(th, 1) {
+			t.Errorf("TryAddCount after set succeeded")
+		}
+	})
+}
+
+func TestLazyMemoizes(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		l := collections.NewLazy(th)
+		if l.IsValueCreated(th) {
+			t.Errorf("fresh lazy created")
+		}
+		if l.ToString(th) != "unset" {
+			t.Errorf("tostring = %s", l.ToString(th))
+		}
+		v1 := l.Value(th)
+		v2 := l.Value(th)
+		if v1 != v2 || v1 != 101 {
+			t.Errorf("values %d, %d; factory must run once", v1, v2)
+		}
+		if !l.IsValueCreated(th) || l.ToString(th) != "101" {
+			t.Errorf("post-creation state broken")
+		}
+	})
+}
+
+func TestTCSTransitions(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		s := collections.NewTaskCompletionSource(th)
+		if s.TryResult(th) != "pending" {
+			t.Errorf("fresh source not pending")
+		}
+		if !s.TrySetResult(th, 10) {
+			t.Errorf("first set failed")
+		}
+		if s.TrySetResult(th, 20) || s.TrySetCanceled(th) || s.TrySetException(th) {
+			t.Errorf("second completion succeeded")
+		}
+		if s.Wait(th) != "result(10)" || s.TryResult(th) != "result(10)" {
+			t.Errorf("result = %s", s.TryResult(th))
+		}
+	})
+	seq(t, func(th *sched.Thread) {
+		s := collections.NewTaskCompletionSource(th)
+		if !s.SetCanceled(th) || s.TryResult(th) != "canceled" {
+			t.Errorf("cancel broken")
+		}
+	})
+}
+
+func TestCTS(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		c := collections.NewCancellationTokenSource(th)
+		if c.IsCancellationRequested(th) {
+			t.Errorf("fresh source canceled")
+		}
+		if c.Register(th) != 1 || c.Register(th) != 2 {
+			t.Errorf("register count broken")
+		}
+		c.Cancel(th)
+		if !c.IsCancellationRequested(th) {
+			t.Errorf("cancel ineffective")
+		}
+		c.Cancel(th) // idempotent
+		if c.Register(th) != -1 {
+			t.Errorf("register after cancel should fire immediately")
+		}
+		c.WaitForCancel(th) // returns immediately
+	})
+}
+
+func TestBarrierPhases(t *testing.T) {
+	var b *collections.Barrier
+	s := sched.NewScheduler(sched.Config{}, nil)
+	out := s.Run(sched.Program{
+		Setup: func(th *sched.Thread) { b = collections.NewBarrier(th, 2) },
+		Threads: []func(*sched.Thread){
+			func(th *sched.Thread) { b.SignalAndWait(th); b.SignalAndWait(th) },
+			func(th *sched.Thread) { b.SignalAndWait(th); b.SignalAndWait(th) },
+		},
+		Teardown: func(th *sched.Thread) {
+			if got := b.CurrentPhaseNumber(th); got != 2 {
+				panic(fmt.Sprintf("phase = %d, want 2", got))
+			}
+		},
+	})
+	if out.Stuck || out.Err != nil {
+		t.Fatalf("barrier outcome: %+v", out)
+	}
+	seq(t, func(th *sched.Thread) {
+		b := collections.NewBarrier(th, 2)
+		if b.ParticipantCount(th) != 2 || b.ParticipantsRemaining(th) != 2 {
+			t.Errorf("fresh barrier counts broken")
+		}
+		if b.AddParticipant(th) != 0 || b.ParticipantCount(th) != 3 {
+			t.Errorf("add participant broken")
+		}
+		if !b.RemoveParticipant(th) || b.ParticipantCount(th) != 2 {
+			t.Errorf("remove participant broken")
+		}
+	})
+	// Removing the last unarrived participant completes the phase.
+	var b2 *collections.Barrier
+	s2 := sched.NewScheduler(sched.Config{}, nil)
+	out2 := s2.Run(sched.Program{
+		Setup: func(th *sched.Thread) { b2 = collections.NewBarrier(th, 2) },
+		Threads: []func(*sched.Thread){
+			func(th *sched.Thread) { b2.SignalAndWait(th) },
+			func(th *sched.Thread) { b2.RemoveParticipant(th) },
+		},
+	})
+	if out2.Stuck || out2.Err != nil {
+		t.Fatalf("remove-completes-phase outcome: %+v", out2)
+	}
+}
+
+func TestLinkedListDeque(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		l := collections.NewLinkedList(th)
+		l.AddLast(th, 2)
+		l.AddFirst(th, 1)
+		l.AddLast(th, 3)
+		if got := fmt.Sprint(l.ToArray(th)); got != "[1 2 3]" {
+			t.Errorf("toarray = %s", got)
+		}
+		if v, ok := l.RemoveFirst(th); !ok || v != 1 {
+			t.Errorf("removefirst = %d,%v", v, ok)
+		}
+		if v, ok := l.RemoveLast(th); !ok || v != 3 {
+			t.Errorf("removelast = %d,%v", v, ok)
+		}
+		if l.Count(th) != 1 {
+			t.Errorf("count = %d", l.Count(th))
+		}
+		l.RemoveFirst(th)
+		if _, ok := l.RemoveLast(th); ok {
+			t.Errorf("remove from empty list succeeded")
+		}
+	})
+}
+
+func TestBlockingCollectionBasics(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		b := collections.NewBlockingCollection(th)
+		if !b.TryAdd(th, 1) || !b.Add(th, 2) {
+			t.Errorf("adds failed")
+		}
+		if b.Count(th) != 2 {
+			t.Errorf("count = %d", b.Count(th))
+		}
+		if got := fmt.Sprint(b.ToArray(th)); got != "[1 2]" {
+			t.Errorf("toarray = %s", got)
+		}
+		if v, ok := b.TryTake(th); !ok || v != 1 {
+			t.Errorf("trytake = %d,%v", v, ok)
+		}
+		if v, ok := b.Take(th); !ok || v != 2 {
+			t.Errorf("take = %d,%v", v, ok)
+		}
+		if _, ok := b.TryTake(th); ok {
+			t.Errorf("take from empty succeeded")
+		}
+		if b.IsAddingCompleted(th) || b.IsCompleted(th) {
+			t.Errorf("completed too early")
+		}
+		b.CompleteAdding(th)
+		if !b.IsAddingCompleted(th) || !b.IsCompleted(th) {
+			t.Errorf("completion flags broken")
+		}
+		if b.Add(th, 3) || b.TryAdd(th, 3) {
+			t.Errorf("add after completion succeeded")
+		}
+		if _, ok := b.Take(th); ok {
+			t.Errorf("take on completed empty collection should fail, not block")
+		}
+	})
+	// A blocked Take is released by an Add.
+	var bc *collections.BlockingCollection
+	s := sched.NewScheduler(sched.Config{}, nil)
+	out := s.Run(sched.Program{
+		Setup: func(th *sched.Thread) { bc = collections.NewBlockingCollection(th) },
+		Threads: []func(*sched.Thread){
+			func(th *sched.Thread) {
+				if v, ok := bc.Take(th); !ok || v != 9 {
+					panic("take got wrong value")
+				}
+			},
+			func(th *sched.Thread) { bc.Add(th, 9) },
+		},
+	})
+	if out.Stuck || out.Err != nil {
+		t.Fatalf("take not released by add: %+v", out)
+	}
+}
+
+func TestCounterSequential(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		c := collections.NewCounter(th)
+		c.Inc(th)
+		c.Inc(th)
+		if c.Get(th) != 2 {
+			t.Errorf("get = %d", c.Get(th))
+		}
+		c.Dec(th)
+		if c.Get(th) != 1 {
+			t.Errorf("get = %d", c.Get(th))
+		}
+		c.Set(th, 5)
+		if c.Get(th) != 5 {
+			t.Errorf("get = %d", c.Get(th))
+		}
+	})
+}

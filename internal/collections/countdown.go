@@ -1,0 +1,83 @@
+package collections
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// CountdownEvent is the corrected countdown event: it becomes set when its
+// count reaches zero. Signal decrements, AddCount/TryAddCount increment (and
+// fail once the event is set), Wait blocks until set. The count is
+// manipulated with interlocked compare-and-swap like the .NET
+// implementation.
+type CountdownEvent struct {
+	count *vsync.AtomicInt
+	ws    sched.WaitSet
+}
+
+// NewCountdownEvent constructs an event with the given initial count.
+func NewCountdownEvent(t *sched.Thread, initial int) *CountdownEvent {
+	return &CountdownEvent{count: vsync.NewAtomicInt(t, "CountdownEvent.count", initial)}
+}
+
+// Signal decrements the count by n; it reports false if the count would
+// drop below zero (the .NET version throws). Reaching zero wakes all
+// waiters.
+func (c *CountdownEvent) Signal(t *sched.Thread, n int) bool {
+	for {
+		cur := c.count.Load(t)
+		if cur < n {
+			return false
+		}
+		if c.count.CompareAndSwap(t, cur, cur-n) {
+			if cur-n == 0 {
+				c.ws.Broadcast(t)
+			}
+			return true
+		}
+	}
+}
+
+// TryAddCount increments the count by n unless the event is already set.
+func (c *CountdownEvent) TryAddCount(t *sched.Thread, n int) bool {
+	for {
+		cur := c.count.Load(t)
+		if cur == 0 {
+			return false
+		}
+		if c.count.CompareAndSwap(t, cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// AddCount increments the count by n; it reports false (instead of the
+// .NET exception) if the event is already set.
+func (c *CountdownEvent) AddCount(t *sched.Thread, n int) bool {
+	return c.TryAddCount(t, n)
+}
+
+// IsSet reports whether the count has reached zero.
+func (c *CountdownEvent) IsSet(t *sched.Thread) bool {
+	return c.count.Load(t) == 0
+}
+
+// CurrentCount returns the remaining count.
+func (c *CountdownEvent) CurrentCount(t *sched.Thread) int {
+	return c.count.Load(t)
+}
+
+// Wait blocks until the event is set. The check and the park are adjacent
+// instrumented points, so a Signal cannot slip in between under the
+// scheduler's granularity.
+func (c *CountdownEvent) Wait(t *sched.Thread) {
+	for c.count.Load(t) != 0 {
+		c.ws.Wait(t)
+	}
+}
+
+// WaitZero is Wait(0): it reports whether the event is set, without
+// blocking.
+func (c *CountdownEvent) WaitZero(t *sched.Thread) bool {
+	return c.IsSet(t)
+}

@@ -1,0 +1,115 @@
+package collections
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// Counter is the correct counter of the paper's Section 2: a shared counter
+// with increment, decrement, set and get, where Dec blocks while the count
+// is zero (like a semaphore), matching the specification automaton of
+// Fig. 3.
+type Counter struct {
+	mu    *vsync.Mutex
+	cond  *vsync.Cond
+	count *vsync.Cell[int]
+}
+
+// NewCounter constructs a counter with count zero.
+func NewCounter(t *sched.Thread) *Counter {
+	mu := vsync.NewMutex(t, "Counter.lock")
+	return &Counter{
+		mu:    mu,
+		cond:  vsync.NewCond(mu),
+		count: vsync.NewCell(t, "Counter.count", 0),
+	}
+}
+
+// Inc increments the counter.
+func (c *Counter) Inc(t *sched.Thread) {
+	c.mu.Lock(t)
+	c.count.Store(t, c.count.Load(t)+1)
+	c.cond.Broadcast(t)
+	c.mu.Unlock(t)
+}
+
+// Dec decrements the counter, blocking while it is zero.
+func (c *Counter) Dec(t *sched.Thread) {
+	c.mu.Lock(t)
+	for c.count.Load(t) == 0 {
+		c.cond.Wait(t)
+	}
+	c.count.Store(t, c.count.Load(t)-1)
+	c.mu.Unlock(t)
+}
+
+// Set stores a new count.
+func (c *Counter) Set(t *sched.Thread, v int) {
+	c.mu.Lock(t)
+	c.count.Store(t, v)
+	c.cond.Broadcast(t)
+	c.mu.Unlock(t)
+}
+
+// Get returns the current count.
+func (c *Counter) Get(t *sched.Thread) int {
+	c.mu.Lock(t)
+	v := c.count.Load(t)
+	c.mu.Unlock(t)
+	return v
+}
+
+// Counter1 is the buggy counter of Section 2.2.1: Inc fails to acquire the
+// lock, so concurrent increments can be lost. Its histories are complete
+// but not linearizable (a get can observe a lost update).
+type Counter1 struct {
+	count *vsync.Cell[int]
+}
+
+// NewCounter1 constructs the buggy counter.
+func NewCounter1(t *sched.Thread) *Counter1 {
+	return &Counter1{count: vsync.NewCell(t, "Counter1.count", 0)}
+}
+
+// Inc increments without synchronization: count = count + 1.
+func (c *Counter1) Inc(t *sched.Thread) {
+	v := c.count.Load(t)
+	c.count.Store(t, v+1)
+}
+
+// Get returns the current count.
+func (c *Counter1) Get(t *sched.Thread) int {
+	return c.count.Load(t)
+}
+
+// Counter2 is the buggy counter of Section 2.2.2 (Fig. 4): Get acquires the
+// lock but never releases it, so any later operation blocks forever. All of
+// its histories are linearizable under the classic Definition 1; only the
+// generalized definition with stuck histories (Definition 3) exposes the
+// bug.
+type Counter2 struct {
+	mu    *vsync.Mutex
+	count *vsync.Cell[int]
+}
+
+// NewCounter2 constructs the buggy counter.
+func NewCounter2(t *sched.Thread) *Counter2 {
+	return &Counter2{
+		mu:    vsync.NewMutex(t, "Counter2.lock"),
+		count: vsync.NewCell(t, "Counter2.count", 0),
+	}
+}
+
+// Inc increments under the lock (correctly).
+func (c *Counter2) Inc(t *sched.Thread) {
+	c.mu.Lock(t)
+	c.count.Store(t, c.count.Load(t)+1)
+	c.mu.Unlock(t)
+}
+
+// Get reads the count but forgets to release the lock (the seeded bug).
+func (c *Counter2) Get(t *sched.Thread) int {
+	c.mu.Lock(t)
+	return c.count.Load(t)
+	// BUG (Fig. 4): missing c.mu.Unlock(t).
+}

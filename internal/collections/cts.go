@@ -1,0 +1,110 @@
+package collections
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// Cancellation states: the three-valued state machine whose equality
+// comparison is the third benign serializability violation of Section 5.6
+// ("the current state is read and compared using a == operator; at an
+// abstract level this comparison is a right-mover").
+const (
+	ctsActive = iota
+	ctsCanceling
+	ctsCanceled
+)
+
+// CancellationTokenSource is the corrected cancellation source. Cancel
+// moves the state machine active → canceling → canceled and runs the
+// registered callback count; IsCancellationRequested is true from the
+// moment cancellation starts.
+type CancellationTokenSource struct {
+	state      *vsync.AtomicInt
+	ncallbacks *vsync.AtomicInt // number of registered callbacks
+	fired      *vsync.Cell[int] // number of callbacks that have run
+	ws         sched.WaitSet
+}
+
+// NewCancellationTokenSource constructs an active source.
+func NewCancellationTokenSource(t *sched.Thread) *CancellationTokenSource {
+	return &CancellationTokenSource{
+		state:      vsync.NewAtomicInt(t, "CTS.state", ctsActive),
+		ncallbacks: vsync.NewAtomicInt(t, "CTS.callbacks", 0),
+		fired:      vsync.NewCell(t, "CTS.fired", 0),
+	}
+}
+
+// Cancel requests cancellation. The first caller runs the registered
+// callbacks; concurrent callers return once cancellation is underway (they
+// do not wait for callbacks, matching .NET's Cancel()).
+func (c *CancellationTokenSource) Cancel(t *sched.Thread) {
+	if c.state.Load(t) == ctsCanceled { // benign ==-comparison fast path
+		return
+	}
+	if !c.state.CompareAndSwap(t, ctsActive, ctsCanceling) {
+		return
+	}
+	// Run callbacks (modeled as counting them).
+	n := c.ncallbacks.Load(t)
+	c.fired.Store(t, n)
+	c.state.Store(t, ctsCanceled)
+	c.ws.Broadcast(t)
+}
+
+// IsCancellationRequested reports whether cancellation has been requested.
+func (c *CancellationTokenSource) IsCancellationRequested(t *sched.Thread) bool {
+	return c.state.Load(t) != ctsActive
+}
+
+// Register adds a callback and returns the number registered; callbacks
+// registered after cancellation fire immediately (return value -1 marks
+// that, matching the immediate-invocation semantics).
+func (c *CancellationTokenSource) Register(t *sched.Thread) int {
+	if c.state.Load(t) != ctsActive {
+		return -1
+	}
+	return c.ncallbacks.Add(t, 1)
+}
+
+// WaitForCancel blocks until the source reaches the canceled state.
+func (c *CancellationTokenSource) WaitForCancel(t *sched.Thread) {
+	for c.state.Load(t) != ctsCanceled {
+		c.ws.Wait(t)
+	}
+}
+
+// NewLinkedTokenSource creates a source that is canceled when either parent
+// is canceled (CancellationTokenSource.CreateLinkedTokenSource). The link
+// is checked on observation: the child's state derives from its own flag or
+// either parent, which matches the .NET semantics that linked cancellation
+// propagates before the observer returns.
+func NewLinkedTokenSource(t *sched.Thread, a, b *CancellationTokenSource) *LinkedTokenSource {
+	return &LinkedTokenSource{
+		own:     NewCancellationTokenSource(t),
+		parents: []*CancellationTokenSource{a, b},
+	}
+}
+
+// LinkedTokenSource is a cancellation source linked to parent sources.
+type LinkedTokenSource struct {
+	own     *CancellationTokenSource
+	parents []*CancellationTokenSource
+}
+
+// Cancel cancels the linked source itself.
+func (l *LinkedTokenSource) Cancel(t *sched.Thread) { l.own.Cancel(t) }
+
+// IsCancellationRequested is true if the source or any parent has been
+// canceled.
+func (l *LinkedTokenSource) IsCancellationRequested(t *sched.Thread) bool {
+	if l.own.IsCancellationRequested(t) {
+		return true
+	}
+	for _, p := range l.parents {
+		if p.IsCancellationRequested(t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+package collections
+
+import (
+	"sort"
+
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// dictStripes is the number of lock stripes of the dictionary; kept tiny so
+// that small tests still exercise cross-stripe interleavings.
+const dictStripes = 4
+
+// Dictionary is the corrected ConcurrentDictionary: a striped-lock hash map
+// from int keys to int values. Single-key operations lock the key's stripe;
+// whole-map operations (Count, IsEmpty, Clear, ToArray) acquire all stripes
+// in ascending order, which makes them atomic snapshots (the Beta 2 .NET
+// implementation does the same).
+type Dictionary struct {
+	locks   [dictStripes]*vsync.Mutex
+	buckets [dictStripes]*vsync.Cell[map[int]int]
+}
+
+// NewDictionary constructs an empty dictionary.
+func NewDictionary(t *sched.Thread) *Dictionary {
+	d := &Dictionary{}
+	for i := 0; i < dictStripes; i++ {
+		d.locks[i] = vsync.NewMutex(t, "Dictionary.lock")
+		d.buckets[i] = vsync.NewCell(t, "Dictionary.bucket", map[int]int{})
+	}
+	return d
+}
+
+func (d *Dictionary) stripe(key int) int {
+	s := key % dictStripes
+	if s < 0 {
+		s += dictStripes
+	}
+	return s
+}
+
+// TryAdd inserts (key, value) and reports false if the key already exists.
+func (d *Dictionary) TryAdd(t *sched.Thread, key, value int) bool {
+	s := d.stripe(key)
+	d.locks[s].Lock(t)
+	defer d.locks[s].Unlock(t)
+	b := d.buckets[s].Load(t)
+	if _, exists := b[key]; exists {
+		return false
+	}
+	nb := copyMap(b)
+	nb[key] = value
+	d.buckets[s].Store(t, nb)
+	return true
+}
+
+// TryRemove deletes key and returns its value; ok is false if absent.
+func (d *Dictionary) TryRemove(t *sched.Thread, key int) (value int, ok bool) {
+	s := d.stripe(key)
+	d.locks[s].Lock(t)
+	defer d.locks[s].Unlock(t)
+	b := d.buckets[s].Load(t)
+	value, ok = b[key]
+	if !ok {
+		return 0, false
+	}
+	nb := copyMap(b)
+	delete(nb, key)
+	d.buckets[s].Store(t, nb)
+	return value, true
+}
+
+// TryGetValue returns the value of key; ok is false if absent.
+func (d *Dictionary) TryGetValue(t *sched.Thread, key int) (value int, ok bool) {
+	s := d.stripe(key)
+	d.locks[s].Lock(t)
+	defer d.locks[s].Unlock(t)
+	value, ok = d.buckets[s].Load(t)[key]
+	return value, ok
+}
+
+// TryUpdate replaces key's value with newValue if it currently equals
+// comparand, reporting whether it did.
+func (d *Dictionary) TryUpdate(t *sched.Thread, key, newValue, comparand int) bool {
+	s := d.stripe(key)
+	d.locks[s].Lock(t)
+	defer d.locks[s].Unlock(t)
+	b := d.buckets[s].Load(t)
+	cur, ok := b[key]
+	if !ok || cur != comparand {
+		return false
+	}
+	nb := copyMap(b)
+	nb[key] = newValue
+	d.buckets[s].Store(t, nb)
+	return true
+}
+
+// Set stores value under key unconditionally (the this[key] = value
+// indexer).
+func (d *Dictionary) Set(t *sched.Thread, key, value int) {
+	s := d.stripe(key)
+	d.locks[s].Lock(t)
+	defer d.locks[s].Unlock(t)
+	nb := copyMap(d.buckets[s].Load(t))
+	nb[key] = value
+	d.buckets[s].Store(t, nb)
+}
+
+// GetOrAdd returns the existing value of key, or stores and returns value.
+func (d *Dictionary) GetOrAdd(t *sched.Thread, key, value int) int {
+	s := d.stripe(key)
+	d.locks[s].Lock(t)
+	defer d.locks[s].Unlock(t)
+	b := d.buckets[s].Load(t)
+	if cur, ok := b[key]; ok {
+		return cur
+	}
+	nb := copyMap(b)
+	nb[key] = value
+	d.buckets[s].Store(t, nb)
+	return value
+}
+
+// ContainsKey reports whether key is present.
+func (d *Dictionary) ContainsKey(t *sched.Thread, key int) bool {
+	_, ok := d.TryGetValue(t, key)
+	return ok
+}
+
+// lockAll acquires every stripe in ascending order (deadlock-free).
+func (d *Dictionary) lockAll(t *sched.Thread) {
+	for i := 0; i < dictStripes; i++ {
+		d.locks[i].Lock(t)
+	}
+}
+
+func (d *Dictionary) unlockAll(t *sched.Thread) {
+	for i := dictStripes - 1; i >= 0; i-- {
+		d.locks[i].Unlock(t)
+	}
+}
+
+// Count returns the number of entries (full-lock snapshot).
+func (d *Dictionary) Count(t *sched.Thread) int {
+	d.lockAll(t)
+	defer d.unlockAll(t)
+	n := 0
+	for i := 0; i < dictStripes; i++ {
+		n += len(d.buckets[i].Load(t))
+	}
+	return n
+}
+
+// IsEmpty reports whether the dictionary has no entries.
+func (d *Dictionary) IsEmpty(t *sched.Thread) bool {
+	return d.Count(t) == 0
+}
+
+// Clear removes all entries atomically.
+func (d *Dictionary) Clear(t *sched.Thread) {
+	d.lockAll(t)
+	defer d.unlockAll(t)
+	for i := 0; i < dictStripes; i++ {
+		d.buckets[i].Store(t, map[int]int{})
+	}
+}
+
+// Keys returns a sorted snapshot of the keys.
+func (d *Dictionary) Keys(t *sched.Thread) []int {
+	d.lockAll(t)
+	defer d.unlockAll(t)
+	var keys []int
+	for i := 0; i < dictStripes; i++ {
+		for k := range d.buckets[i].Load(t) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func copyMap(m map[int]int) map[int]int {
+	nm := make(map[int]int, len(m)+1)
+	for k, v := range m {
+		nm[k] = v
+	}
+	return nm
+}
+
+// AddOrUpdate stores addValue if the key is absent, or updates the present
+// value with updated = old + delta (modeling the .NET update factory),
+// returning the value now stored.
+func (d *Dictionary) AddOrUpdate(t *sched.Thread, key, addValue, delta int) int {
+	s := d.stripe(key)
+	d.locks[s].Lock(t)
+	defer d.locks[s].Unlock(t)
+	b := d.buckets[s].Load(t)
+	nb := copyMap(b)
+	v, ok := b[key]
+	if ok {
+		nb[key] = v + delta
+	} else {
+		nb[key] = addValue
+	}
+	d.buckets[s].Store(t, nb)
+	return nb[key]
+}
+
+// Values returns the values sorted by key (full-lock snapshot).
+func (d *Dictionary) Values(t *sched.Thread) []int {
+	d.lockAll(t)
+	defer d.unlockAll(t)
+	type kv struct{ k, v int }
+	var all []kv
+	for i := 0; i < dictStripes; i++ {
+		for k, v := range d.buckets[i].Load(t) {
+			all = append(all, kv{k, v})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+	out := make([]int, len(all))
+	for i, e := range all {
+		out[i] = e.v
+	}
+	return out
+}

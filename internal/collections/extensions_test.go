@@ -1,0 +1,215 @@
+package collections_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lineup/internal/collections"
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+func TestBoundedBlockingCollection(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		b := collections.NewBoundedBlockingCollection(th, 2)
+		if b.BoundedCapacity(th) != 2 {
+			t.Errorf("capacity = %d", b.BoundedCapacity(th))
+		}
+		if !b.TryAdd(th, 1) || !b.TryAdd(th, 2) {
+			t.Errorf("adds under capacity failed")
+		}
+		if b.TryAdd(th, 3) {
+			t.Errorf("TryAdd on a full collection succeeded")
+		}
+		if v, ok := b.TryTake(th); !ok || v != 1 {
+			t.Errorf("take = %d,%v", v, ok)
+		}
+		if !b.TryAdd(th, 3) {
+			t.Errorf("TryAdd after making room failed")
+		}
+	})
+	// A blocked Add on a full collection is released by a Take.
+	var bc *collections.BlockingCollection
+	s := sched.NewScheduler(sched.Config{}, nil)
+	out := s.Run(sched.Program{
+		Setup: func(th *sched.Thread) {
+			bc = collections.NewBoundedBlockingCollection(th, 1)
+			bc.Add(th, 1)
+		},
+		Threads: []func(*sched.Thread){
+			func(th *sched.Thread) {
+				if ok := bc.Add(th, 2); !ok {
+					panic("blocked add failed")
+				}
+			},
+			func(th *sched.Thread) {
+				if v, ok := bc.Take(th); !ok || v != 1 {
+					panic(fmt.Sprintf("take = %d,%v", v, ok))
+				}
+			},
+		},
+	})
+	if out.Stuck || out.Err != nil {
+		t.Fatalf("blocked producer not released: %+v", out)
+	}
+}
+
+func TestDictionaryAddOrUpdateAndValues(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		d := collections.NewDictionary(th)
+		if d.AddOrUpdate(th, 10, 100, 1) != 100 {
+			t.Errorf("add branch broken")
+		}
+		if d.AddOrUpdate(th, 10, 100, 1) != 101 {
+			t.Errorf("update branch broken")
+		}
+		d.Set(th, 20, 200)
+		if got := fmt.Sprint(d.Values(th)); got != "[101 200]" {
+			t.Errorf("values = %s", got)
+		}
+	})
+}
+
+func TestStackTryPopAll(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		s := collections.NewStack(th)
+		s.Push(th, 1)
+		s.Push(th, 2)
+		if got := fmt.Sprint(s.TryPopAll(th)); got != "[2 1]" {
+			t.Errorf("popall = %s", got)
+		}
+		if !s.IsEmpty(th) {
+			t.Errorf("not empty after popall")
+		}
+		if got := s.TryPopAll(th); got != nil {
+			t.Errorf("popall on empty = %v", got)
+		}
+	})
+}
+
+func TestLinkedListContainsRemove(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		l := collections.NewLinkedList(th)
+		l.AddLast(th, 1)
+		l.AddLast(th, 2)
+		l.AddLast(th, 1)
+		if !l.Contains(th, 2) || l.Contains(th, 9) {
+			t.Errorf("contains broken")
+		}
+		if !l.Remove(th, 1) {
+			t.Errorf("remove missed")
+		}
+		if got := fmt.Sprint(l.ToArray(th)); got != "[2 1]" {
+			t.Errorf("toarray = %s", got)
+		}
+		if l.Remove(th, 9) {
+			t.Errorf("remove of absent value succeeded")
+		}
+	})
+}
+
+func TestLinkedTokenSource(t *testing.T) {
+	seq(t, func(th *sched.Thread) {
+		a := collections.NewCancellationTokenSource(th)
+		b := collections.NewCancellationTokenSource(th)
+		linked := collections.NewLinkedTokenSource(th, a, b)
+		if linked.IsCancellationRequested(th) {
+			t.Errorf("fresh linked source canceled")
+		}
+		b.Cancel(th)
+		if !linked.IsCancellationRequested(th) {
+			t.Errorf("parent cancellation not propagated")
+		}
+	})
+	seq(t, func(th *sched.Thread) {
+		a := collections.NewCancellationTokenSource(th)
+		b := collections.NewCancellationTokenSource(th)
+		linked := collections.NewLinkedTokenSource(th, a, b)
+		linked.Cancel(th)
+		if !linked.IsCancellationRequested(th) {
+			t.Errorf("own cancellation ineffective")
+		}
+		if a.IsCancellationRequested(th) || b.IsCancellationRequested(th) {
+			t.Errorf("child cancellation leaked to parents")
+		}
+	})
+}
+
+func TestBarrierPostPhaseAction(t *testing.T) {
+	var (
+		b       *collections.Barrier
+		counter *vsync.Cell[int]
+	)
+	s := sched.NewScheduler(sched.Config{}, nil)
+	out := s.Run(sched.Program{
+		Setup: func(th *sched.Thread) {
+			b = collections.NewBarrier(th, 2)
+			counter = vsync.NewCell(th, "postphase", 0)
+			b.SetPostPhaseAction(th, counter)
+		},
+		Threads: []func(*sched.Thread){
+			func(th *sched.Thread) { b.SignalAndWait(th); b.SignalAndWait(th) },
+			func(th *sched.Thread) { b.SignalAndWait(th); b.SignalAndWait(th) },
+		},
+		Teardown: func(th *sched.Thread) {
+			if got := b.PostPhaseCount(th); got != 2 {
+				panic(fmt.Sprintf("post-phase action ran %d times, want 2", got))
+			}
+		},
+	})
+	if out.Stuck || out.Err != nil {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+// TestBoundedProducerConsumerAllSchedules: a bounded pipeline completes
+// under every schedule within the preemption bound (no lost wakeups
+// between producers and consumers). Unbounded exploration of this program
+// is intractable (~32 instrumented points across two threads), so the test
+// uses a bound of 3, which covers all single- and double-handoff races.
+func TestBoundedProducerConsumerAllSchedules(t *testing.T) {
+	mk := func() sched.Program {
+		var bc *collections.BlockingCollection
+		return sched.Program{
+			Setup: func(th *sched.Thread) {
+				bc = collections.NewBoundedBlockingCollection(th, 1)
+			},
+			Threads: []func(*sched.Thread){
+				func(th *sched.Thread) {
+					th.OpStart("produce")
+					bc.Add(th, 1)
+					bc.Add(th, 2)
+					th.OpEnd("produce", "ok")
+				},
+				func(th *sched.Thread) {
+					th.OpStart("consume")
+					v1, _ := bc.Take(th)
+					v2, _ := bc.Take(th)
+					th.OpEnd("consume", fmt.Sprintf("%d,%d", v1, v2))
+				},
+			},
+		}
+	}
+	stuck := 0
+	_, err := sched.Explore(sched.ExploreConfig{PreemptionBound: 3}, mk(),
+		func(o *sched.Outcome) bool {
+			if o.Err != nil {
+				t.Fatalf("execution error: %v", o.Err)
+			}
+			if o.Stuck {
+				stuck++
+			}
+			for _, e := range o.Events {
+				if e.Kind == sched.EvReturn && e.Op == "consume" && e.Result != "1,2" {
+					t.Fatalf("consumer saw %q, want FIFO 1,2", e.Result)
+				}
+			}
+			return true
+		})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if stuck != 0 {
+		t.Fatalf("%d schedules deadlocked the bounded pipeline", stuck)
+	}
+}

@@ -1,0 +1,103 @@
+package collections
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// LinkedList is the ConcurrentLinkedList of Table 1: a deque of integers
+// supporting insertion and removal at both ends, guarded by a single
+// monitor.
+type LinkedList struct {
+	mu    *vsync.Mutex
+	items *vsync.Cell[[]int]
+}
+
+// NewLinkedList constructs an empty list.
+func NewLinkedList(t *sched.Thread) *LinkedList {
+	return &LinkedList{
+		mu:    vsync.NewMutex(t, "LinkedList.lock"),
+		items: vsync.NewCell(t, "LinkedList.items", []int(nil)),
+	}
+}
+
+// AddFirst prepends v.
+func (l *LinkedList) AddFirst(t *sched.Thread, v int) {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	l.items.Store(t, append([]int{v}, l.items.Load(t)...))
+}
+
+// AddLast appends v.
+func (l *LinkedList) AddLast(t *sched.Thread, v int) {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	l.items.Store(t, append(append([]int(nil), l.items.Load(t)...), v))
+}
+
+// RemoveFirst removes and returns the head; ok is false if the list is
+// empty.
+func (l *LinkedList) RemoveFirst(t *sched.Thread) (v int, ok bool) {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	items := l.items.Load(t)
+	if len(items) == 0 {
+		return 0, false
+	}
+	l.items.Store(t, append([]int(nil), items[1:]...))
+	return items[0], true
+}
+
+// RemoveLast removes and returns the tail; ok is false if the list is
+// empty.
+func (l *LinkedList) RemoveLast(t *sched.Thread) (v int, ok bool) {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	items := l.items.Load(t)
+	if len(items) == 0 {
+		return 0, false
+	}
+	l.items.Store(t, append([]int(nil), items[:len(items)-1]...))
+	return items[len(items)-1], true
+}
+
+// Count returns the number of elements.
+func (l *LinkedList) Count(t *sched.Thread) int {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	return len(l.items.Load(t))
+}
+
+// ToArray returns a snapshot of the elements, head first.
+func (l *LinkedList) ToArray(t *sched.Thread) []int {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	return append([]int(nil), l.items.Load(t)...)
+}
+
+// Contains reports whether v is present.
+func (l *LinkedList) Contains(t *sched.Thread, v int) bool {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	for _, x := range l.items.Load(t) {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove deletes the first occurrence of v, reporting whether it was found.
+func (l *LinkedList) Remove(t *sched.Thread, v int) bool {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	items := l.items.Load(t)
+	for i, x := range items {
+		if x == v {
+			ni := append(append([]int(nil), items[:i]...), items[i+1:]...)
+			l.items.Store(t, ni)
+			return true
+		}
+	}
+	return false
+}

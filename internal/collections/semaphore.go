@@ -1,0 +1,71 @@
+package collections
+
+import (
+	"lineup/internal/sched"
+	"lineup/internal/vsync"
+)
+
+// SemaphoreSlim is the corrected semaphore: Wait blocks while the count is
+// zero, Release adds permits. WaitZero is the non-blocking Wait(0) overload.
+//
+// WaitZero and CurrentCount read the count with an unsynchronized fast path
+// before (or instead of) taking the lock — the "timing optimization
+// (similar to double-checked locking) that does not affect correctness, but
+// breaks serializability" of Section 5.6, and one of the benign data races
+// the paper's race-detection comparison found.
+type SemaphoreSlim struct {
+	mu    *vsync.Mutex
+	cond  *vsync.Cond
+	count *vsync.Cell[int]
+}
+
+// NewSemaphoreSlim constructs a semaphore with the given initial count.
+func NewSemaphoreSlim(t *sched.Thread, initial int) *SemaphoreSlim {
+	mu := vsync.NewMutex(t, "SemaphoreSlim.lock")
+	return &SemaphoreSlim{
+		mu:    mu,
+		cond:  vsync.NewCond(mu),
+		count: vsync.NewCell(t, "SemaphoreSlim.count", initial),
+	}
+}
+
+// Wait acquires one permit, blocking while none is available.
+func (s *SemaphoreSlim) Wait(t *sched.Thread) {
+	s.mu.Lock(t)
+	for s.count.Load(t) == 0 {
+		s.cond.Wait(t)
+	}
+	s.count.Store(t, s.count.Load(t)-1)
+	s.mu.Unlock(t)
+}
+
+// WaitZero is Wait(0): it acquires a permit only if one is immediately
+// available. The unsynchronized fast-path read is a benign data race.
+func (s *SemaphoreSlim) WaitZero(t *sched.Thread) bool {
+	if s.count.Load(t) == 0 { // benign race: double-checked fast path
+		return false
+	}
+	s.mu.Lock(t)
+	defer s.mu.Unlock(t)
+	if s.count.Load(t) == 0 {
+		return false
+	}
+	s.count.Store(t, s.count.Load(t)-1)
+	return true
+}
+
+// Release returns n permits and wakes waiters.
+func (s *SemaphoreSlim) Release(t *sched.Thread, n int) int {
+	s.mu.Lock(t)
+	prev := s.count.Load(t)
+	s.count.Store(t, prev+n)
+	s.cond.Broadcast(t)
+	s.mu.Unlock(t)
+	return prev
+}
+
+// CurrentCount returns the number of available permits (benign racy read,
+// like the .NET property).
+func (s *SemaphoreSlim) CurrentCount(t *sched.Thread) int {
+	return s.count.Load(t)
+}

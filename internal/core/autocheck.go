@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// AutoOptions configures AutoCheck. Because AutoCheck does not terminate on
+// correct implementations (footnote 3 of the paper), callers bound it.
+type AutoOptions struct {
+	Options
+	// MaxN bounds the matrix dimension n (Fig. 6 increments n forever).
+	MaxN int
+	// MaxTests bounds the total number of tests checked across all n.
+	MaxTests int
+}
+
+// AutoResult is the outcome of a bounded AutoCheck run.
+type AutoResult struct {
+	// Failed is the first failing check, nil if every test passed.
+	Failed *Result
+	// Tests is the number of tests checked.
+	Tests int
+	// Exhausted reports whether the bounds were hit without finding a
+	// violation (so the implementation may still be incorrect).
+	Exhausted bool
+}
+
+// AutoCheck implements the algorithm AutoCheck(X) of Fig. 6, bounded by
+// opts.MaxN and opts.MaxTests: for n = 1, 2, ... it checks every n×n test
+// whose entries are drawn from the first n representative invocations of
+// the subject, returning at the first failure.
+func AutoCheck(sub *Subject, opts AutoOptions) (*AutoResult, error) {
+	res := &AutoResult{}
+	maxN := opts.MaxN
+	if maxN <= 0 {
+		maxN = 2
+	}
+	maxTests := opts.MaxTests
+	if maxTests <= 0 {
+		maxTests = 10000
+	}
+	for n := 1; n <= maxN; n++ {
+		universe := sub.Ops
+		if n < len(universe) {
+			universe = universe[:n]
+		}
+		stop, err := enumerateMatrices(universe, n, n, func(m *Test) (bool, error) {
+			if res.Tests >= maxTests {
+				res.Exhausted = true
+				return false, nil
+			}
+			res.Tests++
+			r, err := Check(sub, m, opts.Options)
+			if err != nil {
+				return false, err
+			}
+			if r.Verdict == Fail {
+				res.Failed = r
+				return false, nil
+			}
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if stop {
+			return res, nil
+		}
+	}
+	res.Exhausted = res.Failed == nil
+	return res, nil
+}
+
+// enumerateMatrices calls visit for every rows×cols matrix with entries in
+// universe, in lexicographic order. visit returns (continue, error); the
+// function reports whether enumeration was stopped early.
+func enumerateMatrices(universe []Op, rows, cols int, visit func(*Test) (bool, error)) (stopped bool, err error) {
+	cells := rows * cols
+	idx := make([]int, cells)
+	for {
+		m := &Test{}
+		for r := 0; r < rows; r++ {
+			row := make([]Op, cols)
+			for c := 0; c < cols; c++ {
+				row[c] = universe[idx[r*cols+c]]
+			}
+			m.Rows = append(m.Rows, row)
+		}
+		cont, verr := visit(m)
+		if verr != nil {
+			return true, verr
+		}
+		if !cont {
+			return true, nil
+		}
+		// Advance the odometer.
+		i := cells - 1
+		for i >= 0 {
+			idx[i]++
+			if idx[i] < len(universe) {
+				break
+			}
+			idx[i] = 0
+			i--
+		}
+		if i < 0 {
+			return false, nil
+		}
+	}
+}
+
+// RandomOptions configures RandomCheck.
+type RandomOptions struct {
+	Options
+	// Rows and Cols give the test matrix dimension (the paper's evaluation
+	// uses 3×3).
+	Rows, Cols int
+	// Samples is the number of random tests (the paper uses 100).
+	Samples int
+	// Seed makes the sample reproducible.
+	Seed int64
+	// Workers runs checks on this many OS-level workers (the
+	// "embarrassingly parallel" distribution of Section 4.3). 0 or 1 is
+	// sequential.
+	Workers int
+	// StopAtFirstFailure ends the run at the first failing test.
+	StopAtFirstFailure bool
+	// Init and Final are fixed initial/final invocation sequences attached
+	// to every sampled test (Section 4.3).
+	Init, Final []Op
+}
+
+// RandomSummary aggregates a RandomCheck run; its fields correspond to the
+// phase-1/phase-2 columns of Table 2.
+type RandomSummary struct {
+	Subject *Subject
+	Passed  int
+	Failed  int
+	// FirstFailure is the first failing result in sample order (nil if all
+	// passed).
+	FirstFailure *Result
+	// Results holds the per-test results in sample order (may contain nils
+	// after an early stop).
+	Results []*Result
+
+	// Aggregated phase statistics.
+	SerialHistAvg  float64
+	SerialHistMax  int
+	Phase1TimeAvg  time.Duration
+	Phase1TimeMax  time.Duration
+	Phase2PassAvg  time.Duration // avg phase-2 time of passing tests
+	Phase2FailAvg  time.Duration // avg phase-2 time of failing tests
+	StuckTests     int           // tests that exhibited at least one stuck history
+	TotalDuration  time.Duration
+	PreemptionUsed int
+}
+
+// RandomCheck implements RandomCheck(X, I, i, j, n) of Fig. 8: it draws a
+// uniform random sample of tests from the i×j matrices over the invocation
+// universe and checks each. Like Check it is complete (any FAIL is a true
+// violation) but not sound (bugs may be missed).
+func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummary, error) {
+	if len(universe) == 0 {
+		universe = sub.Ops
+	}
+	rows, cols := opts.Rows, opts.Cols
+	if rows <= 0 {
+		rows = 3
+	}
+	if cols <= 0 {
+		cols = 3
+	}
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = 100
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	tests := make([]*Test, samples)
+	for k := 0; k < samples; k++ {
+		m := &Test{Init: opts.Init, Final: opts.Final}
+		for r := 0; r < rows; r++ {
+			row := make([]Op, cols)
+			for c := 0; c < cols; c++ {
+				row[c] = universe[rng.Intn(len(universe))]
+			}
+			m.Rows = append(m.Rows, row)
+		}
+		tests[k] = m
+	}
+
+	sum := &RandomSummary{Subject: sub, Results: make([]*Result, samples), PreemptionUsed: opts.bound()}
+	start := time.Now()
+	var firstErr error
+	if opts.Workers > 1 {
+		var (
+			mu   sync.Mutex
+			wg   sync.WaitGroup
+			next int
+			stop bool
+		)
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					if stop || next >= samples || firstErr != nil {
+						mu.Unlock()
+						return
+					}
+					k := next
+					next++
+					mu.Unlock()
+					r, err := Check(sub, tests[k], opts.Options)
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					if r != nil {
+						sum.Results[k] = r
+						if r.Verdict == Fail && opts.StopAtFirstFailure {
+							stop = true
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for k := 0; k < samples; k++ {
+			r, err := Check(sub, tests[k], opts.Options)
+			if err != nil {
+				firstErr = err
+				break
+			}
+			sum.Results[k] = r
+			if r.Verdict == Fail && opts.StopAtFirstFailure {
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("lineup: RandomCheck on %s: %w", sub.Name, firstErr)
+	}
+	sum.TotalDuration = time.Since(start)
+	aggregate(sum)
+	return sum, nil
+}
+
+func aggregate(sum *RandomSummary) {
+	var (
+		serialTotal, checked            int
+		p1Total, p2PassTotal, p2FailTot time.Duration
+		passN, failN                    int
+	)
+	for _, r := range sum.Results {
+		if r == nil {
+			continue
+		}
+		checked++
+		nHist := r.Phase1.Histories + r.Phase1.Stuck
+		serialTotal += nHist
+		if nHist > sum.SerialHistMax {
+			sum.SerialHistMax = nHist
+		}
+		p1Total += r.Phase1.Duration
+		if r.Phase1.Duration > sum.Phase1TimeMax {
+			sum.Phase1TimeMax = r.Phase1.Duration
+		}
+		if r.Phase1.Stuck > 0 || r.Phase2.Stuck > 0 {
+			sum.StuckTests++
+		}
+		if r.Verdict == Fail {
+			sum.Failed++
+			failN++
+			p2FailTot += r.Phase2.Duration
+			if sum.FirstFailure == nil {
+				sum.FirstFailure = r
+			}
+		} else {
+			sum.Passed++
+			passN++
+			p2PassTotal += r.Phase2.Duration
+		}
+	}
+	if checked > 0 {
+		sum.SerialHistAvg = float64(serialTotal) / float64(checked)
+		sum.Phase1TimeAvg = p1Total / time.Duration(checked)
+	}
+	if passN > 0 {
+		sum.Phase2PassAvg = p2PassTotal / time.Duration(passN)
+	}
+	if failN > 0 {
+		sum.Phase2FailAvg = p2FailTot / time.Duration(failN)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lineup/internal/history"
+	"lineup/internal/sched"
+)
+
+// Preemption-bound sentinels for Options.PreemptionBound.
+const (
+	// DefaultBound is the CHESS default the paper uses ("2, except where it
+	// performed unacceptably slow").
+	DefaultBound = 2
+	// Unbounded disables preemption bounding in phase 2.
+	Unbounded = sched.Unbounded
+	// NoPreemptions allows zero preemptions (only voluntary switches at
+	// blocking and termination points).
+	NoPreemptions = -2
+)
+
+// Options configures Check.
+type Options struct {
+	// PreemptionBound bounds preemptive context switches in phase 2. The
+	// zero value selects DefaultBound; use NoPreemptions for an explicit
+	// bound of zero and Unbounded for no bounding.
+	PreemptionBound int
+	// Granularity selects the preemption granularity of phase 2.
+	Granularity sched.Granularity
+	// MaxExecutionsPerPhase is a safety net against schedule-space blowups
+	// (0 = default 2,000,000).
+	MaxExecutionsPerPhase int
+	// KeepSpec retains the synthesized specification in the result (needed
+	// for writing observation files; costs memory).
+	KeepSpec bool
+	// ExhaustPhase2 keeps exploring after the first violation so that
+	// statistics cover the whole schedule space. The first violation is
+	// still the one reported.
+	ExhaustPhase2 bool
+	// RelaxedOps lists operations (by display name, e.g. "Count()") whose
+	// results are treated as nondeterministic: they are wildcarded before
+	// specification synthesis and witness checking (see Options.Relax).
+	RelaxedOps []string
+	// SampleSchedules, when positive, replaces exhaustive phase-2
+	// exploration with this many randomly sampled schedules (see
+	// SampleStrategy). Sampling gives up the coverage of exhaustive
+	// preemption-bounded search but scales to long tests; any violation it
+	// finds is still a proof of non-linearizability (completeness is
+	// per-violation, not per-search).
+	SampleSchedules int
+	// SampleStrategy selects the sampling scheduler (random walk or PCT).
+	SampleStrategy sched.Strategy
+	// SampleSeed makes schedule sampling reproducible.
+	SampleSeed int64
+	// PCTDepth is the PCT bug-depth parameter (0 = default).
+	PCTDepth int
+}
+
+func (o Options) bound() int {
+	switch o.PreemptionBound {
+	case 0:
+		return DefaultBound
+	case NoPreemptions:
+		return 0
+	default:
+		return o.PreemptionBound
+	}
+}
+
+func (o Options) maxExecs() int {
+	if o.MaxExecutionsPerPhase == 0 {
+		return 2000000
+	}
+	return o.MaxExecutionsPerPhase
+}
+
+// Verdict is the outcome of a check.
+type Verdict int
+
+const (
+	// Pass means no violation of deterministic linearizability was found for
+	// this test (Check returned PASS).
+	Pass Verdict = iota
+	// Fail means the implementation is not linearizable with respect to any
+	// deterministic sequential specification (Theorem 5).
+	Fail
+)
+
+func (v Verdict) String() string {
+	if v == Pass {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// ViolationKind classifies how the check failed.
+type ViolationKind int
+
+const (
+	// Nondeterminism: phase 1 observed two serial histories whose longest
+	// common prefix ends in a call (line 4 of Fig. 5).
+	Nondeterminism ViolationKind = iota
+	// NoWitness: phase 2 observed a complete concurrent history with no
+	// serial witness in the synthesized specification (line 8 of Fig. 5).
+	NoWitness
+	// StuckNoWitness: phase 2 observed a stuck history one of whose pending
+	// operations has no stuck serial witness (line 13 of Fig. 5).
+	StuckNoWitness
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case Nondeterminism:
+		return "nondeterministic serial behavior"
+	case NoWitness:
+		return "concurrent history with no serial witness"
+	case StuckNoWitness:
+		return "stuck history with no stuck serial witness"
+	default:
+		return "unknown violation"
+	}
+}
+
+// Violation describes a failed check; any violation is a proof that the
+// implementation is not deterministically linearizable.
+type Violation struct {
+	Kind    ViolationKind
+	Test    *Test
+	Nondet  *history.NondetWitness // Nondeterminism only
+	History *history.History       // NoWitness and StuckNoWitness
+	Pending *history.Op            // StuckNoWitness: the unjustified pending operation
+}
+
+// String renders a report in the spirit of Fig. 7 (bottom).
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Line-Up encountered a violation: %s\n", v.Kind)
+	fmt.Fprintf(&b, "test:\n%s", v.Test.String())
+	switch v.Kind {
+	case Nondeterminism:
+		fmt.Fprintf(&b, "%s\n", v.Nondet)
+	default:
+		fmt.Fprintf(&b, "history:\n%s", v.History.String())
+		if v.Pending != nil {
+			fmt.Fprintf(&b, "pending operation with no stuck serial witness: %s\n", v.Pending)
+		}
+	}
+	return b.String()
+}
+
+// PhaseStats are per-phase measurements matching the columns of Table 2.
+type PhaseStats struct {
+	Executions int           // schedules explored
+	Decisions  int           // scheduling decisions taken
+	Histories  int           // distinct full histories observed
+	Stuck      int           // distinct stuck histories observed
+	Duration   time.Duration // wall-clock time of the phase
+}
+
+// Result is the outcome of Check on one test.
+type Result struct {
+	Subject *Subject
+	Test    *Test
+	Verdict Verdict
+	// Violation is non-nil iff Verdict == Fail.
+	Violation *Violation
+	Phase1    PhaseStats
+	Phase2    PhaseStats
+	// Spec is the specification synthesized in phase 1 (nil unless
+	// Options.KeepSpec).
+	Spec *history.Spec
+}
+
+// Check implements the two-phase function Check(X, m) of Fig. 5. Phase 1
+// enumerates all serial executions of the test (without preemption
+// bounding) and synthesizes the candidate deterministic specification;
+// phase 2 enumerates concurrent executions under the preemption bound and
+// checks every complete history for a serial witness and every stuck
+// history for stuck serial witnesses. A FAIL result proves that the subject
+// is not linearizable with respect to any deterministic sequential
+// specification (Theorem 5); PASS is sound only with respect to this test
+// and the explored schedules (Theorem 6 and the bounding caveat of
+// Section 4.3).
+func Check(sub *Subject, m *Test, opts Options) (*Result, error) {
+	spec, p1, err := SynthesizeSpec(sub, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := phase2(sub, m, spec, opts, modeGeneralized)
+	if err != nil {
+		return nil, err
+	}
+	res.Phase1 = p1
+	return res, nil
+}

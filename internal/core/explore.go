@@ -1,0 +1,33 @@
+package core
+
+import "lineup/internal/sched"
+
+// ForEachExecution explores the concurrent schedules of a test and hands
+// every execution outcome (with its shared-memory trace, if requested) to
+// visit. It is the hook used by the race-detection and atomicity-checking
+// comparisons of Section 5.6, which analyze the same executions Line-Up's
+// phase 2 explores.
+func ForEachExecution(sub *Subject, m *Test, opts Options, recordTrace bool, visit func(*sched.Outcome) bool) (sched.ExploreStats, error) {
+	var holder any
+	return sched.Explore(sched.ExploreConfig{
+		Config: sched.Config{
+			Granularity: opts.Granularity,
+			RecordTrace: recordTrace,
+		},
+		PreemptionBound: opts.bound(),
+		MaxExecutions:   opts.maxExecs(),
+	}, program(sub, m, &holder), visit)
+}
+
+// ForEachSerialExecution is the serial-mode sibling of ForEachExecution.
+func ForEachSerialExecution(sub *Subject, m *Test, opts Options, recordTrace bool, visit func(*sched.Outcome) bool) (sched.ExploreStats, error) {
+	var holder any
+	return sched.Explore(sched.ExploreConfig{
+		Config: sched.Config{
+			Serial:      true,
+			RecordTrace: recordTrace,
+		},
+		PreemptionBound: sched.Unbounded,
+		MaxExecutions:   opts.maxExecs(),
+	}, program(sub, m, &holder), visit)
+}

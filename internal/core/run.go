@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"lineup/internal/history"
+	"lineup/internal/sched"
+)
+
+// FinalThread is the history thread index used for the teardown
+// pseudo-thread that executes a test's final invocation sequence; it is
+// always len(Rows).
+func (m *Test) FinalThread() int { return len(m.Rows) }
+
+// program builds the sched.Program for one test of one subject. The object
+// holder is shared across executions of the same exploration; the setup
+// thread overwrites it with a fresh object each time.
+func program(sub *Subject, m *Test, holder *any) sched.Program {
+	prog := sched.Program{
+		Setup: func(t *sched.Thread) {
+			*holder = sub.New(t)
+			for _, op := range m.Init {
+				op.Run(t, *holder)
+			}
+		},
+	}
+	for _, row := range m.Rows {
+		row := row
+		prog.Threads = append(prog.Threads, func(t *sched.Thread) {
+			for _, op := range row {
+				name := op.Name()
+				t.OpStart(name)
+				res := op.Run(t, *holder)
+				t.OpEnd(name, res)
+			}
+		})
+	}
+	if len(m.Final) > 0 {
+		prog.Teardown = func(t *sched.Thread) {
+			for _, op := range m.Final {
+				name := op.Name()
+				t.OpStart(name)
+				res := op.Run(t, *holder)
+				t.OpEnd(name, res)
+			}
+		}
+	}
+	return prog
+}
+
+// toHistory converts an execution outcome into a history. Scheduler thread
+// IDs are shifted down by one because the setup pseudo-thread always takes
+// ID 0 and records no events; test thread i therefore appears as history
+// thread i, and the teardown thread as FinalThread().
+func toHistory(out *sched.Outcome) (*history.History, error) {
+	h := &history.History{Stuck: out.Stuck}
+	for _, e := range out.Events {
+		if e.Thread == 0 {
+			return nil, fmt.Errorf("core: unexpected history event from setup thread")
+		}
+		kind := history.Call
+		if e.Kind == sched.EvReturn {
+			kind = history.Return
+		}
+		h.Events = append(h.Events, history.Event{
+			Thread: int(e.Thread) - 1,
+			Kind:   kind,
+			Op:     e.Op,
+			Result: e.Result,
+			Index:  e.OpIndex,
+		})
+	}
+	if out.Stuck && len(h.Pending()) == 0 {
+		return nil, fmt.Errorf("core: execution stuck outside any operation (constructor or init sequence blocked)")
+	}
+	return h, nil
+}
+
+// historyKey canonicalizes a history's event sequence for deduplication:
+// phase 2 explores many schedules that produce identical call/return
+// interleavings, which need to be checked only once.
+func historyKey(h *history.History) string {
+	buf := make([]byte, 0, len(h.Events)*12)
+	for _, e := range h.Events {
+		buf = append(buf, byte('0'+e.Thread))
+		if e.Kind == history.Call {
+			buf = append(buf, '[')
+		} else {
+			buf = append(buf, ']')
+		}
+		buf = append(buf, e.Op...)
+		buf = append(buf, '=')
+		buf = append(buf, e.Result...)
+		buf = append(buf, ';')
+	}
+	if h.Stuck {
+		buf = append(buf, '#')
+	}
+	return string(buf)
+}

@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"testing"
+
+	"lineup/internal/core"
+	"lineup/internal/sched"
+)
+
+// TestSampledPhase2FindsBugs: random-walk and PCT schedule sampling find
+// the Counter1 lost update without exhaustive exploration.
+func TestSampledPhase2FindsBugs(t *testing.T) {
+	sub := counter1Subject()
+	inc := sub.Ops[0]
+	get := sub.Ops[1]
+	m := &core.Test{Rows: [][]core.Op{{inc, get}, {inc}}}
+	for _, strat := range []struct {
+		name string
+		s    sched.Strategy
+	}{{"walk", sched.StrategyWalk}, {"pct", sched.StrategyPCT}} {
+		strat := strat
+		t.Run(strat.name, func(t *testing.T) {
+			res, err := core.Check(sub, m, core.Options{
+				SampleSchedules: 300,
+				SampleStrategy:  strat.s,
+				SampleSeed:      1,
+			})
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if res.Verdict != core.Fail {
+				t.Fatalf("%s sampling missed the Counter1 bug in 300 schedules", strat.name)
+			}
+			if res.Phase2.Executions > 300 {
+				t.Fatalf("sampling ran %d > 300 schedules", res.Phase2.Executions)
+			}
+		})
+	}
+}
+
+// TestSampledPhase2NoFalseAlarms: sampling never flags the correct counter
+// (violations remain proofs regardless of the search strategy).
+func TestSampledPhase2NoFalseAlarms(t *testing.T) {
+	sub := counterSubject()
+	inc, get, _ := counterOps()
+	m := &core.Test{Rows: [][]core.Op{{inc, get}, {inc, get}}}
+	for _, strat := range []sched.Strategy{sched.StrategyWalk, sched.StrategyPCT} {
+		res, err := core.Check(sub, m, core.Options{
+			SampleSchedules: 500,
+			SampleStrategy:  strat,
+			SampleSeed:      2,
+		})
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		if res.Verdict != core.Pass {
+			t.Fatalf("sampling produced a false alarm: %v", res.Violation)
+		}
+	}
+}
+
+// TestSampledPhase2Reproducible: the same seed yields the same statistics.
+func TestSampledPhase2Reproducible(t *testing.T) {
+	sub := counter1Subject()
+	inc := sub.Ops[0]
+	get := sub.Ops[1]
+	m := &core.Test{Rows: [][]core.Op{{inc, get}, {inc}}}
+	opts := core.Options{SampleSchedules: 100, SampleStrategy: sched.StrategyPCT, SampleSeed: 7}
+	r1, err := core.Check(sub, m, opts)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	r2, err := core.Check(sub, m, opts)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if r1.Verdict != r2.Verdict || r1.Phase2.Histories != r2.Phase2.Histories {
+		t.Fatalf("sampling not reproducible: %v/%d vs %v/%d",
+			r1.Verdict, r1.Phase2.Histories, r2.Verdict, r2.Phase2.Histories)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+// Shrink minimizes a failing test, automating the manual reduction of
+// Section 5.1 ("we manually remove operations from failing 3x3 test
+// matrices to obtain a failing test of minimal dimension"). It greedily
+// removes whole threads, then individual invocations, re-running Check
+// after every removal and keeping any smaller test that still fails. The
+// returned test is 1-minimal: removing any single invocation makes the
+// check pass.
+func Shrink(sub *Subject, m *Test, opts Options) (*Test, *Result, error) {
+	cur := m.Clone()
+	res, err := Check(sub, cur, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Verdict != Fail {
+		return cur, res, nil // nothing to shrink
+	}
+	for {
+		smaller, r, err := shrinkStep(sub, cur, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if smaller == nil {
+			return cur, res, nil
+		}
+		cur, res = smaller, r
+	}
+}
+
+// shrinkStep tries every single-removal candidate and returns the first one
+// that still fails, or nil if none does.
+func shrinkStep(sub *Subject, m *Test, opts Options) (*Test, *Result, error) {
+	// Whole-thread removal first: it shrinks fastest.
+	for i := range m.Rows {
+		cand := m.Clone()
+		cand.Rows = append(cand.Rows[:i], cand.Rows[i+1:]...)
+		if len(cand.Rows) == 0 {
+			continue
+		}
+		r, err := Check(sub, cand, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if r.Verdict == Fail {
+			return cand, r, nil
+		}
+	}
+	// Single-invocation removal, last invocations first (suffix removals
+	// preserve prefix semantics and tend to stay failing).
+	for i := range m.Rows {
+		for j := len(m.Rows[i]) - 1; j >= 0; j-- {
+			cand := m.Clone()
+			row := cand.Rows[i]
+			cand.Rows[i] = append(append([]Op(nil), row[:j]...), row[j+1:]...)
+			if len(cand.Rows[i]) == 0 {
+				cand.Rows = append(cand.Rows[:i], cand.Rows[i+1:]...)
+				if len(cand.Rows) == 0 {
+					continue
+				}
+			}
+			r, err := Check(sub, cand, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			if r.Verdict == Fail {
+				return cand, r, nil
+			}
+		}
+	}
+	// Final-sequence removal.
+	for j := range m.Final {
+		cand := m.Clone()
+		cand.Final = append(append([]Op(nil), m.Final[:j]...), m.Final[j+1:]...)
+		r, err := Check(sub, cand, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if r.Verdict == Fail {
+			return cand, r, nil
+		}
+	}
+	// Init-sequence removal.
+	for j := range m.Init {
+		cand := m.Clone()
+		cand.Init = append(append([]Op(nil), m.Init[:j]...), m.Init[j+1:]...)
+		r, err := Check(sub, cand, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if r.Verdict == Fail {
+			return cand, r, nil
+		}
+	}
+	return nil, nil, nil
+}

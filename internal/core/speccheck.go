@@ -1,0 +1,177 @@
+package core
+
+import (
+	"time"
+
+	"lineup/internal/history"
+	"lineup/internal/sched"
+)
+
+// SynthesizeSpec runs phase 1 alone: it enumerates the serial executions of
+// the test and returns the synthesized specification, together with the
+// phase statistics. The specification can be persisted with
+// obsfile.Write and later reloaded for regression checking (the
+// observation-file workflow of Section 4.2).
+func SynthesizeSpec(sub *Subject, m *Test, opts Options) (*history.Spec, PhaseStats, error) {
+	spec := history.NewSpec()
+	var holder any
+	var err error
+	start := time.Now()
+	seen := make(map[string]bool)
+	relaxed := opts.relaxedSet()
+	stats, exploreErr := sched.Explore(sched.ExploreConfig{
+		Config:          sched.Config{Serial: true},
+		PreemptionBound: sched.Unbounded,
+		MaxExecutions:   opts.maxExecs(),
+	}, program(sub, m, &holder), func(out *sched.Outcome) bool {
+		h, herr := toHistory(out)
+		if herr != nil {
+			err = herr
+			return false
+		}
+		normalizeRelaxed(h, relaxed)
+		key := historyKey(h)
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		spec.Add(history.ToSerial(h))
+		return true
+	})
+	ps := PhaseStats{
+		Executions: stats.Executions,
+		Decisions:  stats.Decisions,
+		Histories:  spec.NumFull(),
+		Stuck:      spec.NumStuck(),
+		Duration:   time.Since(start),
+	}
+	if err != nil {
+		return nil, ps, err
+	}
+	if exploreErr != nil {
+		return nil, ps, exploreErr
+	}
+	return spec, ps, nil
+}
+
+// witnessMode selects the linearizability definition used by phase 2.
+type witnessMode int
+
+const (
+	// modeGeneralized is the paper's Definition 3: stuck histories need
+	// stuck serial witnesses.
+	modeGeneralized witnessMode = iota
+	// modeClassic is the original Definition 1: pending operations may be
+	// completed or dropped, blocking is invisible.
+	modeClassic
+)
+
+// phase2 enumerates the concurrent executions of sub on m and checks every
+// distinct history against spec under the selected witness mode. It is the
+// shared engine behind Check, CheckAgainstModel, and CheckAgainstSpec.
+func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnessMode) (*Result, error) {
+	res := &Result{Subject: sub, Test: m, Verdict: Pass}
+	if opts.KeepSpec {
+		res.Spec = spec
+	}
+	if w, bad := spec.Nondeterministic(); bad {
+		res.Verdict = Fail
+		res.Violation = &Violation{Kind: Nondeterminism, Test: m, Nondet: w}
+		return res, nil
+	}
+	var holder any
+	var err error
+	start := time.Now()
+	seen := make(map[string]bool)
+	relaxed := opts.relaxedSet()
+	full, stuckN := 0, 0
+	var violation *Violation
+	visit := func(out *sched.Outcome) bool {
+		h, herr := toHistory(out)
+		if herr != nil {
+			err = herr
+			return false
+		}
+		normalizeRelaxed(h, relaxed)
+		key := historyKey(h)
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		if !h.Stuck {
+			full++
+			if _, ok := spec.WitnessFull(h); !ok {
+				if violation == nil {
+					violation = &Violation{Kind: NoWitness, Test: m, History: h}
+				}
+				return opts.ExhaustPhase2
+			}
+			return true
+		}
+		stuckN++
+		if mode == modeClassic {
+			if _, ok := spec.WitnessClassic(h); !ok {
+				if violation == nil {
+					violation = &Violation{Kind: NoWitness, Test: m, History: h}
+				}
+				return opts.ExhaustPhase2
+			}
+			return true
+		}
+		for _, e := range h.Pending() {
+			e := e
+			if _, ok := spec.WitnessStuck(h, e); !ok {
+				if violation == nil {
+					violation = &Violation{Kind: StuckNoWitness, Test: m, History: h, Pending: &e}
+				}
+				return opts.ExhaustPhase2
+			}
+		}
+		return true
+	}
+	var stats sched.ExploreStats
+	var exploreErr error
+	if opts.SampleSchedules > 0 {
+		stats, exploreErr = sched.ExploreRandom(sched.RandomConfig{
+			Config:   sched.Config{Granularity: opts.Granularity},
+			Runs:     opts.SampleSchedules,
+			Seed:     opts.SampleSeed,
+			Strategy: opts.SampleStrategy,
+			Depth:    opts.PCTDepth,
+		}, program(sub, m, &holder), visit)
+	} else {
+		stats, exploreErr = sched.Explore(sched.ExploreConfig{
+			Config:          sched.Config{Granularity: opts.Granularity},
+			PreemptionBound: opts.bound(),
+			MaxExecutions:   opts.maxExecs(),
+		}, program(sub, m, &holder), visit)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if exploreErr != nil {
+		return nil, exploreErr
+	}
+	res.Phase2 = PhaseStats{
+		Executions: stats.Executions,
+		Decisions:  stats.Decisions,
+		Histories:  full,
+		Stuck:      stuckN,
+		Duration:   time.Since(start),
+	}
+	if violation != nil {
+		res.Verdict = Fail
+		res.Violation = violation
+	}
+	return res, nil
+}
+
+// CheckAgainstSpec runs phase 2 against a previously synthesized (or
+// loaded) specification instead of re-running phase 1. This supports the
+// regression-testing workflow of Section 4.2: record an observation file
+// once, then re-verify the implementation's concurrent behaviors against it
+// after every change. The determinism of the supplied spec is re-validated
+// first.
+func CheckAgainstSpec(sub *Subject, m *Test, spec *history.Spec, opts Options) (*Result, error) {
+	return phase2(sub, m, spec, opts, modeGeneralized)
+}

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lineup/internal/core"
+	"lineup/internal/history"
+	"lineup/internal/obsfile"
+)
+
+// TestSpecRoundtripRegression exercises the full regression workflow of
+// Section 4.2: synthesize a spec from the correct counter, write it to an
+// observation file, parse it back, and verify (a) the correct counter
+// passes phase 2 against the reloaded spec and (b) the buggy Counter1 fails
+// against the same recorded spec.
+func TestSpecRoundtripRegression(t *testing.T) {
+	good := counterSubject()
+	inc, get, _ := counterOps()
+	m := &core.Test{Rows: [][]core.Op{{inc, get}, {inc}}}
+
+	spec, stats, err := core.SynthesizeSpec(good, m, core.Options{})
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	if stats.Histories == 0 {
+		t.Fatalf("no serial histories")
+	}
+
+	var buf bytes.Buffer
+	if err := obsfile.Write(&buf, spec); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	parsed, err := obsfile.Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	reloaded := parsed.ToSpec()
+
+	res, err := core.CheckAgainstSpec(good, m, reloaded, core.Options{})
+	if err != nil {
+		t.Fatalf("check good: %v", err)
+	}
+	if res.Verdict != core.Pass {
+		t.Fatalf("correct counter fails against its own recorded spec: %v", res.Violation)
+	}
+
+	// Counter1 shares the same invocation vocabulary, so the recorded spec
+	// serves as its reference too — and catches the lost update.
+	bad := counter1Subject()
+	// Rebuild the test with Counter1's ops (same names and results).
+	m2 := &core.Test{Rows: [][]core.Op{{bad.Ops[0], bad.Ops[1]}, {bad.Ops[0]}}}
+	res, err = core.CheckAgainstSpec(bad, m2, reloaded, core.Options{})
+	if err != nil {
+		t.Fatalf("check bad: %v", err)
+	}
+	if res.Verdict != core.Fail {
+		t.Fatalf("Counter1 passes against the recorded counter spec")
+	}
+}
+
+// TestCheckAgainstSpecRejectsNondeterministicSpec: a loaded spec that is
+// itself nondeterministic fails immediately.
+func TestCheckAgainstSpecRejectsNondeterministicSpec(t *testing.T) {
+	good := counterSubject()
+	inc, get, _ := counterOps()
+	m := &core.Test{Rows: [][]core.Op{{inc}, {get}}}
+	spec, _, err := core.SynthesizeSpec(good, m, core.Options{})
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	// Poison the spec with a conflicting continuation: a serial history in
+	// which the same initial Get() returns 7 instead of 0.
+	spec.Add(mustSerial(t, 1, "Get()", "7"))
+	res, err := core.CheckAgainstSpec(good, m, spec, core.Options{})
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if res.Verdict != core.Fail || res.Violation.Kind != core.Nondeterminism {
+		t.Fatalf("nondeterministic spec accepted: %v", res)
+	}
+}
+
+// mustSerial builds a one-op serial history for spec-poisoning tests.
+func mustSerial(t *testing.T, thread int, name, result string) *history.SerialHistory {
+	t.Helper()
+	return &history.SerialHistory{Ops: []history.SerialOp{{Thread: thread, Name: name, Result: result}}}
+}

@@ -1,0 +1,298 @@
+package history_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lineup/internal/history"
+)
+
+// bruteForceWitness is an independent implementation of the serial-witness
+// check of Definition 1 (complete histories): it enumerates every
+// linearization of the history's operations that respects both program
+// order and the precedence order <H, and tests whether any of them appears
+// in the specification's set of full serial histories. It is exponentially
+// slower than Spec.WitnessFull but obviously correct, and serves as the
+// oracle for the cross-check property test.
+func bruteForceWitness(spec map[string]bool, h *history.History) bool {
+	ops := h.Ops()
+	n := len(ops)
+	used := make([]bool, n)
+	perm := make([]int, 0, n)
+	perThreadNext := make(map[int]int)
+	// Per-thread op order: ops are already in call order; for program order
+	// we need each thread's ops taken in sequence.
+	threadOps := make(map[int][]int)
+	for i, op := range ops {
+		threadOps[op.Thread] = append(threadOps[op.Thread], i)
+	}
+	var rec func() bool
+	rec = func() bool {
+		if len(perm) == n {
+			key := ""
+			for _, idx := range perm {
+				key += ops[idx].Name + "|" + ops[idx].Result + "|" + string(rune('0'+ops[idx].Thread)) + ";"
+			}
+			return spec[key]
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			op := ops[i]
+			// Program order: i must be the next unused op of its thread.
+			if threadOps[op.Thread][perThreadNext[op.Thread]] != i {
+				continue
+			}
+			// Precedence: every op that precedes i in <H must be placed.
+			ok := true
+			for j := 0; j < n; j++ {
+				if !used[j] && j != i && history.Precedes(ops[j], ops[i]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[i] = true
+			perm = append(perm, i)
+			perThreadNext[op.Thread]++
+			if rec() {
+				return true
+			}
+			perThreadNext[op.Thread]--
+			perm = perm[:len(perm)-1]
+			used[i] = false
+		}
+		return false
+	}
+	return rec()
+}
+
+func serialKeyOf(s *history.SerialHistory) string {
+	key := ""
+	for _, op := range s.Ops {
+		key += op.Name + "|" + op.Result + "|" + string(rune('0'+op.Thread)) + ";"
+	}
+	return key
+}
+
+// randomConcurrentHistory builds a random well-formed complete history over
+// up to 3 threads and 5 operations.
+func randomConcurrentHistory(rng *rand.Rand, methods, results []string) *history.History {
+	nThreads := 1 + rng.Intn(3)
+	type pending struct {
+		idx  int
+		name string
+	}
+	perThread := make([][]pending, nThreads)
+	total := 1 + rng.Intn(5)
+	idx := 0
+	for i := 0; i < total; i++ {
+		th := rng.Intn(nThreads)
+		perThread[th] = append(perThread[th], pending{idx, methods[rng.Intn(len(methods))]})
+		idx++
+	}
+	h := &history.History{}
+	cursor := make([]int, nThreads)   // next op per thread
+	inFlight := make([]int, nThreads) // -1 if none, else op idx
+	for i := range inFlight {
+		inFlight[i] = -1
+	}
+	remaining := total * 2
+	for remaining > 0 {
+		th := rng.Intn(nThreads)
+		if inFlight[th] >= 0 {
+			// Return the in-flight op.
+			p := perThread[th][cursor[th]-1]
+			h.Events = append(h.Events, history.Event{
+				Thread: th, Kind: history.Return, Op: p.name,
+				Result: results[rng.Intn(len(results))], Index: p.idx,
+			})
+			inFlight[th] = -1
+			remaining--
+			continue
+		}
+		if cursor[th] < len(perThread[th]) {
+			p := perThread[th][cursor[th]]
+			h.Events = append(h.Events, history.Event{
+				Thread: th, Kind: history.Call, Op: p.name, Index: p.idx,
+			})
+			inFlight[th] = p.idx
+			cursor[th]++
+			remaining--
+		}
+	}
+	// Fix up: returns got random results at return time; make call/return
+	// results consistent (calls carry none).
+	return h
+}
+
+// TestWitnessFullAgainstBruteForce cross-validates the production witness
+// checker (signature grouping + pairwise order verification) against the
+// brute-force linearization enumeration on random specs and histories.
+func TestWitnessFullAgainstBruteForce(t *testing.T) {
+	methods := []string{"a()", "b()", "c()"}
+	results := []string{"0", "1", "ok"}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := history.NewSpec()
+		bfSpec := make(map[string]bool)
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			var sh history.SerialHistory
+			for j := 0; j < rng.Intn(5); j++ {
+				sh.Ops = append(sh.Ops, history.SerialOp{
+					Thread: rng.Intn(3),
+					Name:   methods[rng.Intn(len(methods))],
+					Result: results[rng.Intn(len(results))],
+				})
+			}
+			spec.Add(&sh)
+			bfSpec[serialKeyOf(&sh)] = true
+		}
+		h := randomConcurrentHistory(rng, methods, results)
+		got, ok := spec.WitnessFull(h)
+		want := bruteForceWitness(bfSpec, h)
+		if ok != want {
+			t.Logf("history:\n%s", h)
+			t.Logf("witness=%v bruteforce=%v (found %v)", ok, want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceStuckWitness is the oracle for Definition 2: for the reduced
+// history H[e], enumerate every linearization of the completed operations
+// (respecting program order and <H) followed by the pending invocation, and
+// test membership in the stuck-spec set.
+func bruteForceStuckWitness(stuckSpec map[string]bool, h *history.History, e history.Op) bool {
+	var completed []history.Op
+	for _, op := range h.Ops() {
+		if op.Complete {
+			completed = append(completed, op)
+		}
+	}
+	n := len(completed)
+	used := make([]bool, n)
+	perm := make([]int, 0, n)
+	perThreadNext := make(map[int]int)
+	threadOps := make(map[int][]int)
+	for i, op := range completed {
+		threadOps[op.Thread] = append(threadOps[op.Thread], i)
+	}
+	var rec func() bool
+	rec = func() bool {
+		if len(perm) == n {
+			key := ""
+			for _, idx := range perm {
+				op := completed[idx]
+				key += op.Name + "|" + op.Result + "|" + string(rune('0'+op.Thread)) + ";"
+			}
+			key += "#" + e.Name + "|" + string(rune('0'+e.Thread))
+			return stuckSpec[key]
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			op := completed[i]
+			if threadOps[op.Thread][perThreadNext[op.Thread]] != i {
+				continue
+			}
+			ok := true
+			for j := 0; j < n; j++ {
+				if !used[j] && j != i && history.Precedes(completed[j], completed[i]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[i] = true
+			perm = append(perm, i)
+			perThreadNext[op.Thread]++
+			if rec() {
+				return true
+			}
+			perThreadNext[op.Thread]--
+			perm = perm[:len(perm)-1]
+			used[i] = false
+		}
+		return false
+	}
+	return rec()
+}
+
+func stuckKeyOf(s *history.SerialHistory) string {
+	key := ""
+	for _, op := range s.Ops {
+		key += op.Name + "|" + op.Result + "|" + string(rune('0'+op.Thread)) + ";"
+	}
+	if s.Pending != nil {
+		key += "#" + s.Pending.Name + "|" + string(rune('0'+s.Pending.Thread))
+	}
+	return key
+}
+
+// TestWitnessStuckAgainstBruteForce cross-validates the stuck-witness
+// checker on random specs and random stuck histories.
+func TestWitnessStuckAgainstBruteForce(t *testing.T) {
+	methods := []string{"a()", "b()", "c()"}
+	results := []string{"0", "1", "ok"}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := history.NewSpec()
+		bf := make(map[string]bool)
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			var sh history.SerialHistory
+			for j := 0; j < rng.Intn(4); j++ {
+				sh.Ops = append(sh.Ops, history.SerialOp{
+					Thread: rng.Intn(3),
+					Name:   methods[rng.Intn(len(methods))],
+					Result: results[rng.Intn(len(results))],
+				})
+			}
+			sh.Pending = &history.SerialPending{
+				Thread: rng.Intn(3),
+				Name:   methods[rng.Intn(len(methods))],
+			}
+			spec.Add(&sh)
+			bf[stuckKeyOf(&sh)] = true
+		}
+		// Random stuck history: a complete random history plus a pending
+		// call by a thread not already pending.
+		h := randomConcurrentHistory(rng, methods, results)
+		h.Stuck = true
+		pendThread := rng.Intn(3)
+		h.Events = append(h.Events, history.Event{
+			Thread: pendThread + 10, // fresh thread: keeps well-formedness trivially
+			Kind:   history.Call,
+			Op:     methods[rng.Intn(len(methods))],
+			Index:  1000,
+		})
+		var pending history.Op
+		for _, op := range h.Ops() {
+			if !op.Complete {
+				pending = op
+			}
+		}
+		_, got := spec.WitnessStuck(h, pending)
+		want := bruteForceStuckWitness(bf, h, pending)
+		if got != want {
+			t.Logf("history:\n%s", h)
+			t.Logf("witness=%v bruteforce=%v", got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

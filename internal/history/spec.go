@@ -1,0 +1,375 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SerialOp is one completed operation of a serial history.
+type SerialOp struct {
+	Thread int
+	Name   string
+	Result string
+}
+
+// SerialPending is the trailing pending invocation of a stuck serial history.
+type SerialPending struct {
+	Thread int
+	Name   string
+}
+
+// SerialHistory is a serial history in compact form: completed operations in
+// execution order, plus the pending invocation if the history is stuck (the
+// form H(o i t)# of Section 2.3).
+type SerialHistory struct {
+	Ops     []SerialOp
+	Pending *SerialPending
+}
+
+// Stuck reports whether the serial history is stuck.
+func (s *SerialHistory) Stuck() bool { return s.Pending != nil }
+
+// Key is a canonical encoding of the serial history, used for deduplication.
+func (s *SerialHistory) Key() string {
+	var b strings.Builder
+	for _, op := range s.Ops {
+		fmt.Fprintf(&b, "%d:%s=%s;", op.Thread, op.Name, op.Result)
+	}
+	if s.Pending != nil {
+		fmt.Fprintf(&b, "%d:%s=#", s.Pending.Thread, s.Pending.Name)
+	}
+	return b.String()
+}
+
+// String renders the serial history as a readable one-liner.
+func (s *SerialHistory) String() string {
+	parts := make([]string, 0, len(s.Ops)+1)
+	for _, op := range s.Ops {
+		parts = append(parts, fmt.Sprintf("T%d:%s=%s", op.Thread, op.Name, op.Result))
+	}
+	if s.Pending != nil {
+		parts = append(parts, fmt.Sprintf("T%d:%s #", s.Pending.Thread, s.Pending.Name))
+	}
+	return strings.Join(parts, " ")
+}
+
+// ToSerial converts a serial History into its compact form. It panics if the
+// history is not serial (a framework bug, since only phase-1 executions are
+// converted).
+func ToSerial(h *History) *SerialHistory {
+	if !h.Serial() {
+		panic("history: ToSerial on a non-serial history")
+	}
+	s := &SerialHistory{}
+	for _, op := range h.Ops() {
+		if op.Complete {
+			s.Ops = append(s.Ops, SerialOp{Thread: op.Thread, Name: op.Name, Result: op.Result})
+		} else {
+			s.Pending = &SerialPending{Thread: op.Thread, Name: op.Name}
+		}
+	}
+	if h.Stuck && s.Pending == nil {
+		// A stuck serial execution whose last running thread blocked before
+		// invoking any operation has no pending call; it contributes no
+		// stuck witness and is not expected here.
+		panic("history: stuck serial history without pending operation")
+	}
+	return s
+}
+
+// threadSignature computes the grouping key of Section 4.2: the sequence of
+// (operation, result) pairs per thread, with the pending operation (if any)
+// marked. Histories with equal signatures are candidates for witnessing each
+// other.
+func threadSignature(perThread map[int][]SerialOp, pending *SerialPending) string {
+	threads := make([]int, 0, len(perThread))
+	for t := range perThread {
+		threads = append(threads, t)
+	}
+	if pending != nil {
+		if _, ok := perThread[pending.Thread]; !ok {
+			threads = append(threads, pending.Thread)
+		}
+	}
+	sort.Ints(threads)
+	var b strings.Builder
+	for _, t := range threads {
+		fmt.Fprintf(&b, "T%d{", t)
+		for _, op := range perThread[t] {
+			fmt.Fprintf(&b, "%s=%s;", op.Name, op.Result)
+		}
+		if pending != nil && pending.Thread == t {
+			fmt.Fprintf(&b, "%s=#;", pending.Name)
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// fullSignature is the grouping key of a complete serial history.
+func (s *SerialHistory) fullSignature() string {
+	per := make(map[int][]SerialOp)
+	for _, op := range s.Ops {
+		per[op.Thread] = append(per[op.Thread], op)
+	}
+	return threadSignature(per, s.Pending)
+}
+
+// NondetWitness reports a violation of determinism (line 4 of Fig. 5): two
+// serial histories whose longest common prefix ends in a call, i.e. the same
+// serialized prefix and the same next invocation continued with different
+// responses (or one response and one block).
+type NondetWitness struct {
+	Prefix  []SerialOp
+	Thread  int
+	Call    string
+	Result1 string // first observed continuation ("#" = blocked)
+	Result2 string // conflicting continuation
+}
+
+// String renders the witness for reports.
+func (w *NondetWitness) String() string {
+	parts := make([]string, 0, len(w.Prefix))
+	for _, op := range w.Prefix {
+		parts = append(parts, fmt.Sprintf("T%d:%s=%s", op.Thread, op.Name, op.Result))
+	}
+	return fmt.Sprintf("after serial prefix [%s], call T%d:%s returned both %q and %q",
+		strings.Join(parts, " "), w.Thread, w.Call, w.Result1, w.Result2)
+}
+
+type contEntry struct {
+	result string
+	hist   *SerialHistory
+}
+
+// Spec is a specification synthesized from serial executions: the sets A
+// (full serial histories) and B (stuck serial histories) of Fig. 5, grouped
+// by thread signature as in the observation-file format, together with an
+// incremental determinism check.
+type Spec struct {
+	full      map[string][]*SerialHistory
+	stuck     map[string][]*SerialHistory
+	groups    []string // group keys in first-seen order (full and stuck share keys)
+	dedup     map[string]bool
+	nondet    map[string]contEntry
+	conflict  *NondetWitness
+	conflictH [2]*SerialHistory
+	nFull     int
+	nStuck    int
+}
+
+// NewSpec creates an empty specification.
+func NewSpec() *Spec {
+	return &Spec{
+		full:   make(map[string][]*SerialHistory),
+		stuck:  make(map[string][]*SerialHistory),
+		dedup:  make(map[string]bool),
+		nondet: make(map[string]contEntry),
+	}
+}
+
+// Add records one serial history (full or stuck) into the specification,
+// updating the determinism check.
+func (sp *Spec) Add(s *SerialHistory) {
+	if sp.dedup[s.Key()] {
+		return
+	}
+	sp.dedup[s.Key()] = true
+	sig := s.fullSignature()
+	if _, seen := sp.full[sig]; !seen {
+		if _, seen2 := sp.stuck[sig]; !seen2 {
+			sp.groups = append(sp.groups, sig)
+		}
+	}
+	if s.Stuck() {
+		sp.stuck[sig] = append(sp.stuck[sig], s)
+		sp.nStuck++
+	} else {
+		sp.full[sig] = append(sp.full[sig], s)
+		sp.nFull++
+	}
+	sp.updateNondet(s)
+}
+
+func prefixKey(ops []SerialOp, thread int, call string) string {
+	var b strings.Builder
+	for _, op := range ops {
+		fmt.Fprintf(&b, "%d:%s=%s;", op.Thread, op.Name, op.Result)
+	}
+	fmt.Fprintf(&b, "||%d:%s", thread, call)
+	return b.String()
+}
+
+func (sp *Spec) noteContinuation(s *SerialHistory, prefix []SerialOp, thread int, call, result string) {
+	key := prefixKey(prefix, thread, call)
+	if prev, ok := sp.nondet[key]; ok {
+		if prev.result != result && sp.conflict == nil {
+			cp := make([]SerialOp, len(prefix))
+			copy(cp, prefix)
+			sp.conflict = &NondetWitness{
+				Prefix: cp, Thread: thread, Call: call,
+				Result1: prev.result, Result2: result,
+			}
+			sp.conflictH = [2]*SerialHistory{prev.hist, s}
+		}
+		return
+	}
+	sp.nondet[key] = contEntry{result: result, hist: s}
+}
+
+func (sp *Spec) updateNondet(s *SerialHistory) {
+	for k := range s.Ops {
+		sp.noteContinuation(s, s.Ops[:k], s.Ops[k].Thread, s.Ops[k].Name, s.Ops[k].Result)
+	}
+	if s.Pending != nil {
+		sp.noteContinuation(s, s.Ops, s.Pending.Thread, s.Pending.Name, "#")
+	}
+}
+
+// Nondeterministic reports whether the recorded set of serial histories is
+// nondeterministic, together with a witness.
+func (sp *Spec) Nondeterministic() (*NondetWitness, bool) {
+	return sp.conflict, sp.conflict != nil
+}
+
+// ConflictingHistories returns the two serial histories that witnessed
+// nondeterminism (nil, nil if the spec is deterministic).
+func (sp *Spec) ConflictingHistories() (*SerialHistory, *SerialHistory) {
+	return sp.conflictH[0], sp.conflictH[1]
+}
+
+// NumFull returns the number of distinct full serial histories (the |A| of
+// the paper's phase-1 statistics).
+func (sp *Spec) NumFull() int { return sp.nFull }
+
+// NumStuck returns the number of distinct stuck serial histories (|B|).
+func (sp *Spec) NumStuck() int { return sp.nStuck }
+
+// Groups returns the group keys in first-seen order.
+func (sp *Spec) Groups() []string { return sp.groups }
+
+// GroupHistories returns the full and stuck serial histories of a group.
+func (sp *Spec) GroupHistories(sig string) (full, stuck []*SerialHistory) {
+	return sp.full[sig], sp.stuck[sig]
+}
+
+// opKey identifies an operation of a history by thread and per-thread
+// position, which is the identity shared between a concurrent history and a
+// candidate serial witness with equal signature.
+type opKey struct {
+	thread int
+	pos    int
+}
+
+func positions(s *SerialHistory) map[opKey]int {
+	perThread := make(map[int]int)
+	pos := make(map[opKey]int, len(s.Ops))
+	for i, op := range s.Ops {
+		k := opKey{op.Thread, perThread[op.Thread]}
+		perThread[op.Thread]++
+		pos[k] = i
+	}
+	return pos
+}
+
+// WitnessFull reports whether the complete concurrent history h has a serial
+// witness in the specification's full set (Definition 1 restricted to
+// complete histories): a serial history S with the same thread subhistories
+// such that <H ⊆ <S.
+func (sp *Spec) WitnessFull(h *History) (*SerialHistory, bool) {
+	ops := h.Ops()
+	per := make(map[int][]SerialOp)
+	perThreadPos := make(map[int]int)
+	keys := make([]opKey, len(ops))
+	for i, op := range ops {
+		if !op.Complete {
+			return nil, false // not a full history; caller error
+		}
+		keys[i] = opKey{op.Thread, perThreadPos[op.Thread]}
+		perThreadPos[op.Thread]++
+		per[op.Thread] = append(per[op.Thread], SerialOp{Thread: op.Thread, Name: op.Name, Result: op.Result})
+	}
+	sig := threadSignature(per, nil)
+	candidates := sp.full[sig]
+	if len(candidates) == 0 {
+		return nil, false
+	}
+	// Precedence pairs of <H.
+	type pair struct{ a, b int } // indices into ops
+	var pairs []pair
+	for i := range ops {
+		for j := range ops {
+			if i != j && Precedes(ops[i], ops[j]) {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+	}
+	for _, cand := range candidates {
+		pos := positions(cand)
+		ok := true
+		for _, p := range pairs {
+			if pos[keys[p.a]] >= pos[keys[p.b]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand, true
+		}
+	}
+	return nil, false
+}
+
+// WitnessStuck reports whether the reduced stuck history H[e] — h with all
+// pending calls except e removed — has a stuck serial witness in the
+// specification's stuck set (Definition 2). e must be a pending operation
+// of h.
+func (sp *Spec) WitnessStuck(h *History, e Op) (*SerialHistory, bool) {
+	ops := h.Ops()
+	per := make(map[int][]SerialOp)
+	perThreadPos := make(map[int]int)
+	var completed []Op
+	var keys []opKey
+	for _, op := range ops {
+		if !op.Complete {
+			continue
+		}
+		keys = append(keys, opKey{op.Thread, perThreadPos[op.Thread]})
+		perThreadPos[op.Thread]++
+		per[op.Thread] = append(per[op.Thread], SerialOp{Thread: op.Thread, Name: op.Name, Result: op.Result})
+		completed = append(completed, op)
+	}
+	pending := &SerialPending{Thread: e.Thread, Name: e.Name}
+	sig := threadSignature(per, pending)
+	candidates := sp.stuck[sig]
+	if len(candidates) == 0 {
+		return nil, false
+	}
+	type pair struct{ a, b int }
+	var pairs []pair
+	for i := range completed {
+		for j := range completed {
+			if i != j && Precedes(completed[i], completed[j]) {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+	}
+	for _, cand := range candidates {
+		if cand.Pending == nil || cand.Pending.Thread != e.Thread || cand.Pending.Name != e.Name {
+			continue
+		}
+		pos := positions(cand)
+		ok := true
+		for _, p := range pairs {
+			if pos[keys[p.a]] >= pos[keys[p.b]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand, true
+		}
+	}
+	return nil, false
+}

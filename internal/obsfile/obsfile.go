@@ -1,0 +1,359 @@
+// Package obsfile implements the XML observation-file format of the
+// paper's Fig. 7. The file lists the serial histories synthesized in phase
+// 1, grouped into <observation> sections whose histories agree on the
+// per-thread operation sequences and differ only in their interleaving.
+// Operations are numbered within each section; a history is rendered as a
+// token string like "1[ ]1 3[ ]3 4[ ]4 2[ ]2", where "i[" and "]i" are the
+// call and return of operation i, blocking operations carry a "B" marker in
+// the thread listing, and stuck histories end with "#".
+package obsfile
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lineup/internal/history"
+)
+
+// opDesc is one operation of an observation section.
+type opDesc struct {
+	Number int
+	Thread int
+	Name   string // method with args, e.g. "Add(200)"
+	Result string // empty for blocking (pending) operations
+	Blocks bool
+}
+
+// Observation is one section: the per-thread operation sequences and the
+// serial interleavings observed for them.
+type Observation struct {
+	Ops       []opDesc
+	Histories []*history.SerialHistory
+}
+
+// File is a parsed observation file.
+type File struct {
+	Observations []*Observation
+}
+
+// threadName renders a thread index as the paper's letters, with the final
+// (teardown) pseudo-thread of a test rendered like any other thread.
+func threadName(i int) string {
+	if i < 26 {
+		return string(rune('A' + i))
+	}
+	return fmt.Sprintf("T%d", i)
+}
+
+func threadIndex(name string) (int, error) {
+	if len(name) == 1 && name[0] >= 'A' && name[0] <= 'Z' {
+		return int(name[0] - 'A'), nil
+	}
+	var i int
+	if _, err := fmt.Sscanf(name, "T%d", &i); err != nil {
+		return 0, fmt.Errorf("obsfile: bad thread id %q", name)
+	}
+	return i, nil
+}
+
+// buildObservation converts one spec group (full and stuck histories with
+// identical per-thread sequences) into an Observation.
+func buildObservation(full, stuck []*history.SerialHistory) *Observation {
+	var sample *history.SerialHistory
+	if len(full) > 0 {
+		sample = full[0]
+	} else {
+		sample = stuck[0]
+	}
+	// Recover per-thread sequences from the sample.
+	perThread := make(map[int][]opDesc)
+	for _, op := range sample.Ops {
+		perThread[op.Thread] = append(perThread[op.Thread], opDesc{
+			Thread: op.Thread, Name: op.Name, Result: op.Result,
+		})
+	}
+	if sample.Pending != nil {
+		perThread[sample.Pending.Thread] = append(perThread[sample.Pending.Thread], opDesc{
+			Thread: sample.Pending.Thread, Name: sample.Pending.Name, Blocks: true,
+		})
+	}
+	threads := make([]int, 0, len(perThread))
+	for t := range perThread {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+	obs := &Observation{}
+	num := 0
+	for _, t := range threads {
+		for i := range perThread[t] {
+			num++
+			d := perThread[t][i]
+			d.Number = num
+			obs.Ops = append(obs.Ops, d)
+		}
+	}
+	obs.Histories = append(obs.Histories, full...)
+	obs.Histories = append(obs.Histories, stuck...)
+	return obs
+}
+
+// number maps (thread, per-thread position) to the section's op number.
+func (o *Observation) number() map[[2]int]int {
+	pos := make(map[int]int)
+	out := make(map[[2]int]int)
+	for _, d := range o.Ops {
+		out[[2]int{d.Thread, pos[d.Thread]}] = d.Number
+		pos[d.Thread]++
+	}
+	return out
+}
+
+// renderHistory renders a serial history in the token notation.
+func (o *Observation) renderHistory(s *history.SerialHistory) string {
+	num := o.number()
+	perThread := make(map[int]int)
+	var parts []string
+	for _, op := range s.Ops {
+		n := num[[2]int{op.Thread, perThread[op.Thread]}]
+		perThread[op.Thread]++
+		parts = append(parts, fmt.Sprintf("%d[", n), fmt.Sprintf("]%d", n))
+	}
+	if s.Pending != nil {
+		n := num[[2]int{s.Pending.Thread, perThread[s.Pending.Thread]}]
+		parts = append(parts, fmt.Sprintf("%d[", n), "#")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Write renders the specification's groups in the Fig. 7 format.
+func Write(w io.Writer, spec *history.Spec) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "<observationset>")
+	for _, sig := range spec.Groups() {
+		full, stuck := spec.GroupHistories(sig)
+		obs := buildObservation(full, stuck)
+		writeObservation(bw, obs)
+	}
+	fmt.Fprintln(bw, "</observationset>")
+	return bw.Flush()
+}
+
+func writeObservation(bw *bufio.Writer, obs *Observation) {
+	fmt.Fprintln(bw, "  <observation>")
+	// <thread> elements list op numbers per thread; blocking ops carry "B".
+	perThread := make(map[int][]string)
+	var threads []int
+	for _, d := range obs.Ops {
+		if _, seen := perThread[d.Thread]; !seen {
+			threads = append(threads, d.Thread)
+		}
+		tok := strconv.Itoa(d.Number)
+		if d.Blocks {
+			tok += "B"
+		}
+		perThread[d.Thread] = append(perThread[d.Thread], tok)
+	}
+	sort.Ints(threads)
+	for _, t := range threads {
+		fmt.Fprintf(bw, "    <thread id=%q>%s</thread>\n", threadName(t), strings.Join(perThread[t], " "))
+	}
+	for _, d := range obs.Ops {
+		method, args := splitName(d.Name)
+		var body string
+		if args != "" {
+			body = fmt.Sprintf("value=%q", args)
+		}
+		if d.Result != "" {
+			if body != "" {
+				body += " "
+			}
+			body += fmt.Sprintf("result=%q", d.Result)
+		}
+		if body == "" {
+			fmt.Fprintf(bw, "    <op id=\"%d\" name=%q />\n", d.Number, method)
+		} else {
+			fmt.Fprintf(bw, "    <op id=\"%d\" name=%q>%s</op>\n", d.Number, method, xmlEscape(body))
+		}
+	}
+	for _, h := range obs.Histories {
+		fmt.Fprintf(bw, "    <history>%s</history>\n", obs.renderHistory(h))
+	}
+	fmt.Fprintln(bw, "  </observation>")
+}
+
+// splitName separates "Add(200)" into method "Add" and args "200".
+func splitName(name string) (method, args string) {
+	i := strings.IndexByte(name, '(')
+	if i < 0 || !strings.HasSuffix(name, ")") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	_ = xml.EscapeText(&b, []byte(s))
+	// EscapeText escapes quotes too aggressively for our attribute-in-text
+	// style; the format is line-oriented, so undo the quote escaping for
+	// readability (parse reverses it).
+	return strings.ReplaceAll(b.String(), "&#34;", "\"")
+}
+
+// --- parsing ---
+
+type xmlOp struct {
+	ID   int    `xml:"id,attr"`
+	Name string `xml:"name,attr"`
+	Body string `xml:",chardata"`
+}
+
+type xmlThread struct {
+	ID   string `xml:"id,attr"`
+	Body string `xml:",chardata"`
+}
+
+type xmlObservation struct {
+	Threads   []xmlThread `xml:"thread"`
+	Ops       []xmlOp     `xml:"op"`
+	Histories []string    `xml:"history"`
+}
+
+type xmlFile struct {
+	XMLName      xml.Name         `xml:"observationset"`
+	Observations []xmlObservation `xml:"observation"`
+}
+
+// Parse reads an observation file back into its structured form.
+func Parse(r io.Reader) (*File, error) {
+	var xf xmlFile
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&xf); err != nil {
+		return nil, fmt.Errorf("obsfile: %w", err)
+	}
+	f := &File{}
+	for _, xo := range xf.Observations {
+		obs := &Observation{}
+		blocks := make(map[int]bool)
+		threadOf := make(map[int]int)
+		order := make(map[int]int) // op number -> position within its thread listing
+		for _, xt := range xo.Threads {
+			ti, err := threadIndex(xt.ID)
+			if err != nil {
+				return nil, err
+			}
+			for pos, tok := range strings.Fields(xt.Body) {
+				b := strings.HasSuffix(tok, "B")
+				tok = strings.TrimSuffix(tok, "B")
+				n, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("obsfile: bad op number %q", tok)
+				}
+				blocks[n] = b
+				threadOf[n] = ti
+				order[n] = pos
+			}
+		}
+		for _, xop := range xo.Ops {
+			value, result := parseOpBody(xop.Body)
+			name := xop.Name
+			if value != "" {
+				name = fmt.Sprintf("%s(%s)", xop.Name, value)
+			} else {
+				name = xop.Name + "()"
+			}
+			obs.Ops = append(obs.Ops, opDesc{
+				Number: xop.ID,
+				Thread: threadOf[xop.ID],
+				Name:   name,
+				Result: result,
+				Blocks: blocks[xop.ID],
+			})
+		}
+		sort.Slice(obs.Ops, func(i, j int) bool { return obs.Ops[i].Number < obs.Ops[j].Number })
+		byNumber := make(map[int]opDesc)
+		for _, d := range obs.Ops {
+			byNumber[d.Number] = d
+		}
+		for _, hs := range xo.Histories {
+			sh, err := parseHistoryTokens(hs, byNumber)
+			if err != nil {
+				return nil, err
+			}
+			obs.Histories = append(obs.Histories, sh)
+		}
+		f.Observations = append(f.Observations, obs)
+	}
+	return f, nil
+}
+
+// parseOpBody extracts value="..." and result="..." from an op body.
+func parseOpBody(body string) (value, result string) {
+	body = strings.TrimSpace(body)
+	for _, kv := range []struct {
+		key string
+		dst *string
+	}{{"value", &value}, {"result", &result}} {
+		idx := strings.Index(body, kv.key+`="`)
+		if idx < 0 {
+			continue
+		}
+		rest := body[idx+len(kv.key)+2:]
+		end := strings.IndexByte(rest, '"')
+		if end >= 0 {
+			*kv.dst = rest[:end]
+		}
+	}
+	return value, result
+}
+
+// parseHistoryTokens rebuilds a serial history from its token string.
+func parseHistoryTokens(s string, ops map[int]opDesc) (*history.SerialHistory, error) {
+	sh := &history.SerialHistory{}
+	toks := strings.Fields(s)
+	for i := 0; i < len(toks); i++ {
+		tok := toks[i]
+		switch {
+		case tok == "#":
+			if i == 0 {
+				return nil, fmt.Errorf("obsfile: stuck marker with no pending call in %q", s)
+			}
+		case strings.HasSuffix(tok, "["):
+			n, err := strconv.Atoi(strings.TrimSuffix(tok, "["))
+			if err != nil {
+				return nil, fmt.Errorf("obsfile: bad token %q", tok)
+			}
+			d := ops[n]
+			// A call is either immediately followed by its return (serial)
+			// or by the stuck marker.
+			if i+1 < len(toks) && toks[i+1] == "#" {
+				sh.Pending = &history.SerialPending{Thread: d.Thread, Name: d.Name}
+				i++
+				continue
+			}
+			sh.Ops = append(sh.Ops, history.SerialOp{Thread: d.Thread, Name: d.Name, Result: d.Result})
+		case strings.HasPrefix(tok, "]"):
+			// return token; already accounted for by the call
+		default:
+			return nil, fmt.Errorf("obsfile: bad token %q", tok)
+		}
+	}
+	return sh, nil
+}
+
+// ToSpec rebuilds a specification from a parsed file, suitable for witness
+// checking (e.g. regression-checking a recorded violation against an
+// archived observation file).
+func (f *File) ToSpec() *history.Spec {
+	spec := history.NewSpec()
+	for _, obs := range f.Observations {
+		for _, h := range obs.Histories {
+			spec.Add(h)
+		}
+	}
+	return spec
+}

@@ -1,0 +1,222 @@
+// Package race implements a happens-before data-race detector over the
+// shared-memory traces recorded by the scheduler, in the spirit of the
+// dynamic race detector included with CHESS that the paper uses for its
+// Section 5.6 comparison. It maintains vector clocks per thread, per lock,
+// and per synchronizing location (volatile semantics: an atomic store
+// releases, an atomic load acquires, a read-modify-write does both), and
+// reports pairs of conflicting plain accesses that are not ordered by
+// happens-before.
+package race
+
+import (
+	"fmt"
+
+	"lineup/internal/sched"
+)
+
+// VC is a vector clock indexed by thread ID.
+type VC []int
+
+func (v VC) clock(t sched.ThreadID) int {
+	if int(t) < len(v) {
+		return v[t]
+	}
+	return 0
+}
+
+func (v *VC) grow(n int) {
+	for len(*v) < n {
+		*v = append(*v, 0)
+	}
+}
+
+// join merges w into v (pointwise maximum).
+func (v *VC) join(w VC) {
+	v.grow(len(w))
+	for i, c := range w {
+		if c > (*v)[i] {
+			(*v)[i] = c
+		}
+	}
+}
+
+func (v VC) copyVC() VC {
+	out := make(VC, len(v))
+	copy(out, v)
+	return out
+}
+
+// epoch is a scalar timestamp: the clock of one thread at one access.
+type epoch struct {
+	thread sched.ThreadID
+	clock  int
+}
+
+// happensBefore reports whether the access at e is ordered before the
+// current time of thread vc.
+func (e epoch) happensBefore(vc VC) bool {
+	return e.clock <= vc.clock(e.thread)
+}
+
+// Access describes one side of a reported race.
+type Access struct {
+	Thread sched.ThreadID
+	Write  bool
+	Op     int // operation index the access belongs to (-1 outside ops)
+}
+
+// Race is a reported data race: two unordered conflicting plain accesses to
+// the same location.
+type Race struct {
+	Loc    string
+	First  Access
+	Second Access
+}
+
+func (r Race) String() string {
+	kind := func(w bool) string {
+		if w {
+			return "write"
+		}
+		return "read"
+	}
+	return fmt.Sprintf("race on %s: %s by T%d (op %d) unordered with %s by T%d (op %d)",
+		r.Loc, kind(r.First.Write), r.First.Thread, r.First.Op,
+		kind(r.Second.Write), r.Second.Thread, r.Second.Op)
+}
+
+type locState struct {
+	name      string
+	lastWrite epoch
+	hasWrite  bool
+	reads     []epoch // reads since the last write
+	writeOp   int
+	readOps   []int
+	syncVC    VC // release history of the location (volatile semantics)
+	hasSync   bool
+}
+
+// Detector replays a trace and accumulates races.
+type Detector struct {
+	threads map[sched.ThreadID]*VC
+	locks   map[int]*VC
+	locs    map[int]*locState
+	races   []Race
+	seen    map[string]bool
+}
+
+// NewDetector creates an empty detector.
+func NewDetector() *Detector {
+	return &Detector{
+		threads: make(map[sched.ThreadID]*VC),
+		locks:   make(map[int]*VC),
+		locs:    make(map[int]*locState),
+		seen:    make(map[string]bool),
+	}
+}
+
+func (d *Detector) vc(t sched.ThreadID) *VC {
+	v, ok := d.threads[t]
+	if !ok {
+		nv := make(VC, int(t)+1)
+		nv[t] = 1 // each thread starts at clock 1
+		d.threads[t] = &nv
+		return &nv
+	}
+	return v
+}
+
+func (d *Detector) loc(id int, name string) *locState {
+	l, ok := d.locs[id]
+	if !ok {
+		l = &locState{name: name}
+		d.locs[id] = l
+	}
+	return l
+}
+
+func (d *Detector) report(loc string, first, second Access) {
+	key := fmt.Sprintf("%s|%v|%v", loc, first, second)
+	if d.seen[key] {
+		return
+	}
+	d.seen[key] = true
+	d.races = append(d.races, Race{Loc: loc, First: first, Second: second})
+}
+
+// Analyze replays one execution trace. It may be called repeatedly with
+// traces of different executions; races are deduplicated by location and
+// access shape.
+func (d *Detector) Analyze(trace []sched.MemEvent) {
+	// Reset per-execution state but keep the dedup set: different
+	// executions reuse location IDs.
+	d.threads = make(map[sched.ThreadID]*VC)
+	d.locks = make(map[int]*VC)
+	d.locs = make(map[int]*locState)
+	for _, ev := range trace {
+		vc := d.vc(ev.Thread)
+		vc.grow(int(ev.Thread) + 1)
+		switch ev.Kind {
+		case sched.MemAcquire:
+			lvc, ok := d.locks[ev.Loc]
+			if ok {
+				vc.join(*lvc)
+			}
+		case sched.MemRelease:
+			cp := vc.copyVC()
+			d.locks[ev.Loc] = &cp
+			(*vc)[ev.Thread]++
+		case sched.MemAtomicLoad:
+			l := d.loc(ev.Loc, ev.Name)
+			if l.hasSync {
+				vc.join(l.syncVC)
+			}
+		case sched.MemAtomicStore, sched.MemAtomicRMW:
+			l := d.loc(ev.Loc, ev.Name)
+			if ev.Kind == sched.MemAtomicRMW && l.hasSync {
+				vc.join(l.syncVC)
+			}
+			var nv VC
+			if l.hasSync {
+				nv = l.syncVC.copyVC()
+				nv.join(*vc)
+			} else {
+				nv = vc.copyVC()
+			}
+			l.syncVC = nv
+			l.hasSync = true
+			(*vc)[ev.Thread]++
+		case sched.MemRead:
+			l := d.loc(ev.Loc, ev.Name)
+			if l.hasWrite && l.lastWrite.thread != ev.Thread && !l.lastWrite.happensBefore(*vc) {
+				d.report(ev.Name,
+					Access{Thread: l.lastWrite.thread, Write: true, Op: l.writeOp},
+					Access{Thread: ev.Thread, Write: false, Op: ev.Op})
+			}
+			l.reads = append(l.reads, epoch{ev.Thread, vc.clock(ev.Thread)})
+			l.readOps = append(l.readOps, ev.Op)
+		case sched.MemWrite:
+			l := d.loc(ev.Loc, ev.Name)
+			if l.hasWrite && l.lastWrite.thread != ev.Thread && !l.lastWrite.happensBefore(*vc) {
+				d.report(ev.Name,
+					Access{Thread: l.lastWrite.thread, Write: true, Op: l.writeOp},
+					Access{Thread: ev.Thread, Write: true, Op: ev.Op})
+			}
+			for i, r := range l.reads {
+				if r.thread != ev.Thread && !r.happensBefore(*vc) {
+					d.report(ev.Name,
+						Access{Thread: r.thread, Write: false, Op: l.readOps[i]},
+						Access{Thread: ev.Thread, Write: true, Op: ev.Op})
+				}
+			}
+			l.lastWrite = epoch{ev.Thread, vc.clock(ev.Thread)}
+			l.hasWrite = true
+			l.writeOp = ev.Op
+			l.reads = nil
+			l.readOps = nil
+		}
+	}
+}
+
+// Races returns the accumulated (deduplicated) races.
+func (d *Detector) Races() []Race { return d.races }

@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Unbounded disables preemption bounding (used for the serial phase, which
+// the paper runs without any bounding to keep the completeness theorem).
+const Unbounded = -1
+
+// ExploreConfig parameterizes an exhaustive exploration.
+type ExploreConfig struct {
+	Config
+	// PreemptionBound limits the number of preemptive context switches per
+	// execution (a switch taken while the current thread is still enabled).
+	// Use Unbounded for no limit. The paper's default is 2.
+	PreemptionBound int
+	// MaxExecutions aborts exploration after this many executions (a safety
+	// net, 0 = no limit).
+	MaxExecutions int
+}
+
+// ErrBudget is returned when exploration hits MaxExecutions before the
+// schedule space was exhausted.
+var ErrBudget = errors.New("sched: execution budget exhausted before exploration completed")
+
+// ExploreStats summarizes an exploration.
+type ExploreStats struct {
+	Executions int
+	Decisions  int
+	Truncated  bool // true if MaxExecutions stopped exploration early
+}
+
+// choice is one decision point on the DFS stack.
+type choice struct {
+	enabled    []ThreadID // order: current thread first (if enabled), then ascending
+	cur        ThreadID
+	curEnabled bool
+	next       int // index into enabled currently being explored
+	budget     int // preemption budget remaining before this decision
+}
+
+func (c *choice) cost(i int) int {
+	if c.curEnabled && c.enabled[i] != c.cur {
+		return 1
+	}
+	return 0
+}
+
+// explorer drives depth-first stateless exploration. It implements
+// Controller: during a run it replays the recorded prefix and extends the
+// frontier with default (non-preemptive) choices.
+type explorer struct {
+	bound  int
+	stack  []*choice
+	depth  int
+	budget int
+}
+
+func (e *explorer) begin() {
+	e.depth = 0
+	e.budget = e.bound
+}
+
+func (e *explorer) allowed(c *choice, i int) bool {
+	if e.bound == Unbounded {
+		return true
+	}
+	return c.budget >= c.cost(i)
+}
+
+func (e *explorer) Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) ThreadID {
+	if e.depth < len(e.stack) {
+		c := e.stack[e.depth]
+		if !sameIDs(c.enabled, enabled) || c.cur != cur || c.curEnabled != curEnabled {
+			panic(fmt.Sprintf("sched: nondeterministic replay at decision %d: recorded (cur=%d enabled=%v), got (cur=%d enabled=%v)",
+				e.depth, c.cur, c.enabled, cur, enabled))
+		}
+		e.budget -= c.cost(c.next)
+		e.depth++
+		return c.enabled[c.next]
+	}
+	ord := orderChoices(cur, curEnabled, enabled)
+	c := &choice{enabled: ord, cur: cur, curEnabled: curEnabled, budget: e.budget}
+	e.stack = append(e.stack, c)
+	e.budget -= c.cost(0)
+	e.depth++
+	return ord[0]
+}
+
+// advance backtracks to the deepest decision with an unexplored, affordable
+// alternative. It reports false when the schedule space is exhausted.
+func (e *explorer) advance() bool {
+	for len(e.stack) > 0 {
+		c := e.stack[len(e.stack)-1]
+		c.next++
+		for c.next < len(c.enabled) && !e.allowed(c, c.next) {
+			c.next++
+		}
+		if c.next < len(c.enabled) {
+			return true
+		}
+		e.stack = e.stack[:len(e.stack)-1]
+	}
+	return false
+}
+
+// orderChoices puts the current thread first (the free, non-preemptive
+// continuation) followed by the remaining enabled threads in ascending order.
+// The ordering determines DFS default behavior: run a thread as long as it is
+// enabled, which makes the zero-preemption schedule the first one explored.
+func orderChoices(cur ThreadID, curEnabled bool, enabled []ThreadID) []ThreadID {
+	ord := make([]ThreadID, 0, len(enabled))
+	if curEnabled {
+		ord = append(ord, cur)
+	}
+	for _, id := range enabled {
+		if curEnabled && id == cur {
+			continue
+		}
+		ord = append(ord, id)
+	}
+	return ord
+}
+
+func sameIDs(a []ThreadID, b []ThreadID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[ThreadID]bool, len(a))
+	for _, id := range a {
+		seen[id] = true
+	}
+	for _, id := range b {
+		if !seen[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Explore enumerates the schedules of prog and calls visit for every
+// execution outcome. If visit returns false, exploration stops early (used
+// to stop at the first linearizability violation). The returned stats count
+// executions and decisions; err is non-nil if an execution failed (a panic in
+// implementation code) or the execution budget ran out.
+func Explore(cfg ExploreConfig, prog Program, visit func(*Outcome) bool) (ExploreStats, error) {
+	e := &explorer{bound: cfg.PreemptionBound}
+	var stats ExploreStats
+	for {
+		if cfg.MaxExecutions > 0 && stats.Executions >= cfg.MaxExecutions {
+			stats.Truncated = true
+			return stats, ErrBudget
+		}
+		e.begin()
+		s := NewScheduler(cfg.Config, e)
+		out := s.Run(prog)
+		stats.Executions++
+		stats.Decisions += out.Decisions
+		if out.Err != nil {
+			return stats, out.Err
+		}
+		if !visit(out) {
+			return stats, nil
+		}
+		if !e.advance() {
+			return stats, nil
+		}
+	}
+}
+
+// ReplaySchedule re-executes prog following a fixed sequence of decisions
+// (as produced by RecordingController); it is used to reproduce a reported
+// violation deterministically.
+func ReplaySchedule(cfg Config, prog Program, schedule []ThreadID) *Outcome {
+	r := &replayer{schedule: schedule}
+	s := NewScheduler(cfg, r)
+	return s.Run(prog)
+}
+
+type replayer struct {
+	schedule []ThreadID
+	pos      int
+}
+
+func (r *replayer) Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) ThreadID {
+	if r.pos < len(r.schedule) {
+		want := r.schedule[r.pos]
+		r.pos++
+		for _, id := range enabled {
+			if id == want {
+				return id
+			}
+		}
+	}
+	// Past the recorded schedule (or the recorded thread is disabled, which
+	// indicates the program changed): fall back to the first enabled thread.
+	return orderChoices(cur, curEnabled, enabled)[0]
+}
+
+// RecordingController wraps another controller and records the decisions it
+// takes, so a failing execution can be replayed with ReplaySchedule.
+type RecordingController struct {
+	Inner    Controller
+	Schedule []ThreadID
+}
+
+// Pick implements Controller.
+func (rc *RecordingController) Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) ThreadID {
+	id := rc.Inner.Pick(cur, curEnabled, enabled)
+	rc.Schedule = append(rc.Schedule, id)
+	return id
+}

@@ -1,0 +1,563 @@
+// Package sched implements a deterministic cooperative scheduler together
+// with a stateless model-checking explorer. It is the substitute for the
+// CHESS model checker that the Line-Up paper builds on: it can enumerate all
+// thread schedules of a small concurrent test program, replay any schedule
+// deterministically, restrict exploration to serial schedules (no two
+// operations overlap), bound the number of preemptions, and detect stuck
+// executions (deadlock, livelock, and diverging loops).
+//
+// Programs under test do not use Go's runtime concurrency directly. Instead,
+// each logical thread is a goroutine that is gated by the scheduler so that
+// exactly one logical thread executes at any moment. The thread yields to the
+// scheduler at every instrumented operation (see package vsync), which is
+// where scheduling decisions are taken. Because only one goroutine runs at a
+// time and every source of nondeterminism is a scheduling decision, a
+// recorded sequence of decisions replays an execution exactly.
+package sched
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// ThreadID identifies a logical thread within one execution. Thread IDs are
+// dense and assigned in spawn order: the setup pseudo-thread (if any) gets
+// the first ID, then the test threads in row order, then the teardown
+// pseudo-thread.
+type ThreadID int
+
+// NoThread is the ThreadID used when no thread is current (the first
+// scheduling decision of an execution).
+const NoThread ThreadID = -1
+
+// PointKind classifies an instrumented operation. The scheduler consults its
+// granularity setting to decide whether a point of a given kind is a
+// scheduling decision.
+type PointKind int
+
+const (
+	// PointRead is a plain (non-synchronizing) shared memory read.
+	PointRead PointKind = iota
+	// PointWrite is a plain shared memory write.
+	PointWrite
+	// PointAtomic is a synchronizing (volatile/interlocked) access.
+	PointAtomic
+	// PointLock is a lock acquire or try-acquire.
+	PointLock
+	// PointUnlock is a lock release.
+	PointUnlock
+	// PointOpStart precedes the invocation of a test operation.
+	PointOpStart
+	// PointOpEnd precedes the return of a test operation.
+	PointOpEnd
+	// PointYield is an explicit spin yield (fairness hint).
+	PointYield
+)
+
+// Granularity selects which point kinds are scheduling decisions in
+// concurrent mode. Serial mode ignores granularity: only operation starts
+// are decisions there.
+type Granularity int
+
+const (
+	// GranAll preempts at every instrumented point, including plain data
+	// accesses. This is the default; it exposes bugs such as the unprotected
+	// counter increment of the paper's Section 2.2.
+	GranAll Granularity = iota
+	// GranSync preempts only at synchronizing points (atomics, locks, and
+	// operation boundaries), mirroring the CHESS default. Plain data accesses
+	// execute atomically with the preceding point; data races are still
+	// recorded in the trace and can be found by the race detector.
+	GranSync
+)
+
+func (g Granularity) includes(k PointKind) bool {
+	switch k {
+	case PointRead, PointWrite:
+		return g == GranAll
+	default:
+		return true
+	}
+}
+
+type threadState int
+
+const (
+	stateRunnable threadState = iota
+	stateBlocked
+	stateFinished
+	stateDiverged // exceeded the per-operation step budget (livelock/divergence)
+)
+
+// Thread is the handle a logical thread uses to interact with the scheduler.
+// Every instrumented operation takes the current *Thread as an argument;
+// implementations under test must thread it through their methods.
+type Thread struct {
+	id        ThreadID
+	name      string
+	sch       *Scheduler
+	resume    chan struct{}
+	state     threadState
+	killed    bool
+	stepsInOp int
+	curOp     int // global index of the operation currently executing, -1 outside
+}
+
+// ID returns the thread's identifier within the current execution.
+func (t *Thread) ID() ThreadID { return t.id }
+
+// Name returns the thread's display name ("A", "B", ...).
+func (t *Thread) Name() string { return t.name }
+
+// killSentinel is panicked inside a thread goroutine when the scheduler
+// terminates an unfinished execution; the thread wrapper recovers it.
+type killSentinel struct{}
+
+// divergeSentinel is panicked when a thread exceeds its step budget inside a
+// single operation (a diverging loop or livelock).
+type divergeSentinel struct{}
+
+type msgKind int
+
+const (
+	msgYield msgKind = iota
+	msgBlock
+	msgFinish
+	msgDead     // thread unwound after a kill
+	msgDiverged // thread unwound after exceeding its step budget
+	msgPanic    // implementation code panicked
+)
+
+type msg struct {
+	t     *Thread
+	kind  msgKind
+	panic any
+	stack []byte
+}
+
+// Controller supplies scheduling decisions. Pick is called at every decision
+// point with the previously running thread (cur, which may be NoThread),
+// whether cur is among the enabled threads, and the enabled set in ascending
+// ID order. It must return one of the enabled threads. Pick is only called
+// when there are at least two enabled threads; singleton choices are taken
+// implicitly.
+type Controller interface {
+	Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) ThreadID
+}
+
+// Config controls a single execution.
+type Config struct {
+	// Serial restricts scheduling decisions to operation boundaries and
+	// declares the execution stuck as soon as the sole running operation
+	// blocks. This is the phase-1 mode of the Line-Up algorithm.
+	Serial bool
+	// Granularity selects the preemption granularity in concurrent mode.
+	Granularity Granularity
+	// RecordTrace enables memory-access tracing for the race and atomicity
+	// checkers.
+	RecordTrace bool
+	// MaxOpSteps bounds the instrumented steps a single operation may take
+	// before it is declared diverging. Zero means the default (100000).
+	MaxOpSteps int
+}
+
+func (c Config) maxOpSteps() int {
+	if c.MaxOpSteps <= 0 {
+		return 100000
+	}
+	return c.MaxOpSteps
+}
+
+// Program is the unit of execution: an optional single-threaded setup
+// function (typically the object constructor plus initial operations), the
+// concurrent test threads, and an optional teardown function that runs as an
+// extra thread after every test thread has finished. Teardown does not run if
+// the execution gets stuck.
+type Program struct {
+	Setup    func(t *Thread)
+	Threads  []func(t *Thread)
+	Teardown func(t *Thread)
+}
+
+// EventKind distinguishes call and return events of a history.
+type EventKind int
+
+const (
+	// EvCall marks the invocation of an operation.
+	EvCall EventKind = iota
+	// EvReturn marks the response of an operation.
+	EvReturn
+)
+
+// OpEvent is a call or return event recorded during an execution. Thread is
+// the logical thread, Op the operation's display name (method plus
+// arguments), Result the canonical result string (returns only), and OpIndex
+// a per-execution dense identifier that pairs calls with returns.
+type OpEvent struct {
+	Thread  ThreadID
+	Kind    EventKind
+	Op      string
+	Result  string
+	OpIndex int
+}
+
+// MemKind classifies trace events for the race and atomicity checkers.
+type MemKind int
+
+const (
+	// MemRead is a plain shared read.
+	MemRead MemKind = iota
+	// MemWrite is a plain shared write.
+	MemWrite
+	// MemAtomicLoad is a synchronizing read (volatile load).
+	MemAtomicLoad
+	// MemAtomicStore is a synchronizing write (volatile store).
+	MemAtomicStore
+	// MemAtomicRMW is a synchronizing read-modify-write (CAS, exchange, add).
+	MemAtomicRMW
+	// MemAcquire is a lock acquisition.
+	MemAcquire
+	// MemRelease is a lock release.
+	MemRelease
+)
+
+// MemEvent is one entry of the shared-memory access trace.
+type MemEvent struct {
+	Thread ThreadID
+	Kind   MemKind
+	Loc    int    // location identifier (dense, per execution)
+	Name   string // location display name
+	Op     int    // global operation index the access belongs to, -1 outside ops
+}
+
+// Outcome summarizes one execution.
+type Outcome struct {
+	// Stuck reports whether the execution could not complete: at the end no
+	// thread was runnable but not all threads had finished (deadlock), or all
+	// remaining threads had diverged (livelock/diverging loop).
+	Stuck bool
+	// Events is the recorded history of call/return events.
+	Events []OpEvent
+	// Trace is the shared-memory access trace (nil unless Config.RecordTrace).
+	Trace []MemEvent
+	// Decisions is the number of scheduling decisions taken.
+	Decisions int
+	// Err is non-nil if implementation code panicked; the execution is then
+	// unusable and the error should be propagated to the user.
+	Err error
+}
+
+// Scheduler coordinates the logical threads of a single execution. A fresh
+// Scheduler is created for every execution; it is not reusable.
+type Scheduler struct {
+	cfg       Config
+	ctrl      Controller
+	threads   []*Thread
+	cur       *Thread
+	back      chan msg
+	events    []OpEvent
+	trace     []MemEvent
+	nextLoc   int
+	nextOp    int
+	decisions int
+	stuck     bool
+	execErr   error
+}
+
+// NewScheduler creates the scheduler for one execution of prog under ctrl.
+// A nil controller runs the default schedule: keep running the current
+// thread while it is enabled, otherwise switch to the lowest-ID enabled
+// thread.
+func NewScheduler(cfg Config, ctrl Controller) *Scheduler {
+	if ctrl == nil {
+		ctrl = defaultController{}
+	}
+	return &Scheduler{cfg: cfg, ctrl: ctrl, back: make(chan msg)}
+}
+
+type defaultController struct{}
+
+func (defaultController) Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) ThreadID {
+	if curEnabled {
+		return cur
+	}
+	return enabled[0]
+}
+
+// threadName converts a thread index into the display names used by the
+// paper: "A", "B", ..., with the setup and teardown pseudo-threads named
+// "init" and "fin".
+func threadName(i int) string {
+	if i < 26 {
+		return string(rune('A' + i))
+	}
+	return fmt.Sprintf("T%d", i)
+}
+
+func (s *Scheduler) spawn(name string, body func(t *Thread)) *Thread {
+	t := &Thread{
+		id:     ThreadID(len(s.threads)),
+		name:   name,
+		sch:    s,
+		resume: make(chan struct{}),
+		state:  stateRunnable,
+		curOp:  -1,
+	}
+	s.threads = append(s.threads, t)
+	go func() {
+		<-t.resume
+		if t.killed {
+			s.back <- msg{t: t, kind: msgDead}
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				switch r.(type) {
+				case killSentinel:
+					s.back <- msg{t: t, kind: msgDead}
+				case divergeSentinel:
+					s.back <- msg{t: t, kind: msgDiverged}
+				default:
+					s.back <- msg{t: t, kind: msgPanic, panic: r, stack: debug.Stack()}
+				}
+				return
+			}
+			s.back <- msg{t: t, kind: msgFinish}
+		}()
+		body(t)
+	}()
+	return t
+}
+
+// Run executes the program to completion (or stuckness) and returns the
+// outcome. It must be called exactly once.
+func (s *Scheduler) Run(prog Program) *Outcome {
+	if prog.Setup != nil {
+		t := s.spawn("init", prog.Setup)
+		s.loop([]*Thread{t})
+	}
+	if !s.stuck && s.execErr == nil {
+		group := make([]*Thread, 0, len(prog.Threads))
+		for i, body := range prog.Threads {
+			group = append(group, s.spawn(threadName(i), body))
+		}
+		s.loop(group)
+	}
+	if !s.stuck && s.execErr == nil && prog.Teardown != nil {
+		t := s.spawn("fin", prog.Teardown)
+		s.loop([]*Thread{t})
+	}
+	s.killAll()
+	return &Outcome{
+		Stuck:     s.stuck,
+		Events:    s.events,
+		Trace:     s.trace,
+		Decisions: s.decisions,
+		Err:       s.execErr,
+	}
+}
+
+// loop schedules the given thread group until all of its threads finished,
+// or the execution is stuck or failed.
+func (s *Scheduler) loop(group []*Thread) {
+	s.cur = nil
+	ebuf := make([]*Thread, 0, len(group))
+	ids := make([]ThreadID, 0, len(group))
+	for {
+		if s.execErr != nil || s.stuck {
+			return
+		}
+		enabled := enabledOf(group, ebuf)
+		if len(enabled) == 0 {
+			if allFinished(group) {
+				return
+			}
+			// Deadlock or livelock: every unfinished thread is blocked or
+			// diverged.
+			s.stuck = true
+			return
+		}
+		var chosen *Thread
+		if len(enabled) == 1 {
+			chosen = enabled[0]
+		} else {
+			ids = ids[:0]
+			for _, t := range enabled {
+				ids = append(ids, t.id)
+			}
+			cur, curEnabled := NoThread, false
+			if s.cur != nil {
+				cur = s.cur.id
+				curEnabled = s.cur.state == stateRunnable
+			}
+			s.decisions++
+			pick := s.ctrl.Pick(cur, curEnabled, ids)
+			for _, t := range enabled {
+				if t.id == pick {
+					chosen = t
+					break
+				}
+			}
+			if chosen == nil {
+				panic(fmt.Sprintf("sched: controller picked disabled thread %d from %v", pick, ids))
+			}
+		}
+		s.cur = chosen
+		chosen.resume <- struct{}{}
+		m := <-s.back
+		switch m.kind {
+		case msgYield:
+			// The thread stopped at its next instrumented point; it remains
+			// runnable and the loop takes the next decision.
+		case msgBlock:
+			m.t.state = stateBlocked
+			if s.cfg.Serial {
+				// In serial mode no other thread may run while an operation
+				// is incomplete; a blocked operation means the serial
+				// execution is stuck (Section 2.3 of the paper).
+				s.stuck = true
+				return
+			}
+		case msgFinish:
+			m.t.state = stateFinished
+		case msgDiverged:
+			m.t.state = stateDiverged
+			if s.cfg.Serial {
+				s.stuck = true
+				return
+			}
+		case msgDead:
+			panic("sched: unexpected dead message during scheduling")
+		case msgPanic:
+			m.t.state = stateFinished
+			s.execErr = fmt.Errorf("sched: thread %s panicked: %v\n%s", m.t.name, m.panic, m.stack)
+		}
+	}
+}
+
+// enabledOf collects the runnable threads of the group into buf. The group
+// is in spawn order, so the result is already sorted by thread ID.
+func enabledOf(group []*Thread, buf []*Thread) []*Thread {
+	out := buf[:0]
+	for _, t := range group {
+		if t.state == stateRunnable {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func allFinished(group []*Thread) bool {
+	for _, t := range group {
+		if t.state != stateFinished {
+			return false
+		}
+	}
+	return true
+}
+
+// killAll unwinds every goroutine that has not finished so that executions do
+// not leak goroutines. Threads parked on their resume channel observe the
+// killed flag and panic with the kill sentinel, which their wrapper recovers.
+func (s *Scheduler) killAll() {
+	for _, t := range s.threads {
+		if t.state == stateFinished {
+			continue
+		}
+		if t.state == stateDiverged {
+			// The goroutine already unwound via the divergence sentinel.
+			continue
+		}
+		t.killed = true
+		t.resume <- struct{}{}
+		m := <-s.back
+		if m.kind != msgDead {
+			// A thread that was parked at a point or block must unwind; any
+			// other message indicates a framework bug.
+			panic(fmt.Sprintf("sched: expected dead message, got kind %d", m.kind))
+		}
+		t.state = stateFinished
+	}
+}
+
+// Point marks an instrumented operation of the given kind. Depending on mode
+// and granularity it is a scheduling decision: the thread hands control to
+// the scheduler, which may run other threads before resuming it.
+func (t *Thread) Point(kind PointKind) {
+	s := t.sch
+	t.stepsInOp++
+	if t.stepsInOp > s.cfg.maxOpSteps() {
+		panic(divergeSentinel{})
+	}
+	if s.cfg.Serial {
+		if kind != PointOpStart {
+			return
+		}
+	} else if !s.cfg.Granularity.includes(kind) {
+		return
+	}
+	s.back <- msg{t: t, kind: msgYield}
+	<-t.resume
+	if t.killed {
+		panic(killSentinel{})
+	}
+}
+
+// block parks the thread until a wait set wakes it (or the execution ends).
+func (t *Thread) block() {
+	t.state = stateBlocked
+	t.sch.back <- msg{t: t, kind: msgBlock}
+	<-t.resume
+	if t.killed {
+		panic(killSentinel{})
+	}
+}
+
+// NewLoc allocates a fresh shared-memory location identifier. Instrumented
+// cells call this once at construction time.
+func (t *Thread) NewLoc() int {
+	id := t.sch.nextLoc
+	t.sch.nextLoc++
+	return id
+}
+
+// Record appends a memory event to the execution trace if tracing is on.
+func (t *Thread) Record(kind MemKind, loc int, name string) {
+	if !t.sch.cfg.RecordTrace {
+		return
+	}
+	t.sch.trace = append(t.sch.trace, MemEvent{
+		Thread: t.id, Kind: kind, Loc: loc, Name: name, Op: t.curOp,
+	})
+}
+
+// OpStart records the call event of an operation. The scheduling point
+// precedes the recording so that a descheduled thread has not yet invoked
+// the operation.
+func (t *Thread) OpStart(name string) {
+	t.stepsInOp = 0
+	t.Point(PointOpStart)
+	t.curOp = t.sch.nextOp
+	t.sch.nextOp++
+	t.sch.events = append(t.sch.events, OpEvent{
+		Thread: t.id, Kind: EvCall, Op: name, OpIndex: t.curOp,
+	})
+}
+
+// OpEnd records the return event of the operation started by the matching
+// OpStart. A scheduling point precedes the return so that other threads may
+// overlap with the completed body before the response becomes visible.
+func (t *Thread) OpEnd(name, result string) {
+	op := t.curOp
+	t.Point(PointOpEnd)
+	t.curOp = -1
+	t.sch.events = append(t.sch.events, OpEvent{
+		Thread: t.id, Kind: EvReturn, Op: name, Result: result, OpIndex: op,
+	})
+}
+
+// Yield marks an explicit spin-wait yield (the fairness hint CHESS uses for
+// lock-free retry loops); it is always a scheduling decision.
+func (t *Thread) Yield() {
+	t.Point(PointYield)
+}

@@ -1,0 +1,100 @@
+package sched
+
+import "sort"
+
+// WaitSet is the scheduler's blocking primitive. A thread that cannot make
+// progress registers on a wait set and parks; a running thread wakes it by
+// signaling or broadcasting. Wakeups follow Mesa semantics: a woken thread
+// must re-check its wait condition.
+//
+// Because exactly one logical thread runs at a time, wait-set operations need
+// no locking of their own; registration and signaling are atomic with respect
+// to the surrounding instrumented operation.
+type WaitSet struct {
+	waiters  map[*Thread]bool // value: pending signal
+	ordering []*Thread        // registration order, for deterministic Signal
+}
+
+func (ws *WaitSet) init() {
+	if ws.waiters == nil {
+		ws.waiters = make(map[*Thread]bool)
+	}
+}
+
+// Register announces that the thread is about to wait. A signal arriving
+// between Register and Wait is not lost: Wait returns immediately. This makes
+// the condition-variable pattern (register, release lock, wait, reacquire)
+// free of lost wakeups.
+func (ws *WaitSet) Register(t *Thread) {
+	ws.init()
+	if _, ok := ws.waiters[t]; !ok {
+		ws.waiters[t] = false
+		ws.ordering = append(ws.ordering, t)
+	}
+}
+
+// Wait parks the thread until it is signaled. If the thread was registered
+// and a signal already arrived, Wait consumes it and returns immediately.
+// Threads that did not Register first are registered implicitly.
+func (ws *WaitSet) Wait(t *Thread) {
+	ws.init()
+	if sig, ok := ws.waiters[t]; ok && sig {
+		ws.remove(t)
+		return
+	}
+	ws.Register(t)
+	t.block()
+	// The scheduler resumed us because a signal arrived (Broadcast/Signal
+	// set the state back to runnable); deregister.
+	ws.remove(t)
+}
+
+func (ws *WaitSet) remove(t *Thread) {
+	delete(ws.waiters, t)
+	for i, w := range ws.ordering {
+		if w == t {
+			ws.ordering = append(ws.ordering[:i], ws.ordering[i+1:]...)
+			break
+		}
+	}
+}
+
+// Broadcast wakes every registered waiter. Waiters that have not parked yet
+// keep a pending signal so their Wait returns immediately.
+func (ws *WaitSet) Broadcast(t *Thread) {
+	ws.init()
+	for w := range ws.waiters {
+		ws.waiters[w] = true
+		if w.state == stateBlocked {
+			w.state = stateRunnable
+		}
+	}
+}
+
+// Signal wakes a single registered waiter. To keep executions deterministic
+// the earliest-registered waiter is chosen; the nondeterminism of real
+// wakeup order is modeled by the scheduler's interleaving choices after the
+// wakeup.
+func (ws *WaitSet) Signal(t *Thread) {
+	ws.init()
+	for _, w := range ws.ordering {
+		if sig := ws.waiters[w]; !sig {
+			ws.waiters[w] = true
+			if w.state == stateBlocked {
+				w.state = stateRunnable
+			}
+			return
+		}
+	}
+}
+
+// Waiters returns the IDs of currently registered waiters, ascending. It is
+// a debugging and testing aid.
+func (ws *WaitSet) Waiters() []ThreadID {
+	var ids []ThreadID
+	for w := range ws.waiters {
+		ids = append(ids, w.id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

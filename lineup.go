@@ -1,0 +1,100 @@
+package lineup
+
+import (
+	"lineup/internal/core"
+	"lineup/internal/sched"
+)
+
+// Core vocabulary, re-exported from the implementation packages so that
+// library users program against the stable top-level API.
+type (
+	// Thread is the handle of a logical thread under the deterministic
+	// scheduler; every instrumented operation takes the current *Thread.
+	Thread = sched.Thread
+	// Op is one invocation of the object under test.
+	Op = core.Op
+	// Test is a finite test: a matrix of invocations with optional initial
+	// and final sequences (Sections 3.1 and 4.3).
+	Test = core.Test
+	// Subject is an implementation under test.
+	Subject = core.Subject
+	// Options configures Check.
+	Options = core.Options
+	// RefOptions configures CheckAgainstModel.
+	RefOptions = core.RefOptions
+	// AutoOptions configures AutoCheck.
+	AutoOptions = core.AutoOptions
+	// RandomOptions configures RandomCheck.
+	RandomOptions = core.RandomOptions
+	// Result is the outcome of a check.
+	Result = core.Result
+	// RandomSummary aggregates a RandomCheck run.
+	RandomSummary = core.RandomSummary
+	// AutoResult is the outcome of a bounded AutoCheck run.
+	AutoResult = core.AutoResult
+	// Violation describes a failed check.
+	Violation = core.Violation
+	// Verdict is Pass or Fail.
+	Verdict = core.Verdict
+	// ViolationKind classifies a violation.
+	ViolationKind = core.ViolationKind
+	// PhaseStats carries per-phase measurements.
+	PhaseStats = core.PhaseStats
+)
+
+// Verdicts.
+const (
+	// Pass means no violation was found for the test.
+	Pass = core.Pass
+	// Fail proves the subject is not deterministically linearizable.
+	Fail = core.Fail
+)
+
+// Violation kinds.
+const (
+	// Nondeterminism: two serial histories diverge after a call (phase 1).
+	Nondeterminism = core.Nondeterminism
+	// NoWitness: a complete concurrent history has no serial witness.
+	NoWitness = core.NoWitness
+	// StuckNoWitness: a stuck history has an unjustified pending operation.
+	StuckNoWitness = core.StuckNoWitness
+)
+
+// Preemption-bound sentinels for Options.PreemptionBound.
+const (
+	// DefaultBound is the paper's CHESS default of two preemptions.
+	DefaultBound = core.DefaultBound
+	// Unbounded disables preemption bounding.
+	Unbounded = core.Unbounded
+	// NoPreemptions allows only voluntary context switches.
+	NoPreemptions = core.NoPreemptions
+)
+
+// Check runs the two-phase Check(X, m) of Fig. 5 on one test.
+func Check(sub *Subject, m *Test, opts Options) (*Result, error) {
+	return core.Check(sub, m, opts)
+}
+
+// CheckAgainstModel synthesizes the specification from a reference model
+// (phase 1) and checks the implementation's concurrent executions against
+// it (phase 2); RefOptions.ClassicOnly selects the original Definition 1
+// instead of the blocking-aware Definition 3.
+func CheckAgainstModel(impl, model *Subject, m *Test, opts RefOptions) (*Result, error) {
+	return core.CheckAgainstModel(impl, model, m, opts)
+}
+
+// AutoCheck enumerates tests systematically (Fig. 6), bounded by opts.
+func AutoCheck(sub *Subject, opts AutoOptions) (*AutoResult, error) {
+	return core.AutoCheck(sub, opts)
+}
+
+// RandomCheck samples random test matrices (Fig. 8), the evaluation mode of
+// the paper.
+func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummary, error) {
+	return core.RandomCheck(sub, universe, opts)
+}
+
+// Shrink minimizes a failing test to a 1-minimal failing matrix.
+func Shrink(sub *Subject, m *Test, opts Options) (*Test, *Result, error) {
+	return core.Shrink(sub, m, opts)
+}
