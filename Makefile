@@ -1,0 +1,29 @@
+# Tier-1 gate and friends. `make check` is what CI (and reviewers) run.
+
+GO ?= go
+
+.PHONY: check build vet test race bench clean
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled pass over the packages that actually spin up goroutines:
+# the scheduler, the core checkers (parallel RandomCheck workers), and the
+# monitor (parallel partition search). -short skips the long sweeps.
+race:
+	$(GO) test -race -short ./internal/sched ./internal/core ./internal/monitor ./internal/bench
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_lineup.json

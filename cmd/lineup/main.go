@@ -3,24 +3,15 @@
 // checker on the bundled classes, and reproduces the Section 5.6
 // comparisons.
 //
-// Usage:
-//
-//	lineup table1                      class inventory (Table 1)
-//	lineup table2 [flags]              evaluation results (Table 2)
-//	lineup causes                      directed minimal test per root cause A..L
-//	lineup check -class NAME [flags]   RandomCheck one class
-//	lineup fig1                        the Fig. 1 queue violation
-//	lineup fig4                        the Fig. 4 counter (classic vs generalized)
-//	lineup fig7                        the Fig. 7 observation file and violation report
-//	lineup fig9                        the Fig. 9 ManualResetEvent bug
-//	lineup compare [flags]             race + serializability comparison (Section 5.6)
-//	lineup ablate                      preemption-bound ablation
-//	lineup list                        list the registered classes
+// Run "lineup" with no arguments (or an unknown subcommand) for the full
+// subcommand table.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -29,63 +20,185 @@ import (
 	"lineup/internal/bench"
 	"lineup/internal/collections"
 	"lineup/internal/core"
+	"lineup/internal/monitor"
 	"lineup/internal/obsfile"
 	"lineup/internal/sched"
 )
 
+// command is one subcommand of the CLI; the commands table drives both
+// dispatch and the usage listing, so the two cannot drift apart.
+type command struct {
+	name     string
+	args     string // argument summary for the usage listing
+	synopsis string
+	run      func(args []string) error
+}
+
+// noArgs adapts the argumentless figure commands to the table signature.
+func noArgs(fn func() error) func([]string) error {
+	return func([]string) error { return fn() }
+}
+
+var commands = []command{
+	{"table1", "", "class inventory (Table 1)", cmdTable1},
+	{"table2", "[flags]", "evaluation results (Table 2)", cmdTable2},
+	{"causes", "[-v]", "directed minimal test per root cause A..L", cmdCauses},
+	{"check", "-class NAME [flags]", "RandomCheck one class", cmdCheck},
+	{"monitor", "-trace FILE -model NAME [flags]", "check a recorded JSONL history trace against a model", cmdMonitor},
+	{"fig1", "", "the Fig. 1 queue violation", noArgs(cmdFig1)},
+	{"fig4", "", "the Fig. 4 counter (classic vs generalized)", noArgs(cmdFig4)},
+	{"fig7", "", "the Fig. 7 observation file and violation report", noArgs(cmdFig7)},
+	{"fig9", "", "the Fig. 9 ManualResetEvent bug", noArgs(cmdFig9)},
+	{"compare", "[flags]", "race + serializability comparison (Section 5.6)", cmdCompare},
+	{"ablate", "", "preemption-bound ablation", cmdAblate},
+	{"memory", "[flags]", "store-buffer (TSO) SC-violation scan (Section 5.7)", cmdMemory},
+	{"record", "-class NAME -test SPEC [-o FILE]", "record an observation file (phase 1)", cmdRecord},
+	{"verify", "-class NAME -test SPEC -obs FILE", "re-check phase 2 against a recorded observation file", cmdVerify},
+	{"list", "", "list the registered classes", cmdList},
+}
+
+// errViolation marks a check that found (and already reported) a
+// linearizability violation; run maps it to exit code 1 without the
+// "lineup:" error prefix.
+var errViolation = errors.New("violation found")
+
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches one CLI invocation and returns the process exit code:
+// 0 on success, 1 on errors and violations, 2 on usage mistakes.
+func run(args []string) int {
+	if len(args) == 0 {
+		usage(os.Stderr)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "table1":
-		bench.WriteTable1(os.Stdout)
-	case "table2":
-		err = cmdTable2(args)
-	case "causes":
-		err = cmdCauses(args)
-	case "check":
-		err = cmdCheck(args)
-	case "fig1":
-		err = cmdFig1()
-	case "fig4":
-		err = cmdFig4()
-	case "fig7":
-		err = cmdFig7()
-	case "fig9":
-		err = cmdFig9()
-	case "compare":
-		err = cmdCompare(args)
-	case "ablate":
-		err = cmdAblate(args)
-	case "memory":
-		err = cmdMemory(args)
-	case "record":
-		err = cmdRecord(args)
-	case "verify":
-		err = cmdVerify(args)
-	case "list":
-		for _, e := range bench.Registry() {
-			fmt.Println(e.Subject.Name)
-			if e.Pre != nil {
-				fmt.Println(e.Pre.Name)
-			}
+	name, rest := args[0], args[1:]
+	for _, c := range commands {
+		if c.name != name {
+			continue
 		}
-	default:
-		usage()
-		os.Exit(2)
+		if err := c.run(rest); err != nil {
+			if !errors.Is(err, errViolation) {
+				fmt.Fprintln(os.Stderr, "lineup:", err)
+			}
+			return 1
+		}
+		return 0
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lineup:", err)
-		os.Exit(1)
+	fmt.Fprintf(os.Stderr, "lineup: unknown subcommand %q\n\n", name)
+	usage(os.Stderr)
+	return 2
+}
+
+// usage prints the full subcommand table, generated from commands.
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: lineup <subcommand> [flags]")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "subcommands:")
+	for _, c := range commands {
+		left := c.name
+		if c.args != "" {
+			left += " " + c.args
+		}
+		fmt.Fprintf(w, "  %-42s %s\n", left, c.synopsis)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lineup <table1|table2|causes|check|fig1|fig4|fig7|fig9|compare|ablate|memory|record|verify|list> [flags]`)
+func cmdTable1(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("table1 takes no arguments")
+	}
+	bench.WriteTable1(os.Stdout)
+	return nil
+}
+
+func cmdList(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("list takes no arguments")
+	}
+	for _, e := range bench.Registry() {
+		fmt.Println(e.Subject.Name)
+		if e.Pre != nil {
+			fmt.Println(e.Pre.Name)
+		}
+	}
+	return nil
+}
+
+// cmdMonitor checks one recorded concurrent history against a built-in
+// sequential model with the standalone monitor: no schedule exploration and
+// no phase-1 serial enumeration, just the Wing–Gong witness search over the
+// trace. A violation exits with status 1.
+func cmdMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	trace := fs.String("trace", "", "JSONL history trace file ('-' for stdin)")
+	modelName := fs.String("model", "", "sequential model: "+strings.Join(monitor.BuiltinNames(), ", "))
+	classic := fs.Bool("classic", false, "classic Definition 1 treatment of pending operations")
+	noMemo := fs.Bool("no-memo", false, "disable the memoized seen-set")
+	noPart := fs.Bool("no-partition", false, "disable P-compositional partitioning")
+	verbose := fs.Bool("v", false, "print the witness linearization")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trace == "" {
+		return fmt.Errorf("monitor: -trace is required")
+	}
+	if *modelName == "" {
+		return fmt.Errorf("monitor: -model is required (one of %s)", strings.Join(monitor.BuiltinNames(), ", "))
+	}
+	model, ok := monitor.Builtin(*modelName)
+	if !ok {
+		return fmt.Errorf("monitor: unknown model %q (one of %s)", *modelName, strings.Join(monitor.BuiltinNames(), ", "))
+	}
+	var r io.Reader = os.Stdin
+	if *trace != "-" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	h, err := obsfile.ReadTrace(r)
+	if err != nil {
+		return err
+	}
+	opts := monitor.Options{NoMemo: *noMemo, NoPartition: *noPart}
+	if *classic {
+		opts.Mode = monitor.ModeClassic
+	}
+	out, err := monitor.Check(model, h, opts)
+	if err != nil {
+		return err
+	}
+	ops := h.Ops()
+	pending := len(h.Pending())
+	stuck := ""
+	if h.Stuck {
+		stuck = ", stuck"
+	}
+	fmt.Printf("checked %d operations (%d pending%s) against model %q\n", len(ops), pending, stuck, model.Name)
+	fmt.Printf("search: %d parts, %d nodes visited, %d seen-set hits\n",
+		out.Stats.Parts, out.Stats.Visited, out.Stats.MemoHits)
+	if out.Linearizable {
+		fmt.Println("verdict: linearizable")
+		if *verbose && len(out.Witness) > 0 {
+			fmt.Println("witness:")
+			for _, step := range out.Witness {
+				fmt.Printf("  %s\n", step)
+			}
+		}
+		return nil
+	}
+	fmt.Println("verdict: NOT linearizable")
+	if out.FailedPending != nil {
+		fmt.Printf("pending operation with no stuck serial witness: %s\n", out.FailedPending)
+	}
+	if out.FailedPart != "" {
+		fmt.Printf("failing partition: %s\n", out.FailedPart)
+	}
+	return errViolation
 }
 
 func cmdTable2(args []string) error {
@@ -96,6 +209,7 @@ func cmdTable2(args []string) error {
 	seed := fs.Int64("seed", 1, "sampling seed")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers per class")
 	pre := fs.Bool("pre", true, "include the (Pre) variants")
+	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,6 +221,12 @@ func cmdTable2(args []string) error {
 		return err
 	}
 	bench.WriteTable2(os.Stdout, table)
+	if *jsonOut != "" {
+		if err := bench.WriteJSONRows(*jsonOut, bench.Table2JSON(table)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
 	return nil
 }
 
@@ -338,19 +458,31 @@ func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	samples := fs.Int("samples", 10, "random tests per class")
 	seed := fs.Int64("seed", 5, "sampling seed")
+	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	fmt.Println("Section 5.6 — Line-Up vs race detection vs conflict-serializability")
 	fmt.Printf("%-26s %8s %8s %10s %10s\n", "Class", "races", "atomWarn", "warnTests", "lineupFail")
 	fmt.Println(strings.Repeat("-", 70))
+	var results []*bench.CompareResult
+	var walls []time.Duration
 	for _, e := range bench.Registry() {
+		start := time.Now()
 		res, err := bench.CompareRandom(e.Subject, 2, 2, *samples, *seed, core.Options{PreemptionBound: 2})
 		if err != nil {
 			return err
 		}
+		results = append(results, res)
+		walls = append(walls, time.Since(start))
 		fmt.Printf("%-26s %8d %8d %10d %10d\n",
 			res.Subject, len(res.Races), res.AtomicityWarnings, res.AtomicityTests, res.LineUpFailures)
+	}
+	if *jsonOut != "" {
+		if err := bench.WriteJSONRows(*jsonOut, bench.CompareJSON(results, walls)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 	fmt.Println("\nsample serializability warnings (all false alarms on correct classes):")
 	stack, _, _ := bench.Find("ConcurrentStack")
@@ -511,7 +643,7 @@ func cmdVerify(args []string) error {
 		res.Verdict, res.Phase2.Histories, res.Phase2.Stuck, res.Phase2.Executions)
 	if res.Violation != nil {
 		fmt.Println(indent(res.Violation.String()))
-		os.Exit(1)
+		return errViolation
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -93,3 +94,152 @@ func TestCmdRecordVerifyRoundtrip(t *testing.T) {
 }
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// captureStderr redirects os.Stderr around fn and returns what it printed.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stderr = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	fn()
+	w.Close()
+	os.Stderr = old
+	return <-done
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	var code int
+	errOut := captureStderr(t, func() { code = run([]string{"frobnicate"}) })
+	if code != 2 {
+		t.Fatalf("unknown subcommand must exit 2, got %d", code)
+	}
+	if !contains(errOut, `unknown subcommand "frobnicate"`) {
+		t.Fatalf("missing unknown-subcommand diagnostic:\n%s", errOut)
+	}
+	for _, c := range commands {
+		if !contains(errOut, c.name) {
+			t.Fatalf("usage listing missing %q:\n%s", c.name, errOut)
+		}
+	}
+}
+
+func TestRunWithoutArguments(t *testing.T) {
+	var code int
+	errOut := captureStderr(t, func() { code = run(nil) })
+	if code != 2 {
+		t.Fatalf("bare invocation must exit 2, got %d", code)
+	}
+	if !contains(errOut, "subcommands:") {
+		t.Fatalf("bare invocation must print the usage table:\n%s", errOut)
+	}
+}
+
+func TestUsageListsEveryCommand(t *testing.T) {
+	var buf bytes.Buffer
+	usage(&buf)
+	out := buf.String()
+	for _, c := range commands {
+		if !contains(out, c.name) || !contains(out, c.synopsis) {
+			t.Fatalf("usage missing %q (%q):\n%s", c.name, c.synopsis, out)
+		}
+	}
+	if !contains(out, "monitor -trace FILE -model NAME") {
+		t.Fatalf("usage missing the monitor invocation form:\n%s", out)
+	}
+}
+
+// TestCmdMonitorDetectsViolation feeds the monitor a hand-recorded Fig. 1
+// shaped JSONL trace: Enqueue(10) completed strictly before TryDequeue was
+// called, yet TryDequeue failed. The monitor must reject it with exit code 1
+// and no schedule exploration.
+func TestCmdMonitorDetectsViolation(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "fig1.jsonl")
+	body := `{"t":0,"k":"call","op":"Enqueue(10)"}
+{"t":0,"k":"ret","op":"Enqueue(10)","res":"ok"}
+{"t":1,"k":"call","op":"TryDequeue()"}
+{"t":1,"k":"ret","op":"TryDequeue()","res":"Fail"}
+`
+	if err := os.WriteFile(trace, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	out := captureStdout(t, func() error {
+		code = run([]string{"monitor", "-trace", trace, "-model", "queue"})
+		return nil
+	})
+	if code != 1 {
+		t.Fatalf("violation must exit 1, got %d\noutput:\n%s", code, out)
+	}
+	if !contains(out, "NOT linearizable") {
+		t.Fatalf("missing verdict:\n%s", out)
+	}
+}
+
+func TestCmdMonitorLinearizableTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "ok.jsonl")
+	body := `# overlapping ops: the witness reorders the enqueue first
+{"t":1,"k":"call","op":"TryDequeue()"}
+{"t":0,"k":"call","op":"Enqueue(10)"}
+{"t":0,"k":"ret","op":"Enqueue(10)","res":"ok"}
+{"t":1,"k":"ret","op":"TryDequeue()","res":"10"}
+`
+	if err := os.WriteFile(trace, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	out := captureStdout(t, func() error {
+		code = run([]string{"monitor", "-trace", trace, "-model", "queue", "-v"})
+		return nil
+	})
+	if code != 0 {
+		t.Fatalf("linearizable trace must exit 0, got %d\noutput:\n%s", code, out)
+	}
+	if !contains(out, "verdict: linearizable") || !contains(out, "witness:") {
+		t.Fatalf("missing verdict/witness:\n%s", out)
+	}
+}
+
+func TestCmdMonitorStuckTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "stuck.jsonl")
+	// Wait is stuck although Set completed last — the Fig. 9 shape.
+	body := `{"t":1,"k":"call","op":"Set()"}
+{"t":1,"k":"ret","op":"Set()","res":"ok"}
+{"t":0,"k":"call","op":"Wait()"}
+{"k":"stuck"}
+`
+	if err := os.WriteFile(trace, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	out := captureStdout(t, func() error {
+		code = run([]string{"monitor", "-trace", trace, "-model", "mre"})
+		return nil
+	})
+	if code != 1 || !contains(out, "pending operation with no stuck serial witness") {
+		t.Fatalf("generalized check must reject the lost wakeup (code %d):\n%s", code, out)
+	}
+	// The classic Definition 1 cannot see the lost wakeup.
+	out = captureStdout(t, func() error {
+		code = run([]string{"monitor", "-trace", trace, "-model", "mre", "-classic"})
+		return nil
+	})
+	if code != 0 {
+		t.Fatalf("classic check must accept the stuck trace (code %d):\n%s", code, out)
+	}
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// JSONFile is the conventional output file of the -json flags of the table2
+// and compare subcommands.
+const JSONFile = "BENCH_lineup.json"
+
+// JSONRow is one machine-readable benchmark record: how much work a run did
+// (schedules explored, histories checked) and how long it took, per class.
+// Fields that do not apply to a record kind are omitted.
+type JSONRow struct {
+	Kind      string  `json:"kind"`  // "table2" or "compare"
+	Class     string  `json:"class"` // subject name
+	Tests     int     `json:"tests"` // random tests sampled
+	Schedules int     `json:"schedules_explored"`
+	Histories int     `json:"histories_checked,omitempty"` // distinct phase-2 histories (full + stuck)
+	Failed    int     `json:"failed,omitempty"`            // Line-Up failures among the tests
+	Races     int     `json:"races,omitempty"`             // compare: distinct data races
+	AtomWarn  int     `json:"atomicity_warnings,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+// Table2JSON converts Table 2 rows to JSON records.
+func Table2JSON(rows []Table2Row) []JSONRow {
+	out := make([]JSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, JSONRow{
+			Kind:      "table2",
+			Class:     r.Class,
+			Tests:     r.Passed + r.Failed,
+			Schedules: r.Schedules,
+			Histories: r.Histories,
+			Failed:    r.Failed,
+			WallMS:    float64(r.Wall) / float64(time.Millisecond),
+		})
+	}
+	return out
+}
+
+// CompareJSON converts Section 5.6 comparison results to JSON records; wall
+// is the duration measured around each class's CompareRandom call, aligned
+// by index (missing entries record zero).
+func CompareJSON(results []*CompareResult, wall []time.Duration) []JSONRow {
+	out := make([]JSONRow, 0, len(results))
+	for i, r := range results {
+		row := JSONRow{
+			Kind:      "compare",
+			Class:     r.Subject,
+			Tests:     r.Tests,
+			Schedules: r.Executions,
+			Failed:    r.LineUpFailures,
+			Races:     len(r.Races),
+			AtomWarn:  r.AtomicityWarnings,
+		}
+		if i < len(wall) {
+			row.WallMS = float64(wall[i]) / float64(time.Millisecond)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// WriteJSONRows writes the records to path as indented JSON (a single
+// array, so the file is valid JSON rather than JSONL).
+func WriteJSONRows(path string, rows []JSONRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestJSONRows(t *testing.T) {
+	t2 := Table2JSON([]Table2Row{{
+		Class: "ConcurrentQueue", Passed: 9, Failed: 1,
+		Schedules: 1234, Histories: 56, Wall: 1500 * time.Millisecond,
+	}})
+	if len(t2) != 1 || t2[0].Kind != "table2" || t2[0].Tests != 10 ||
+		t2[0].Schedules != 1234 || t2[0].Histories != 56 || t2[0].WallMS != 1500 {
+		t.Fatalf("bad table2 row: %+v", t2)
+	}
+	cmp := CompareJSON([]*CompareResult{{
+		Subject: "ConcurrentStack", Tests: 5, Executions: 777,
+		LineUpFailures: 2, AtomicityWarnings: 3,
+	}}, []time.Duration{250 * time.Millisecond})
+	if len(cmp) != 1 || cmp[0].Kind != "compare" || cmp[0].Schedules != 777 ||
+		cmp[0].AtomWarn != 3 || cmp[0].WallMS != 250 {
+		t.Fatalf("bad compare row: %+v", cmp)
+	}
+
+	path := filepath.Join(t.TempDir(), JSONFile)
+	if err := WriteJSONRows(path, append(t2, cmp...)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []JSONRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if len(back) != 2 || back[0].Class != "ConcurrentQueue" || back[1].Class != "ConcurrentStack" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}

@@ -103,6 +103,13 @@ type Table2Row struct {
 	P2PassTime time.Duration
 	PB         int
 	StuckTests int
+	// Schedules, Histories, and Wall aggregate the raw run measurements for
+	// the machine-readable JSON output: total schedules explored across both
+	// phases, distinct concurrent histories checked in phase 2 (full plus
+	// stuck), and the wall-clock time of the class's whole sample.
+	Schedules int
+	Histories int
+	Wall      time.Duration
 }
 
 // Table2Options parameterizes the Table 2 run.
@@ -168,6 +175,14 @@ func RunTable2(opts Table2Options, progress func(string)) ([]Table2Row, error) {
 		if err != nil {
 			return err
 		}
+		schedules, histories := 0, 0
+		for _, r := range sum.Results {
+			if r == nil {
+				continue
+			}
+			schedules += r.Phase1.Executions + r.Phase2.Executions
+			histories += r.Phase2.Histories + r.Phase2.Stuck
+		}
 		rows = append(rows, Table2Row{
 			Class:      sub.Name,
 			Causes:     strings.Join(dims[sub.Name], " "),
@@ -181,6 +196,9 @@ func RunTable2(opts Table2Options, progress func(string)) ([]Table2Row, error) {
 			P2PassTime: sum.Phase2PassAvg,
 			PB:         bound,
 			StuckTests: sum.StuckTests,
+			Schedules:  schedules,
+			Histories:  histories,
+			Wall:       sum.TotalDuration,
 		})
 		return nil
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lineup/internal/history"
+	"lineup/internal/monitor"
 	"lineup/internal/sched"
 )
 
@@ -56,6 +57,12 @@ type Options struct {
 	SampleSeed int64
 	// PCTDepth is the PCT bug-depth parameter (0 = default).
 	PCTDepth int
+	// WitnessSearch selects phase 2's witness decision backend: spec-set
+	// lookup (the default, Fig. 5) or the monitor's model-replay search.
+	WitnessSearch WitnessSearch
+	// MonitorModel is the executable sequential model consulted when
+	// WitnessSearch is WitnessMonitor (see CheckWithMonitor).
+	MonitorModel *monitor.Model
 }
 
 func (o Options) bound() int {

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+
+	"lineup/internal/history"
+	"lineup/internal/monitor"
+)
+
+// WitnessSearch selects phase 2's witness decision backend.
+type WitnessSearch int
+
+const (
+	// WitnessSpec (the default) decides witness existence by lookup in the
+	// phase-1 synthesized specification set, the Check(X, m) algorithm of
+	// Fig. 5.
+	WitnessSpec WitnessSearch = iota
+	// WitnessMonitor decides witness existence by replaying candidate
+	// linearizations of each observed history through an executable
+	// sequential model with the internal/monitor Wing–Gong search. Phase 1
+	// is not consulted: the model plays the role of the specification
+	// directly, so no serial enumeration is needed.
+	WitnessMonitor
+)
+
+// witnessBackend abstracts the phase-2 witness decision procedure over the
+// three checks of Fig. 5: complete histories, classic pending treatment, and
+// the generalized per-pending-operation stuck check.
+type witnessBackend interface {
+	witnessFull(h *history.History) (bool, error)
+	witnessClassic(h *history.History) (bool, error)
+	witnessStuck(h *history.History, e history.Op) (bool, error)
+}
+
+// witnessBackend resolves the backend selected by the options. spec may be
+// nil when the monitor backend is selected.
+func (o Options) witnessBackend(spec *history.Spec) (witnessBackend, error) {
+	if o.WitnessSearch == WitnessMonitor {
+		if o.MonitorModel == nil {
+			return nil, errors.New("core: WitnessSearch == WitnessMonitor requires Options.MonitorModel")
+		}
+		return monitorBackend{model: o.MonitorModel}, nil
+	}
+	if spec == nil {
+		return nil, errors.New("core: the specification backend requires a synthesized spec")
+	}
+	return specBackend{spec: spec}, nil
+}
+
+// specBackend is the paper's backend: witness existence is a lookup in the
+// specification set synthesized by phase 1.
+type specBackend struct{ spec *history.Spec }
+
+func (b specBackend) witnessFull(h *history.History) (bool, error) {
+	_, ok := b.spec.WitnessFull(h)
+	return ok, nil
+}
+
+func (b specBackend) witnessClassic(h *history.History) (bool, error) {
+	_, ok := b.spec.WitnessClassic(h)
+	return ok, nil
+}
+
+func (b specBackend) witnessStuck(h *history.History, e history.Op) (bool, error) {
+	_, ok := b.spec.WitnessStuck(h, e)
+	return ok, nil
+}
+
+// monitorBackend decides witness existence with the monitor's memoized
+// Wing–Gong search against an executable model.
+type monitorBackend struct{ model *monitor.Model }
+
+func (b monitorBackend) check(h *history.History, mode monitor.Mode) (bool, error) {
+	out, err := monitor.Check(b.model, h, monitor.Options{Mode: mode})
+	if err != nil {
+		return false, err
+	}
+	return out.Linearizable, nil
+}
+
+func (b monitorBackend) witnessFull(h *history.History) (bool, error) {
+	return b.check(h, monitor.ModeAuto)
+}
+
+func (b monitorBackend) witnessClassic(h *history.History) (bool, error) {
+	return b.check(h, monitor.ModeClassic)
+}
+
+func (b monitorBackend) witnessStuck(h *history.History, e history.Op) (bool, error) {
+	return b.check(monitor.Reduce(h, e), monitor.ModeGeneralized)
+}
+
+// CheckWithMonitor checks sub against an executable sequential model using
+// the monitor as phase 2's witness backend: it enumerates the concurrent
+// executions of sub on m and decides witness existence for every distinct
+// history by model replay. No phase-1 serial enumeration runs — the model is
+// the specification. ClassicOnly selects the original Definition 1 treatment
+// of pending operations, as in CheckAgainstModel.
+func CheckWithMonitor(sub *Subject, model *monitor.Model, m *Test, opts RefOptions) (*Result, error) {
+	if model == nil {
+		return nil, errors.New("core: CheckWithMonitor requires a model")
+	}
+	opts.WitnessSearch = WitnessMonitor
+	opts.MonitorModel = model
+	mode := modeGeneralized
+	if opts.ClassicOnly {
+		mode = modeClassic
+	}
+	return phase2(sub, m, nil, opts.Options, mode)
+}

@@ -76,6 +76,48 @@ func toHistory(out *sched.Outcome) (*history.History, error) {
 	return h, nil
 }
 
+// OutcomeHistory converts a scheduler execution outcome into a history. It
+// is the exported form of the conversion phase 1 and phase 2 apply to every
+// explored execution, for tests and tooling outside core.
+func OutcomeHistory(out *sched.Outcome) (*history.History, error) {
+	return toHistory(out)
+}
+
+// ExploreHistories enumerates the distinct concurrent histories that
+// phase-2 exploration of sub on m emits (deduplicated, with relaxed results
+// normalized) and calls visit for each one, without deciding witness
+// existence. Returning false from visit stops the exploration. This exposes
+// the observation side of phase 2 for crosscheck tests and external
+// monitoring tools.
+func ExploreHistories(sub *Subject, m *Test, opts Options, visit func(*history.History) bool) error {
+	var holder any
+	var err error
+	seen := make(map[string]bool)
+	relaxed := opts.relaxedSet()
+	_, exploreErr := sched.Explore(sched.ExploreConfig{
+		Config:          sched.Config{Granularity: opts.Granularity},
+		PreemptionBound: opts.bound(),
+		MaxExecutions:   opts.maxExecs(),
+	}, program(sub, m, &holder), func(out *sched.Outcome) bool {
+		h, herr := toHistory(out)
+		if herr != nil {
+			err = herr
+			return false
+		}
+		normalizeRelaxed(h, relaxed)
+		key := historyKey(h)
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		return visit(h)
+	})
+	if err != nil {
+		return err
+	}
+	return exploreErr
+}
+
 // historyKey canonicalizes a history's event sequence for deduplication:
 // phase 2 explores many schedules that produce identical call/return
 // interleavings, which need to be checked only once.

@@ -67,17 +67,26 @@ const (
 )
 
 // phase2 enumerates the concurrent executions of sub on m and checks every
-// distinct history against spec under the selected witness mode. It is the
-// shared engine behind Check, CheckAgainstModel, and CheckAgainstSpec.
+// distinct history for witness existence under the selected witness mode,
+// delegating the per-history decision to the backend selected by the options
+// (spec-set lookup by default, model replay under WitnessMonitor). It is the
+// shared engine behind Check, CheckAgainstModel, CheckAgainstSpec, and
+// CheckWithMonitor; spec may be nil when the monitor backend is selected.
 func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnessMode) (*Result, error) {
 	res := &Result{Subject: sub, Test: m, Verdict: Pass}
-	if opts.KeepSpec {
-		res.Spec = spec
+	backend, berr := opts.witnessBackend(spec)
+	if berr != nil {
+		return nil, berr
 	}
-	if w, bad := spec.Nondeterministic(); bad {
-		res.Verdict = Fail
-		res.Violation = &Violation{Kind: Nondeterminism, Test: m, Nondet: w}
-		return res, nil
+	if spec != nil {
+		if opts.KeepSpec {
+			res.Spec = spec
+		}
+		if w, bad := spec.Nondeterministic(); bad {
+			res.Verdict = Fail
+			res.Violation = &Violation{Kind: Nondeterminism, Test: m, Nondet: w}
+			return res, nil
+		}
 	}
 	var holder any
 	var err error
@@ -100,7 +109,12 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		seen[key] = true
 		if !h.Stuck {
 			full++
-			if _, ok := spec.WitnessFull(h); !ok {
+			ok, werr := backend.witnessFull(h)
+			if werr != nil {
+				err = werr
+				return false
+			}
+			if !ok {
 				if violation == nil {
 					violation = &Violation{Kind: NoWitness, Test: m, History: h}
 				}
@@ -110,7 +124,12 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		}
 		stuckN++
 		if mode == modeClassic {
-			if _, ok := spec.WitnessClassic(h); !ok {
+			ok, werr := backend.witnessClassic(h)
+			if werr != nil {
+				err = werr
+				return false
+			}
+			if !ok {
 				if violation == nil {
 					violation = &Violation{Kind: NoWitness, Test: m, History: h}
 				}
@@ -120,7 +139,12 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		}
 		for _, e := range h.Pending() {
 			e := e
-			if _, ok := spec.WitnessStuck(h, e); !ok {
+			ok, werr := backend.witnessStuck(h, e)
+			if werr != nil {
+				err = werr
+				return false
+			}
+			if !ok {
 				if violation == nil {
 					violation = &Violation{Kind: StuckNoWitness, Test: m, History: h, Pending: &e}
 				}

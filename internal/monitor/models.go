@@ -1,0 +1,255 @@
+package monitor
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result-string conventions shared with the checked collections: void
+// operations return "ok", failed try-operations return "Fail", booleans
+// render "true"/"false", and snapshots render "[a b c]".
+const (
+	okResult   = "ok"
+	failResult = "Fail"
+)
+
+func boolResult(v bool) string { return strconv.FormatBool(v) }
+
+// Builtin returns a built-in model by name (see BuiltinNames).
+func Builtin(name string) (*Model, bool) {
+	switch name {
+	case "queue":
+		return QueueModel(), true
+	case "stack":
+		return StackModel(), true
+	case "set":
+		return SetModel(), true
+	case "register":
+		return RegisterModel(), true
+	case "counter":
+		return CounterModel(), true
+	case "mre":
+		return MREModel(), true
+	}
+	return nil, false
+}
+
+// BuiltinNames lists the built-in models in display order.
+func BuiltinNames() []string {
+	return []string{"queue", "stack", "set", "register", "counter", "mre"}
+}
+
+// QueueModel is a FIFO queue: Enqueue/Add/Put append and return "ok";
+// TryDequeue/TryTake/TryPeek return the front element or "Fail";
+// Dequeue/Take/Peek block on an empty queue; Count, IsEmpty and ToArray
+// observe the contents. It matches the serial behavior of the repository's
+// ConcurrentQueue and BlockingCollection vocabularies.
+func QueueModel() *Model {
+	m := &Model{Name: "queue", Init: func() any { return []string(nil) }}
+	m.Fingerprint = func(state any) string { return strings.Join(state.([]string), ",") }
+	m.Step = func(state any, op string) (string, any, error) {
+		q := state.([]string)
+		method, args := SplitOp(op)
+		switch method {
+		case "Enqueue", "Add", "Put":
+			return okResult, append(q[:len(q):len(q)], args), nil
+		case "TryDequeue", "TryTake":
+			if len(q) == 0 {
+				return failResult, q, nil
+			}
+			return q[0], q[1:], nil
+		case "Dequeue", "Take":
+			if len(q) == 0 {
+				return "", nil, ErrBlock
+			}
+			return q[0], q[1:], nil
+		case "TryPeek":
+			if len(q) == 0 {
+				return failResult, q, nil
+			}
+			return q[0], q, nil
+		case "Peek":
+			if len(q) == 0 {
+				return "", nil, ErrBlock
+			}
+			return q[0], q, nil
+		case "Count":
+			return strconv.Itoa(len(q)), q, nil
+		case "IsEmpty":
+			return boolResult(len(q) == 0), q, nil
+		case "ToArray":
+			return "[" + strings.Join(q, " ") + "]", q, nil
+		}
+		return "", nil, unknownOp(m, op)
+	}
+	return m
+}
+
+// StackModel is a LIFO stack: Push returns "ok", TryPop/TryPeek return the
+// top element or "Fail", Pop blocks on an empty stack, ToArray snapshots
+// top-first.
+func StackModel() *Model {
+	m := &Model{Name: "stack", Init: func() any { return []string(nil) }}
+	m.Fingerprint = func(state any) string { return strings.Join(state.([]string), ",") }
+	m.Step = func(state any, op string) (string, any, error) {
+		s := state.([]string)
+		method, args := SplitOp(op)
+		switch method {
+		case "Push":
+			return okResult, append(s[:len(s):len(s)], args), nil
+		case "TryPop":
+			if len(s) == 0 {
+				return failResult, s, nil
+			}
+			return s[len(s)-1], s[:len(s)-1], nil
+		case "Pop":
+			if len(s) == 0 {
+				return "", nil, ErrBlock
+			}
+			return s[len(s)-1], s[:len(s)-1], nil
+		case "TryPeek":
+			if len(s) == 0 {
+				return failResult, s, nil
+			}
+			return s[len(s)-1], s, nil
+		case "Count":
+			return strconv.Itoa(len(s)), s, nil
+		case "IsEmpty":
+			return boolResult(len(s) == 0), s, nil
+		case "ToArray":
+			rev := make([]string, len(s))
+			for i, v := range s {
+				rev[len(s)-1-i] = v
+			}
+			return "[" + strings.Join(rev, " ") + "]", s, nil
+		}
+		return "", nil, unknownOp(m, op)
+	}
+	return m
+}
+
+// SetModel is a mathematical set of rendered values: Add and Remove report
+// whether they changed the set, Contains tests membership, Count observes
+// the size. Add/Remove/Contains touch only their element, so the model
+// declares a per-value partition (P-compositionality); Count is a
+// whole-object observer and disables splitting.
+func SetModel() *Model {
+	m := &Model{Name: "set", Init: func() any { return []string(nil) }}
+	m.Fingerprint = func(state any) string { return strings.Join(state.([]string), ",") }
+	m.Partition = func(op string) (string, bool) {
+		method, args := SplitOp(op)
+		switch method {
+		case "Add", "Remove", "Contains":
+			return args, true
+		}
+		return "", false
+	}
+	m.Step = func(state any, op string) (string, any, error) {
+		s := state.([]string)
+		method, args := SplitOp(op)
+		i := sort.SearchStrings(s, args)
+		present := i < len(s) && s[i] == args
+		switch method {
+		case "Add":
+			if present {
+				return boolResult(false), s, nil
+			}
+			next := make([]string, 0, len(s)+1)
+			next = append(next, s[:i]...)
+			next = append(next, args)
+			next = append(next, s[i:]...)
+			return boolResult(true), next, nil
+		case "Remove":
+			if !present {
+				return boolResult(false), s, nil
+			}
+			next := make([]string, 0, len(s)-1)
+			next = append(next, s[:i]...)
+			next = append(next, s[i+1:]...)
+			return boolResult(true), next, nil
+		case "Contains":
+			return boolResult(present), s, nil
+		case "Count":
+			return strconv.Itoa(len(s)), s, nil
+		}
+		return "", nil, unknownOp(m, op)
+	}
+	return m
+}
+
+// RegisterModel is a single read/write register initialized to "0": Write
+// returns "ok", Read returns the current value, CAS(old,new) swaps and
+// reports success.
+func RegisterModel() *Model {
+	m := &Model{Name: "register", Init: func() any { return "0" }}
+	m.Fingerprint = func(state any) string { return state.(string) }
+	m.Step = func(state any, op string) (string, any, error) {
+		v := state.(string)
+		method, args := SplitOp(op)
+		switch method {
+		case "Read", "Get":
+			return v, v, nil
+		case "Write", "Set":
+			return okResult, args, nil
+		case "CAS":
+			parts := strings.SplitN(args, ",", 2)
+			if len(parts) == 2 && strings.TrimSpace(parts[0]) == v {
+				return boolResult(true), strings.TrimSpace(parts[1]), nil
+			}
+			return boolResult(false), v, nil
+		}
+		return "", nil, unknownOp(m, op)
+	}
+	return m
+}
+
+// CounterModel is the Section 2.2 counter: Inc and Dec return "ok", Get
+// returns the current count.
+func CounterModel() *Model {
+	m := &Model{Name: "counter", Init: func() any { return 0 }}
+	m.Fingerprint = func(state any) string { return strconv.Itoa(state.(int)) }
+	m.Step = func(state any, op string) (string, any, error) {
+		n := state.(int)
+		method, _ := SplitOp(op)
+		switch method {
+		case "Inc", "Increment":
+			return okResult, n + 1, nil
+		case "Dec", "Decrement":
+			return okResult, n - 1, nil
+		case "Get", "Count":
+			return strconv.Itoa(n), n, nil
+		}
+		return "", nil, unknownOp(m, op)
+	}
+	return m
+}
+
+// MREModel is a manual-reset event (the Fig. 9 class): Set and Reset return
+// "ok", IsSet observes the flag, WaitOne(0) polls it, and Wait blocks until
+// the event is set.
+func MREModel() *Model {
+	m := &Model{Name: "mre", Init: func() any { return false }}
+	m.Fingerprint = func(state any) string { return boolResult(state.(bool)) }
+	m.Step = func(state any, op string) (string, any, error) {
+		set := state.(bool)
+		method, _ := SplitOp(op)
+		switch method {
+		case "Set":
+			return okResult, true, nil
+		case "Reset":
+			return okResult, false, nil
+		case "IsSet":
+			return boolResult(set), set, nil
+		case "WaitOne":
+			return boolResult(set), set, nil
+		case "Wait":
+			if !set {
+				return "", nil, ErrBlock
+			}
+			return okResult, set, nil
+		}
+		return "", nil, unknownOp(m, op)
+	}
+	return m
+}

@@ -1,0 +1,98 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"lineup/internal/monitor"
+)
+
+// replay runs a serial script through a model and returns the result strings.
+func replay(t *testing.T, m *monitor.Model, ops ...string) []string {
+	t.Helper()
+	state := m.Init()
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		res, next, err := m.Step(state, op)
+		if err != nil {
+			t.Fatalf("step %q: %v", op, err)
+		}
+		out[i] = res
+		state = next
+	}
+	return out
+}
+
+func expect(t *testing.T, got, want []string) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: got %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestBuiltinRegistry(t *testing.T) {
+	for _, name := range monitor.BuiltinNames() {
+		m, ok := monitor.Builtin(name)
+		if !ok || m == nil || m.Name != name {
+			t.Fatalf("Builtin(%q) broken: %v %v", name, m, ok)
+		}
+	}
+	if _, ok := monitor.Builtin("no-such-model"); ok {
+		t.Fatal("unknown model name must not resolve")
+	}
+}
+
+func TestQueueVocabulary(t *testing.T) {
+	got := replay(t, monitor.QueueModel(),
+		"TryDequeue()", "Enqueue(1)", "Add(2)", "Count()", "TryPeek()",
+		"ToArray()", "TryTake()", "Dequeue()", "IsEmpty()")
+	expect(t, got, []string{"Fail", "ok", "ok", "2", "1", "[1 2]", "1", "2", "true"})
+}
+
+func TestStackVocabulary(t *testing.T) {
+	got := replay(t, monitor.StackModel(),
+		"TryPop()", "Push(1)", "Push(2)", "TryPeek()", "ToArray()",
+		"Pop()", "Count()", "TryPop()", "IsEmpty()")
+	expect(t, got, []string{"Fail", "ok", "ok", "2", "[2 1]", "2", "1", "1", "true"})
+}
+
+func TestSetVocabulary(t *testing.T) {
+	got := replay(t, monitor.SetModel(),
+		"Add(5)", "Add(5)", "Contains(5)", "Contains(6)", "Count()",
+		"Remove(5)", "Remove(5)")
+	expect(t, got, []string{"true", "false", "true", "false", "1", "true", "false"})
+}
+
+func TestRegisterVocabulary(t *testing.T) {
+	got := replay(t, monitor.RegisterModel(),
+		"Read()", "Write(7)", "Get()", "CAS(7,9)", "CAS(7,11)", "Read()")
+	expect(t, got, []string{"0", "ok", "7", "true", "false", "9"})
+}
+
+func TestCounterVocabulary(t *testing.T) {
+	got := replay(t, monitor.CounterModel(),
+		"Inc()", "Increment()", "Dec()", "Get()", "Count()")
+	expect(t, got, []string{"ok", "ok", "ok", "1", "1"})
+}
+
+func TestMREVocabulary(t *testing.T) {
+	got := replay(t, monitor.MREModel(),
+		"IsSet()", "WaitOne(0)", "Set()", "Wait()", "IsSet()", "Reset()", "WaitOne(0)")
+	expect(t, got, []string{"false", "false", "ok", "ok", "true", "ok", "false"})
+}
+
+func TestSplitOp(t *testing.T) {
+	cases := []struct{ in, method, args string }{
+		{"Enqueue(10)", "Enqueue", "10"},
+		{"TryTake()", "TryTake", ""},
+		{"CAS(1,2)", "CAS", "1,2"},
+		{"Wait", "Wait", ""},
+	}
+	for _, c := range cases {
+		m, a := monitor.SplitOp(c.in)
+		if m != c.method || a != c.args {
+			t.Fatalf("SplitOp(%q) = %q, %q", c.in, m, a)
+		}
+	}
+}

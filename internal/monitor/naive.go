@@ -1,0 +1,131 @@
+package monitor
+
+import (
+	"errors"
+
+	"lineup/internal/history"
+)
+
+// NaiveCheck is an independent brute-force reference for Check: it
+// enumerates every linearization of the history's operations that respects
+// the precedence order <H (and program order, which <H subsumes within a
+// thread), replays the model from its initial state at each complete
+// candidate order, and accepts if any replay reproduces the recorded
+// results. No memoization, no partitioning, no result-guided pruning — the
+// naive permutation search that BenchmarkMonitorVsEnumeration measures the
+// memoized search against, and the oracle the package's property tests
+// cross-validate against.
+func NaiveCheck(m *Model, h *history.History, opts Options) (bool, error) {
+	pending := h.Pending()
+	mode := opts.Mode
+	if mode == ModeAuto {
+		if h.Stuck {
+			mode = ModeGeneralized
+		} else {
+			mode = ModeClassic
+		}
+	}
+	switch {
+	case len(pending) == 0:
+		return naiveSearch(m, h, "")
+	case mode == ModeClassic:
+		return naiveSearch(m, h, "")
+	default:
+		for _, e := range pending {
+			ok, err := naiveSearch(m, Reduce(h, e), e.Name)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+}
+
+// naiveSearch enumerates candidate orders over h's operations. Complete
+// operations are mandatory; pending operations are optional (classic
+// treatment) unless stuckOp is set, in which case h must be a reduced
+// history whose completed operations all linearize before stuckOp blocks.
+func naiveSearch(m *Model, h *history.History, stuckOp string) (bool, error) {
+	var ops []history.Op
+	for _, op := range h.Ops() {
+		if !op.Complete && stuckOp != "" {
+			continue // the reduced history's pending op is only probed at the end
+		}
+		ops = append(ops, op)
+	}
+	n := len(ops)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	mustLeft := 0
+	for _, op := range ops {
+		if op.Complete {
+			mustLeft++
+		}
+	}
+
+	replay := func() (bool, error) {
+		state := m.Init()
+		for _, idx := range order {
+			res, next, err := m.Step(state, ops[idx].Name)
+			if errors.Is(err, ErrBlock) {
+				return false, nil
+			}
+			if err != nil {
+				return false, err
+			}
+			if ops[idx].Complete && res != ops[idx].Result {
+				return false, nil
+			}
+			state = next
+		}
+		if stuckOp != "" {
+			if _, _, err := m.Step(state, stuckOp); !errors.Is(err, ErrBlock) {
+				if err != nil {
+					return false, err
+				}
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	var rec func() (bool, error)
+	rec = func() (bool, error) {
+		if mustLeft == 0 {
+			if ok, err := replay(); ok || err != nil {
+				return ok, err
+			}
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			enabled := true
+			for j := 0; j < n; j++ {
+				if j != i && !used[j] && history.Precedes(ops[j], ops[i]) {
+					enabled = false
+					break
+				}
+			}
+			if !enabled {
+				continue
+			}
+			used[i] = true
+			order = append(order, i)
+			if ops[i].Complete {
+				mustLeft--
+			}
+			ok, err := rec()
+			if ops[i].Complete {
+				mustLeft++
+			}
+			order = order[:len(order)-1]
+			used[i] = false
+			if ok || err != nil {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	return rec()
+}

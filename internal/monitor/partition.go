@@ -1,0 +1,46 @@
+package monitor
+
+import "lineup/internal/history"
+
+// partition splits h into P-compositional parts using the model's Partition
+// function: every operation maps to the key of the independent sub-object it
+// touches, events are grouped by key with their relative order preserved,
+// and each part is checked against a fresh initial state. The split degrades
+// to a single part when the model is monolithic, when partitioning is
+// disabled, when any operation touches the whole object, or when all
+// operations share one key. The returned key slice is aligned with the
+// parts ("" for the unsplit case) and sorted by first appearance.
+func partition(m *Model, h *history.History, opts Options) ([]*history.History, []string) {
+	whole := []*history.History{h}
+	if m.Partition == nil || opts.NoPartition {
+		return whole, []string{""}
+	}
+	byKey := make(map[string]*history.History)
+	var keys []string
+	for _, ev := range h.Events {
+		if ev.Kind != history.Call {
+			continue
+		}
+		if _, ok := m.Partition(ev.Op); !ok {
+			return whole, []string{""} // a whole-object op forbids splitting
+		}
+	}
+	for _, ev := range h.Events {
+		key, _ := m.Partition(ev.Op)
+		part := byKey[key]
+		if part == nil {
+			part = &history.History{Stuck: h.Stuck}
+			byKey[key] = part
+			keys = append(keys, key)
+		}
+		part.Events = append(part.Events, ev)
+	}
+	if len(keys) <= 1 {
+		return whole, []string{""}
+	}
+	parts := make([]*history.History, len(keys))
+	for i, k := range keys {
+		parts[i] = byKey[k]
+	}
+	return parts, keys
+}

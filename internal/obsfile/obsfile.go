@@ -241,11 +241,16 @@ func Parse(r io.Reader) (*File, error) {
 		blocks := make(map[int]bool)
 		threadOf := make(map[int]int)
 		order := make(map[int]int) // op number -> position within its thread listing
+		seenThreads := make(map[int]bool)
 		for _, xt := range xo.Threads {
 			ti, err := threadIndex(xt.ID)
 			if err != nil {
 				return nil, err
 			}
+			if seenThreads[ti] {
+				return nil, fmt.Errorf("obsfile: duplicate thread id %q", xt.ID)
+			}
+			seenThreads[ti] = true
 			for pos, tok := range strings.Fields(xt.Body) {
 				b := strings.HasSuffix(tok, "B")
 				tok = strings.TrimSuffix(tok, "B")
@@ -253,18 +258,32 @@ func Parse(r io.Reader) (*File, error) {
 				if err != nil {
 					return nil, fmt.Errorf("obsfile: bad op number %q", tok)
 				}
+				if _, dup := threadOf[n]; dup {
+					return nil, fmt.Errorf("obsfile: op %d listed by more than one thread", n)
+				}
 				blocks[n] = b
 				threadOf[n] = ti
 				order[n] = pos
 			}
 		}
 		for _, xop := range xo.Ops {
+			if _, known := threadOf[xop.ID]; !known {
+				return nil, fmt.Errorf("obsfile: op %d (%s) is not listed by any thread", xop.ID, xop.Name)
+			}
 			value, result := parseOpBody(xop.Body)
 			name := xop.Name
 			if value != "" {
 				name = fmt.Sprintf("%s(%s)", xop.Name, value)
 			} else {
 				name = xop.Name + "()"
+			}
+			// A blocking op has no result string; a completing op must carry
+			// one (void operations record "ok").
+			if blocks[xop.ID] && result != "" {
+				return nil, fmt.Errorf("obsfile: blocking op %d (%s) carries result %q", xop.ID, name, result)
+			}
+			if !blocks[xop.ID] && result == "" {
+				return nil, fmt.Errorf("obsfile: op %d (%s) has no result string", xop.ID, name)
 			}
 			obs.Ops = append(obs.Ops, opDesc{
 				Number: xop.ID,
@@ -327,7 +346,10 @@ func parseHistoryTokens(s string, ops map[int]opDesc) (*history.SerialHistory, e
 			if err != nil {
 				return nil, fmt.Errorf("obsfile: bad token %q", tok)
 			}
-			d := ops[n]
+			d, known := ops[n]
+			if !known {
+				return nil, fmt.Errorf("obsfile: history references undefined op %d in %q", n, s)
+			}
 			// A call is either immediately followed by its return (serial)
 			// or by the stuck marker.
 			if i+1 < len(toks) && toks[i+1] == "#" {

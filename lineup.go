@@ -1,7 +1,12 @@
 package lineup
 
 import (
+	"io"
+
 	"lineup/internal/core"
+	"lineup/internal/history"
+	"lineup/internal/monitor"
+	"lineup/internal/obsfile"
 	"lineup/internal/sched"
 )
 
@@ -98,3 +103,69 @@ func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummar
 func Shrink(sub *Subject, m *Test, opts Options) (*Test, *Result, error) {
 	return core.Shrink(sub, m, opts)
 }
+
+// Monitor vocabulary, re-exported from internal/monitor: the standalone
+// witness search over recorded histories (Section 4 generalized to traces
+// captured outside the deterministic scheduler).
+type (
+	// History is a recorded concurrent history of calls and returns.
+	History = history.History
+	// Model is an executable sequential specification for the monitor.
+	Model = monitor.Model
+	// MonitorOptions configures CheckHistory.
+	MonitorOptions = monitor.Options
+	// MonitorMode selects classic (Def. 1) or generalized (Def. 3) checking.
+	MonitorMode = monitor.Mode
+	// MonitorOutcome is the verdict of a monitor run, with search statistics
+	// and, when linearizable, a serial witness.
+	MonitorOutcome = monitor.Outcome
+	// WitnessStep is one operation of a serial witness.
+	WitnessStep = monitor.WitnessStep
+	// WitnessSearch selects the phase-2 witness backend of Options.
+	WitnessSearch = core.WitnessSearch
+)
+
+// Monitor modes.
+const (
+	// MonitorAuto picks the definition from the history's shape.
+	MonitorAuto = monitor.ModeAuto
+	// MonitorClassic forces Definition 1 (pending ops may be dropped).
+	MonitorClassic = monitor.ModeClassic
+	// MonitorGeneralized forces Definition 3 (pending ops must be justified).
+	MonitorGeneralized = monitor.ModeGeneralized
+)
+
+// Witness-search backends for Options.WitnessSearch.
+const (
+	// WitnessSpec answers witness queries from the phase-1 serial history set.
+	WitnessSpec = core.WitnessSpec
+	// WitnessMonitor answers them by replaying Options.MonitorModel.
+	WitnessMonitor = core.WitnessMonitor
+)
+
+// CheckHistory decides whether one recorded history is linearizable with
+// respect to the executable model, with no schedule exploration.
+func CheckHistory(m *Model, h *History, opts MonitorOptions) (*MonitorOutcome, error) {
+	return monitor.Check(m, h, opts)
+}
+
+// CheckWithMonitor is CheckAgainstModel with the phase-2 witness queries
+// answered by the executable model instead of phase-1 enumeration.
+func CheckWithMonitor(sub *Subject, model *Model, m *Test, opts RefOptions) (*Result, error) {
+	return core.CheckWithMonitor(sub, model, m, opts)
+}
+
+// BuiltinModel looks up a named executable model (queue, stack, set,
+// register, counter, mre); ok is false for unknown names.
+func BuiltinModel(name string) (*Model, bool) { return monitor.Builtin(name) }
+
+// BuiltinModelNames lists the registered executable models.
+func BuiltinModelNames() []string { return monitor.BuiltinNames() }
+
+// ReadTrace parses the JSONL history-trace format of `lineup monitor`:
+// one {"t":thread,"k":"call"|"ret"|"stuck","op":...,"res":...} object per
+// line, "#" comment lines allowed.
+func ReadTrace(r io.Reader) (*History, error) { return obsfile.ReadTrace(r) }
+
+// WriteTrace writes the history in the JSONL history-trace format.
+func WriteTrace(w io.Writer, h *History) error { return obsfile.WriteTrace(w, h) }
