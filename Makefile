@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench clean
+.PHONY: check check-race build vet test race bench clean
 
 check: build vet test
 
@@ -20,6 +20,12 @@ test:
 # monitor (parallel partition search). -short skips the long sweeps.
 race:
 	$(GO) test -race -short ./internal/sched ./internal/core ./internal/monitor ./internal/bench
+
+# Full race-enabled pass over every package (much slower than `race`;
+# exercises the prefix-sharded parallel explorer end to end). The bench
+# sweeps run for several minutes even uninstrumented, hence the timeout.
+check-race:
+	$(GO) test -race -timeout=60m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

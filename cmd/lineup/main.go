@@ -14,7 +14,9 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"lineup/internal/bench"
@@ -50,6 +52,7 @@ var commands = []command{
 	{"fig7", "", "the Fig. 7 observation file and violation report", noArgs(cmdFig7)},
 	{"fig9", "", "the Fig. 9 ManualResetEvent bug", noArgs(cmdFig9)},
 	{"compare", "[flags]", "race + serializability comparison (Section 5.6)", cmdCompare},
+	{"parallel", "[flags]", "sequential vs prefix-sharded parallel explorer (wall + speedup)", cmdParallel},
 	{"ablate", "", "preemption-bound ablation", cmdAblate},
 	{"memory", "[flags]", "store-buffer (TSO) SC-violation scan (Section 5.7)", cmdMemory},
 	{"record", "-class NAME -test SPEC [-o FILE]", "record an observation file (phase 1)", cmdRecord},
@@ -207,7 +210,8 @@ func cmdTable2(args []string) error {
 	rows := fs.Int("rows", 3, "threads per test")
 	cols := fs.Int("cols", 3, "invocations per thread")
 	seed := fs.Int64("seed", 1, "sampling seed")
-	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers per class")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers per class (one test per worker)")
+	exploreWorkers := fs.Int("explore-workers", 1, "shard each check's phase-2 exploration across this many workers")
 	pre := fs.Bool("pre", true, "include the (Pre) variants")
 	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
 	if err := fs.Parse(args); err != nil {
@@ -215,7 +219,7 @@ func cmdTable2(args []string) error {
 	}
 	table, err := bench.RunTable2(bench.Table2Options{
 		Samples: *samples, Rows: *rows, Cols: *cols, Seed: *seed,
-		Workers: *workers, IncludePre: *pre,
+		Workers: *workers, ExploreWorkers: *exploreWorkers, IncludePre: *pre,
 	}, func(class string) { fmt.Fprintf(os.Stderr, "checking %s...\n", class) })
 	if err != nil {
 		return err
@@ -268,7 +272,9 @@ func cmdCheck(args []string) error {
 	cols := fs.Int("cols", 3, "invocations per thread")
 	seed := fs.Int64("seed", 1, "sampling seed")
 	bound := fs.Int("pb", 0, "preemption bound (0 = class default)")
-	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (one test per worker)")
+	exploreWorkers := fs.Int("explore-workers", 1, "shard each check's phase-2 exploration across this many workers")
+	progress := fs.Bool("progress", false, "print per-shard progress counters (with -explore-workers > 1)")
 	shrink := fs.Bool("shrink", true, "minimize the first failing test")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -281,10 +287,14 @@ func cmdCheck(args []string) error {
 	if *bound != 0 {
 		pb = *bound
 	}
+	copts := core.Options{PreemptionBound: pb, Workers: *exploreWorkers}
+	if *progress && *exploreWorkers > 1 {
+		copts.ShardProgress = shardProgressPrinter(os.Stderr)
+	}
 	sum, err := core.RandomCheck(sub, nil, core.RandomOptions{
 		Rows: *rows, Cols: *cols, Samples: *samples, Seed: *seed,
 		Workers: *workers,
-		Options: core.Options{PreemptionBound: pb},
+		Options: copts,
 	})
 	if err != nil {
 		return err
@@ -458,10 +468,12 @@ func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	samples := fs.Int("samples", 10, "random tests per class")
 	seed := fs.Int64("seed", 5, "sampling seed")
+	workers := fs.Int("workers", 1, "shard each test's schedule exploration across this many workers")
 	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	copts := core.Options{PreemptionBound: 2, Workers: *workers}
 	fmt.Println("Section 5.6 — Line-Up vs race detection vs conflict-serializability")
 	fmt.Printf("%-26s %8s %8s %10s %10s\n", "Class", "races", "atomWarn", "warnTests", "lineupFail")
 	fmt.Println(strings.Repeat("-", 70))
@@ -469,7 +481,7 @@ func cmdCompare(args []string) error {
 	var walls []time.Duration
 	for _, e := range bench.Registry() {
 		start := time.Now()
-		res, err := bench.CompareRandom(e.Subject, 2, 2, *samples, *seed, core.Options{PreemptionBound: 2})
+		res, err := bench.CompareRandom(e.Subject, 2, 2, *samples, *seed, copts)
 		if err != nil {
 			return err
 		}
@@ -486,12 +498,91 @@ func cmdCompare(args []string) error {
 	}
 	fmt.Println("\nsample serializability warnings (all false alarms on correct classes):")
 	stack, _, _ := bench.Find("ConcurrentStack")
-	res, err := bench.CompareRandom(stack, 2, 2, *samples, *seed, core.Options{PreemptionBound: 2})
+	res, err := bench.CompareRandom(stack, 2, 2, *samples, *seed, copts)
 	if err != nil {
 		return err
 	}
 	for _, w := range res.WarningSamples {
 		fmt.Println(" ", w)
+	}
+	return nil
+}
+
+// shardProgressPrinter returns a core.Options.ShardProgress callback that
+// keeps a single status line on w up to date, throttled so tight exploration
+// loops do not drown the terminal. Safe for concurrent snapshots.
+func shardProgressPrinter(w io.Writer) func(sched.ShardProgress) {
+	var (
+		mu   sync.Mutex
+		last time.Time
+	)
+	return func(p sched.ShardProgress) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if now.Sub(last) < 100*time.Millisecond && p.Done != p.Shards {
+			return
+		}
+		last = now
+		fmt.Fprintf(w, "\rshards %d/%d (%d splits), %d executions ",
+			p.Done, p.Shards, p.Splits, p.Executions)
+		if p.Done == p.Shards {
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// parseWorkerList parses the comma-separated -workers argument of the
+// parallel subcommand.
+func parseWorkerList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty worker list")
+	}
+	return out, nil
+}
+
+// cmdParallel benchmarks the prefix-sharded parallel explorer against the
+// sequential one on the Fig. 1/Fig. 9 subjects (and their fixed
+// counterparts), asserting identical work and reporting wall-time speedups.
+func cmdParallel(args []string) error {
+	fs := flag.NewFlagSet("parallel", flag.ExitOnError)
+	workers := fs.String("workers", "1,2,4,8", "comma-separated worker counts (1 = sequential baseline)")
+	repeat := fs.Int("repeat", 3, "measurements per configuration (best wall time wins)")
+	progress := fs.Bool("progress", false, "print per-subject progress to stderr")
+	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ws, err := parseWorkerList(*workers)
+	if err != nil {
+		return err
+	}
+	var report func(string)
+	if *progress {
+		report = func(s string) { fmt.Fprintf(os.Stderr, "exploring %s...\n", s) }
+	}
+	rows, err := bench.RunParallel(bench.ParallelOptions{Workers: ws, Repeat: *repeat}, report)
+	if err != nil {
+		return err
+	}
+	bench.WriteParallel(os.Stdout, rows)
+	if *jsonOut != "" {
+		if err := bench.WriteJSONRows(*jsonOut, bench.ParallelJSON(rows)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 	return nil
 }

@@ -55,6 +55,12 @@
 // failing test, and CheckAgainstModel checks an implementation against a
 // reference model instead of against its own serial behaviors.
 //
+// Options.Workers > 1 shards one check's phase-2 schedule exploration
+// across a worker pool; the verdict, the statistics of passing checks, and
+// the reported first violation are identical to the sequential explorer
+// for every worker count (DESIGN.md describes the prefix-sharding and
+// minimum-position construction behind that guarantee).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure.
 package lineup

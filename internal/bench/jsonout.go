@@ -14,14 +14,16 @@ const JSONFile = "BENCH_lineup.json"
 // (schedules explored, histories checked) and how long it took, per class.
 // Fields that do not apply to a record kind are omitted.
 type JSONRow struct {
-	Kind      string  `json:"kind"`  // "table2" or "compare"
-	Class     string  `json:"class"` // subject name
-	Tests     int     `json:"tests"` // random tests sampled
+	Kind      string  `json:"kind"`            // "table2", "compare" or "parallel"
+	Class     string  `json:"class"`           // subject name
+	Tests     int     `json:"tests,omitempty"` // random tests sampled
 	Schedules int     `json:"schedules_explored"`
 	Histories int     `json:"histories_checked,omitempty"` // distinct phase-2 histories (full + stuck)
 	Failed    int     `json:"failed,omitempty"`            // Line-Up failures among the tests
 	Races     int     `json:"races,omitempty"`             // compare: distinct data races
 	AtomWarn  int     `json:"atomicity_warnings,omitempty"`
+	Workers   int     `json:"workers,omitempty"` // parallel: explorer worker count
+	Speedup   float64 `json:"speedup,omitempty"` // parallel: wall(workers=1) / wall
 	WallMS    float64 `json:"wall_ms"`
 }
 
@@ -61,6 +63,24 @@ func CompareJSON(results []*CompareResult, wall []time.Duration) []JSONRow {
 			row.WallMS = float64(wall[i]) / float64(time.Millisecond)
 		}
 		out = append(out, row)
+	}
+	return out
+}
+
+// ParallelJSON converts sequential-vs-parallel explorer rows to JSON
+// records.
+func ParallelJSON(rows []ParallelRow) []JSONRow {
+	out := make([]JSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, JSONRow{
+			Kind:      "parallel",
+			Class:     r.Class,
+			Schedules: r.Executions,
+			Histories: r.Histories,
+			Workers:   r.Workers,
+			Speedup:   r.Speedup,
+			WallMS:    float64(r.Wall) / float64(time.Millisecond),
+		})
 	}
 	return out
 }

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"lineup/internal/core"
+)
+
+// ParallelRow is one sequential-vs-parallel measurement: the same exhaustive
+// phase-2 exploration of one subject, run with a given worker count.
+type ParallelRow struct {
+	Class      string
+	Workers    int // 1 = the sequential explorer
+	Bound      int
+	Executions int // schedules explored in phase 2
+	Histories  int // distinct phase-2 histories (full + stuck)
+	Verdict    string
+	Wall       time.Duration
+	// Speedup is Wall(workers=1) / Wall for the same class; 1.0 for the
+	// sequential row itself.
+	Speedup float64
+}
+
+// ParallelOptions parameterizes RunParallel.
+type ParallelOptions struct {
+	// Workers lists the worker counts to measure; the default is 1, 2, 4, 8.
+	// A leading 1 is forced (it is the speedup baseline).
+	Workers []int
+	// Repeat measures each configuration this many times and keeps the best
+	// wall time (default 1); exploration work is deterministic, so repeats
+	// only reduce scheduler noise.
+	Repeat int
+}
+
+func (o ParallelOptions) withDefaults() ParallelOptions {
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4, 8}
+	}
+	if o.Workers[0] != 1 {
+		o.Workers = append([]int{1}, o.Workers...)
+	}
+	if o.Repeat <= 0 {
+		o.Repeat = 1
+	}
+	return o
+}
+
+// parallelSubjects returns the benchmark workload: the Fig. 1
+// (BlockingCollection) and Fig. 9 (ManualResetEvent) scenarios on both the
+// buggy (Pre) subject the figure describes and its fixed counterpart, each
+// with the directed test and preemption bound of its cause case.
+func parallelSubjects() []CauseCase {
+	var out []CauseCase
+	for _, c := range CauseCases() {
+		if c.Cause == CauseA || c.Cause == CauseB {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RunParallel measures exhaustive phase-2 exploration wall times of the
+// Fig. 1/Fig. 9 subjects at each worker count. All runs use ExhaustPhase2 so
+// every configuration explores exactly the same schedule space (verdicts do
+// not truncate the work), which makes the wall times directly comparable and
+// lets the row assert that executions and verdicts are identical across
+// worker counts.
+func RunParallel(opts ParallelOptions, progress func(string)) ([]ParallelRow, error) {
+	opts = opts.withDefaults()
+	var rows []ParallelRow
+	for _, c := range parallelSubjects() {
+		for _, sub := range []*core.Subject{c.Subject, c.Counterpart} {
+			if sub == nil {
+				continue
+			}
+			baseWall := time.Duration(0)
+			for _, w := range opts.Workers {
+				if progress != nil {
+					progress(fmt.Sprintf("%s workers=%d", sub.Name, w))
+				}
+				copts := core.Options{
+					PreemptionBound: c.Bound,
+					ExhaustPhase2:   true,
+					Workers:         w,
+				}
+				var res *core.Result
+				best := time.Duration(0)
+				for rep := 0; rep < opts.Repeat; rep++ {
+					r, err := core.Check(sub, c.Test, copts)
+					if err != nil {
+						return nil, fmt.Errorf("bench: parallel %s workers=%d: %w", sub.Name, w, err)
+					}
+					if res == nil {
+						res = r
+					}
+					if best == 0 || r.Phase2.Duration < best {
+						best = r.Phase2.Duration
+					}
+				}
+				row := ParallelRow{
+					Class:      sub.Name,
+					Workers:    w,
+					Bound:      c.Bound,
+					Executions: res.Phase2.Executions,
+					Histories:  res.Phase2.Histories + res.Phase2.Stuck,
+					Verdict:    res.Verdict.String(),
+					Wall:       best,
+					Speedup:    1,
+				}
+				if w == 1 {
+					baseWall = best
+				} else if best > 0 {
+					row.Speedup = float64(baseWall) / float64(best)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// WriteParallel renders the sequential-vs-parallel rows.
+func WriteParallel(w io.Writer, rows []ParallelRow) {
+	fmt.Fprintf(w, "%-28s %7s %3s | %10s %9s %7s | %10s %8s\n",
+		"Class", "workers", "PB", "schedules", "histories", "verdict", "wall", "speedup")
+	fmt.Fprintln(w, strings.Repeat("-", 100))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %7d %3d | %10d %9d %7s | %10s %7.2fx\n",
+			r.Class, r.Workers, r.Bound, r.Executions, r.Histories, r.Verdict,
+			round(r.Wall), r.Speedup)
+	}
+}

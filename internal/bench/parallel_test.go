@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunParallelRows runs the sequential-vs-parallel benchmark at small
+// worker counts and checks the invariants the rows are supposed to certify:
+// for each class the verdict, execution count, and history count are
+// identical at every worker count, and speedups are populated.
+func TestRunParallelRows(t *testing.T) {
+	rows, err := RunParallel(ParallelOptions{Workers: []int{1, 2, 4}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	base := map[string]ParallelRow{}
+	classes := map[string]int{}
+	for _, r := range rows {
+		classes[r.Class]++
+		if r.Executions <= 0 {
+			t.Errorf("%s workers=%d: no executions", r.Class, r.Workers)
+		}
+		if r.Wall <= 0 {
+			t.Errorf("%s workers=%d: zero wall time", r.Class, r.Workers)
+		}
+		if r.Workers == 1 {
+			if r.Speedup != 1 {
+				t.Errorf("%s: baseline speedup = %v, want 1", r.Class, r.Speedup)
+			}
+			base[r.Class] = r
+			continue
+		}
+		b, ok := base[r.Class]
+		if !ok {
+			t.Fatalf("%s workers=%d appeared before its baseline row", r.Class, r.Workers)
+		}
+		if r.Verdict != b.Verdict {
+			t.Errorf("%s workers=%d: verdict %s, sequential said %s", r.Class, r.Workers, r.Verdict, b.Verdict)
+		}
+		if r.Executions != b.Executions || r.Histories != b.Histories {
+			t.Errorf("%s workers=%d: executions/histories %d/%d, sequential %d/%d",
+				r.Class, r.Workers, r.Executions, r.Histories, b.Executions, b.Histories)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s workers=%d: speedup %v not computed", r.Class, r.Workers, r.Speedup)
+		}
+	}
+	// Fig. 1 and Fig. 9 subjects plus their fixed counterparts, 3 rows each.
+	for class, n := range classes {
+		if n != 3 {
+			t.Errorf("%s: %d rows, want 3", class, n)
+		}
+	}
+	// Both buggy subjects must actually fail and their counterparts pass.
+	for _, c := range parallelSubjects() {
+		if v := base[c.Subject.Name].Verdict; v == "PASS" {
+			t.Errorf("%s: expected a violation, got %s", c.Subject.Name, v)
+		}
+		if c.Counterpart != nil {
+			if v := base[c.Counterpart.Name].Verdict; v != "PASS" {
+				t.Errorf("%s: expected PASS, got %s", c.Counterpart.Name, v)
+			}
+		}
+	}
+
+	// The renderer mentions every class and worker count.
+	var sb strings.Builder
+	WriteParallel(&sb, rows)
+	out := sb.String()
+	for class := range classes {
+		if !strings.Contains(out, class) {
+			t.Errorf("rendered table missing class %s", class)
+		}
+	}
+
+	// JSON conversion carries the parallel-specific fields.
+	js := ParallelJSON(rows)
+	if len(js) != len(rows) {
+		t.Fatalf("ParallelJSON: %d records for %d rows", len(js), len(rows))
+	}
+	for i, j := range js {
+		if j.Kind != "parallel" || j.Workers != rows[i].Workers || j.Speedup != rows[i].Speedup {
+			t.Errorf("record %d: %+v does not match row %+v", i, j, rows[i])
+		}
+	}
+}

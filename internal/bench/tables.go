@@ -120,8 +120,12 @@ type Table2Options struct {
 	Rows, Cols int
 	// Seed for reproducibility.
 	Seed int64
-	// Workers parallelizes each class's sample.
+	// Workers parallelizes each class's sample (one test per worker).
 	Workers int
+	// ExploreWorkers shards the phase-2 schedule exploration of every
+	// individual check (core.Options.Workers); 0 or 1 keeps the sequential
+	// explorer. Composes with Workers but usually over-subscribes.
+	ExploreWorkers int
 	// IncludePre includes the "(Pre)" variants (the paper tests both
 	// releases).
 	IncludePre bool
@@ -170,7 +174,7 @@ func RunTable2(opts Table2Options, progress func(string)) ([]Table2Row, error) {
 		sum, err := core.RandomCheck(sub, nil, core.RandomOptions{
 			Rows: opts.Rows, Cols: opts.Cols, Samples: opts.Samples,
 			Seed: opts.Seed, Workers: opts.Workers,
-			Options: core.Options{PreemptionBound: bound},
+			Options: core.Options{PreemptionBound: bound, Workers: opts.ExploreWorkers},
 		})
 		if err != nil {
 			return err

@@ -122,9 +122,15 @@ type RandomOptions struct {
 	Samples int
 	// Seed makes the sample reproducible.
 	Seed int64
-	// Workers runs checks on this many OS-level workers (the
-	// "embarrassingly parallel" distribution of Section 4.3). 0 or 1 is
-	// sequential.
+	// Workers runs whole checks (one test per worker) on this many
+	// OS-level workers (the "embarrassingly parallel" distribution of
+	// Section 4.3). 0 or 1 is sequential. This field shadows the embedded
+	// Options.Workers, which instead parallelizes the phase-2 schedule
+	// exploration *within* one check; set that one explicitly
+	// (opts.Options.Workers) to shard individual explorations. The two
+	// compose but usually over-subscribe the machine — prefer test-level
+	// parallelism for many small tests and exploration-level parallelism
+	// for few large ones.
 	Workers int
 	// StopAtFirstFailure ends the run at the first failing test.
 	StopAtFirstFailure bool

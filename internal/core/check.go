@@ -63,6 +63,21 @@ type Options struct {
 	// MonitorModel is the executable sequential model consulted when
 	// WitnessSearch is WitnessMonitor (see CheckWithMonitor).
 	MonitorModel *monitor.Model
+	// Workers, when > 1, explores the phase-2 schedule space with that many
+	// prefix-sharded workers (sched.ExploreParallel) instead of the
+	// sequential DFS. The verdict, the reported violation, and — on passing
+	// or exhaustive runs — the phase statistics are identical to the
+	// sequential explorer's regardless of worker count; on runs that stop at
+	// a violation the execution counts may exceed the sequential ones (early
+	// cancellation abandons strictly-later work but lets in-flight work
+	// finish). 0 or 1 selects the sequential explorer; sampling
+	// (SampleSchedules) and phase 1 ignore Workers.
+	Workers int
+	// ShardProgress, when non-nil and Workers > 1, receives progress
+	// snapshots of the parallel exploration (shards created/retired,
+	// executions run). It is called under an internal lock and must return
+	// quickly.
+	ShardProgress func(sched.ShardProgress)
 }
 
 func (o Options) bound() int {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"lineup/internal/history"
@@ -66,12 +67,215 @@ const (
 	modeClassic
 )
 
+// phase2Decider is the per-history decision procedure shared by the
+// sequential and parallel phase-2 drivers: outcome → (history, dedup key),
+// and new history → (violation or pass).
+type phase2Decider struct {
+	backend witnessBackend
+	mode    witnessMode
+	m       *Test
+	relaxed map[string]bool
+}
+
+func (d *phase2Decider) history(out *sched.Outcome) (*history.History, string, error) {
+	h, err := toHistory(out)
+	if err != nil {
+		return nil, "", err
+	}
+	normalizeRelaxed(h, d.relaxed)
+	return h, historyKey(h), nil
+}
+
+// witness decides witness existence for one not-yet-seen history, returning
+// the violation it proves (nil if the history is covered) or a backend error.
+func (d *phase2Decider) witness(h *history.History) (*Violation, error) {
+	if !h.Stuck {
+		ok, err := d.backend.witnessFull(h)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return &Violation{Kind: NoWitness, Test: d.m, History: h}, nil
+		}
+		return nil, nil
+	}
+	if d.mode == modeClassic {
+		ok, err := d.backend.witnessClassic(h)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return &Violation{Kind: NoWitness, Test: d.m, History: h}, nil
+		}
+		return nil, nil
+	}
+	for _, e := range h.Pending() {
+		e := e
+		ok, err := d.backend.witnessStuck(h, e)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return &Violation{Kind: StuckNoWitness, Test: d.m, History: h, Pending: &e}, nil
+		}
+	}
+	return nil, nil
+}
+
+// phase2Seq accumulates the sequential (and sampling) phase-2 state.
+type phase2Seq struct {
+	d         *phase2Decider
+	exhaust   bool
+	seen      map[string]bool
+	full      int
+	stuck     int
+	violation *Violation
+	err       error
+}
+
+func (s *phase2Seq) visit(out *sched.Outcome) bool {
+	h, key, herr := s.d.history(out)
+	if herr != nil {
+		s.err = herr
+		return false
+	}
+	if s.seen[key] {
+		return true
+	}
+	s.seen[key] = true
+	if h.Stuck {
+		s.stuck++
+	} else {
+		s.full++
+	}
+	v, werr := s.d.witness(h)
+	if werr != nil {
+		s.err = werr
+		return false
+	}
+	if v != nil {
+		if s.violation == nil {
+			s.violation = v
+		}
+		return s.exhaust
+	}
+	return true
+}
+
+// phase2Par accumulates the parallel phase-2 state. Deduplication is shared
+// across workers: the first visitor of a key decides it (all others wait for
+// that decision), and every occurrence records its position, so the minimal
+// position of each key — which is exactly the point where the sequential
+// explorer would first meet it — is known at the end. resolve then replays
+// the sequential precedence over those positions, which makes the verdict
+// and the reported violation identical for every worker count.
+type phase2Par struct {
+	d        *phase2Decider
+	exhaust  bool
+	mu       sync.Mutex
+	entries  map[string]*keyDecision
+	firstPos map[string]sched.Pos
+	full     int
+	stuck    int
+	errs     []posError
+}
+
+// keyDecision memoizes the witness decision of one history key; done is
+// closed once v/err are final.
+type keyDecision struct {
+	done chan struct{}
+	v    *Violation
+	err  error
+}
+
+type posError struct {
+	pos sched.Pos
+	err error
+}
+
+func (s *phase2Par) visit(out *sched.Outcome, p sched.Pos) bool {
+	h, key, herr := s.d.history(out)
+	if herr != nil {
+		s.mu.Lock()
+		s.errs = append(s.errs, posError{p, herr})
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Lock()
+	if q, ok := s.firstPos[key]; !ok || p.Before(q) {
+		s.firstPos[key] = p
+	}
+	e, ok := s.entries[key]
+	if !ok {
+		e = &keyDecision{done: make(chan struct{})}
+		s.entries[key] = e
+		if h.Stuck {
+			s.stuck++
+		} else {
+			s.full++
+		}
+		s.mu.Unlock()
+		e.v, e.err = s.d.witness(h)
+		close(e.done)
+	} else {
+		s.mu.Unlock()
+		// Wait for the deciding worker so that this occurrence reacts to the
+		// decision exactly as the sequential explorer would at its position —
+		// in particular a repeated occurrence of a failing key must stop
+		// exploration here, or early cancellation could miss the sequentially
+		// first stopping point.
+		<-e.done
+	}
+	if e.err != nil {
+		s.mu.Lock()
+		s.errs = append(s.errs, posError{p, e.err})
+		s.mu.Unlock()
+		return false
+	}
+	if e.v != nil {
+		return s.exhaust
+	}
+	return true
+}
+
+// resolve returns the sequentially-first terminal event: the violation whose
+// key was first met earliest, unless a decision error occurred at an even
+// earlier position (then that error, as the sequential explorer would have
+// failed there before reaching the violation).
+func (s *phase2Par) resolve() (*Violation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var vPos sched.Pos
+	var v *Violation
+	for key, e := range s.entries {
+		if e.v == nil {
+			continue
+		}
+		if p := s.firstPos[key]; vPos == nil || p.Before(vPos) {
+			vPos, v = p, e.v
+		}
+	}
+	var ePos sched.Pos
+	var err error
+	for _, pe := range s.errs {
+		if ePos == nil || pe.pos.Before(ePos) {
+			ePos, err = pe.pos, pe.err
+		}
+	}
+	if err != nil && (vPos == nil || ePos.Before(vPos)) {
+		return nil, err
+	}
+	return v, nil
+}
+
 // phase2 enumerates the concurrent executions of sub on m and checks every
 // distinct history for witness existence under the selected witness mode,
 // delegating the per-history decision to the backend selected by the options
 // (spec-set lookup by default, model replay under WitnessMonitor). It is the
 // shared engine behind Check, CheckAgainstModel, CheckAgainstSpec, and
 // CheckWithMonitor; spec may be nil when the monitor backend is selected.
+// Options.Workers > 1 selects the prefix-sharded parallel explorer with the
+// same verdict and violation as the sequential DFS.
 func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnessMode) (*Result, error) {
 	res := &Result{Subject: sub, Test: m, Verdict: Pass}
 	backend, berr := opts.witnessBackend(spec)
@@ -88,93 +292,77 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 			return res, nil
 		}
 	}
-	var holder any
-	var err error
+	d := &phase2Decider{backend: backend, mode: mode, m: m, relaxed: opts.relaxedSet()}
 	start := time.Now()
-	seen := make(map[string]bool)
-	relaxed := opts.relaxedSet()
-	full, stuckN := 0, 0
-	var violation *Violation
-	visit := func(out *sched.Outcome) bool {
-		h, herr := toHistory(out)
-		if herr != nil {
-			err = herr
-			return false
-		}
-		normalizeRelaxed(h, relaxed)
-		key := historyKey(h)
-		if seen[key] {
-			return true
-		}
-		seen[key] = true
-		if !h.Stuck {
-			full++
-			ok, werr := backend.witnessFull(h)
-			if werr != nil {
-				err = werr
-				return false
-			}
-			if !ok {
-				if violation == nil {
-					violation = &Violation{Kind: NoWitness, Test: m, History: h}
-				}
-				return opts.ExhaustPhase2
-			}
-			return true
-		}
-		stuckN++
-		if mode == modeClassic {
-			ok, werr := backend.witnessClassic(h)
-			if werr != nil {
-				err = werr
-				return false
-			}
-			if !ok {
-				if violation == nil {
-					violation = &Violation{Kind: NoWitness, Test: m, History: h}
-				}
-				return opts.ExhaustPhase2
-			}
-			return true
-		}
-		for _, e := range h.Pending() {
-			e := e
-			ok, werr := backend.witnessStuck(h, e)
-			if werr != nil {
-				err = werr
-				return false
-			}
-			if !ok {
-				if violation == nil {
-					violation = &Violation{Kind: StuckNoWitness, Test: m, History: h, Pending: &e}
-				}
-				return opts.ExhaustPhase2
-			}
-		}
-		return true
-	}
 	var stats sched.ExploreStats
 	var exploreErr error
-	if opts.SampleSchedules > 0 {
+	var violation *Violation
+	var full, stuckN int
+	switch {
+	case opts.SampleSchedules > 0:
+		var holder any
+		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, seen: make(map[string]bool)}
 		stats, exploreErr = sched.ExploreRandom(sched.RandomConfig{
 			Config:   sched.Config{Granularity: opts.Granularity},
 			Runs:     opts.SampleSchedules,
 			Seed:     opts.SampleSeed,
 			Strategy: opts.SampleStrategy,
 			Depth:    opts.PCTDepth,
-		}, program(sub, m, &holder), visit)
-	} else {
+		}, program(sub, m, &holder), seq.visit)
+		if seq.err != nil {
+			return nil, seq.err
+		}
+		if exploreErr != nil {
+			return nil, exploreErr
+		}
+		violation, full, stuckN = seq.violation, seq.full, seq.stuck
+	case opts.Workers > 1:
+		par := &phase2Par{
+			d:        d,
+			exhaust:  opts.ExhaustPhase2,
+			entries:  make(map[string]*keyDecision),
+			firstPos: make(map[string]sched.Pos),
+		}
+		stats, exploreErr = sched.ExploreParallel(sched.ExploreConfig{
+			Config:          sched.Config{Granularity: opts.Granularity},
+			PreemptionBound: opts.bound(),
+			MaxExecutions:   opts.maxExecs(),
+		}, sched.ParallelConfig{
+			Workers:  opts.Workers,
+			Progress: opts.ShardProgress,
+		}, func() sched.Program {
+			var holder any
+			return program(sub, m, &holder)
+		}, par.visit)
+		// A non-budget explorer error is an execution failure that precedes
+		// every visit-level stop in sequential order (the explorer's own
+		// minimal-position selection), so it wins.
+		if exploreErr != nil && exploreErr != sched.ErrBudget {
+			return nil, exploreErr
+		}
+		v, verr := par.resolve()
+		if verr != nil {
+			return nil, verr
+		}
+		if exploreErr == sched.ErrBudget {
+			return nil, exploreErr
+		}
+		violation, full, stuckN = v, par.full, par.stuck
+	default:
+		var holder any
+		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, seen: make(map[string]bool)}
 		stats, exploreErr = sched.Explore(sched.ExploreConfig{
 			Config:          sched.Config{Granularity: opts.Granularity},
 			PreemptionBound: opts.bound(),
 			MaxExecutions:   opts.maxExecs(),
-		}, program(sub, m, &holder), visit)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if exploreErr != nil {
-		return nil, exploreErr
+		}, program(sub, m, &holder), seq.visit)
+		if seq.err != nil {
+			return nil, seq.err
+		}
+		if exploreErr != nil {
+			return nil, exploreErr
+		}
+		violation, full, stuckN = seq.violation, seq.full, seq.stuck
 	}
 	res.Phase2 = PhaseStats{
 		Executions: stats.Executions,

@@ -1,0 +1,79 @@
+package obsfile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace exercises the JSONL history-trace parser with arbitrary
+// input. The invariants are: ReadTrace never panics; on success the parsed
+// history is well-formed (or stuck-annotated) and survives a
+// WriteTrace/ReadTrace round trip unchanged.
+func FuzzReadTrace(f *testing.F) {
+	seeds := []string{
+		// Well-formed traces from the unit tests.
+		`
+# a hand-written Fig. 1-shaped trace
+{"t":0,"k":"call","op":"Enqueue(10)"}
+{"t":0,"k":"ret","op":"Enqueue(10)","res":"ok"}
+
+{"t":1,"k":"call","op":"TryDequeue()"}
+{"t":1,"k":"ret","res":"Fail"}
+`,
+		`{"t":0,"k":"call","op":"Take()"}
+{"k":"stuck"}
+`,
+		// Every rejection path from TestReadTraceErrors.
+		`{"t":0,"k":`,
+		`{"t":0,"k":"invoke","op":"X()"}`,
+		`{"t":0,"k":"call","op":"A()"}` + "\n" + `{"t":0,"k":"call","op":"B()"}`,
+		`{"t":0,"k":"ret","res":"ok"}`,
+		`{"t":0,"k":"call","op":"A()"}` + "\n" + `{"t":0,"k":"ret","op":"B()","res":"ok"}`,
+		`{"t":0,"k":"call"}`,
+		`{"t":-1,"k":"call","op":"A()"}`,
+		`{"k":"stuck"}` + "\n" + `{"t":0,"k":"call","op":"A()"}`,
+		// Oddities: empty input, comments only, huge thread, embedded junk.
+		``,
+		"#\n#\n",
+		`{"t":99999999,"k":"call","op":"A()"}`,
+		"\x00\xff{not json at all",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		h, err := ReadTrace(strings.NewReader(in))
+		if err != nil {
+			if h != nil {
+				t.Fatalf("error %v returned alongside a non-nil history", err)
+			}
+			return
+		}
+		if h == nil {
+			t.Fatalf("nil history with nil error")
+		}
+		// A parsed trace is internally consistent: full histories are
+		// well-formed, and re-serializing must reproduce the exact history.
+		if !h.Stuck && !h.WellFormed() {
+			t.Fatalf("parsed full history is not well-formed: %+v", h)
+		}
+		var buf bytes.Buffer
+		if werr := WriteTrace(&buf, h); werr != nil {
+			t.Fatalf("WriteTrace on parsed history: %v", werr)
+		}
+		h2, rerr := ReadTrace(&buf)
+		if rerr != nil {
+			t.Fatalf("re-reading written trace: %v\ntrace:\n%s", rerr, buf.String())
+		}
+		if h2.Stuck != h.Stuck || len(h2.Events) != len(h.Events) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", h2, h)
+		}
+		for i, e := range h2.Events {
+			w := h.Events[i]
+			if e.Thread != w.Thread || e.Kind != w.Kind || e.Op != w.Op || e.Result != w.Result {
+				t.Fatalf("round trip changed event %d: got %+v want %+v", i, e, w)
+			}
+		}
+	})
+}

@@ -92,7 +92,15 @@ func (e *explorer) Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) Threa
 // advance backtracks to the deepest decision with an unexplored, affordable
 // alternative. It reports false when the schedule space is exhausted.
 func (e *explorer) advance() bool {
-	for len(e.stack) > 0 {
+	return e.advanceAbove(0)
+}
+
+// advanceAbove is advance restricted to decision levels >= floor: levels
+// below floor are pinned and never altered. The parallel explorer uses a
+// positive floor to confine a worker to its shard's schedule prefix; the
+// sequential explorer uses floor 0.
+func (e *explorer) advanceAbove(floor int) bool {
+	for len(e.stack) > floor {
 		c := e.stack[len(e.stack)-1]
 		c.next++
 		for c.next < len(c.enabled) && !e.allowed(c, c.next) {
@@ -170,18 +178,47 @@ func Explore(cfg ExploreConfig, prog Program, visit func(*Outcome) bool) (Explor
 	}
 }
 
+// ScheduleDivergenceError reports that a recorded schedule could not be
+// replayed faithfully: at some decision the schedule named a thread that was
+// not among the enabled threads. This happens when the program has changed
+// since the schedule was recorded (or the schedule belongs to a different
+// program), so the replayed outcome would not reproduce the recorded
+// execution.
+type ScheduleDivergenceError struct {
+	// Decision is the index into the schedule at which replay diverged.
+	Decision int
+	// Want is the recorded thread that was not enabled.
+	Want ThreadID
+	// Enabled is the set of threads that were actually enabled.
+	Enabled []ThreadID
+}
+
+func (e *ScheduleDivergenceError) Error() string {
+	return fmt.Sprintf("sched: schedule diverged at decision %d: recorded thread %d is not enabled (enabled: %v)",
+		e.Decision, e.Want, e.Enabled)
+}
+
 // ReplaySchedule re-executes prog following a fixed sequence of decisions
 // (as produced by RecordingController); it is used to reproduce a reported
-// violation deterministically.
-func ReplaySchedule(cfg Config, prog Program, schedule []ThreadID) *Outcome {
+// violation deterministically. If the schedule names a thread that is not
+// enabled at its decision — the program no longer matches the recording —
+// the execution completes on a fallback schedule and a
+// *ScheduleDivergenceError describing the first divergence is returned
+// alongside the (untrustworthy) outcome.
+func ReplaySchedule(cfg Config, prog Program, schedule []ThreadID) (*Outcome, error) {
 	r := &replayer{schedule: schedule}
 	s := NewScheduler(cfg, r)
-	return s.Run(prog)
+	out := s.Run(prog)
+	if r.diverged != nil {
+		return out, r.diverged
+	}
+	return out, nil
 }
 
 type replayer struct {
 	schedule []ThreadID
 	pos      int
+	diverged *ScheduleDivergenceError
 }
 
 func (r *replayer) Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) ThreadID {
@@ -193,9 +230,19 @@ func (r *replayer) Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) Threa
 				return id
 			}
 		}
+		// The recorded thread is disabled: the program changed since the
+		// schedule was recorded. Remember the first divergence and fall
+		// through to the fallback so the execution still terminates.
+		if r.diverged == nil {
+			r.diverged = &ScheduleDivergenceError{
+				Decision: r.pos - 1,
+				Want:     want,
+				Enabled:  append([]ThreadID(nil), enabled...),
+			}
+		}
 	}
-	// Past the recorded schedule (or the recorded thread is disabled, which
-	// indicates the program changed): fall back to the first enabled thread.
+	// Past the recorded schedule or after a divergence: fall back to the
+	// first enabled thread.
 	return orderChoices(cur, curEnabled, enabled)[0]
 }
 

@@ -1,0 +1,407 @@
+package sched_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lineup/internal/sched"
+)
+
+// fullKey identifies an outcome by its complete observable behavior: every
+// scheduler event plus the stuck flag. Two executions with equal keys took
+// observationally identical schedules.
+func fullKey(o *sched.Outcome) string {
+	s := fmt.Sprint(o.Events)
+	if o.Stuck {
+		s += "#stuck"
+	}
+	return s
+}
+
+// multiset counts outcome keys.
+type multiset map[string]int
+
+func (m multiset) equal(n multiset) bool {
+	if len(m) != len(n) {
+		return false
+	}
+	for k, v := range m {
+		if n[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// exploreSeq collects the sequential explorer's outcome multiset and stats.
+func exploreSeq(t *testing.T, cfg sched.ExploreConfig, prog sched.Program) (multiset, sched.ExploreStats, error) {
+	t.Helper()
+	ms := multiset{}
+	stats, err := sched.Explore(cfg, prog, func(o *sched.Outcome) bool {
+		ms[fullKey(o)]++
+		return true
+	})
+	return ms, stats, err
+}
+
+// explorePar collects the parallel explorer's outcome multiset and stats.
+func explorePar(t *testing.T, cfg sched.ExploreConfig, pcfg sched.ParallelConfig, newProg func() sched.Program) (multiset, sched.ExploreStats, error) {
+	t.Helper()
+	var mu sync.Mutex
+	ms := multiset{}
+	stats, err := sched.ExploreParallel(cfg, pcfg, newProg, func(o *sched.Outcome, p sched.Pos) bool {
+		mu.Lock()
+		ms[fullKey(o)]++
+		mu.Unlock()
+		return true
+	})
+	return ms, stats, err
+}
+
+// TestParallelEquivalenceMultiset is the core equivalence suite: across
+// worker counts, preemption bounds, and shard depths, the parallel explorer
+// must visit the exact same multiset of outcomes as the sequential one and
+// merge identical statistics.
+func TestParallelEquivalenceMultiset(t *testing.T) {
+	// Bounds per program are chosen so every schedule space stays small
+	// enough to enumerate exhaustively (a few thousand executions); the
+	// 3-thread subjects skip Unbounded, whose spaces run into the tens of
+	// thousands per worker/depth combination.
+	progs := []struct {
+		name   string
+		mk     func() sched.Program
+		cfg    sched.Config
+		bounds []int
+	}{
+		{"2x2", func() sched.Program {
+			return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
+		}, sched.Config{}, []int{0, 1, 2, sched.Unbounded}},
+		{"3x1", func() sched.Program {
+			return sched.Program{Threads: []func(*sched.Thread){opThread(1, "a"), opThread(1, "b"), opThread(1, "c")}}
+		}, sched.Config{}, []int{0, 1, 2}},
+		{"3x2", func() sched.Program {
+			return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b"), opThread(2, "c")}}
+		}, sched.Config{}, []int{0, 1}},
+		{"uneven", func() sched.Program {
+			return sched.Program{Threads: []func(*sched.Thread){opThread(1, "a"), opThread(3, "b")}}
+		}, sched.Config{}, []int{0, 1, 2, sched.Unbounded}},
+		{"serial-2x3", func() sched.Program {
+			return sched.Program{Threads: []func(*sched.Thread){opThread(3, "a"), opThread(3, "b")}}
+		}, sched.Config{Serial: true}, []int{sched.Unbounded}},
+	}
+	workers := []int{1, 2, 4, 8}
+	for _, p := range progs {
+		for _, bound := range p.bounds {
+			cfg := sched.ExploreConfig{Config: p.cfg, PreemptionBound: bound}
+			wantMS, wantStats, wantErr := exploreSeq(t, cfg, p.mk())
+			if wantErr != nil {
+				t.Fatalf("%s bound=%d: sequential explore: %v", p.name, bound, wantErr)
+			}
+			for _, w := range workers {
+				for _, depth := range []int{1, 2, 3} {
+					pcfg := sched.ParallelConfig{Workers: w, ShardDepth: depth}
+					gotMS, gotStats, gotErr := explorePar(t, cfg, pcfg, p.mk)
+					tag := fmt.Sprintf("%s bound=%d workers=%d depth=%d", p.name, bound, w, depth)
+					if gotErr != nil {
+						t.Fatalf("%s: parallel explore: %v", tag, gotErr)
+					}
+					if !wantMS.equal(gotMS) {
+						t.Fatalf("%s: outcome multisets differ: sequential %d distinct / parallel %d distinct",
+							tag, len(wantMS), len(gotMS))
+					}
+					if gotStats.Executions != wantStats.Executions || gotStats.Decisions != wantStats.Decisions || gotStats.Truncated != wantStats.Truncated {
+						t.Fatalf("%s: stats differ: sequential %+v parallel %+v", tag, wantStats, gotStats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPositionsAreSequentialOrder checks the determinism backbone:
+// sorting the parallel explorer's visited outcomes by Pos reproduces the
+// sequential visit order exactly.
+func TestParallelPositionsAreSequentialOrder(t *testing.T) {
+	mk := func() sched.Program {
+		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b"), opThread(1, "c")}}
+	}
+	cfg := sched.ExploreConfig{PreemptionBound: 2}
+	var seq []string
+	if _, err := sched.Explore(cfg, mk(), func(o *sched.Outcome) bool {
+		seq = append(seq, fullKey(o))
+		return true
+	}); err != nil {
+		t.Fatalf("sequential explore: %v", err)
+	}
+	type visited struct {
+		key string
+		pos sched.Pos
+	}
+	var mu sync.Mutex
+	var got []visited
+	if _, err := sched.ExploreParallel(cfg, sched.ParallelConfig{Workers: 4}, mk, func(o *sched.Outcome, p sched.Pos) bool {
+		mu.Lock()
+		got = append(got, visited{fullKey(o), append(sched.Pos(nil), p...)})
+		mu.Unlock()
+		return true
+	}); err != nil {
+		t.Fatalf("parallel explore: %v", err)
+	}
+	if len(got) != len(seq) {
+		t.Fatalf("parallel visited %d executions, sequential %d", len(got), len(seq))
+	}
+	for i := range got {
+		for j := i + 1; j < len(got); j++ {
+			if got[j].pos.Before(got[i].pos) {
+				got[i], got[j] = got[j], got[i]
+			}
+		}
+	}
+	for i := range got {
+		if got[i].key != seq[i] {
+			t.Fatalf("position-sorted parallel outcome %d differs from sequential visit order", i)
+		}
+	}
+}
+
+// TestParallelBudgetTruncation checks that MaxExecutions caps the parallel
+// explorer exactly like the sequential one: same ErrBudget, same Truncated
+// flag, and exactly the same number of executions run.
+func TestParallelBudgetTruncation(t *testing.T) {
+	mk := func() sched.Program {
+		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
+	}
+	full, _, err := exploreSeq(t, sched.ExploreConfig{PreemptionBound: sched.Unbounded}, mk())
+	if err != nil {
+		t.Fatalf("sequential explore: %v", err)
+	}
+	total := 0
+	for _, n := range full {
+		total += n
+	}
+	if total < 20 {
+		t.Fatalf("schedule space too small for a truncation test: %d", total)
+	}
+	for _, max := range []int{1, 7, total / 2, total - 1} {
+		cfg := sched.ExploreConfig{PreemptionBound: sched.Unbounded, MaxExecutions: max}
+		_, seqStats, seqErr := exploreSeq(t, cfg, mk())
+		for _, w := range []int{1, 4} {
+			_, parStats, parErr := explorePar(t, cfg, sched.ParallelConfig{Workers: w}, mk)
+			if (seqErr == sched.ErrBudget) != (parErr == sched.ErrBudget) {
+				t.Fatalf("max=%d workers=%d: budget errors disagree: sequential %v parallel %v", max, w, seqErr, parErr)
+			}
+			if parStats.Truncated != seqStats.Truncated {
+				t.Fatalf("max=%d workers=%d: Truncated disagrees: sequential %v parallel %v", max, w, seqStats.Truncated, parStats.Truncated)
+			}
+			if parStats.Executions != seqStats.Executions {
+				t.Fatalf("max=%d workers=%d: executions disagree: sequential %d parallel %d", max, w, seqStats.Executions, parStats.Executions)
+			}
+		}
+	}
+	// A budget at least as large as the space must not truncate.
+	cfg := sched.ExploreConfig{PreemptionBound: sched.Unbounded, MaxExecutions: total}
+	_, parStats, parErr := explorePar(t, cfg, sched.ParallelConfig{Workers: 4}, mk)
+	if parErr != nil || parStats.Truncated {
+		t.Fatalf("budget == space must not truncate: err=%v stats=%+v", parErr, parStats)
+	}
+}
+
+// TestParallelEarlyStop checks early cancellation: when a visit returns
+// false, the parallel explorer returns a nil error (like the sequential one)
+// and does not run the whole space.
+func TestParallelEarlyStop(t *testing.T) {
+	mk := func() sched.Program {
+		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
+	}
+	cfg := sched.ExploreConfig{PreemptionBound: sched.Unbounded}
+	// Collect the sequential visit order, then stop on the key the sequential
+	// explorer reaches halfway through — a stopping condition well inside the
+	// space that any order of exploration can hit.
+	var seq []string
+	_, err := sched.Explore(cfg, mk(), func(o *sched.Outcome) bool {
+		seq = append(seq, fullKey(o))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("sequential explore: %v", err)
+	}
+	fullExecs := len(seq)
+	stopKey := seq[fullExecs/2]
+	stopAt := func(o *sched.Outcome) bool { return fullKey(o) == stopKey }
+	var seqStopped bool
+	seqStats, seqErr := sched.Explore(cfg, mk(), func(o *sched.Outcome) bool {
+		if stopAt(o) {
+			seqStopped = true
+			return false
+		}
+		return true
+	})
+	if seqErr != nil || !seqStopped {
+		t.Fatalf("sequential run: stopped=%v err=%v", seqStopped, seqErr)
+	}
+	for _, w := range []int{2, 8} {
+		var mu sync.Mutex
+		stopped := 0
+		parStats, parErr := sched.ExploreParallel(cfg, sched.ParallelConfig{Workers: w}, mk, func(o *sched.Outcome, p sched.Pos) bool {
+			if stopAt(o) {
+				mu.Lock()
+				stopped++
+				mu.Unlock()
+				return false
+			}
+			return true
+		})
+		if parErr != nil {
+			t.Fatalf("workers=%d: parallel explore: %v", w, parErr)
+		}
+		if stopped == 0 {
+			t.Fatalf("workers=%d: parallel explorer never hit the stop condition", w)
+		}
+		if parStats.Executions > fullExecs {
+			t.Fatalf("workers=%d: parallel ran %d executions, more than the full space %d", w, parStats.Executions, fullExecs)
+		}
+		_ = seqStats
+	}
+}
+
+// TestParallelErrorDeterministic checks that a failing execution (a panic in
+// program code) surfaces as the same error regardless of worker count: the
+// sequentially-first failure wins.
+func TestParallelErrorDeterministic(t *testing.T) {
+	// Thread b panics when its point runs before thread a finished: many
+	// schedules fail, and the parallel explorer must report the failure the
+	// sequential DFS would hit first.
+	mk := func() sched.Program {
+		var aDone bool
+		return sched.Program{
+			Setup: func(*sched.Thread) { aDone = false },
+			Threads: []func(*sched.Thread){
+				func(th *sched.Thread) {
+					th.OpStart("a")
+					th.Point(sched.PointAtomic)
+					aDone = true
+					th.OpEnd("a", "ok")
+				},
+				func(th *sched.Thread) {
+					th.OpStart("b")
+					th.Point(sched.PointAtomic)
+					if !aDone {
+						panic("b overtook a")
+					}
+					th.OpEnd("b", "ok")
+				},
+			},
+		}
+	}
+	cfg := sched.ExploreConfig{PreemptionBound: sched.Unbounded}
+	_, seqErr := sched.Explore(cfg, mk(), func(o *sched.Outcome) bool { return true })
+	if seqErr == nil {
+		t.Fatalf("sequential explorer found no failing execution")
+	}
+	// Panic errors embed a goroutine stack dump; the identifying part is the
+	// first line ("thread N panicked: ...").
+	firstLine := func(err error) string {
+		s := err.Error()
+		for i := 0; i < len(s); i++ {
+			if s[i] == '\n' {
+				return s[:i]
+			}
+		}
+		return s
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		_, parErr := sched.ExploreParallel(cfg, sched.ParallelConfig{Workers: w}, mk, func(o *sched.Outcome, p sched.Pos) bool { return true })
+		if parErr == nil {
+			t.Fatalf("workers=%d: parallel explorer found no failing execution", w)
+		}
+		if firstLine(parErr) != firstLine(seqErr) {
+			t.Fatalf("workers=%d: error differs from sequential:\n got %v\nwant %v", w, firstLine(parErr), firstLine(seqErr))
+		}
+	}
+}
+
+// TestParallelProgress checks the shard progress counters: monotone
+// executions, and a final snapshot accounting for every shard.
+func TestParallelProgress(t *testing.T) {
+	mk := func() sched.Program {
+		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
+	}
+	var mu sync.Mutex
+	var last sched.ShardProgress
+	snaps := 0
+	pcfg := sched.ParallelConfig{Workers: 4, Progress: func(p sched.ShardProgress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if p.Executions < last.Executions || p.Shards < last.Shards || p.Done < last.Done {
+			t.Errorf("progress went backwards: %+v after %+v", p, last)
+		}
+		last = p
+		snaps++
+	}}
+	stats, err := sched.ExploreParallel(sched.ExploreConfig{PreemptionBound: 2}, pcfg, mk, func(o *sched.Outcome, p sched.Pos) bool { return true })
+	if err != nil {
+		t.Fatalf("parallel explore: %v", err)
+	}
+	if snaps == 0 {
+		t.Fatalf("progress callback never invoked")
+	}
+	if last.Done != last.Shards {
+		t.Fatalf("final progress has %d done of %d shards", last.Done, last.Shards)
+	}
+	if last.Executions != stats.Executions {
+		t.Fatalf("final progress reports %d executions, stats %d", last.Executions, stats.Executions)
+	}
+}
+
+// TestParallelPropertyRandomPrograms is the randomized property suite:
+// random thread counts and op matrices, random bounds, random worker counts
+// and shard depths — the parallel explorer must agree with the sequential
+// one on executions, truncation, and (when the space is fully explored) the
+// full outcome multiset and decision count.
+func TestParallelPropertyRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x11e4))
+	const budget = 2000
+	for iter := 0; iter < 18; iter++ {
+		nThreads := 1 + rng.Intn(3)
+		mkOps := make([]int, nThreads)
+		for i := range mkOps {
+			mkOps[i] = 1 + rng.Intn(3)
+		}
+		mk := func() sched.Program {
+			threads := make([]func(*sched.Thread), nThreads)
+			for i := range threads {
+				threads[i] = opThread(mkOps[i], fmt.Sprintf("t%d", i))
+			}
+			return sched.Program{Threads: threads}
+		}
+		bound := []int{0, 1, 2, sched.Unbounded}[rng.Intn(4)]
+		cfg := sched.ExploreConfig{PreemptionBound: bound, MaxExecutions: budget}
+		pcfg := sched.ParallelConfig{Workers: 1 + rng.Intn(8), ShardDepth: 1 + rng.Intn(3)}
+		tag := fmt.Sprintf("iter=%d threads=%v bound=%d workers=%d depth=%d", iter, mkOps, bound, pcfg.Workers, pcfg.ShardDepth)
+
+		seqMS, seqStats, seqErr := exploreSeq(t, cfg, mk())
+		parMS, parStats, parErr := explorePar(t, cfg, pcfg, mk)
+		if (seqErr == sched.ErrBudget) != (parErr == sched.ErrBudget) {
+			t.Fatalf("%s: budget errors disagree: sequential %v parallel %v", tag, seqErr, parErr)
+		}
+		if seqErr == nil && parErr != nil {
+			t.Fatalf("%s: parallel error %v, sequential none", tag, parErr)
+		}
+		if parStats.Truncated != seqStats.Truncated {
+			t.Fatalf("%s: Truncated disagrees: sequential %v parallel %v", tag, seqStats.Truncated, parStats.Truncated)
+		}
+		if parStats.Executions != seqStats.Executions {
+			t.Fatalf("%s: executions disagree: sequential %d parallel %d", tag, seqStats.Executions, parStats.Executions)
+		}
+		if !seqStats.Truncated {
+			if !seqMS.equal(parMS) {
+				t.Fatalf("%s: outcome multisets differ (%d vs %d distinct)", tag, len(seqMS), len(parMS))
+			}
+			if parStats.Decisions != seqStats.Decisions {
+				t.Fatalf("%s: decisions disagree: sequential %d parallel %d", tag, seqStats.Decisions, parStats.Decisions)
+			}
+		}
+	}
+}

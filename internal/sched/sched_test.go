@@ -1,6 +1,7 @@
 package sched_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -314,12 +315,61 @@ func TestRecordingControllerAndReplay(t *testing.T) {
 		t.Fatalf("no decisions recorded")
 	}
 	// Replaying the recorded schedule reproduces the events exactly.
-	out2 := sched.ReplaySchedule(sched.Config{}, mk(), rc.Schedule)
+	out2, err := sched.ReplaySchedule(sched.Config{}, mk(), rc.Schedule)
+	if err != nil {
+		t.Fatalf("replay divergence: %v", err)
+	}
 	if out2.Err != nil {
 		t.Fatalf("replay: %v", out2.Err)
 	}
 	if fmt.Sprint(out1.Events) != fmt.Sprint(out2.Events) {
 		t.Fatalf("replay diverged:\n got %v\nwant %v", out2.Events, out1.Events)
+	}
+}
+
+func TestReplayScheduleDivergence(t *testing.T) {
+	// Record a schedule, then replay it with its first decision rewritten to
+	// a thread that does not exist: the replayer must report a typed
+	// divergence error instead of silently running a different schedule.
+	mk := func() sched.Program {
+		return sched.Program{Threads: []func(*sched.Thread){opThread(3, "a"), opThread(3, "b")}}
+	}
+	rc := &sched.RecordingController{Inner: pickSecond{}}
+	out := sched.NewScheduler(sched.Config{}, rc).Run(mk())
+	if out.Err != nil {
+		t.Fatalf("run: %v", out.Err)
+	}
+	if len(rc.Schedule) == 0 {
+		t.Fatalf("no decisions recorded")
+	}
+	stale := append([]sched.ThreadID(nil), rc.Schedule...)
+	stale[0] = sched.ThreadID(99)
+	out2, err := sched.ReplaySchedule(sched.Config{}, mk(), stale)
+	if err == nil {
+		t.Fatalf("expected divergence error, got none")
+	}
+	var div *sched.ScheduleDivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("expected *ScheduleDivergenceError, got %T: %v", err, err)
+	}
+	if div.Decision != 0 {
+		t.Fatalf("divergence at decision %d, want 0", div.Decision)
+	}
+	if div.Want != 99 {
+		t.Fatalf("divergence wants thread %d, want 99", div.Want)
+	}
+	for _, id := range div.Enabled {
+		if id == div.Want {
+			t.Fatalf("divergence reports thread %d as both wanted and enabled", id)
+		}
+	}
+	// The fallback execution still terminates cleanly.
+	if out2 == nil || out2.Err != nil {
+		t.Fatalf("fallback outcome: %+v", out2)
+	}
+	// A faithful replay of the same schedule reports no divergence.
+	if _, err := sched.ReplaySchedule(sched.Config{}, mk(), rc.Schedule); err != nil {
+		t.Fatalf("faithful replay reported divergence: %v", err)
 	}
 }
 

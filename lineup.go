@@ -45,6 +45,10 @@ type (
 	ViolationKind = core.ViolationKind
 	// PhaseStats carries per-phase measurements.
 	PhaseStats = core.PhaseStats
+	// ShardProgress is a progress snapshot of the prefix-sharded parallel
+	// explorer selected by Options.Workers > 1; Options.ShardProgress
+	// receives one after every shard event.
+	ShardProgress = sched.ShardProgress
 )
 
 // Verdicts.
