@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check check-race build vet test race bench clean
+.PHONY: check check-race build vet test race bench fuzz clean
 
-check: build vet test
+check: build vet test fuzz
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,17 @@ test:
 	$(GO) test ./...
 
 # Race-enabled pass over the packages that actually spin up goroutines:
-# the scheduler, the core checkers (parallel RandomCheck workers), and the
-# monitor (parallel partition search). -short skips the long sweeps.
+# the scheduler, the core checkers (parallel RandomCheck workers), the
+# fault-injection containment harness, and the monitor (parallel partition
+# search). -short skips the long sweeps.
 race:
-	$(GO) test -race -short ./internal/sched ./internal/core ./internal/monitor ./internal/bench
+	$(GO) test -race -short ./internal/sched ./internal/core ./internal/faultinject ./internal/monitor ./internal/bench
+
+# Short coverage-guided fuzz pass over the external input parser (the JSONL
+# trace reader); the seed corpus plus a few seconds of mutation on every
+# `make check` keeps crash regressions out of the hot parsing path.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=5s ./internal/obsfile
 
 # Full race-enabled pass over every package (much slower than `race`;
 # exercises the prefix-sharded parallel explorer end to end). The bench

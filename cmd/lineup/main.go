@@ -213,6 +213,8 @@ func cmdTable2(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers per class (one test per worker)")
 	exploreWorkers := fs.Int("explore-workers", 1, "shard each check's phase-2 exploration across this many workers")
 	pre := fs.Bool("pre", true, "include the (Pre) variants")
+	watchdog := fs.Duration("watchdog", 0, "abandon executions making no scheduler progress for this long (0 = off)")
+	maxFailures := fs.Int("max-failures", 0, "contain up to N failed executions per check instead of aborting (0 = strict)")
 	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -220,6 +222,7 @@ func cmdTable2(args []string) error {
 	table, err := bench.RunTable2(bench.Table2Options{
 		Samples: *samples, Rows: *rows, Cols: *cols, Seed: *seed,
 		Workers: *workers, ExploreWorkers: *exploreWorkers, IncludePre: *pre,
+		Watchdog: *watchdog, MaxFailures: *maxFailures,
 	}, func(class string) { fmt.Fprintf(os.Stderr, "checking %s...\n", class) })
 	if err != nil {
 		return err
@@ -276,6 +279,11 @@ func cmdCheck(args []string) error {
 	exploreWorkers := fs.Int("explore-workers", 1, "shard each check's phase-2 exploration across this many workers")
 	progress := fs.Bool("progress", false, "print per-shard progress counters (with -explore-workers > 1)")
 	shrink := fs.Bool("shrink", true, "minimize the first failing test")
+	watchdog := fs.Duration("watchdog", 0, "abandon executions making no scheduler progress for this long (0 = off)")
+	maxFailures := fs.Int("max-failures", 0, "contain up to N failed executions (panic/hang/leak) per test instead of aborting (0 = strict)")
+	detectLeaks := fs.Bool("detect-leaks", false, "report goroutines that escape the scheduler and outlive an execution")
+	checkpointFile := fs.String("checkpoint", "", "save progress to FILE (atomically) after every completed test")
+	resumeFile := fs.String("resume", "", "resume from a checkpoint FILE written by a previous -checkpoint run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -287,20 +295,44 @@ func cmdCheck(args []string) error {
 	if *bound != 0 {
 		pb = *bound
 	}
-	copts := core.Options{PreemptionBound: pb, Workers: *exploreWorkers}
+	copts := core.Options{
+		PreemptionBound: pb,
+		Workers:         *exploreWorkers,
+		Watchdog:        *watchdog,
+		MaxFailures:     *maxFailures,
+		DetectLeaks:     *detectLeaks,
+	}
 	if *progress && *exploreWorkers > 1 {
 		copts.ShardProgress = shardProgressPrinter(os.Stderr)
 	}
-	sum, err := core.RandomCheck(sub, nil, core.RandomOptions{
+	ropts := core.RandomOptions{
 		Rows: *rows, Cols: *cols, Samples: *samples, Seed: *seed,
 		Workers: *workers,
 		Options: copts,
-	})
+	}
+	if *resumeFile != "" {
+		cp, err := core.LoadRandomCheckpoint(*resumeFile)
+		if err != nil {
+			return err
+		}
+		ropts.Resume = cp
+		fmt.Fprintf(os.Stderr, "resuming from %s: %d of %d tests already checked\n",
+			*resumeFile, len(cp.Tests), cp.Samples)
+	}
+	if *checkpointFile != "" {
+		ropts.Checkpoint = func(cp *core.RandomCheckpoint) error {
+			return cp.Save(*checkpointFile)
+		}
+	}
+	sum, err := core.RandomCheck(sub, nil, ropts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d passed, %d failed (of %d sampled %dx%d tests, PB=%d)\n",
 		sub.Name, sum.Passed, sum.Failed, *samples, *rows, *cols, pb)
+	if nf, kinds := countFailures(sum); nf > 0 {
+		fmt.Printf("contained runtime failures: %d (%s)\n", nf, kinds)
+	}
 	fmt.Printf("phase 1: %.1f serial histories avg (max %d), %v avg\n",
 		sum.SerialHistAvg, sum.SerialHistMax, sum.Phase1TimeAvg)
 	fmt.Printf("phase 2: %v avg (passing), %v avg (failing), %d tests with stuck histories\n",
@@ -321,6 +353,29 @@ func cmdCheck(args []string) error {
 		}
 	}
 	return nil
+}
+
+// countFailures tallies the contained runtime failures across a summary's
+// results, rendered as "panic=3 hung=1"-style kind counts.
+func countFailures(sum *core.RandomSummary) (int, string) {
+	counts := make(map[sched.FailureKind]int)
+	total := 0
+	for _, r := range sum.Results {
+		if r == nil {
+			continue
+		}
+		for _, f := range r.Failures {
+			counts[f.Kind]++
+			total++
+		}
+	}
+	var parts []string
+	for _, k := range []sched.FailureKind{sched.FailPanic, sched.FailHung, sched.FailLeak} {
+		if counts[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+		}
+	}
+	return total, strings.Join(parts, " ")
 }
 
 // fig1Test builds the Fig. 1 scenario on the CTP-like BlockingCollection.
@@ -681,16 +736,13 @@ func cmdRecord(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		// Atomic temp-file + rename: a crash mid-record never leaves a
+		// truncated observation file behind for later 'lineup verify' runs.
+		if err := obsfile.WriteFileAtomic(*out, spec); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := obsfile.Write(w, spec); err != nil {
+	} else if err := obsfile.Write(os.Stdout, spec); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "recorded %d full and %d stuck serial histories (%d serial executions, %v)\n",

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"lineup/internal/core"
 )
 
 // captureStdout redirects os.Stdout around fn and returns what it printed.
@@ -94,6 +96,46 @@ func TestCmdRecordVerifyRoundtrip(t *testing.T) {
 }
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// TestCmdCheckHardeningFlags exercises the containment flags end to end on
+// a small clean run: watchdog armed, failure budget set, leak detection on.
+// A correct class must pass with no contained failures reported.
+func TestCmdCheckHardeningFlags(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdCheck([]string{
+			"-class", "ConcurrentStack", "-samples", "3", "-rows", "2", "-cols", "2",
+			"-workers", "1", "-watchdog", "30s", "-max-failures", "5", "-detect-leaks",
+		})
+	})
+	if !contains(out, "3 passed, 0 failed") {
+		t.Fatalf("hardened check on a correct class did not pass:\n%s", out)
+	}
+	if contains(out, "contained runtime failures") {
+		t.Fatalf("clean run reported contained failures:\n%s", out)
+	}
+}
+
+// TestCmdCheckCheckpointWrites verifies the -checkpoint flag records every
+// completed test in a well-formed, resumable file.
+func TestCmdCheckCheckpointWrites(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	_ = captureStdout(t, func() error {
+		return cmdCheck([]string{
+			"-class", "ConcurrentStack", "-samples", "3", "-rows", "2", "-cols", "2",
+			"-workers", "1", "-checkpoint", ck,
+		})
+	})
+	cp, err := core.LoadRandomCheckpoint(ck)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable: %v", err)
+	}
+	if cp.Samples != 3 || len(cp.Tests) != 3 {
+		t.Fatalf("checkpoint records %d of %d tests, want 3 of 3", len(cp.Tests), cp.Samples)
+	}
+	if cp.Subject != "ConcurrentStack" {
+		t.Fatalf("checkpoint subject = %q", cp.Subject)
+	}
+}
 
 // captureStderr redirects os.Stderr around fn and returns what it printed.
 func captureStderr(t *testing.T, fn func()) string {

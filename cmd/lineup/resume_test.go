@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lineup/internal/core"
+)
+
+// buildLineup compiles the CLI binary once per test into a temp dir, so the
+// kill/resume test exercises the real process boundary (SIGKILL mid-run)
+// rather than an in-process simulation.
+func buildLineup(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "lineup")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building lineup: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// deterministicLines strips the wall-clock-bearing lines ("... avg") from a
+// check report, keeping the verdict counts, the first failing test, and the
+// violation report — everything that must survive a kill/resume unchanged.
+func deterministicLines(out string) string {
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "avg") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestCheckCheckpointResumeAfterKill is the end-to-end acceptance check for
+// checkpoint/resume: a 'lineup check -checkpoint' process is SIGKILLed
+// mid-run, then resumed with '-resume'; the final report must match the
+// uninterrupted run's, for 1 and 4 test workers.
+func TestCheckCheckpointResumeAfterKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes; skipped in -short mode")
+	}
+	bin := buildLineup(t)
+	args := func(extra ...string) []string {
+		return append([]string{
+			"check", "-class", "SemaphoreSlim(Pre)",
+			"-samples", "4", "-seed", "1", "-shrink=false",
+		}, extra...)
+	}
+	base, err := exec.Command(bin, args("-workers", "1")...).Output()
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	want := deterministicLines(string(base))
+	if !strings.Contains(want, "failed") || !strings.Contains(want, "violation") {
+		t.Fatalf("baseline run found no violation; fixture broken:\n%s", want)
+	}
+
+	for _, workers := range []string{"1", "4"} {
+		t.Run("workers="+workers, func(t *testing.T) {
+			ck := filepath.Join(t.TempDir(), "ckpt.json")
+			victim := exec.Command(bin, args("-workers", workers, "-checkpoint", ck)...)
+			if err := victim.Start(); err != nil {
+				t.Fatalf("starting victim: %v", err)
+			}
+			// Kill -9 as soon as at least one test has been checkpointed.
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				if cp, err := core.LoadRandomCheckpoint(ck); err == nil && len(cp.Tests) >= 1 {
+					break
+				}
+				if time.Now().After(deadline) {
+					victim.Process.Kill()
+					victim.Wait()
+					t.Fatalf("victim wrote no checkpoint within 60s")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if err := victim.Process.Kill(); err != nil {
+				t.Fatalf("SIGKILL: %v", err)
+			}
+			victim.Wait() // expected to report the kill; the checkpoint is what matters
+
+			cp, err := core.LoadRandomCheckpoint(ck)
+			if err != nil {
+				t.Fatalf("checkpoint unreadable after SIGKILL (atomic write broken?): %v", err)
+			}
+			if len(cp.Tests) >= cp.Samples {
+				t.Fatalf("victim finished all %d tests before the kill; fixture too fast", cp.Samples)
+			}
+
+			resumed, err := exec.Command(bin, args("-workers", workers, "-resume", ck, "-checkpoint", ck)...).Output()
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if got := deterministicLines(string(resumed)); got != want {
+				t.Errorf("resumed report differs from uninterrupted run:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s", got, want)
+			}
+			final, err := core.LoadRandomCheckpoint(ck)
+			if err != nil {
+				t.Fatalf("final checkpoint: %v", err)
+			}
+			if len(final.Tests) != final.Samples {
+				t.Errorf("final checkpoint records %d of %d tests", len(final.Tests), final.Samples)
+			}
+			_ = os.Remove(ck)
+		})
+	}
+}

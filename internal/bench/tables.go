@@ -129,6 +129,14 @@ type Table2Options struct {
 	// IncludePre includes the "(Pre)" variants (the paper tests both
 	// releases).
 	IncludePre bool
+	// Watchdog arms the per-execution wall-clock watchdog on every check
+	// (core.Options.Watchdog), so one non-cooperating subject cannot hang
+	// an entire table regeneration. 0 disables it.
+	Watchdog time.Duration
+	// MaxFailures contains up to this many failed executions per check
+	// (core.Options.MaxFailures) instead of aborting the sweep at the first
+	// subject panic or hang. 0 keeps the strict behavior.
+	MaxFailures int
 }
 
 func (o Table2Options) withDefaults() Table2Options {
@@ -174,7 +182,12 @@ func RunTable2(opts Table2Options, progress func(string)) ([]Table2Row, error) {
 		sum, err := core.RandomCheck(sub, nil, core.RandomOptions{
 			Rows: opts.Rows, Cols: opts.Cols, Samples: opts.Samples,
 			Seed: opts.Seed, Workers: opts.Workers,
-			Options: core.Options{PreemptionBound: bound, Workers: opts.ExploreWorkers},
+			Options: core.Options{
+				PreemptionBound: bound,
+				Workers:         opts.ExploreWorkers,
+				Watchdog:        opts.Watchdog,
+				MaxFailures:     opts.MaxFailures,
+			},
 		})
 		if err != nil {
 			return err

@@ -137,6 +137,18 @@ type RandomOptions struct {
 	// Init and Final are fixed initial/final invocation sequences attached
 	// to every sampled test (Section 4.3).
 	Init, Final []Op
+	// Checkpoint, when non-nil, receives the accumulated checkpoint state
+	// after every completed test (typically to RandomCheckpoint.Save it).
+	// Calls are serialized under an internal lock; a checkpoint error aborts
+	// the run.
+	Checkpoint func(*RandomCheckpoint) error
+	// Resume, when non-nil, restores the results recorded in a previously
+	// saved checkpoint and checks only the remaining tests. The checkpoint's
+	// sampling configuration must match this run's; the test sequence is
+	// regenerated from the shared seed, so restored and freshly checked
+	// results compose into exactly the sequence an uninterrupted run
+	// produces.
+	Resume *RandomCheckpoint
 }
 
 // RandomSummary aggregates a RandomCheck run; its fields correspond to the
@@ -172,6 +184,11 @@ func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummar
 	if len(universe) == 0 {
 		universe = sub.Ops
 	}
+	if opts.Workers > 1 {
+		// Leak detection counts process-global goroutines; concurrent checks
+		// on sibling workers would see each other's scheduler threads.
+		opts.DetectLeaks = false
+	}
 	rows, cols := opts.Rows, opts.Cols
 	if rows <= 0 {
 		rows = 3
@@ -198,6 +215,44 @@ func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummar
 	}
 
 	sum := &RandomSummary{Subject: sub, Results: make([]*Result, samples), PreemptionUsed: opts.bound()}
+	cp := &RandomCheckpoint{
+		Version: randomCheckpointVersion,
+		Subject: sub.Name,
+		Seed:    opts.Seed,
+		Rows:    rows,
+		Cols:    cols,
+		Samples: samples,
+		Bound:   opts.bound(),
+	}
+	done := make([]bool, samples)
+	if opts.Resume != nil {
+		if err := opts.Resume.validate(sub.Name, opts.Seed, rows, cols, samples, opts.bound()); err != nil {
+			return nil, err
+		}
+		for _, t := range opts.Resume.Tests {
+			if t == nil || done[t.Index] {
+				continue
+			}
+			done[t.Index] = true
+			sum.Results[t.Index] = t.restore(sub, tests[t.Index])
+			cp.Tests = append(cp.Tests, t)
+		}
+	}
+	// finish records a completed test under the caller's lock and forwards
+	// the checkpoint; its error aborts the run like a check error.
+	finish := func(k int, r *Result) error {
+		sum.Results[k] = r
+		done[k] = true
+		if opts.Checkpoint == nil {
+			return nil
+		}
+		cp.record(k, r)
+		return opts.Checkpoint(cp)
+	}
+	stopAt := func(k int) bool {
+		r := sum.Results[k]
+		return r != nil && r.Verdict == Fail && opts.StopAtFirstFailure
+	}
 	start := time.Now()
 	var firstErr error
 	if opts.Workers > 1 {
@@ -213,6 +268,12 @@ func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummar
 				defer wg.Done()
 				for {
 					mu.Lock()
+					for next < samples && done[next] {
+						if stopAt(next) {
+							stop = true
+						}
+						next++
+					}
 					if stop || next >= samples || firstErr != nil {
 						mu.Unlock()
 						return
@@ -226,7 +287,9 @@ func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummar
 						firstErr = err
 					}
 					if r != nil {
-						sum.Results[k] = r
+						if cerr := finish(k, r); cerr != nil && firstErr == nil {
+							firstErr = cerr
+						}
 						if r.Verdict == Fail && opts.StopAtFirstFailure {
 							stop = true
 						}
@@ -238,12 +301,21 @@ func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummar
 		wg.Wait()
 	} else {
 		for k := 0; k < samples; k++ {
+			if done[k] {
+				if stopAt(k) {
+					break
+				}
+				continue
+			}
 			r, err := Check(sub, tests[k], opts.Options)
 			if err != nil {
 				firstErr = err
 				break
 			}
-			sum.Results[k] = r
+			if err := finish(k, r); err != nil {
+				firstErr = err
+				break
+			}
 			if r.Verdict == Fail && opts.StopAtFirstFailure {
 				break
 			}
@@ -254,6 +326,22 @@ func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummar
 	}
 	sum.TotalDuration = time.Since(start)
 	aggregate(sum)
+	// A first failure restored from a checkpoint carries no violation
+	// details (they are not serialized); Check is deterministic, so
+	// re-running that one test regenerates the identical report.
+	if f := sum.FirstFailure; f != nil && f.Violation == nil {
+		r, err := Check(sub, f.Test, opts.Options)
+		if err != nil {
+			return nil, fmt.Errorf("lineup: RandomCheck on %s: regenerating first failure: %w", sub.Name, err)
+		}
+		r.Phase1, r.Phase2, r.Failures = f.Phase1, f.Phase2, f.Failures
+		for k := range sum.Results {
+			if sum.Results[k] == f {
+				sum.Results[k] = r
+			}
+		}
+		sum.FirstFailure = r
+	}
 	return sum, nil
 }
 

@@ -78,6 +78,40 @@ type Options struct {
 	// executions run). It is called under an internal lock and must return
 	// quickly.
 	ShardProgress func(sched.ShardProgress)
+	// Watchdog, when positive, arms the scheduler's wall-clock watchdog on
+	// every execution: a subject that blocks on an uninstrumented primitive
+	// or spins without yielding is abandoned after this interval and
+	// reported as a hung execution instead of hanging the checker. See
+	// sched.Config.Watchdog.
+	Watchdog time.Duration
+	// DetectLeaks reports subject goroutines that survive an execution
+	// (raw `go` statements escaping the scheduler) as leak failures. It is
+	// process-global, so it is forced off whenever executions run
+	// concurrently (Workers > 1 here, or RandomOptions.Workers > 1).
+	DetectLeaks bool
+	// MaxFailures enables graceful degradation in phase 2: up to this many
+	// failed executions (panic, hung, leak) are classified and recorded in
+	// Result.Failures while exploration continues, instead of aborting the
+	// check at the first failure. Exceeding the budget aborts with
+	// *TooManyFailuresError. Zero keeps the strict behavior: the first
+	// failure aborts the check with its error. The recorded set and the
+	// sequentially-first failure are deterministic for any Workers count.
+	// Phase 1 is always strict: serial executions run deterministic subject
+	// code whose failures are not schedule-dependent.
+	MaxFailures int
+}
+
+// schedConfig assembles the per-execution scheduler configuration the
+// options imply; every exploration core starts goes through it so that the
+// containment settings apply uniformly.
+func (o Options) schedConfig(serial, recordTrace bool) sched.Config {
+	return sched.Config{
+		Serial:      serial,
+		Granularity: o.Granularity,
+		RecordTrace: recordTrace,
+		Watchdog:    o.Watchdog,
+		DetectLeaks: o.DetectLeaks,
+	}
 }
 
 func (o Options) bound() int {
@@ -186,10 +220,17 @@ type Result struct {
 	Subject *Subject
 	Test    *Test
 	Verdict Verdict
-	// Violation is non-nil iff Verdict == Fail.
+	// Violation is non-nil iff Verdict == Fail. A result restored from a
+	// checkpoint keeps Violation nil even when failed; RandomCheck re-runs
+	// the first failing test to regenerate the full report.
 	Violation *Violation
 	Phase1    PhaseStats
 	Phase2    PhaseStats
+	// Failures are the contained runtime failures phase 2 recorded (only
+	// with Options.MaxFailures > 0), in sequential exploration order. A
+	// failed execution contributes no history, so it never produces a
+	// violation; it is reported here instead.
+	Failures []RuntimeFailure
 	// Spec is the specification synthesized in phase 1 (nil unless
 	// Options.KeepSpec).
 	Spec *history.Spec

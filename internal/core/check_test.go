@@ -75,6 +75,7 @@ func mustCheck(t *testing.T, sub *core.Subject, m *core.Test, opts core.Options)
 }
 
 func TestCorrectCounterPasses(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counterSubject()
 	inc, get, _ := counterOps()
 	m := &core.Test{Rows: [][]core.Op{{inc, get}, {inc, get}}}
@@ -91,6 +92,7 @@ func TestCorrectCounterPasses(t *testing.T) {
 }
 
 func TestCorrectCounterWithBlockingDecPasses(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	// Dec blocks while the count is zero; serial executions can get stuck,
 	// and the stuck concurrent histories must find their stuck serial
 	// witnesses (generalized linearizability, Definitions 2 and 3).
@@ -110,6 +112,7 @@ func TestCorrectCounterWithBlockingDecPasses(t *testing.T) {
 }
 
 func TestCounter1FailsLostUpdate(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	// Section 2.2.1: two unprotected increments can be lost; a subsequent
 	// get observes 1, which no serial witness allows.
 	sub := counter1Subject()
@@ -129,6 +132,7 @@ func TestCounter1FailsLostUpdate(t *testing.T) {
 }
 
 func TestCounter1PassesAtSyncGranularity(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	// At CHESS-like sync-only granularity the unsynchronized read and write
 	// of Inc execute atomically, so the lost update is invisible; this
 	// documents why the default granularity interleaves plain accesses.
@@ -143,6 +147,7 @@ func TestCounter1PassesAtSyncGranularity(t *testing.T) {
 }
 
 func TestCounter2SynthesizedSpecPasses(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	// Section 2.2.2 nuance: Counter2's leaked lock makes later operations
 	// block *deterministically* as a function of the serial history, so the
 	// specification synthesized in phase 1 itself models the wedged object
@@ -164,6 +169,7 @@ func TestCounter2SynthesizedSpecPasses(t *testing.T) {
 }
 
 func TestShrinkMinimizesCounter1(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counter1Subject()
 	inc := sub.Ops[0]
 	get := sub.Ops[1]
@@ -185,6 +191,7 @@ func TestShrinkMinimizesCounter1(t *testing.T) {
 }
 
 func TestAutoCheckFindsCounter1(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counter1Subject()
 	res, err := core.AutoCheck(sub, core.AutoOptions{MaxN: 2, MaxTests: 100})
 	if err != nil {
@@ -196,6 +203,7 @@ func TestAutoCheckFindsCounter1(t *testing.T) {
 }
 
 func TestAutoCheckPassesCorrectCounterWithinBudget(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counterSubject()
 	sub.Ops = sub.Ops[:2] // inc, get only: keep the budget small
 	res, err := core.AutoCheck(sub, core.AutoOptions{MaxN: 2, MaxTests: 20})
@@ -211,6 +219,7 @@ func TestAutoCheckPassesCorrectCounterWithinBudget(t *testing.T) {
 }
 
 func TestRandomCheckFindsCounter1(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counter1Subject()
 	sum, err := core.RandomCheck(sub, nil, core.RandomOptions{
 		Rows: 2, Cols: 2, Samples: 30, Seed: 1, StopAtFirstFailure: true,
@@ -224,6 +233,7 @@ func TestRandomCheckFindsCounter1(t *testing.T) {
 }
 
 func TestRandomCheckParallelMatchesSequentialVerdicts(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counter1Subject()
 	seq, err := core.RandomCheck(sub, nil, core.RandomOptions{Rows: 2, Cols: 2, Samples: 10, Seed: 7})
 	if err != nil {

@@ -16,12 +16,10 @@ import (
 // so existing single-threaded visitors stay correct.
 func ForEachExecution(sub *Subject, m *Test, opts Options, recordTrace bool, visit func(*sched.Outcome) bool) (sched.ExploreStats, error) {
 	cfg := sched.ExploreConfig{
-		Config: sched.Config{
-			Granularity: opts.Granularity,
-			RecordTrace: recordTrace,
-		},
-		PreemptionBound: opts.bound(),
-		MaxExecutions:   opts.maxExecs(),
+		Config:            opts.schedConfig(false, recordTrace),
+		PreemptionBound:   opts.bound(),
+		MaxExecutions:     opts.maxExecs(),
+		ContinueOnFailure: opts.MaxFailures > 0,
 	}
 	if opts.Workers > 1 {
 		var mu sync.Mutex
@@ -45,10 +43,7 @@ func ForEachExecution(sub *Subject, m *Test, opts Options, recordTrace bool, vis
 func ForEachSerialExecution(sub *Subject, m *Test, opts Options, recordTrace bool, visit func(*sched.Outcome) bool) (sched.ExploreStats, error) {
 	var holder any
 	return sched.Explore(sched.ExploreConfig{
-		Config: sched.Config{
-			Serial:      true,
-			RecordTrace: recordTrace,
-		},
+		Config:          opts.schedConfig(true, recordTrace),
 		PreemptionBound: sched.Unbounded,
 		MaxExecutions:   opts.maxExecs(),
 	}, program(sub, m, &holder), visit)

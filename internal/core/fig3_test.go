@@ -7,6 +7,7 @@ import (
 	"lineup/internal/bench"
 	"lineup/internal/core"
 	"lineup/internal/history"
+	"lineup/internal/sched"
 )
 
 // TestFig3CounterSpecSynthesis checks that phase 1, run on the correct
@@ -16,6 +17,7 @@ import (
 // semaphore-like missing transition), and the synthesized set is
 // deterministic.
 func TestFig3CounterSpecSynthesis(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counterSubject()
 	inc, get, dec := counterOps()
 
@@ -85,6 +87,7 @@ func TestFig3CounterSpecSynthesis(t *testing.T) {
 // overlapping Add and TryTake), and the stack range-pop needs only one
 // pre-pushed element.
 func TestMinimalDimensions(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	if testing.Short() {
 		t.Skip("shrinking every cause is slow")
 	}

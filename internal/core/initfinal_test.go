@@ -12,6 +12,7 @@ import (
 // history — a final Get observes Counter1's lost update even when the test
 // threads perform no reads themselves.
 func TestFinalSequenceObservesLostUpdate(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counter1Subject()
 	inc := sub.Ops[0]
 	get := sub.Ops[1]
@@ -39,6 +40,7 @@ func TestFinalSequenceObservesLostUpdate(t *testing.T) {
 // the test threads; a counter pre-incremented via init lets a bare Get
 // return 1 in every witness.
 func TestInitSequencePreparesState(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counterSubject()
 	inc, get, dec := counterOps()
 	_ = dec
@@ -66,6 +68,7 @@ func TestInitSequencePreparesState(t *testing.T) {
 // TestInitSequenceUnblocksDec: a dec that would deadlock on a fresh counter
 // is fine after an init increment (no stuck histories at all).
 func TestInitSequenceUnblocksDec(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counterSubject()
 	inc, _, dec := counterOps()
 	m := &core.Test{
@@ -85,6 +88,7 @@ func TestInitSequenceUnblocksDec(t *testing.T) {
 // strictly fewer schedules than all-access granularity on a subject with
 // plain-field accesses.
 func TestGranularityAffectsScheduleCount(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counterSubject() // counter fields are plain cells under a lock
 	inc, get, _ := counterOps()
 	m := &core.Test{Rows: [][]core.Op{{inc}, {get}}}
@@ -107,6 +111,7 @@ func TestGranularityAffectsScheduleCount(t *testing.T) {
 // TestAutoCheckEnumerationCount: AutoCheck visits exactly 1 test at n=1 and
 // 16 at n=2 for a two-invocation universe (|I_n|^(n*n)).
 func TestAutoCheckEnumerationCount(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counterSubject()
 	sub.Ops = sub.Ops[:2]
 	res, err := core.AutoCheck(sub, core.AutoOptions{MaxN: 2, MaxTests: 1000})

@@ -66,6 +66,7 @@ func violationString(r *core.Result) string {
 // queue/stack/counter subjects (including a blocking test with stuck
 // histories) and buggy variants.
 func TestCheckWorkersEquivalence(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	inc, get, dec := counterOps()
 	qsub := queueSubject()
 	ssub := stackSubject()
@@ -113,6 +114,7 @@ func TestCheckWorkersEquivalence(t *testing.T) {
 // over preemption bounds 0/1/2/Unbounded on one passing and one failing
 // subject, both with cheap schedule spaces.
 func TestCheckWorkersEquivalenceAcrossBounds(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	rsub := racyRegister()
 	qsub := queueSubject()
 	cases := []struct {
@@ -142,6 +144,7 @@ func TestCheckWorkersEquivalenceAcrossBounds(t *testing.T) {
 // parallel statistics — not just the verdict — must equal the sequential
 // ones.
 func TestCheckWorkersExhaustStats(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := racyRegister()
 	m := &core.Test{Rows: [][]core.Op{{sub.Ops[0], sub.Ops[1]}, {sub.Ops[0]}}}
 	base := mustCheck(t, sub, m, core.Options{ExhaustPhase2: true, Workers: 1})
@@ -166,6 +169,7 @@ func TestCheckWorkersExhaustStats(t *testing.T) {
 // Workers > 1 the multiset of outcomes handed to visit is the sequential
 // multiset, and the merged stats match.
 func TestForEachExecutionWorkers(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := queueSubject()
 	m := &core.Test{Rows: [][]core.Op{{sub.Ops[0], sub.Ops[1]}, {sub.Ops[0]}}}
 	collect := func(workers int) (map[string]int, sched.ExploreStats) {
@@ -209,6 +213,7 @@ func TestForEachExecutionWorkers(t *testing.T) {
 // counts — the verdict and the violation report must match the sequential
 // check every time.
 func TestCheckWorkersPropertyRandomTests(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := racyRegister()
 	prop := func(seed int64, wpick uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -233,6 +238,7 @@ func TestCheckWorkersPropertyRandomTests(t *testing.T) {
 // enumeration with parallel phase-2 exploration stops at the same test with
 // the same violation as the sequential run.
 func TestAutoCheckWorkers(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := racyRegister()
 	mk := func(workers int) core.AutoOptions {
 		opts := core.AutoOptions{MaxN: 2, MaxTests: 20}
@@ -263,6 +269,7 @@ func TestAutoCheckWorkers(t *testing.T) {
 // TestCheckShardProgress checks that Options.ShardProgress receives a
 // coherent stream of snapshots during a parallel check.
 func TestCheckShardProgress(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := queueSubject()
 	m := &core.Test{Rows: [][]core.Op{{sub.Ops[0], sub.Ops[1]}, {sub.Ops[0]}}}
 	var mu sync.Mutex

@@ -85,6 +85,7 @@ func lazyPreSubject() *core.Subject {
 // exploration (preemption bounding compromises it), so the property runs
 // with Unbounded on small tests.
 func TestLemma8PrefixMonotone(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := racyRegister()
 	opts := core.Options{PreemptionBound: core.Unbounded}
 	prop := func(seed int64) bool {
@@ -117,6 +118,7 @@ func TestLemma8PrefixMonotone(t *testing.T) {
 // monitor) never fails any random test at any preemption bound — a failing
 // check would be a false alarm, which Theorem 5 rules out.
 func TestTheorem5NoFalseAlarms(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	queue := &core.Subject{
 		Name: "Queue",
 		New:  func(th *sched.Thread) any { return collections.NewQueue(th) },
@@ -152,6 +154,7 @@ func TestTheorem5NoFalseAlarms(t *testing.T) {
 // bit-identical statistics: the whole pipeline is deterministic given the
 // test and options.
 func TestExplorationDeterministic(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := lazyPreSubject()
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -178,6 +181,7 @@ func TestExplorationDeterministic(t *testing.T) {
 // TestShrinkPreservesFailure: whenever Shrink runs on a failing test, the
 // result still fails and is a sub-test (dimension-wise) of the original.
 func TestShrinkPreservesFailure(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := lazyPreSubject()
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -208,6 +212,7 @@ func TestShrinkPreservesFailure(t *testing.T) {
 // TestBoundMonotoneVerdicts: raising the preemption bound never turns a
 // failing test into a passing one (the schedule space only grows).
 func TestBoundMonotoneVerdicts(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := lazyPreSubject()
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

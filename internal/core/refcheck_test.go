@@ -39,6 +39,7 @@ func modelCounter() *core.Subject {
 // that is perfectly linearizable under the classic Definition 1 but is
 // rejected by the generalized Definition 3.
 func TestFig4Counter2ClassicVsGeneralized(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	impl := &core.Subject{
 		Name: "Counter2",
 		New:  func(t *sched.Thread) any { return collections.NewCounter2(t) },
@@ -75,6 +76,7 @@ func TestFig4Counter2ClassicVsGeneralized(t *testing.T) {
 // TestModelCheckAcceptsCorrectImpl sanity-checks CheckAgainstModel in the
 // passing direction: the correct counter against itself as model.
 func TestModelCheckAcceptsCorrectImpl(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	model := modelCounter()
 	impl := &core.Subject{
 		Name: "Counter",
@@ -94,6 +96,7 @@ func TestModelCheckAcceptsCorrectImpl(t *testing.T) {
 // TestCounter1FailsAgainstModelToo confirms that lost updates are caught in
 // the model-based mode as well.
 func TestCounter1FailsAgainstModelToo(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	impl := &core.Subject{
 		Name: "Counter1",
 		New:  func(t *sched.Thread) any { return collections.NewCounter1(t) },

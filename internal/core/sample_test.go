@@ -10,6 +10,7 @@ import (
 // TestSampledPhase2FindsBugs: random-walk and PCT schedule sampling find
 // the Counter1 lost update without exhaustive exploration.
 func TestSampledPhase2FindsBugs(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counter1Subject()
 	inc := sub.Ops[0]
 	get := sub.Ops[1]
@@ -41,6 +42,7 @@ func TestSampledPhase2FindsBugs(t *testing.T) {
 // TestSampledPhase2NoFalseAlarms: sampling never flags the correct counter
 // (violations remain proofs regardless of the search strategy).
 func TestSampledPhase2NoFalseAlarms(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counterSubject()
 	inc, get, _ := counterOps()
 	m := &core.Test{Rows: [][]core.Op{{inc, get}, {inc, get}}}
@@ -61,6 +63,7 @@ func TestSampledPhase2NoFalseAlarms(t *testing.T) {
 
 // TestSampledPhase2Reproducible: the same seed yields the same statistics.
 func TestSampledPhase2Reproducible(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	sub := counter1Subject()
 	inc := sub.Ops[0]
 	get := sub.Ops[1]

@@ -20,8 +20,11 @@ func SynthesizeSpec(sub *Subject, m *Test, opts Options) (*history.Spec, PhaseSt
 	start := time.Now()
 	seen := make(map[string]bool)
 	relaxed := opts.relaxedSet()
+	// Phase 1 arms the containment config (watchdog, leak detection) but
+	// stays strict: serial executions run deterministic subject code, so a
+	// failure here is not schedule-dependent and aborts the check.
 	stats, exploreErr := sched.Explore(sched.ExploreConfig{
-		Config:          sched.Config{Serial: true},
+		Config:          opts.schedConfig(true, false),
 		PreemptionBound: sched.Unbounded,
 		MaxExecutions:   opts.maxExecs(),
 	}, program(sub, m, &holder), func(out *sched.Outcome) bool {
@@ -127,6 +130,8 @@ type phase2Seq struct {
 	d         *phase2Decider
 	exhaust   bool
 	seen      map[string]bool
+	failures  *failureCollector
+	n         int // arrival index, the sequential position of the next visit
 	full      int
 	stuck     int
 	violation *Violation
@@ -134,6 +139,17 @@ type phase2Seq struct {
 }
 
 func (s *phase2Seq) visit(out *sched.Outcome) bool {
+	p := seqPos(s.n)
+	s.n++
+	if out.FailureKind() != sched.FailNone {
+		// Only reachable with Options.MaxFailures > 0 (the explorer aborts
+		// before visiting otherwise): contain, classify, keep exploring.
+		if !s.failures.add(p, out) {
+			s.err = s.failures.tooMany()
+			return false
+		}
+		return true
+	}
 	h, key, herr := s.d.history(out)
 	if herr != nil {
 		s.err = herr
@@ -172,6 +188,7 @@ func (s *phase2Seq) visit(out *sched.Outcome) bool {
 type phase2Par struct {
 	d        *phase2Decider
 	exhaust  bool
+	failures *failureCollector
 	mu       sync.Mutex
 	entries  map[string]*keyDecision
 	firstPos map[string]sched.Pos
@@ -194,6 +211,15 @@ type posError struct {
 }
 
 func (s *phase2Par) visit(out *sched.Outcome, p sched.Pos) bool {
+	if out.FailureKind() != sched.FailNone {
+		// Contained failure: record it with its sequential position. Once
+		// the budget is exceeded at this position, returning false triggers
+		// the explorer's deterministic early cancellation; addPos only stops
+		// at or after the true sequential abort point, and every execution
+		// before the cancellation position still completes, so resolve sees
+		// the full sequential prefix of failures and prunes exactly.
+		return s.failures.addPos(p, out)
+	}
 	h, key, herr := s.d.history(out)
 	if herr != nil {
 		s.mu.Lock()
@@ -238,13 +264,14 @@ func (s *phase2Par) visit(out *sched.Outcome, p sched.Pos) bool {
 	return true
 }
 
-// resolve returns the sequentially-first terminal event: the violation whose
-// key was first met earliest, unless a decision error occurred at an even
-// earlier position (then that error, as the sequential explorer would have
-// failed there before reaching the violation).
-func (s *phase2Par) resolve() (*Violation, error) {
+// resolve returns the sequentially-first terminal event — the violation
+// whose key was first met earliest, a decision error at an even earlier
+// position, or a failure-budget overflow whose (MaxFailures+1)-th failure
+// precedes both — together with the contained failures the sequential
+// explorer would have recorded before stopping. Distinct executions have
+// distinct positions, so the precedence is total.
+func (s *phase2Par) resolve() (*Violation, []RuntimeFailure, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var vPos sched.Pos
 	var v *Violation
 	for key, e := range s.entries {
@@ -262,10 +289,21 @@ func (s *phase2Par) resolve() (*Violation, error) {
 			ePos, err = pe.pos, pe.err
 		}
 	}
-	if err != nil && (vPos == nil || ePos.Before(vPos)) {
-		return nil, err
+	s.mu.Unlock()
+	tmPos := s.failures.overLimitPos()
+	if err != nil && (vPos == nil || ePos.Before(vPos)) && (tmPos == nil || ePos.Before(tmPos)) {
+		return nil, nil, err
 	}
-	return v, nil
+	if tmPos != nil && (vPos == nil || tmPos.Before(vPos)) {
+		return nil, nil, s.failures.tooMany()
+	}
+	if v != nil && !s.exhaust {
+		// The sequential explorer stops at the violation; failures it had
+		// not reached by then are pruned (in-flight parallel work may have
+		// visited positions past the stop).
+		return v, s.failures.before(vPos), nil
+	}
+	return v, s.failures.before(nil), nil
 }
 
 // phase2 enumerates the concurrent executions of sub on m and checks every
@@ -293,21 +331,24 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		}
 	}
 	d := &phase2Decider{backend: backend, mode: mode, m: m, relaxed: opts.relaxedSet()}
+	contain := opts.MaxFailures > 0
 	start := time.Now()
 	var stats sched.ExploreStats
 	var exploreErr error
 	var violation *Violation
+	var failures []RuntimeFailure
 	var full, stuckN int
 	switch {
 	case opts.SampleSchedules > 0:
 		var holder any
-		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, seen: make(map[string]bool)}
+		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, seen: make(map[string]bool), failures: newFailureCollector(opts.MaxFailures)}
 		stats, exploreErr = sched.ExploreRandom(sched.RandomConfig{
-			Config:   sched.Config{Granularity: opts.Granularity},
-			Runs:     opts.SampleSchedules,
-			Seed:     opts.SampleSeed,
-			Strategy: opts.SampleStrategy,
-			Depth:    opts.PCTDepth,
+			Config:            opts.schedConfig(false, false),
+			Runs:              opts.SampleSchedules,
+			Seed:              opts.SampleSeed,
+			Strategy:          opts.SampleStrategy,
+			Depth:             opts.PCTDepth,
+			ContinueOnFailure: contain,
 		}, program(sub, m, &holder), seq.visit)
 		if seq.err != nil {
 			return nil, seq.err
@@ -316,17 +357,20 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 			return nil, exploreErr
 		}
 		violation, full, stuckN = seq.violation, seq.full, seq.stuck
+		failures = seq.failures.before(nil)
 	case opts.Workers > 1:
 		par := &phase2Par{
 			d:        d,
 			exhaust:  opts.ExhaustPhase2,
+			failures: newFailureCollector(opts.MaxFailures),
 			entries:  make(map[string]*keyDecision),
 			firstPos: make(map[string]sched.Pos),
 		}
 		stats, exploreErr = sched.ExploreParallel(sched.ExploreConfig{
-			Config:          sched.Config{Granularity: opts.Granularity},
-			PreemptionBound: opts.bound(),
-			MaxExecutions:   opts.maxExecs(),
+			Config:            opts.schedConfig(false, false),
+			PreemptionBound:   opts.bound(),
+			MaxExecutions:     opts.maxExecs(),
+			ContinueOnFailure: contain,
 		}, sched.ParallelConfig{
 			Workers:  opts.Workers,
 			Progress: opts.ShardProgress,
@@ -340,21 +384,22 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		if exploreErr != nil && exploreErr != sched.ErrBudget {
 			return nil, exploreErr
 		}
-		v, verr := par.resolve()
+		v, fs, verr := par.resolve()
 		if verr != nil {
 			return nil, verr
 		}
 		if exploreErr == sched.ErrBudget {
 			return nil, exploreErr
 		}
-		violation, full, stuckN = v, par.full, par.stuck
+		violation, full, stuckN, failures = v, par.full, par.stuck, fs
 	default:
 		var holder any
-		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, seen: make(map[string]bool)}
+		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, seen: make(map[string]bool), failures: newFailureCollector(opts.MaxFailures)}
 		stats, exploreErr = sched.Explore(sched.ExploreConfig{
-			Config:          sched.Config{Granularity: opts.Granularity},
-			PreemptionBound: opts.bound(),
-			MaxExecutions:   opts.maxExecs(),
+			Config:            opts.schedConfig(false, false),
+			PreemptionBound:   opts.bound(),
+			MaxExecutions:     opts.maxExecs(),
+			ContinueOnFailure: contain,
 		}, program(sub, m, &holder), seq.visit)
 		if seq.err != nil {
 			return nil, seq.err
@@ -363,6 +408,7 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 			return nil, exploreErr
 		}
 		violation, full, stuckN = seq.violation, seq.full, seq.stuck
+		failures = seq.failures.before(nil)
 	}
 	res.Phase2 = PhaseStats{
 		Executions: stats.Executions,
@@ -371,6 +417,7 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		Stuck:      stuckN,
 		Duration:   time.Since(start),
 	}
+	res.Failures = failures
 	if violation != nil {
 		res.Verdict = Fail
 		res.Violation = violation

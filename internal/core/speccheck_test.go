@@ -7,6 +7,7 @@ import (
 	"lineup/internal/core"
 	"lineup/internal/history"
 	"lineup/internal/obsfile"
+	"lineup/internal/sched"
 )
 
 // TestSpecRoundtripRegression exercises the full regression workflow of
@@ -15,6 +16,7 @@ import (
 // passes phase 2 against the reloaded spec and (b) the buggy Counter1 fails
 // against the same recorded spec.
 func TestSpecRoundtripRegression(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	good := counterSubject()
 	inc, get, _ := counterOps()
 	m := &core.Test{Rows: [][]core.Op{{inc, get}, {inc}}}
@@ -62,6 +64,7 @@ func TestSpecRoundtripRegression(t *testing.T) {
 // TestCheckAgainstSpecRejectsNondeterministicSpec: a loaded spec that is
 // itself nondeterministic fails immediately.
 func TestCheckAgainstSpecRejectsNondeterministicSpec(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	good := counterSubject()
 	inc, get, _ := counterOps()
 	m := &core.Test{Rows: [][]core.Op{{inc}, {get}}}

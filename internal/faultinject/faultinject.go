@@ -1,0 +1,155 @@
+// Package faultinject wraps a checker subject with controlled runtime
+// faults — panics, uninstrumented blocking, non-yielding spins, and rogue
+// goroutines — to exercise the exploration runtime's containment paths
+// (watchdog abandonment, failure classification, leak detection). It is a
+// test harness: production subjects never depend on it, and its self-tests
+// are the proof that every fault kind is contained, classified, and
+// race-clean.
+package faultinject
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lineup/internal/core"
+	"lineup/internal/sched"
+)
+
+// Kind selects which fault the harness injects.
+type Kind int
+
+const (
+	// KindPanic panics inside an operation.
+	KindPanic Kind = iota
+	// KindHang blocks on an uninstrumented channel: the scheduler never
+	// hears from the thread again and the watchdog must abandon it.
+	KindHang
+	// KindSpin busy-spins (yielding only to the Go runtime, never to the
+	// scheduler): indistinguishable from a hang to the watchdog.
+	KindSpin
+	// KindLeak spawns a goroutine outside the scheduler that outlives the
+	// execution; the leak detector must report it.
+	KindLeak
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindHang:
+		return "hang"
+	case KindSpin:
+		return "spin"
+	case KindLeak:
+		return "leak"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Expected returns the failure classification the scheduler must assign to
+// executions suffering this fault kind.
+func (k Kind) Expected() sched.FailureKind {
+	switch k {
+	case KindPanic:
+		return sched.FailPanic
+	case KindHang, KindSpin:
+		return sched.FailHung
+	case KindLeak:
+		return sched.FailLeak
+	}
+	return sched.FailNone
+}
+
+// Harness injects one kind of fault into a wrapped subject. Faults fire
+// only when two operations overlap (so serial phase-1 executions stay
+// clean) and at most once per execution; whether an overlap occurs is a
+// deterministic function of the schedule, which keeps the set of failing
+// executions — and therefore the checker's failure reports — identical
+// across sequential and parallel exploration.
+type Harness struct {
+	kind      Kind
+	release   chan struct{}
+	released  atomic.Bool
+	closeOnce sync.Once
+	injected  atomic.Int64
+}
+
+// New creates a harness injecting the given fault kind.
+func New(kind Kind) *Harness {
+	return &Harness{kind: kind, release: make(chan struct{})}
+}
+
+// Injections reports how many faults the harness has fired so far.
+func (h *Harness) Injections() int64 { return h.injected.Load() }
+
+// Release frees every goroutine the harness has parked (hung threads,
+// spinners, rogue leaked goroutines) so tests can assert a leak-free
+// process afterwards. Idempotent.
+func (h *Harness) Release() {
+	h.closeOnce.Do(func() {
+		h.released.Store(true)
+		close(h.release)
+	})
+}
+
+// wrapped is the per-execution object: the real object plus the overlap
+// counter and the once-per-execution injection latch. Subject.New runs once
+// per execution, so the latch resets naturally.
+type wrapped struct {
+	h        *Harness
+	obj      any
+	running  atomic.Int32
+	injected atomic.Bool
+}
+
+// Wrap returns a subject equivalent to sub except that every operation may
+// suffer the harness's fault when it overlaps another operation.
+func (h *Harness) Wrap(sub *core.Subject) *core.Subject {
+	out := &core.Subject{
+		Name: sub.Name + "+" + h.kind.String(),
+		New: func(t *sched.Thread) any {
+			return &wrapped{h: h, obj: sub.New(t)}
+		},
+	}
+	for _, op := range sub.Ops {
+		out.Ops = append(out.Ops, h.wrapOp(op))
+	}
+	return out
+}
+
+func (h *Harness) wrapOp(op core.Op) core.Op {
+	inner := op.Run
+	name := op.Name()
+	op.Run = func(t *sched.Thread, obj any) string {
+		w := obj.(*wrapped)
+		w.running.Add(1)
+		defer w.running.Add(-1)
+		if w.running.Load() > 1 && w.injected.CompareAndSwap(false, true) {
+			h.inject(name)
+		}
+		return inner(t, w.obj)
+	}
+	return op
+}
+
+// inject fires the configured fault in the calling (scheduler-run) thread.
+func (h *Harness) inject(op string) {
+	h.injected.Add(1)
+	switch h.kind {
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: injected panic in %s", op))
+	case KindHang:
+		// Uninstrumented block: the scheduler is never told, so only the
+		// watchdog can reclaim the execution.
+		<-h.release
+	case KindSpin:
+		for !h.released.Load() {
+			runtime.Gosched()
+		}
+	case KindLeak:
+		ch := h.release
+		go func() { <-ch }()
+	}
+}

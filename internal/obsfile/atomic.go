@@ -1,0 +1,56 @@
+package obsfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"lineup/internal/history"
+)
+
+// AtomicWriteFile writes a file by streaming through write into a temporary
+// file in the destination directory, syncing it, and renaming it over path.
+// A reader never observes a partially written file: it sees either the old
+// contents or the complete new contents, even if the writing process is
+// killed mid-write. On any error the temporary file is removed and the
+// destination is left untouched.
+func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("obsfile: creating temp file in %s: %w", dir, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("obsfile: syncing %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("obsfile: closing %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("obsfile: renaming into place: %w", err)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes an observation file atomically (see
+// AtomicWriteFile).
+func WriteFileAtomic(path string, spec *history.Spec) error {
+	return AtomicWriteFile(path, func(w io.Writer) error { return Write(w, spec) })
+}
+
+// WriteTraceFile writes a JSONL history trace atomically (see
+// AtomicWriteFile).
+func WriteTraceFile(path string, h *history.History) error {
+	return AtomicWriteFile(path, func(w io.Writer) error { return WriteTrace(w, h) })
+}

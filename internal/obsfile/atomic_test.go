@@ -1,0 +1,119 @@
+package obsfile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lineup/internal/history"
+)
+
+func TestAtomicWriteFileWritesWholeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello\nworld\n")
+		return err
+	}); err != nil {
+		t.Fatalf("AtomicWriteFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading back: %v", err)
+	}
+	if string(data) != "hello\nworld\n" {
+		t.Fatalf("content = %q", data)
+	}
+}
+
+// TestAtomicWriteFileCrashMidWrite simulates a process dying halfway through
+// the write: the write callback emits some bytes and then fails. The
+// destination must keep its previous contents and no temp litter may remain.
+func TestAtomicWriteFileCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	if err := os.WriteFile(path, []byte("old contents\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("killed mid-write")
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, "partial new cont"); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the mid-write failure", err)
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("destination vanished: %v", rerr)
+	}
+	if string(data) != "old contents\n" {
+		t.Fatalf("destination corrupted by failed write: %q", data)
+	}
+	entries, derr := os.ReadDir(dir)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind after failed write", e.Name())
+		}
+	}
+}
+
+func TestAtomicWriteFileOverwrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	for i := 0; i < 3; i++ {
+		want := fmt.Sprintf("generation %d\n", i)
+		if err := AtomicWriteFile(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, want)
+			return err
+		}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != want {
+			t.Fatalf("generation %d: content = %q", i, data)
+		}
+	}
+}
+
+func TestWriteTraceFileRoundTrips(t *testing.T) {
+	h := &history.History{
+		Events: []history.Event{
+			{Thread: 0, Kind: history.Call, Op: "Inc()", Index: 0},
+			{Thread: 1, Kind: history.Call, Op: "Get()", Index: 1},
+			{Thread: 0, Kind: history.Return, Op: "Inc()", Result: "ok", Index: 0},
+			{Thread: 1, Kind: history.Return, Op: "Get()", Result: "1", Index: 1},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := WriteTraceFile(path, h); err != nil {
+		t.Fatalf("WriteTraceFile: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadTrace(f)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got.Events) != len(h.Events) || got.Stuck != h.Stuck {
+		t.Fatalf("round trip mismatch: got %d events (stuck=%v)", len(got.Events), got.Stuck)
+	}
+	for i, e := range got.Events {
+		if e != h.Events[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, e, h.Events[i])
+		}
+	}
+}

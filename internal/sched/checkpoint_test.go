@@ -1,0 +1,186 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lineup/internal/sched"
+)
+
+// outcomeKey is a stable fingerprint of one execution's visible behavior.
+func outcomeKey(o *sched.Outcome) string {
+	s := ""
+	for _, e := range o.Events {
+		s += fmt.Sprintf("%d%d%s%s;", e.Thread, e.Kind, e.Op, e.Result)
+	}
+	if o.Stuck {
+		s += "#"
+	}
+	return s
+}
+
+func checkpointProgram() sched.Program {
+	return sched.Program{Threads: []func(*sched.Thread){
+		opThread(2, "a"), opThread(2, "b"),
+	}}
+}
+
+// TestCheckpointResumeContinuesExactly interrupts an exploration after k
+// executions, resumes it from the last checkpoint, and verifies that the
+// concatenated visit sequence and the final statistics are identical to an
+// uninterrupted run — for several cut points including the first and last
+// execution.
+func TestCheckpointResumeContinuesExactly(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	base := sched.ExploreConfig{PreemptionBound: 2}
+
+	var full []string
+	fullStats, err := sched.Explore(base, checkpointProgram(), func(o *sched.Outcome) bool {
+		full = append(full, outcomeKey(o))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("uninterrupted explore: %v", err)
+	}
+	if len(full) < 10 {
+		t.Fatalf("test program too small to interrupt meaningfully: %d executions", len(full))
+	}
+
+	for _, cut := range []int{1, 2, len(full) / 2, len(full) - 1} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			var prefix []string
+			var last *sched.Checkpoint
+			cfg := base
+			cfg.MaxExecutions = cut
+			cfg.Checkpoint = func(cp sched.Checkpoint) { last = &cp }
+			_, err := sched.Explore(cfg, checkpointProgram(), func(o *sched.Outcome) bool {
+				prefix = append(prefix, outcomeKey(o))
+				return true
+			})
+			if err != sched.ErrBudget {
+				t.Fatalf("interrupted explore: err = %v, want ErrBudget", err)
+			}
+			if last == nil {
+				t.Fatalf("no checkpoint emitted before the cut")
+			}
+			if last.Executions != cut {
+				t.Fatalf("checkpoint executions = %d, want %d", last.Executions, cut)
+			}
+
+			resumed := base
+			resumed.Resume = last
+			var suffix []string
+			stats, err := sched.Explore(resumed, checkpointProgram(), func(o *sched.Outcome) bool {
+				suffix = append(suffix, outcomeKey(o))
+				return true
+			})
+			if err != nil {
+				t.Fatalf("resumed explore: %v", err)
+			}
+
+			got := append(append([]string(nil), prefix...), suffix...)
+			if len(got) != len(full) {
+				t.Fatalf("resumed run visited %d executions total, want %d", len(got), len(full))
+			}
+			for i := range got {
+				if got[i] != full[i] {
+					t.Fatalf("execution %d differs after resume:\n got %q\nwant %q", i, got[i], full[i])
+				}
+			}
+			if stats != fullStats {
+				t.Fatalf("final stats after resume = %+v, want %+v", stats, fullStats)
+			}
+		})
+	}
+}
+
+// TestCheckpointPathIsNextExecution confirms the documented meaning of
+// Checkpoint.Path: replaying the exploration with the path as resume seed
+// runs, as its first execution, exactly the execution the interrupted run
+// would have run next.
+func TestCheckpointPathIsNextExecution(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	base := sched.ExploreConfig{PreemptionBound: 2}
+	var keys []string
+	var cps []sched.Checkpoint
+	_, err := sched.Explore(base, checkpointProgram(), func(o *sched.Outcome) bool {
+		keys = append(keys, outcomeKey(o))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	cfg := base
+	cfg.Checkpoint = func(cp sched.Checkpoint) { cps = append(cps, cp) }
+	_, err = sched.Explore(cfg, checkpointProgram(), func(o *sched.Outcome) bool { return true })
+	if err != nil {
+		t.Fatalf("explore with checkpoints: %v", err)
+	}
+	// One checkpoint after every advance that left work: executions-1.
+	if len(cps) != len(keys)-1 {
+		t.Fatalf("got %d checkpoints for %d executions", len(cps), len(keys))
+	}
+	for _, i := range []int{0, len(cps) / 2, len(cps) - 1} {
+		cp := cps[i]
+		resumed := base
+		resumed.Resume = &cp
+		resumed.MaxExecutions = cp.Executions + 1 // just the next execution
+		var first string
+		_, err := sched.Explore(resumed, checkpointProgram(), func(o *sched.Outcome) bool {
+			if first == "" {
+				first = outcomeKey(o)
+			}
+			return true
+		})
+		if err != nil && err != sched.ErrBudget {
+			t.Fatalf("resume at checkpoint %d: %v", i, err)
+		}
+		if first != keys[i+1] {
+			t.Fatalf("checkpoint %d resumed into %q, want %q", i, first, keys[i+1])
+		}
+	}
+}
+
+// TestCheckpointResumeWithFailures verifies that frontier resume composes
+// with failure containment: cutting an exploration of a partially-panicking
+// program and resuming reproduces the uninterrupted failure sequence.
+func TestCheckpointResumeWithFailures(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	base := sched.ExploreConfig{PreemptionBound: sched.Unbounded, ContinueOnFailure: true}
+	kinds := func(prog sched.Program, cfg sched.ExploreConfig, sink *[]string) error {
+		_, err := sched.Explore(cfg, prog, func(o *sched.Outcome) bool {
+			*sink = append(*sink, o.FailureKind().String()+"|"+outcomeKey(o))
+			return true
+		})
+		return err
+	}
+
+	var full []string
+	if err := kinds(overlapPanicProgram(), base, &full); err != nil {
+		t.Fatalf("uninterrupted: %v", err)
+	}
+	cut := len(full) / 2
+	cfg := base
+	cfg.MaxExecutions = cut
+	var last *sched.Checkpoint
+	cfg.Checkpoint = func(cp sched.Checkpoint) { last = &cp }
+	var prefix []string
+	if err := kinds(overlapPanicProgram(), cfg, &prefix); err != sched.ErrBudget {
+		t.Fatalf("interrupted: err = %v, want ErrBudget", err)
+	}
+	resumed := base
+	resumed.Resume = last
+	var suffix []string
+	if err := kinds(overlapPanicProgram(), resumed, &suffix); err != nil {
+		t.Fatalf("resumed: %v", err)
+	}
+	got := append(prefix, suffix...)
+	if len(got) != len(full) {
+		t.Fatalf("got %d executions, want %d", len(got), len(full))
+	}
+	for i := range got {
+		if got[i] != full[i] {
+			t.Fatalf("execution %d differs: got %q want %q", i, got[i], full[i])
+		}
+	}
+}

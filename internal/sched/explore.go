@@ -19,6 +19,37 @@ type ExploreConfig struct {
 	// MaxExecutions aborts exploration after this many executions (a safety
 	// net, 0 = no limit).
 	MaxExecutions int
+	// ContinueOnFailure hands failed executions (panic, hang, goroutine
+	// leak; see Outcome.FailureKind) to the visit callback instead of
+	// aborting the exploration with their error. The subtree below a failed
+	// execution's realized decision prefix is not explored further (the
+	// execution never reached it), but all sibling schedules are.
+	ContinueOnFailure bool
+	// Checkpoint, when non-nil, receives a frontier snapshot after every
+	// execution whose advance left unexplored work. Callers persist it (see
+	// obsfile.AtomicWriteFile) to make a long exploration resumable; they
+	// may throttle by ignoring calls.
+	Checkpoint func(Checkpoint)
+	// Resume, when non-nil, restarts the exploration from a previously
+	// checkpointed frontier instead of the schedule-tree root: the first
+	// execution replays the checkpointed branch path, and the depth-first
+	// order continues exactly where the interrupted run left off. The
+	// program must be the one the checkpoint was taken from.
+	Resume *Checkpoint
+}
+
+// Checkpoint is a serializable snapshot of a depth-first exploration
+// frontier: the branch index taken at every decision level for the next
+// execution to run, plus the statistics accumulated so far. It is exactly
+// the state needed to continue the exploration after a crash or kill.
+type Checkpoint struct {
+	// Path is the branch-index prefix of the next execution in the DFS
+	// order (Pos of the next run, as the parallel explorer would call it).
+	Path []int `json:"path"`
+	// Executions and Decisions are the statistics accumulated before the
+	// checkpoint; a resumed exploration continues counting from them.
+	Executions int `json:"executions"`
+	Decisions  int `json:"decisions"`
 }
 
 // ErrBudget is returned when exploration hits MaxExecutions before the
@@ -56,6 +87,9 @@ type explorer struct {
 	stack  []*choice
 	depth  int
 	budget int
+	// seed pins the branch index of every frontier level reached during the
+	// first execution after a checkpoint resume; it is cleared afterwards.
+	seed []int
 }
 
 func (e *explorer) begin() {
@@ -82,11 +116,19 @@ func (e *explorer) Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) Threa
 		return c.enabled[c.next]
 	}
 	ord := orderChoices(cur, curEnabled, enabled)
-	c := &choice{enabled: ord, cur: cur, curEnabled: curEnabled, budget: e.budget}
+	next := 0
+	if e.depth < len(e.seed) {
+		next = e.seed[e.depth]
+		if next < 0 || next >= len(ord) {
+			panic(fmt.Sprintf("sched: checkpoint does not match program: decision %d offers %d choices, resume path wants branch %d",
+				e.depth, len(ord), next))
+		}
+	}
+	c := &choice{enabled: ord, cur: cur, curEnabled: curEnabled, next: next, budget: e.budget}
 	e.stack = append(e.stack, c)
-	e.budget -= c.cost(0)
+	e.budget -= c.cost(next)
 	e.depth++
-	return ord[0]
+	return ord[next]
 }
 
 // advance backtracks to the deepest decision with an unexplored, affordable
@@ -151,11 +193,17 @@ func sameIDs(a []ThreadID, b []ThreadID) bool {
 // Explore enumerates the schedules of prog and calls visit for every
 // execution outcome. If visit returns false, exploration stops early (used
 // to stop at the first linearizability violation). The returned stats count
-// executions and decisions; err is non-nil if an execution failed (a panic in
-// implementation code) or the execution budget ran out.
+// executions and decisions; err is non-nil if an execution failed (a panic,
+// watchdog hang, or goroutine leak — unless cfg.ContinueOnFailure hands
+// failed outcomes to visit instead) or the execution budget ran out.
 func Explore(cfg ExploreConfig, prog Program, visit func(*Outcome) bool) (ExploreStats, error) {
 	e := &explorer{bound: cfg.PreemptionBound}
 	var stats ExploreStats
+	if cfg.Resume != nil {
+		e.seed = cfg.Resume.Path
+		stats.Executions = cfg.Resume.Executions
+		stats.Decisions = cfg.Resume.Decisions
+	}
 	for {
 		if cfg.MaxExecutions > 0 && stats.Executions >= cfg.MaxExecutions {
 			stats.Truncated = true
@@ -164,16 +212,24 @@ func Explore(cfg ExploreConfig, prog Program, visit func(*Outcome) bool) (Explor
 		e.begin()
 		s := NewScheduler(cfg.Config, e)
 		out := s.Run(prog)
+		e.seed = nil
 		stats.Executions++
 		stats.Decisions += out.Decisions
-		if out.Err != nil {
-			return stats, out.Err
+		if k := out.FailureKind(); k != FailNone && !cfg.ContinueOnFailure {
+			return stats, out.FailureError()
 		}
 		if !visit(out) {
 			return stats, nil
 		}
 		if !e.advance() {
 			return stats, nil
+		}
+		if cfg.Checkpoint != nil {
+			cfg.Checkpoint(Checkpoint{
+				Path:       []int(pathOf(e.stack)),
+				Executions: stats.Executions,
+				Decisions:  stats.Decisions,
+			})
 		}
 	}
 }

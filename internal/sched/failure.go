@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// FailureKind classifies the contained runtime failures an execution can
+// suffer, completing the taxonomy next to the cooperative outcomes the
+// scheduler already detects (deadlock and livelock/divergence are reported
+// via Outcome.Stuck, not as failures: they are semantically meaningful
+// results the checker reasons about, while failures make the execution
+// unusable).
+type FailureKind int
+
+const (
+	// FailNone means the execution suffered no runtime failure.
+	FailNone FailureKind = iota
+	// FailPanic means implementation code panicked (Outcome.Err).
+	FailPanic
+	// FailHung means the watchdog expired: the running thread blocked on an
+	// uninstrumented primitive or spun without yielding (Outcome.Hung).
+	FailHung
+	// FailLeak means the subject spawned goroutines outside the scheduler
+	// that survived the execution (Outcome.LeakedGoroutines > 0).
+	FailLeak
+)
+
+// String names the failure kind for reports and checkpoint files.
+func (k FailureKind) String() string {
+	switch k {
+	case FailNone:
+		return "none"
+	case FailPanic:
+		return "panic"
+	case FailHung:
+		return "hung"
+	case FailLeak:
+		return "leak"
+	}
+	return fmt.Sprintf("FailureKind(%d)", int(k))
+}
+
+// MarshalJSON writes the kind by name so checkpoint files stay readable.
+func (k FailureKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses the name form written by MarshalJSON.
+func (k *FailureKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for _, c := range []FailureKind{FailNone, FailPanic, FailHung, FailLeak} {
+		if c.String() == s {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("sched: unknown failure kind %q", s)
+}
+
+// FailureKind classifies the outcome's runtime failure, FailNone if the
+// execution is usable. Precedence follows severity of the evidence: a panic
+// outranks a hang (the panic is the primary event), and a hang outranks a
+// goroutine leak (abandoned executions leak by design, which is accounted
+// separately in LeakedThreads).
+func (o *Outcome) FailureKind() FailureKind {
+	switch {
+	case o.Err != nil:
+		return FailPanic
+	case o.Hung:
+		return FailHung
+	case o.LeakedGoroutines > 0:
+		return FailLeak
+	}
+	return FailNone
+}
+
+// FailureError converts the outcome's failure into an error, nil when the
+// execution did not fail. For panics it returns Outcome.Err itself, so
+// callers that previously propagated Err observe identical errors.
+func (o *Outcome) FailureError() error {
+	switch o.FailureKind() {
+	case FailPanic:
+		return o.Err
+	case FailHung:
+		return fmt.Errorf("sched: execution hung: thread %s made no progress within the watchdog interval (uninstrumented blocking or non-yielding spin); %d scheduler thread(s) abandoned", o.HungThread, len(o.LeakedThreads))
+	case FailLeak:
+		return fmt.Errorf("sched: execution leaked %d goroutine(s) spawned outside the scheduler", o.LeakedGoroutines)
+	}
+	return nil
+}

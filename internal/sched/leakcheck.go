@@ -1,0 +1,43 @@
+package sched
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB that RequireNoLeaks needs; it is an
+// interface so the helper does not drag the testing package into non-test
+// builds of this package.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// RequireNoLeaks arranges for the test to fail if it leaks goroutines: it
+// snapshots the process goroutine count when called and registers a cleanup
+// that, at test end, waits briefly for the count to settle back and reports
+// an error if it does not. Call it first in any test that runs executions,
+// so that every scheduler kill or abandonment path is checked to unwind its
+// thread goroutines.
+//
+// The check is inherently process-global, so tests using it must not run in
+// parallel with tests that intentionally leave goroutines behind.
+func RequireNoLeaks(tb TB) {
+	tb.Helper()
+	base := runtime.NumGoroutine()
+	tb.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				tb.Errorf("sched: test leaked goroutines: %d before, %d after", base, n)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+}

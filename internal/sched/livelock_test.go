@@ -59,6 +59,46 @@ func TestLivelockDetectedAsStuck(t *testing.T) {
 	}
 }
 
+// TestStepBudgetBoundary pins the exact semantics of MaxOpSteps: an
+// operation with n intermediate points takes n+2 instrumented steps (the
+// OpStart and OpEnd points included), completes when the budget equals its
+// step count, and diverges when the budget is one below it.
+func TestStepBudgetBoundary(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	const mid = 5 // intermediate points; total steps = mid + 2
+	prog := sched.Program{Threads: []func(*sched.Thread){
+		func(th *sched.Thread) {
+			th.OpStart("op")
+			for i := 0; i < mid; i++ {
+				th.Point(sched.PointAtomic)
+			}
+			th.OpEnd("op", "ok")
+		},
+	}}
+
+	t.Run("exactly-reached", func(t *testing.T) {
+		s := sched.NewScheduler(sched.Config{MaxOpSteps: mid + 2}, nil)
+		out := s.Run(prog)
+		if out.Stuck || out.Err != nil {
+			t.Fatalf("budget exactly reached must complete, got %+v", out)
+		}
+		if len(out.Events) != 2 {
+			t.Fatalf("expected call+return, got %d events", len(out.Events))
+		}
+	})
+
+	t.Run("exceeded-by-one", func(t *testing.T) {
+		s := sched.NewScheduler(sched.Config{MaxOpSteps: mid + 1}, nil)
+		out := s.Run(prog)
+		if !out.Stuck {
+			t.Fatalf("budget exceeded by one must be stuck (diverged), got %+v", out)
+		}
+		if out.Err != nil || out.Hung {
+			t.Fatalf("divergence misclassified: %+v", out)
+		}
+	})
+}
+
 // TestImplementationPanicSurfacesAsError: a panic inside the code under
 // test becomes Outcome.Err with the panic message and stack, not a crash of
 // the checker.

@@ -287,8 +287,8 @@ func (co *coordinator) generate(cfg ExploreConfig, prog Program, shardDepth int)
 		e.begin()
 		out := NewScheduler(cfg.Config, e).Run(prog)
 		co.finishRun(out)
-		if out.Err != nil {
-			co.noteTerminal(p, out.Err)
+		if k := out.FailureKind(); k != FailNone && !cfg.ContinueOnFailure {
+			co.noteTerminal(p, out.FailureError())
 			break
 		}
 		floor := shardDepth
@@ -360,8 +360,8 @@ func (w *shardWorker) runShard(sh *shard) {
 		e.begin()
 		out := NewScheduler(w.cfg.Config, e).Run(w.prog)
 		w.co.finishRun(out)
-		if out.Err != nil {
-			w.co.noteTerminal(p, out.Err)
+		if k := out.FailureKind(); k != FailNone && !w.cfg.ContinueOnFailure {
+			w.co.noteTerminal(p, out.FailureError())
 			return
 		}
 		if !w.visit(out, p) {
@@ -401,6 +401,10 @@ func (w *shardWorker) runShard(sh *shard) {
 // exactly MaxExecutions executions are run, though — unlike the sequential
 // explorer — not necessarily the first ones in sequential order.
 func ExploreParallel(cfg ExploreConfig, pcfg ParallelConfig, newProg func() Program, visit func(*Outcome, Pos) bool) (ExploreStats, error) {
+	// Goroutine-count leak detection is process-global and meaningless while
+	// several schedulers run concurrently; containment of hangs and panics
+	// still works per execution.
+	cfg.DetectLeaks = false
 	workers := pcfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

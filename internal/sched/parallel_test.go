@@ -65,6 +65,7 @@ func explorePar(t *testing.T, cfg sched.ExploreConfig, pcfg sched.ParallelConfig
 // must visit the exact same multiset of outcomes as the sequential one and
 // merge identical statistics.
 func TestParallelEquivalenceMultiset(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	// Bounds per program are chosen so every schedule space stays small
 	// enough to enumerate exhaustively (a few thousand executions); the
 	// 3-thread subjects skip Unbounded, whose spaces run into the tens of
@@ -124,6 +125,7 @@ func TestParallelEquivalenceMultiset(t *testing.T) {
 // sorting the parallel explorer's visited outcomes by Pos reproduces the
 // sequential visit order exactly.
 func TestParallelPositionsAreSequentialOrder(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	mk := func() sched.Program {
 		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b"), opThread(1, "c")}}
 	}
@@ -170,6 +172,7 @@ func TestParallelPositionsAreSequentialOrder(t *testing.T) {
 // explorer exactly like the sequential one: same ErrBudget, same Truncated
 // flag, and exactly the same number of executions run.
 func TestParallelBudgetTruncation(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	mk := func() sched.Program {
 		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
 	}
@@ -212,6 +215,7 @@ func TestParallelBudgetTruncation(t *testing.T) {
 // false, the parallel explorer returns a nil error (like the sequential one)
 // and does not run the whole space.
 func TestParallelEarlyStop(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	mk := func() sched.Program {
 		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
 	}
@@ -270,6 +274,7 @@ func TestParallelEarlyStop(t *testing.T) {
 // program code) surfaces as the same error regardless of worker count: the
 // sequentially-first failure wins.
 func TestParallelErrorDeterministic(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	// Thread b panics when its point runs before thread a finished: many
 	// schedules fail, and the parallel explorer must report the failure the
 	// sequential DFS would hit first.
@@ -325,6 +330,7 @@ func TestParallelErrorDeterministic(t *testing.T) {
 // TestParallelProgress checks the shard progress counters: monotone
 // executions, and a final snapshot accounting for every shard.
 func TestParallelProgress(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	mk := func() sched.Program {
 		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
 	}
@@ -361,6 +367,7 @@ func TestParallelProgress(t *testing.T) {
 // one on executions, truncation, and (when the space is fully explored) the
 // full outcome multiset and decision count.
 func TestParallelPropertyRandomPrograms(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	rng := rand.New(rand.NewSource(0x11e4))
 	const budget = 2000
 	for iter := 0; iter < 18; iter++ {

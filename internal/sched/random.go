@@ -33,6 +33,10 @@ type RandomConfig struct {
 	// Steps is the PCT estimate k of the execution length in decisions;
 	// zero means 64.
 	Steps int
+	// ContinueOnFailure hands failed executions (panic, hang, leak) to the
+	// visit callback instead of aborting the sampling run, mirroring
+	// ExploreConfig.ContinueOnFailure.
+	ContinueOnFailure bool
 }
 
 // ExploreRandom samples schedules of prog instead of enumerating them: it
@@ -56,8 +60,8 @@ func ExploreRandom(cfg RandomConfig, prog Program, visit func(*Outcome) bool) (E
 		out := s.Run(prog)
 		stats.Executions++
 		stats.Decisions += out.Decisions
-		if out.Err != nil {
-			return stats, out.Err
+		if k := out.FailureKind(); k != FailNone && !cfg.ContinueOnFailure {
+			return stats, out.FailureError()
 		}
 		if !visit(out) {
 			return stats, nil

@@ -13,11 +13,23 @@
 // where scheduling decisions are taken. Because only one goroutine runs at a
 // time and every source of nondeterminism is a scheduling decision, a
 // recorded sequence of decisions replays an execution exactly.
+//
+// Subject code that escapes the instrumentation — blocking on an
+// uninstrumented primitive, spinning without yielding, or spawning raw
+// goroutines — would hang or poison the whole checker. Config.Watchdog arms a
+// wall-clock watchdog that detects a non-cooperative execution, abandons its
+// goroutines, and reports a structured hung outcome; Config.DetectLeaks
+// reports goroutines the subject spawned outside the scheduler. See
+// Outcome.FailureKind for the containment taxonomy.
 package sched
 
 import (
 	"fmt"
+	"runtime"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ThreadID identifies a logical thread within one execution. Thread IDs are
@@ -80,7 +92,7 @@ func (g Granularity) includes(k PointKind) bool {
 	}
 }
 
-type threadState int
+type threadState int32
 
 const (
 	stateRunnable threadState = iota
@@ -92,16 +104,24 @@ const (
 // Thread is the handle a logical thread uses to interact with the scheduler.
 // Every instrumented operation takes the current *Thread as an argument;
 // implementations under test must thread it through their methods.
+//
+// state and killed are atomic because the watchdog abandonment path reads and
+// writes them from the scheduler goroutine while a non-cooperative thread
+// goroutine may still be executing; everywhere else the scheduler baton (the
+// resume/back channel rendezvous) already orders accesses.
 type Thread struct {
 	id        ThreadID
 	name      string
 	sch       *Scheduler
 	resume    chan struct{}
-	state     threadState
-	killed    bool
+	state     atomic.Int32
+	killed    atomic.Bool
 	stepsInOp int
 	curOp     int // global index of the operation currently executing, -1 outside
 }
+
+func (t *Thread) getState() threadState   { return threadState(t.state.Load()) }
+func (t *Thread) setState(st threadState) { t.state.Store(int32(st)) }
 
 // ID returns the thread's identifier within the current execution.
 func (t *Thread) ID() ThreadID { return t.id }
@@ -159,6 +179,23 @@ type Config struct {
 	// MaxOpSteps bounds the instrumented steps a single operation may take
 	// before it is declared diverging. Zero means the default (100000).
 	MaxOpSteps int
+	// Watchdog, when positive, bounds the wall-clock time the scheduler
+	// waits for the running thread to reach its next instrumented point.
+	// When it expires the execution is declared hung (the thread blocked on
+	// an uninstrumented primitive or spins without yielding), its goroutines
+	// are abandoned, and the outcome reports Hung. Zero disables the
+	// watchdog: a non-cooperative subject then hangs the scheduler forever.
+	Watchdog time.Duration
+	// AbandonGrace bounds how long an abandoned execution waits for its
+	// threads to unwind cooperatively before declaring them leaked. Zero
+	// means the default (50ms).
+	AbandonGrace time.Duration
+	// DetectLeaks compares the process goroutine count before and after the
+	// execution and reports subject goroutines that survived it (raw `go`
+	// statements escaping the scheduler) in Outcome.LeakedGoroutines. It is
+	// only meaningful when no other code spawns goroutines concurrently, so
+	// the parallel explorer forces it off.
+	DetectLeaks bool
 }
 
 func (c Config) maxOpSteps() int {
@@ -166,6 +203,13 @@ func (c Config) maxOpSteps() int {
 		return 100000
 	}
 	return c.MaxOpSteps
+}
+
+func (c Config) abandonGrace() time.Duration {
+	if c.AbandonGrace <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.AbandonGrace
 }
 
 // Program is the unit of execution: an optional single-threaded setup
@@ -242,26 +286,65 @@ type Outcome struct {
 	Trace []MemEvent
 	// Decisions is the number of scheduling decisions taken.
 	Decisions int
+	// Schedule is the decision sequence of this execution (the thread picked
+	// at every decision point, in order); ReplaySchedule reproduces the
+	// execution from it. It is recorded unconditionally so that failure
+	// reports always carry a replayable schedule prefix.
+	Schedule []ThreadID
 	// Err is non-nil if implementation code panicked; the execution is then
 	// unusable and the error should be propagated to the user.
 	Err error
+	// PanicValue and PanicStack carry the raw panic value and the panicking
+	// goroutine's stack when Err is a subject panic, for structured failure
+	// reports (Err holds the same information formatted).
+	PanicValue any
+	PanicStack []byte
+	// Hung reports that the watchdog expired: the running thread made no
+	// progress to its next instrumented point within Config.Watchdog and the
+	// execution was abandoned. Events and Trace hold the prefix recorded
+	// before the hang.
+	Hung bool
+	// HungThread is the display name of the thread the watchdog caught
+	// (valid when Hung).
+	HungThread string
+	// LeakedThreads names the scheduler threads of an abandoned execution
+	// that did not unwind within the abandonment grace period (they are
+	// still blocked or spinning in subject code and their goroutines leak
+	// knowingly; they self-destruct at their next instrumented point).
+	LeakedThreads []string
+	// LeakedGoroutines counts goroutines spawned by the subject outside the
+	// scheduler that survived the execution (only when Config.DetectLeaks).
+	LeakedGoroutines int
 }
 
 // Scheduler coordinates the logical threads of a single execution. A fresh
 // Scheduler is created for every execution; it is not reusable.
 type Scheduler struct {
-	cfg       Config
-	ctrl      Controller
-	threads   []*Thread
-	cur       *Thread
-	back      chan msg
-	events    []OpEvent
-	trace     []MemEvent
-	nextLoc   int
-	nextOp    int
-	decisions int
-	stuck     bool
-	execErr   error
+	cfg        Config
+	ctrl       Controller
+	threads    []*Thread
+	cur        *Thread
+	back       chan msg
+	decisions  int
+	schedule   []ThreadID
+	stuck      bool
+	execErr    error
+	panicVal   any
+	panicStack []byte
+	hung       bool
+	hungThr    string
+	leaked     []string
+	wdTimer    *time.Timer
+
+	// mu guards events, trace and the loc/op counters: a thread abandoned by the watchdog
+	// may still be between instrumented points appending to them while the
+	// scheduler goroutine assembles the outcome. Uncontended in every
+	// cooperative execution.
+	mu      sync.Mutex
+	events  []OpEvent
+	trace   []MemEvent
+	nextLoc int
+	nextOp  int
 }
 
 // NewScheduler creates the scheduler for one execution of prog under ctrl.
@@ -272,7 +355,7 @@ func NewScheduler(cfg Config, ctrl Controller) *Scheduler {
 	if ctrl == nil {
 		ctrl = defaultController{}
 	}
-	return &Scheduler{cfg: cfg, ctrl: ctrl, back: make(chan msg)}
+	return &Scheduler{cfg: cfg, ctrl: ctrl}
 }
 
 type defaultController struct{}
@@ -299,14 +382,14 @@ func (s *Scheduler) spawn(name string, body func(t *Thread)) *Thread {
 		id:     ThreadID(len(s.threads)),
 		name:   name,
 		sch:    s,
-		resume: make(chan struct{}),
-		state:  stateRunnable,
+		resume: make(chan struct{}, 1),
 		curOp:  -1,
 	}
+	t.setState(stateRunnable)
 	s.threads = append(s.threads, t)
 	go func() {
 		<-t.resume
-		if t.killed {
+		if t.killed.Load() {
 			s.back <- msg{t: t, kind: msgDead}
 			return
 		}
@@ -332,28 +415,85 @@ func (s *Scheduler) spawn(name string, body func(t *Thread)) *Thread {
 // Run executes the program to completion (or stuckness) and returns the
 // outcome. It must be called exactly once.
 func (s *Scheduler) Run(prog Program) *Outcome {
+	// back is buffered generously so that the threads of an abandoned
+	// execution can deposit their terminal messages without a receiver: each
+	// thread sends at most one in-flight message plus one terminal message.
+	// During cooperative scheduling the loop still consumes exactly one
+	// message per resume, so buffering does not change the rendezvous
+	// semantics.
+	s.back = make(chan msg, 2*(len(prog.Threads)+2)+2)
+	baseGoroutines := 0
+	if s.cfg.DetectLeaks {
+		baseGoroutines = runtime.NumGoroutine()
+	}
 	if prog.Setup != nil {
 		t := s.spawn("init", prog.Setup)
 		s.loop([]*Thread{t})
 	}
-	if !s.stuck && s.execErr == nil {
+	if !s.done() {
 		group := make([]*Thread, 0, len(prog.Threads))
 		for i, body := range prog.Threads {
 			group = append(group, s.spawn(threadName(i), body))
 		}
 		s.loop(group)
 	}
-	if !s.stuck && s.execErr == nil && prog.Teardown != nil {
+	if !s.done() && prog.Teardown != nil {
 		t := s.spawn("fin", prog.Teardown)
 		s.loop([]*Thread{t})
 	}
-	s.killAll()
-	return &Outcome{
-		Stuck:     s.stuck,
-		Events:    s.events,
-		Trace:     s.trace,
-		Decisions: s.decisions,
-		Err:       s.execErr,
+	if !s.hung {
+		// The abandonment path already unwound (or gave up on) every thread.
+		s.killAll()
+	}
+	out := &Outcome{
+		Stuck:      s.stuck,
+		Decisions:  s.decisions,
+		Schedule:   s.schedule,
+		Err:        s.execErr,
+		PanicValue: s.panicVal,
+		PanicStack: s.panicStack,
+		Hung:       s.hung,
+		HungThread: s.hungThr,
+	}
+	out.LeakedThreads = append(out.LeakedThreads, s.leaked...)
+	s.mu.Lock()
+	if s.hung {
+		// An abandoned thread may still append; hand out stable copies.
+		out.Events = append([]OpEvent(nil), s.events...)
+		out.Trace = append([]MemEvent(nil), s.trace...)
+	} else {
+		out.Events = s.events
+		out.Trace = s.trace
+	}
+	s.mu.Unlock()
+	if s.cfg.DetectLeaks {
+		out.LeakedGoroutines = s.countLeaks(baseGoroutines)
+	}
+	return out
+}
+
+// done reports whether the execution already terminated abnormally and no
+// further thread group may run.
+func (s *Scheduler) done() bool {
+	return s.stuck || s.execErr != nil || s.hung
+}
+
+// countLeaks waits briefly for the process goroutine count to settle back to
+// the pre-execution baseline (plus the knowingly-abandoned scheduler
+// threads) and returns the excess, attributing it to raw goroutines the
+// subject spawned outside the scheduler.
+func (s *Scheduler) countLeaks(base int) int {
+	allowed := base + len(s.leaked)
+	deadline := time.Now().Add(s.cfg.abandonGrace())
+	for {
+		n := runtime.NumGoroutine()
+		if n <= allowed {
+			return 0
+		}
+		if time.Now().After(deadline) {
+			return n - allowed
+		}
+		time.Sleep(200 * time.Microsecond)
 	}
 }
 
@@ -388,7 +528,7 @@ func (s *Scheduler) loop(group []*Thread) {
 			cur, curEnabled := NoThread, false
 			if s.cur != nil {
 				cur = s.cur.id
-				curEnabled = s.cur.state == stateRunnable
+				curEnabled = s.cur.getState() == stateRunnable
 			}
 			s.decisions++
 			pick := s.ctrl.Pick(cur, curEnabled, ids)
@@ -401,16 +541,21 @@ func (s *Scheduler) loop(group []*Thread) {
 			if chosen == nil {
 				panic(fmt.Sprintf("sched: controller picked disabled thread %d from %v", pick, ids))
 			}
+			s.schedule = append(s.schedule, pick)
 		}
 		s.cur = chosen
 		chosen.resume <- struct{}{}
-		m := <-s.back
+		m, ok := s.recv(chosen)
+		if !ok {
+			// Watchdog fired: the execution was abandoned inside recv.
+			return
+		}
 		switch m.kind {
 		case msgYield:
 			// The thread stopped at its next instrumented point; it remains
 			// runnable and the loop takes the next decision.
 		case msgBlock:
-			m.t.state = stateBlocked
+			m.t.setState(stateBlocked)
 			if s.cfg.Serial {
 				// In serial mode no other thread may run while an operation
 				// is incomplete; a blocked operation means the serial
@@ -419,9 +564,9 @@ func (s *Scheduler) loop(group []*Thread) {
 				return
 			}
 		case msgFinish:
-			m.t.state = stateFinished
+			m.t.setState(stateFinished)
 		case msgDiverged:
-			m.t.state = stateDiverged
+			m.t.setState(stateDiverged)
 			if s.cfg.Serial {
 				s.stuck = true
 				return
@@ -429,8 +574,78 @@ func (s *Scheduler) loop(group []*Thread) {
 		case msgDead:
 			panic("sched: unexpected dead message during scheduling")
 		case msgPanic:
-			m.t.state = stateFinished
+			m.t.setState(stateFinished)
 			s.execErr = fmt.Errorf("sched: thread %s panicked: %v\n%s", m.t.name, m.panic, m.stack)
+			s.panicVal, s.panicStack = m.panic, m.stack
+		}
+	}
+}
+
+// recv waits for the running thread's next message. With a watchdog armed it
+// bounds the wait; on expiry it abandons the execution and reports !ok.
+func (s *Scheduler) recv(chosen *Thread) (msg, bool) {
+	if s.cfg.Watchdog <= 0 {
+		return <-s.back, true
+	}
+	if s.wdTimer == nil {
+		s.wdTimer = time.NewTimer(s.cfg.Watchdog)
+	} else {
+		s.wdTimer.Reset(s.cfg.Watchdog)
+	}
+	select {
+	case m := <-s.back:
+		s.wdTimer.Stop()
+		return m, true
+	case <-s.wdTimer.C:
+		s.hung = true
+		s.hungThr = chosen.name
+		s.abandon()
+		return msg{}, false
+	}
+}
+
+// abandon force-terminates an execution whose running thread stopped
+// cooperating. Every unfinished thread is marked killed and handed a resume
+// token; parked threads unwind promptly via the kill sentinel, and the
+// non-cooperative thread self-destructs at its next instrumented point — if
+// it ever reaches one. Threads that do not unwind within the grace period
+// are recorded as leaked.
+func (s *Scheduler) abandon() {
+	waiting := make(map[*Thread]bool)
+	for _, t := range s.threads {
+		switch t.getState() {
+		case stateFinished, stateDiverged:
+			continue
+		}
+		t.killed.Store(true)
+		select {
+		case t.resume <- struct{}{}:
+		default:
+		}
+		waiting[t] = true
+	}
+	deadline := time.NewTimer(s.cfg.abandonGrace())
+	defer deadline.Stop()
+	for len(waiting) > 0 {
+		select {
+		case m := <-s.back:
+			switch m.kind {
+			case msgDead, msgFinish, msgDiverged, msgPanic:
+				m.t.setState(stateFinished)
+				delete(waiting, m.t)
+			default:
+				// A stale yield/block from a thread that was mid-send when
+				// abandoned; it parks next, so make sure a token awaits it.
+				select {
+				case m.t.resume <- struct{}{}:
+				default:
+				}
+			}
+		case <-deadline.C:
+			for t := range waiting {
+				s.leaked = append(s.leaked, t.name)
+			}
+			return
 		}
 	}
 }
@@ -440,7 +655,7 @@ func (s *Scheduler) loop(group []*Thread) {
 func enabledOf(group []*Thread, buf []*Thread) []*Thread {
 	out := buf[:0]
 	for _, t := range group {
-		if t.state == stateRunnable {
+		if t.getState() == stateRunnable {
 			out = append(out, t)
 		}
 	}
@@ -449,7 +664,7 @@ func enabledOf(group []*Thread, buf []*Thread) []*Thread {
 
 func allFinished(group []*Thread) bool {
 	for _, t := range group {
-		if t.state != stateFinished {
+		if t.getState() != stateFinished {
 			return false
 		}
 	}
@@ -461,14 +676,14 @@ func allFinished(group []*Thread) bool {
 // killed flag and panic with the kill sentinel, which their wrapper recovers.
 func (s *Scheduler) killAll() {
 	for _, t := range s.threads {
-		if t.state == stateFinished {
+		if t.getState() == stateFinished {
 			continue
 		}
-		if t.state == stateDiverged {
+		if t.getState() == stateDiverged {
 			// The goroutine already unwound via the divergence sentinel.
 			continue
 		}
-		t.killed = true
+		t.killed.Store(true)
 		t.resume <- struct{}{}
 		m := <-s.back
 		if m.kind != msgDead {
@@ -476,7 +691,7 @@ func (s *Scheduler) killAll() {
 			// other message indicates a framework bug.
 			panic(fmt.Sprintf("sched: expected dead message, got kind %d", m.kind))
 		}
-		t.state = stateFinished
+		t.setState(stateFinished)
 	}
 }
 
@@ -485,6 +700,11 @@ func (s *Scheduler) killAll() {
 // the scheduler, which may run other threads before resuming it.
 func (t *Thread) Point(kind PointKind) {
 	s := t.sch
+	if t.killed.Load() {
+		// The execution was abandoned while this thread ran outside the
+		// scheduler's control; unwind before touching any shared state.
+		panic(killSentinel{})
+	}
 	t.stepsInOp++
 	if t.stepsInOp > s.cfg.maxOpSteps() {
 		panic(divergeSentinel{})
@@ -498,17 +718,21 @@ func (t *Thread) Point(kind PointKind) {
 	}
 	s.back <- msg{t: t, kind: msgYield}
 	<-t.resume
-	if t.killed {
+	if t.killed.Load() {
 		panic(killSentinel{})
 	}
 }
 
 // block parks the thread until a wait set wakes it (or the execution ends).
+// The blocked state is recorded by the scheduler loop when it receives the
+// block message, keeping thread states scheduler-owned.
 func (t *Thread) block() {
-	t.state = stateBlocked
+	if t.killed.Load() {
+		panic(killSentinel{})
+	}
 	t.sch.back <- msg{t: t, kind: msgBlock}
 	<-t.resume
-	if t.killed {
+	if t.killed.Load() {
 		panic(killSentinel{})
 	}
 }
@@ -516,8 +740,10 @@ func (t *Thread) block() {
 // NewLoc allocates a fresh shared-memory location identifier. Instrumented
 // cells call this once at construction time.
 func (t *Thread) NewLoc() int {
+	t.sch.mu.Lock()
 	id := t.sch.nextLoc
 	t.sch.nextLoc++
+	t.sch.mu.Unlock()
 	return id
 }
 
@@ -526,9 +752,11 @@ func (t *Thread) Record(kind MemKind, loc int, name string) {
 	if !t.sch.cfg.RecordTrace {
 		return
 	}
+	t.sch.mu.Lock()
 	t.sch.trace = append(t.sch.trace, MemEvent{
 		Thread: t.id, Kind: kind, Loc: loc, Name: name, Op: t.curOp,
 	})
+	t.sch.mu.Unlock()
 }
 
 // OpStart records the call event of an operation. The scheduling point
@@ -537,11 +765,14 @@ func (t *Thread) Record(kind MemKind, loc int, name string) {
 func (t *Thread) OpStart(name string) {
 	t.stepsInOp = 0
 	t.Point(PointOpStart)
-	t.curOp = t.sch.nextOp
-	t.sch.nextOp++
-	t.sch.events = append(t.sch.events, OpEvent{
+	s := t.sch
+	s.mu.Lock()
+	t.curOp = s.nextOp
+	s.nextOp++
+	s.events = append(s.events, OpEvent{
 		Thread: t.id, Kind: EvCall, Op: name, OpIndex: t.curOp,
 	})
+	s.mu.Unlock()
 }
 
 // OpEnd records the return event of the operation started by the matching
@@ -551,9 +782,12 @@ func (t *Thread) OpEnd(name, result string) {
 	op := t.curOp
 	t.Point(PointOpEnd)
 	t.curOp = -1
-	t.sch.events = append(t.sch.events, OpEvent{
+	s := t.sch
+	s.mu.Lock()
+	s.events = append(s.events, OpEvent{
 		Thread: t.id, Kind: EvReturn, Op: name, Result: result, OpIndex: op,
 	})
+	s.mu.Unlock()
 }
 
 // Yield marks an explicit spin-wait yield (the fairness hint CHESS uses for

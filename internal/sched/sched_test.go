@@ -51,6 +51,7 @@ func serialKey(o *sched.Outcome) string {
 }
 
 func TestSerialEnumerationTwoByTwo(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	prog := sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
 	outs, _ := exploreAll(t, sched.ExploreConfig{
 		Config:          sched.Config{Serial: true},
@@ -72,6 +73,7 @@ func TestSerialEnumerationTwoByTwo(t *testing.T) {
 // TestSerialEnumeration1680 reproduces the paper's Section 5.5 count: a 3x3
 // test has 1680 full serial interleavings (9! / (3!)^3).
 func TestSerialEnumeration1680(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	prog := sched.Program{Threads: []func(*sched.Thread){
 		opThread(3, "a"), opThread(3, "b"), opThread(3, "c"),
 	}}
@@ -89,6 +91,7 @@ func TestSerialEnumeration1680(t *testing.T) {
 }
 
 func TestPreemptionBoundZeroGivesThreadOrderings(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	prog := sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
 	outs, _ := exploreAll(t, sched.ExploreConfig{
 		Config:          sched.Config{},
@@ -102,6 +105,7 @@ func TestPreemptionBoundZeroGivesThreadOrderings(t *testing.T) {
 }
 
 func TestPreemptionBoundMonotone(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	prog := func() sched.Program {
 		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
 	}
@@ -119,6 +123,7 @@ func TestPreemptionBoundMonotone(t *testing.T) {
 }
 
 func TestSetupRunsBeforeThreadsAndTeardownAfter(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	var order []string
 	prog := sched.Program{
 		Setup: func(t *sched.Thread) { order = append(order, "setup") },
@@ -143,6 +148,7 @@ func TestSetupRunsBeforeThreadsAndTeardownAfter(t *testing.T) {
 }
 
 func TestDeadlockIsStuck(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	// Two threads block on wait sets that nobody signals.
 	var ws1, ws2 sched.WaitSet
 	prog := sched.Program{Threads: []func(*sched.Thread){
@@ -177,6 +183,7 @@ func TestDeadlockIsStuck(t *testing.T) {
 }
 
 func TestWaitSetSignalWakesWaiter(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	var ws sched.WaitSet
 	prog := sched.Program{Threads: []func(*sched.Thread){
 		func(t *sched.Thread) {
@@ -224,6 +231,7 @@ func TestWaitSetSignalWakesWaiter(t *testing.T) {
 }
 
 func TestDivergenceDetected(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	prog := sched.Program{Threads: []func(*sched.Thread){
 		func(t *sched.Thread) {
 			t.OpStart("spin")
@@ -240,6 +248,7 @@ func TestDivergenceDetected(t *testing.T) {
 }
 
 func TestReplayReproducesEvents(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	mk := func() sched.Program {
 		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
 	}
@@ -287,6 +296,7 @@ func TestReplayReproducesEvents(t *testing.T) {
 }
 
 func TestExecutionBudget(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	prog := sched.Program{Threads: []func(*sched.Thread){
 		opThread(3, "a"), opThread(3, "b"), opThread(3, "c"),
 	}}
@@ -301,6 +311,7 @@ func TestExecutionBudget(t *testing.T) {
 }
 
 func TestRecordingControllerAndReplay(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	mk := func() sched.Program {
 		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
 	}
@@ -328,6 +339,7 @@ func TestRecordingControllerAndReplay(t *testing.T) {
 }
 
 func TestReplayScheduleDivergence(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	// Record a schedule, then replay it with its first decision rewritten to
 	// a thread that does not exist: the replayer must report a typed
 	// divergence error instead of silently running a different schedule.
@@ -382,6 +394,7 @@ func (pickSecond) Pick(cur sched.ThreadID, curEnabled bool, enabled []sched.Thre
 }
 
 func TestTraceRecording(t *testing.T) {
+	sched.RequireNoLeaks(t)
 	prog := sched.Program{Threads: []func(*sched.Thread){
 		func(th *sched.Thread) {
 			th.OpStart("op")

@@ -65,8 +65,8 @@ func (ws *WaitSet) Broadcast(t *Thread) {
 	ws.init()
 	for w := range ws.waiters {
 		ws.waiters[w] = true
-		if w.state == stateBlocked {
-			w.state = stateRunnable
+		if w.getState() == stateBlocked {
+			w.setState(stateRunnable)
 		}
 	}
 }
@@ -80,8 +80,8 @@ func (ws *WaitSet) Signal(t *Thread) {
 	for _, w := range ws.ordering {
 		if sig := ws.waiters[w]; !sig {
 			ws.waiters[w] = true
-			if w.state == stateBlocked {
-				w.state = stateRunnable
+			if w.getState() == stateBlocked {
+				w.setState(stateRunnable)
 			}
 			return
 		}

@@ -49,6 +49,32 @@ type (
 	// explorer selected by Options.Workers > 1; Options.ShardProgress
 	// receives one after every shard event.
 	ShardProgress = sched.ShardProgress
+	// FailureKind classifies a contained runtime failure (panic/hung/leak).
+	FailureKind = sched.FailureKind
+	// RuntimeFailure is one contained execution failure recorded in
+	// Result.Failures when Options.MaxFailures > 0.
+	RuntimeFailure = core.RuntimeFailure
+	// TooManyFailuresError aborts a check whose contained failures exceeded
+	// Options.MaxFailures.
+	TooManyFailuresError = core.TooManyFailuresError
+	// RandomCheckpoint is the resumable on-disk state of a RandomCheck run
+	// (RandomOptions.Checkpoint / RandomOptions.Resume).
+	RandomCheckpoint = core.RandomCheckpoint
+	// TestCheckpoint is the per-test record inside a RandomCheckpoint.
+	TestCheckpoint = core.TestCheckpoint
+)
+
+// Failure kinds for RuntimeFailure.Kind and Outcome classification.
+const (
+	// FailNone means the execution suffered no runtime failure.
+	FailNone = sched.FailNone
+	// FailPanic means implementation code panicked.
+	FailPanic = sched.FailPanic
+	// FailHung means the watchdog abandoned a non-cooperating execution.
+	FailHung = sched.FailHung
+	// FailLeak means goroutines escaped the scheduler and outlived the
+	// execution.
+	FailLeak = sched.FailLeak
 )
 
 // Verdicts.
@@ -173,3 +199,13 @@ func ReadTrace(r io.Reader) (*History, error) { return obsfile.ReadTrace(r) }
 
 // WriteTrace writes the history in the JSONL history-trace format.
 func WriteTrace(w io.Writer, h *History) error { return obsfile.WriteTrace(w, h) }
+
+// WriteTraceFile writes the history to path atomically (temp file + rename):
+// a crash mid-write never leaves a torn trace behind.
+func WriteTraceFile(path string, h *History) error { return obsfile.WriteTraceFile(path, h) }
+
+// LoadRandomCheckpoint reads a checkpoint written via
+// RandomOptions.Checkpoint and RandomCheckpoint.Save.
+func LoadRandomCheckpoint(path string) (*RandomCheckpoint, error) {
+	return core.LoadRandomCheckpoint(path)
+}
