@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check check-race build vet test race bench fuzz clean
+.PHONY: check check-race build vet test race bench bench-reduction fuzz clean
 
 check: build vet test fuzz
 
@@ -36,6 +36,14 @@ check-race:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate the kind=="reduction" rows of BENCH_lineup.json: the full
+# full-vs-reduced sweep over every directed cause case (bounded plus
+# unbounded passes). Fails without writing if any class's verdict drifts
+# from the committed baseline. The quick smoke subset of the same test runs
+# on every `make check` via `go test ./...`.
+bench-reduction:
+	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestReductionBaseline -v -timeout=30m ./internal/bench
 
 clean:
 	$(GO) clean ./...

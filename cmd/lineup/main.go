@@ -53,6 +53,7 @@ var commands = []command{
 	{"fig9", "", "the Fig. 9 ManualResetEvent bug", noArgs(cmdFig9)},
 	{"compare", "[flags]", "race + serializability comparison (Section 5.6)", cmdCompare},
 	{"parallel", "[flags]", "sequential vs prefix-sharded parallel explorer (wall + speedup)", cmdParallel},
+	{"reduction", "[flags]", "full vs sleep-set-reduced exploration per root cause", cmdReduction},
 	{"ablate", "", "preemption-bound ablation", cmdAblate},
 	{"memory", "[flags]", "store-buffer (TSO) SC-violation scan (Section 5.7)", cmdMemory},
 	{"record", "-class NAME -test SPEC [-o FILE]", "record an observation file (phase 1)", cmdRecord},
@@ -215,14 +216,19 @@ func cmdTable2(args []string) error {
 	pre := fs.Bool("pre", true, "include the (Pre) variants")
 	watchdog := fs.Duration("watchdog", 0, "abandon executions making no scheduler progress for this long (0 = off)")
 	maxFailures := fs.Int("max-failures", 0, "contain up to N failed executions per check instead of aborting (0 = strict)")
+	reductionSpec := fs.String("reduction", "none", "partial-order reduction for phase 2: none or sleep")
 	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reduction, err := sched.ParseReduction(*reductionSpec)
+	if err != nil {
 		return err
 	}
 	table, err := bench.RunTable2(bench.Table2Options{
 		Samples: *samples, Rows: *rows, Cols: *cols, Seed: *seed,
 		Workers: *workers, ExploreWorkers: *exploreWorkers, IncludePre: *pre,
-		Watchdog: *watchdog, MaxFailures: *maxFailures,
+		Watchdog: *watchdog, MaxFailures: *maxFailures, Reduction: reduction,
 	}, func(class string) { fmt.Fprintf(os.Stderr, "checking %s...\n", class) })
 	if err != nil {
 		return err
@@ -282,6 +288,7 @@ func cmdCheck(args []string) error {
 	watchdog := fs.Duration("watchdog", 0, "abandon executions making no scheduler progress for this long (0 = off)")
 	maxFailures := fs.Int("max-failures", 0, "contain up to N failed executions (panic/hang/leak) per test instead of aborting (0 = strict)")
 	detectLeaks := fs.Bool("detect-leaks", false, "report goroutines that escape the scheduler and outlive an execution")
+	reductionSpec := fs.String("reduction", "none", "partial-order reduction for phase 2: none or sleep")
 	checkpointFile := fs.String("checkpoint", "", "save progress to FILE (atomically) after every completed test")
 	resumeFile := fs.String("resume", "", "resume from a checkpoint FILE written by a previous -checkpoint run")
 	if err := fs.Parse(args); err != nil {
@@ -295,12 +302,17 @@ func cmdCheck(args []string) error {
 	if *bound != 0 {
 		pb = *bound
 	}
+	reduction, err := sched.ParseReduction(*reductionSpec)
+	if err != nil {
+		return err
+	}
 	copts := core.Options{
 		PreemptionBound: pb,
 		Workers:         *exploreWorkers,
 		Watchdog:        *watchdog,
 		MaxFailures:     *maxFailures,
 		DetectLeaks:     *detectLeaks,
+		Reduction:       reduction,
 	}
 	if *progress && *exploreWorkers > 1 {
 		copts.ShardProgress = shardProgressPrinter(os.Stderr)
@@ -337,6 +349,17 @@ func cmdCheck(args []string) error {
 		sum.SerialHistAvg, sum.SerialHistMax, sum.Phase1TimeAvg)
 	fmt.Printf("phase 2: %v avg (passing), %v avg (failing), %d tests with stuck histories\n",
 		sum.Phase2PassAvg, sum.Phase2FailAvg, sum.StuckTests)
+	if reduction != sched.ReductionNone {
+		pruned, dedup := 0, 0
+		for _, r := range sum.Results {
+			if r != nil {
+				pruned += r.Phase2.Pruned
+				dedup += r.Phase2.DedupHits
+			}
+		}
+		fmt.Printf("reduction (%s): %d branches pruned, %d history-cache hits\n",
+			reduction, pruned, dedup)
+	}
 	if sum.FirstFailure != nil {
 		fmt.Println("\nfirst failing test:")
 		fmt.Println(indent(sum.FirstFailure.Test.String()))
@@ -616,6 +639,8 @@ func cmdParallel(args []string) error {
 	workers := fs.String("workers", "1,2,4,8", "comma-separated worker counts (1 = sequential baseline)")
 	repeat := fs.Int("repeat", 3, "measurements per configuration (best wall time wins)")
 	progress := fs.Bool("progress", false, "print per-subject progress to stderr")
+	scale := fs.Bool("scale", false, "add the larger three-thread scalability workload (seconds, not ms)")
+	reductionSpec := fs.String("reduction", "none", "partial-order reduction for the measured explorations: none or sleep")
 	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -624,17 +649,59 @@ func cmdParallel(args []string) error {
 	if err != nil {
 		return err
 	}
+	reduction, err := sched.ParseReduction(*reductionSpec)
+	if err != nil {
+		return err
+	}
 	var report func(string)
 	if *progress {
 		report = func(s string) { fmt.Fprintf(os.Stderr, "exploring %s...\n", s) }
 	}
-	rows, err := bench.RunParallel(bench.ParallelOptions{Workers: ws, Repeat: *repeat}, report)
+	rows, err := bench.RunParallel(bench.ParallelOptions{
+		Workers: ws, Repeat: *repeat, Scale: *scale, Reduction: reduction,
+	}, report)
 	if err != nil {
 		return err
 	}
 	bench.WriteParallel(os.Stdout, rows)
 	if *jsonOut != "" {
 		if err := bench.WriteJSONRows(*jsonOut, bench.ParallelJSON(rows)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// cmdReduction measures full vs sleep-set-reduced exhaustive exploration on
+// the directed cause cases, certifying identical verdicts and history sets
+// while reporting the schedule-space shrinkage per class.
+func cmdReduction(args []string) error {
+	fs := flag.NewFlagSet("reduction", flag.ExitOnError)
+	causesSpec := fs.String("causes", "", "comma-separated cause labels to measure (default: all, e.g. A,B',F)")
+	skipUnbounded := fs.Bool("skip-unbounded", false, "measure only under each case's preemption bound")
+	progress := fs.Bool("progress", false, "print per-case progress to stderr")
+	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := bench.ReductionOptions{SkipUnbounded: *skipUnbounded}
+	for _, f := range strings.Split(*causesSpec, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			opts.Causes = append(opts.Causes, bench.Cause(f))
+		}
+	}
+	var report func(string)
+	if *progress {
+		report = func(s string) { fmt.Fprintf(os.Stderr, "measuring %s...\n", s) }
+	}
+	rows, err := bench.RunReduction(opts, report)
+	if err != nil {
+		return err
+	}
+	bench.WriteReduction(os.Stdout, rows)
+	if *jsonOut != "" {
+		if err := bench.WriteJSONRows(*jsonOut, bench.ReductionJSON(rows)); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)

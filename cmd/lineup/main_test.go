@@ -206,6 +206,53 @@ func TestUsageListsEveryCommand(t *testing.T) {
 	}
 }
 
+// TestCmdCheckReductionFlag runs a small check with -reduction=sleep and
+// expects the pruned/dedup counter line; the same run with -reduction=none
+// must not print it, and a bogus strategy must be rejected before any work.
+func TestCmdCheckReductionFlag(t *testing.T) {
+	args := []string{
+		"-class", "ConcurrentStack", "-samples", "3", "-rows", "2", "-cols", "2",
+		"-workers", "1",
+	}
+	out := captureStdout(t, func() error {
+		return cmdCheck(append(args, "-reduction", "sleep"))
+	})
+	if !contains(out, "3 passed, 0 failed") {
+		t.Fatalf("reduced check on a correct class did not pass:\n%s", out)
+	}
+	if !contains(out, "reduction (sleep):") || !contains(out, "branches pruned") {
+		t.Fatalf("missing reduction counters:\n%s", out)
+	}
+	out = captureStdout(t, func() error { return cmdCheck(args) })
+	if contains(out, "reduction (") {
+		t.Fatalf("unreduced run printed reduction counters:\n%s", out)
+	}
+	if err := cmdCheck(append(args, "-reduction", "bogus")); err == nil {
+		t.Fatal("bogus -reduction value accepted")
+	}
+}
+
+// TestCmdReduction smokes the reduction subcommand on one cheap cause and
+// checks the rendered table certifies a shrunken schedule space.
+func TestCmdReduction(t *testing.T) {
+	jsonOut := filepath.Join(t.TempDir(), "red.json")
+	out := captureStdout(t, func() error {
+		return cmdReduction([]string{"-causes", "F", "-json", jsonOut})
+	})
+	for _, want := range []string{"Lazy(Pre)", "ratio", "pruned", "dedup"} {
+		if !contains(out, want) {
+			t.Fatalf("reduction output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatalf("json rows not written: %v", err)
+	}
+	if !contains(string(data), `"kind": "reduction"`) || !contains(string(data), `"reduction_ratio"`) {
+		t.Fatalf("json rows malformed:\n%s", data)
+	}
+}
+
 // TestCmdMonitorDetectsViolation feeds the monitor a hand-recorded Fig. 1
 // shaped JSONL trace: Enqueue(10) completed strictly before TryDequeue was
 // called, yet TryDequeue failed. The monitor must reject it with exit code 1

@@ -41,16 +41,27 @@ func deterministicLines(out string) string {
 // TestCheckCheckpointResumeAfterKill is the end-to-end acceptance check for
 // checkpoint/resume: a 'lineup check -checkpoint' process is SIGKILLed
 // mid-run, then resumed with '-resume'; the final report must match the
-// uninterrupted run's, for 1 and 4 test workers.
+// uninterrupted run's, for 1 and 4 test workers, with and without sleep-set
+// reduction (the checkpoint records the strategy, so a resumed run prunes
+// the same branches the killed one did).
 func TestCheckCheckpointResumeAfterKill(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and kills real processes; skipped in -short mode")
 	}
 	bin := buildLineup(t)
+	for _, reduction := range []string{"none", "sleep"} {
+		t.Run("reduction="+reduction, func(t *testing.T) {
+			testKillResume(t, bin, reduction)
+		})
+	}
+}
+
+func testKillResume(t *testing.T, bin, reduction string) {
 	args := func(extra ...string) []string {
 		return append([]string{
 			"check", "-class", "SemaphoreSlim(Pre)",
 			"-samples", "4", "-seed", "1", "-shrink=false",
+			"-reduction", reduction,
 		}, extra...)
 	}
 	base, err := exec.Command(bin, args("-workers", "1")...).Output()
@@ -60,6 +71,9 @@ func TestCheckCheckpointResumeAfterKill(t *testing.T) {
 	want := deterministicLines(string(base))
 	if !strings.Contains(want, "failed") || !strings.Contains(want, "violation") {
 		t.Fatalf("baseline run found no violation; fixture broken:\n%s", want)
+	}
+	if reduction == "sleep" && !strings.Contains(want, "reduction (sleep):") {
+		t.Fatalf("reduced baseline missing the reduction counters:\n%s", want)
 	}
 
 	for _, workers := range []string{"1", "4"} {
@@ -109,7 +123,39 @@ func TestCheckCheckpointResumeAfterKill(t *testing.T) {
 			if len(final.Tests) != final.Samples {
 				t.Errorf("final checkpoint records %d of %d tests", len(final.Tests), final.Samples)
 			}
+			if got := final.Reduction; got != reduction && !(got == "" && reduction == "none") {
+				t.Errorf("checkpoint records reduction %q, run used %q", got, reduction)
+			}
 			_ = os.Remove(ck)
 		})
+	}
+}
+
+// TestCheckResumeReductionMismatch asserts a checkpoint written under one
+// reduction strategy cannot be resumed under another: the pruned schedule
+// spaces differ, so silently mixing them would corrupt the summary.
+func TestCheckResumeReductionMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real binary; skipped in -short mode")
+	}
+	bin := buildLineup(t)
+	ck := filepath.Join(t.TempDir(), "ckpt.json")
+	args := []string{
+		"check", "-class", "ConcurrentStack",
+		"-samples", "2", "-rows", "2", "-cols", "2", "-workers", "1",
+		"-checkpoint", ck, "-reduction", "sleep",
+	}
+	if out, err := exec.Command(bin, args...).CombinedOutput(); err != nil {
+		t.Fatalf("checkpointed run: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin,
+		"check", "-class", "ConcurrentStack",
+		"-samples", "2", "-rows", "2", "-cols", "2", "-workers", "1",
+		"-resume", ck, "-reduction", "none").CombinedOutput()
+	if err == nil {
+		t.Fatalf("resume with a different reduction strategy must fail:\n%s", out)
+	}
+	if !strings.Contains(string(out), "checkpoint") {
+		t.Fatalf("mismatch diagnostic does not mention the checkpoint:\n%s", out)
 	}
 }

@@ -14,8 +14,9 @@ const JSONFile = "BENCH_lineup.json"
 // (schedules explored, histories checked) and how long it took, per class.
 // Fields that do not apply to a record kind are omitted.
 type JSONRow struct {
-	Kind      string  `json:"kind"`            // "table2", "compare" or "parallel"
+	Kind      string  `json:"kind"`            // "table2", "compare", "parallel" or "reduction"
 	Class     string  `json:"class"`           // subject name
+	Cause     string  `json:"cause,omitempty"` // reduction: directed cause label
 	Tests     int     `json:"tests,omitempty"` // random tests sampled
 	Schedules int     `json:"schedules_explored"`
 	Histories int     `json:"histories_checked,omitempty"` // distinct phase-2 histories (full + stuck)
@@ -23,8 +24,16 @@ type JSONRow struct {
 	Races     int     `json:"races,omitempty"`             // compare: distinct data races
 	AtomWarn  int     `json:"atomicity_warnings,omitempty"`
 	Workers   int     `json:"workers,omitempty"` // parallel: explorer worker count
+	CPUs      int     `json:"cpus,omitempty"`    // parallel: CPUs of the measuring machine
 	Speedup   float64 `json:"speedup,omitempty"` // parallel: wall(workers=1) / wall
-	WallMS    float64 `json:"wall_ms"`
+	Verdict   string  `json:"verdict,omitempty"` // reduction: PASS/FAIL (identical full vs reduced)
+	PB        int     `json:"preemption_bound,omitempty"`
+	// ReductionRatio is schedules(full) / schedules(reduced) for the same
+	// exhaustive exploration; DedupHits counts executions the phase-2 history
+	// cache answered without re-deciding witness existence.
+	ReductionRatio float64 `json:"reduction_ratio,omitempty"`
+	DedupHits      int     `json:"dedup_hits,omitempty"`
+	WallMS         float64 `json:"wall_ms"`
 }
 
 // Table2JSON converts Table 2 rows to JSON records.
@@ -78,7 +87,9 @@ func ParallelJSON(rows []ParallelRow) []JSONRow {
 			Schedules: r.Executions,
 			Histories: r.Histories,
 			Workers:   r.Workers,
+			CPUs:      r.CPUs,
 			Speedup:   r.Speedup,
+			DedupHits: r.DedupHits,
 			WallMS:    float64(r.Wall) / float64(time.Millisecond),
 		})
 	}

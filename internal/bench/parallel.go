@@ -3,10 +3,12 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
 	"lineup/internal/core"
+	"lineup/internal/sched"
 )
 
 // ParallelRow is one sequential-vs-parallel measurement: the same exhaustive
@@ -14,13 +16,18 @@ import (
 type ParallelRow struct {
 	Class      string
 	Workers    int // 1 = the sequential explorer
+	CPUs       int // runtime.NumCPU() of the measuring machine
 	Bound      int
 	Executions int // schedules explored in phase 2
 	Histories  int // distinct phase-2 histories (full + stuck)
+	Pruned     int // branches skipped by reduction (0 when off)
+	DedupHits  int // history-cache hits in phase 2
 	Verdict    string
 	Wall       time.Duration
 	// Speedup is Wall(workers=1) / Wall for the same class; 1.0 for the
-	// sequential row itself.
+	// sequential row itself. Speedups above 1 require free CPUs: on a
+	// single-core machine every worker count measures the same wall time,
+	// which is why the rows record CPUs.
 	Speedup float64
 }
 
@@ -33,6 +40,16 @@ type ParallelOptions struct {
 	// wall time (default 1); exploration work is deterministic, so repeats
 	// only reduce scheduler noise.
 	Repeat int
+	// Scale adds the larger-matrix scalability class: a three-thread
+	// ManualResetEvent(Pre) scenario whose exhaustive exploration runs for
+	// seconds rather than milliseconds. The small default workloads finish
+	// so quickly that shard setup dominates and speedups hover around 1x
+	// regardless of the machine; the scaled class is where worker counts
+	// separate (on a multi-core machine).
+	Scale bool
+	// Reduction applies the sleep-set partial-order reduction to every
+	// measured exploration (identical verdicts, fewer schedules).
+	Reduction sched.Reduction
 }
 
 func (o ParallelOptions) withDefaults() ParallelOptions {
@@ -62,6 +79,36 @@ func parallelSubjects() []CauseCase {
 	return out
 }
 
+// scaleCase builds the scalability workload: the Fig. 9 scenario with a
+// second waiter thread at preemption bound 3, whose exhaustive exploration
+// runs ~80k schedules. Derived from the directed cause-A case so the
+// invocations stay in sync with the registry.
+func scaleCase() CauseCase {
+	for _, c := range CauseCases() {
+		if c.Cause != CauseA {
+			continue
+		}
+		wait := c.Test.Rows[0][0]
+		m := c.Test.Clone()
+		m.Rows = append(m.Rows, []core.Op{wait})
+		sub := &core.Subject{
+			Name:        c.Subject.Name + " 3x",
+			New:         c.Subject.New,
+			Ops:         c.Subject.Ops,
+			SourceFiles: c.Subject.SourceFiles,
+		}
+		return CauseCase{
+			Cause:    c.Cause,
+			Subject:  sub,
+			Test:     m,
+			Bound:    3,
+			WantKind: c.WantKind,
+			Note:     "scalability: Fig. 9 with a second waiter",
+		}
+	}
+	panic("bench: no cause-A case in the registry")
+}
+
 // RunParallel measures exhaustive phase-2 exploration wall times of the
 // Fig. 1/Fig. 9 subjects at each worker count. All runs use ExhaustPhase2 so
 // every configuration explores exactly the same schedule space (verdicts do
@@ -70,8 +117,12 @@ func parallelSubjects() []CauseCase {
 // worker counts.
 func RunParallel(opts ParallelOptions, progress func(string)) ([]ParallelRow, error) {
 	opts = opts.withDefaults()
+	cases := parallelSubjects()
+	if opts.Scale {
+		cases = append(cases, scaleCase())
+	}
 	var rows []ParallelRow
-	for _, c := range parallelSubjects() {
+	for _, c := range cases {
 		for _, sub := range []*core.Subject{c.Subject, c.Counterpart} {
 			if sub == nil {
 				continue
@@ -85,6 +136,7 @@ func RunParallel(opts ParallelOptions, progress func(string)) ([]ParallelRow, er
 					PreemptionBound: c.Bound,
 					ExhaustPhase2:   true,
 					Workers:         w,
+					Reduction:       opts.Reduction,
 				}
 				var res *core.Result
 				best := time.Duration(0)
@@ -103,9 +155,12 @@ func RunParallel(opts ParallelOptions, progress func(string)) ([]ParallelRow, er
 				row := ParallelRow{
 					Class:      sub.Name,
 					Workers:    w,
+					CPUs:       runtime.NumCPU(),
 					Bound:      c.Bound,
 					Executions: res.Phase2.Executions,
 					Histories:  res.Phase2.Histories + res.Phase2.Stuck,
+					Pruned:     res.Phase2.Pruned,
+					DedupHits:  res.Phase2.DedupHits,
 					Verdict:    res.Verdict.String(),
 					Wall:       best,
 					Speedup:    1,
@@ -124,12 +179,12 @@ func RunParallel(opts ParallelOptions, progress func(string)) ([]ParallelRow, er
 
 // WriteParallel renders the sequential-vs-parallel rows.
 func WriteParallel(w io.Writer, rows []ParallelRow) {
-	fmt.Fprintf(w, "%-28s %7s %3s | %10s %9s %7s | %10s %8s\n",
-		"Class", "workers", "PB", "schedules", "histories", "verdict", "wall", "speedup")
-	fmt.Fprintln(w, strings.Repeat("-", 100))
+	fmt.Fprintf(w, "%-32s %7s %4s %3s | %10s %9s %9s %7s | %10s %8s\n",
+		"Class", "workers", "cpus", "PB", "schedules", "histories", "dedup", "verdict", "wall", "speedup")
+	fmt.Fprintln(w, strings.Repeat("-", 116))
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-28s %7d %3d | %10d %9d %7s | %10s %7.2fx\n",
-			r.Class, r.Workers, r.Bound, r.Executions, r.Histories, r.Verdict,
+		fmt.Fprintf(w, "%-32s %7d %4d %3d | %10d %9d %9d %7s | %10s %7.2fx\n",
+			r.Class, r.Workers, r.CPUs, r.Bound, r.Executions, r.Histories, r.DedupHits, r.Verdict,
 			round(r.Wall), r.Speedup)
 	}
 }

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"lineup/internal/core"
+	"lineup/internal/sched"
+)
+
+// ReductionRow is one full-vs-reduced measurement: the same exhaustive
+// phase-2 exploration of one directed cause case, run once without and once
+// with sleep-set partial-order reduction. The row certifies the reduction
+// contract — identical verdict and distinct histories — and records how much
+// smaller the explored schedule space became.
+type ReductionRow struct {
+	Class   string
+	Cause   Cause
+	Bound   int
+	Verdict string
+	// FullExecs and ReducedExecs are the schedules explored by phase 2
+	// without and with reduction; Ratio is FullExecs / ReducedExecs.
+	FullExecs    int
+	ReducedExecs int
+	Ratio        float64
+	// Pruned counts branches the sleep sets skipped; DedupHits counts
+	// executions the phase-2 history cache answered without a witness search
+	// (reduced run).
+	Pruned    int
+	DedupHits int
+	// Histories is the number of distinct phase-2 histories (full + stuck),
+	// identical in both runs by construction.
+	Histories   int
+	WallFull    time.Duration
+	WallReduced time.Duration
+}
+
+// ReductionOptions parameterizes RunReduction.
+type ReductionOptions struct {
+	// Causes restricts the run to these cause labels (empty = every directed
+	// case). The smoke subset used by the tier-1 gate passes a few cheap
+	// causes here.
+	Causes []Cause
+	// SkipUnbounded drops the second, unbounded pass (classic sleep sets,
+	// where the reduction is strongest but the unreduced baseline explores
+	// orders of magnitude more schedules).
+	SkipUnbounded bool
+}
+
+func (o ReductionOptions) wants(c Cause) bool {
+	if len(o.Causes) == 0 {
+		return true
+	}
+	for _, want := range o.Causes {
+		if c == want {
+			return true
+		}
+	}
+	return false
+}
+
+// unboundedTooBig lists the directed cases whose *unreduced* unbounded
+// exploration exceeds the execution budget (or takes minutes); they are
+// measured only under the preemption bound. The reduced runs would finish
+// easily — it is the full-search baseline that cannot.
+var unboundedTooBig = map[Cause]bool{
+	CauseB: true,
+	CauseH: true,
+	CauseJ: true,
+}
+
+// RunReduction measures sleep-set reduction on the directed cause cases of
+// Table 2: for each case it exhaustively explores the buggy subject and its
+// corrected counterpart with reduction off and on. Both runs use
+// ExhaustPhase2 so they cover the full bounded schedule space and the
+// execution counts are directly comparable. A verdict or history-count
+// mismatch between the runs is returned as an error: it would falsify the
+// reduction's exactness, so regeneration must fail loudly rather than record
+// the row.
+func RunReduction(opts ReductionOptions, progress func(string)) ([]ReductionRow, error) {
+	var rows []ReductionRow
+	measure := func(c CauseCase, sub *core.Subject, bound int) error {
+		if progress != nil {
+			progress(fmt.Sprintf("%s cause %s PB=%d", sub.Name, c.Cause, bound))
+		}
+		base := core.Options{
+			PreemptionBound: bound,
+			ExhaustPhase2:   true,
+		}
+		reduced := base
+		reduced.Reduction = sched.ReductionSleep
+		rFull, err := core.Check(sub, c.Test, base)
+		if err != nil {
+			return fmt.Errorf("bench: reduction %s (full): %w", sub.Name, err)
+		}
+		rRed, err := core.Check(sub, c.Test, reduced)
+		if err != nil {
+			return fmt.Errorf("bench: reduction %s (reduced): %w", sub.Name, err)
+		}
+		if rFull.Verdict != rRed.Verdict {
+			return fmt.Errorf("bench: reduction changed the verdict of %s cause %s: full=%s reduced=%s",
+				sub.Name, c.Cause, rFull.Verdict, rRed.Verdict)
+		}
+		if rFull.Phase2.Histories != rRed.Phase2.Histories || rFull.Phase2.Stuck != rRed.Phase2.Stuck {
+			return fmt.Errorf("bench: reduction changed the history set of %s cause %s: full=%d+%d reduced=%d+%d",
+				sub.Name, c.Cause, rFull.Phase2.Histories, rFull.Phase2.Stuck, rRed.Phase2.Histories, rRed.Phase2.Stuck)
+		}
+		row := ReductionRow{
+			Class:        sub.Name,
+			Cause:        c.Cause,
+			Bound:        bound,
+			Verdict:      rFull.Verdict.String(),
+			FullExecs:    rFull.Phase2.Executions,
+			ReducedExecs: rRed.Phase2.Executions,
+			Pruned:       rRed.Phase2.Pruned,
+			DedupHits:    rRed.Phase2.DedupHits,
+			Histories:    rFull.Phase2.Histories + rFull.Phase2.Stuck,
+			WallFull:     rFull.Phase2.Duration,
+			WallReduced:  rRed.Phase2.Duration,
+		}
+		if row.ReducedExecs > 0 {
+			row.Ratio = float64(row.FullExecs) / float64(row.ReducedExecs)
+		}
+		rows = append(rows, row)
+		return nil
+	}
+	for _, c := range CauseCases() {
+		if !opts.wants(c.Cause) {
+			continue
+		}
+		for _, sub := range []*core.Subject{c.Subject, c.Counterpart} {
+			if sub == nil {
+				continue
+			}
+			if err := measure(c, sub, c.Bound); err != nil {
+				return nil, err
+			}
+		}
+		// Second pass, buggy subject only: no preemption bound, where the
+		// classic (unrestricted) sleep sets apply and the schedule space is
+		// large enough for the reduction to pay off by orders of magnitude.
+		if !opts.SkipUnbounded && !unboundedTooBig[c.Cause] {
+			if err := measure(c, c.Subject, core.Unbounded); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}
+
+// WriteReduction renders the full-vs-reduced rows.
+func WriteReduction(w io.Writer, rows []ReductionRow) {
+	fmt.Fprintf(w, "%-28s %5s %3s %7s | %10s %10s %7s %9s %9s | %10s %10s\n",
+		"Class", "cause", "PB", "verdict", "full", "reduced", "ratio", "pruned", "dedup", "wall.full", "wall.red")
+	fmt.Fprintln(w, strings.Repeat("-", 130))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %5s %3d %7s | %10d %10d %6.2fx %9d %9d | %10s %10s\n",
+			r.Class, r.Cause, r.Bound, r.Verdict,
+			r.FullExecs, r.ReducedExecs, r.Ratio, r.Pruned, r.DedupHits,
+			round(r.WallFull), round(r.WallReduced))
+	}
+}
+
+// ReductionJSON converts full-vs-reduced rows to JSON records. Schedules is
+// the reduced run's count (the configuration the row recommends); the ratio
+// field recovers the unreduced count.
+func ReductionJSON(rows []ReductionRow) []JSONRow {
+	out := make([]JSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, JSONRow{
+			Kind:           "reduction",
+			Class:          r.Class,
+			Cause:          string(r.Cause),
+			Verdict:        r.Verdict,
+			PB:             r.Bound,
+			Schedules:      r.ReducedExecs,
+			Histories:      r.Histories,
+			ReductionRatio: r.Ratio,
+			DedupHits:      r.DedupHits,
+			WallMS:         float64(r.WallReduced) / float64(time.Millisecond),
+		})
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reductionSmokeCauses is the cheap subset the tier-1 gate measures on every
+// `make check`: three distinct classes whose bounded and unbounded sweeps
+// together finish in well under a second.
+var reductionSmokeCauses = []Cause{CauseB + "'", CauseF, CauseG}
+
+// loadBaselineReduction reads the kind=="reduction" rows of the committed
+// BENCH_lineup.json, keyed by class/cause/bound. A missing file or a file
+// without reduction rows yields an empty map (first regeneration).
+func loadBaselineReduction(t *testing.T, path string) map[string]JSONRow {
+	t.Helper()
+	out := make(map[string]JSONRow)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return out
+	}
+	var rows []JSONRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("committed %s is not valid JSON: %v", path, err)
+	}
+	for _, r := range rows {
+		if r.Kind == "reduction" {
+			out[reductionKey(r)] = r
+		}
+	}
+	return out
+}
+
+func reductionKey(r JSONRow) string {
+	return fmt.Sprintf("%s|%s|%d", r.Class, r.Cause, r.PB)
+}
+
+// TestReductionBaseline measures sleep-set reduction on the directed cause
+// cases and gates it against the committed BENCH_lineup.json baseline: a
+// changed verdict on any recorded class is a regression (the reduction
+// contract is bit-identical verdicts), so the test fails before any rows are
+// rewritten. By default it runs the smoke subset (three classes); with
+// LINEUP_BENCH_FULL=1 it sweeps every cause (the `make bench-reduction`
+// entry point), and with LINEUP_UPDATE_BENCH=1 it merges the freshly
+// measured rows back into BENCH_lineup.json.
+func TestReductionBaseline(t *testing.T) {
+	opts := ReductionOptions{Causes: reductionSmokeCauses}
+	full := os.Getenv("LINEUP_BENCH_FULL") == "1"
+	if full {
+		opts.Causes = nil
+	}
+	rows, err := RunReduction(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no reduction rows")
+	}
+	for _, r := range rows {
+		if r.ReducedExecs <= 0 || r.FullExecs < r.ReducedExecs {
+			t.Errorf("%s cause %s PB=%d: reduced run explored %d schedules, full %d",
+				r.Class, r.Cause, r.Bound, r.ReducedExecs, r.FullExecs)
+		}
+		if r.Pruned <= 0 {
+			t.Errorf("%s cause %s PB=%d: reduction pruned nothing", r.Class, r.Cause, r.Bound)
+		}
+	}
+	if full {
+		// The acceptance bar of the reduction work: at least three distinct
+		// Table-2 classes shed >= 3x of their schedule space.
+		classes := map[string]bool{}
+		for _, r := range rows {
+			if r.Ratio >= 3 {
+				classes[strings.TrimSuffix(r.Class, "(Pre)")] = true
+			}
+		}
+		if len(classes) < 3 {
+			t.Errorf("only %d classes reached a 3x reduction, want >= 3", len(classes))
+		}
+	}
+
+	path := filepath.Join(moduleRoot(), JSONFile)
+	baseline := loadBaselineReduction(t, path)
+	fresh := ReductionJSON(rows)
+	for _, r := range fresh {
+		if b, ok := baseline[reductionKey(r)]; ok && b.Verdict != r.Verdict {
+			t.Errorf("%s cause %s: verdict changed vs committed baseline: %s -> %s",
+				r.Class, r.Cause, b.Verdict, r.Verdict)
+		}
+	}
+	if t.Failed() || os.Getenv("LINEUP_UPDATE_BENCH") != "1" {
+		return
+	}
+	// Merge: keep every non-reduction row and every baseline reduction row
+	// this run did not re-measure, then append the fresh rows.
+	var all []JSONRow
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			t.Fatalf("committed %s is not valid JSON: %v", path, err)
+		}
+	}
+	measured := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		measured[reductionKey(r)] = true
+	}
+	var merged []JSONRow
+	for _, r := range all {
+		if r.Kind == "reduction" && measured[reductionKey(r)] {
+			continue
+		}
+		merged = append(merged, r)
+	}
+	merged = append(merged, fresh...)
+	if err := WriteJSONRows(path, merged); err != nil {
+		t.Fatalf("updating %s: %v", path, err)
+	}
+	t.Logf("updated %s with %d reduction rows", path, len(fresh))
+}
+
+// TestReductionJSONFields pins the machine-readable schema of the reduction
+// rows: ratio, dedup hits, and cause labels must survive the conversion.
+func TestReductionJSONFields(t *testing.T) {
+	rows := []ReductionRow{{
+		Class: "Lazy(Pre)", Cause: CauseF, Bound: 2, Verdict: "FAIL",
+		FullExecs: 100, ReducedExecs: 25, Ratio: 4, Pruned: 40, DedupHits: 17,
+		Histories: 14,
+	}}
+	js := ReductionJSON(rows)
+	if len(js) != 1 {
+		t.Fatalf("got %d rows", len(js))
+	}
+	r := js[0]
+	if r.Kind != "reduction" || r.Class != "Lazy(Pre)" || r.Cause != "F" ||
+		r.Verdict != "FAIL" || r.PB != 2 || r.Schedules != 25 ||
+		r.ReductionRatio != 4 || r.DedupHits != 17 || r.Histories != 14 {
+		t.Fatalf("bad reduction JSON row: %+v", r)
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"reduction_ratio", "dedup_hits", "cause", "preemption_bound"} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("serialized row missing %q: %s", field, data)
+		}
+	}
+}

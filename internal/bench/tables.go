@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lineup/internal/core"
+	"lineup/internal/sched"
 )
 
 // moduleRoot locates the repository root (for Table 1 line counting) from
@@ -137,6 +138,10 @@ type Table2Options struct {
 	// (core.Options.MaxFailures) instead of aborting the sweep at the first
 	// subject panic or hang. 0 keeps the strict behavior.
 	MaxFailures int
+	// Reduction applies the sleep-set partial-order reduction to every
+	// phase-2 exploration of the sweep (core.Options.Reduction). Verdicts
+	// and violations are identical; the schedule counts drop.
+	Reduction sched.Reduction
 }
 
 func (o Table2Options) withDefaults() Table2Options {
@@ -187,6 +192,7 @@ func RunTable2(opts Table2Options, progress func(string)) ([]Table2Row, error) {
 				Workers:         opts.ExploreWorkers,
 				Watchdog:        opts.Watchdog,
 				MaxFailures:     opts.MaxFailures,
+				Reduction:       opts.Reduction,
 			},
 		})
 		if err != nil {

@@ -17,7 +17,9 @@ type CountdownEventPre struct {
 
 // NewCountdownEventPre constructs an event with the given initial count.
 func NewCountdownEventPre(t *sched.Thread, initial int) *CountdownEventPre {
-	return &CountdownEventPre{count: vsync.NewCell(t, "CountdownEventPre.count", initial)}
+	c := &CountdownEventPre{count: vsync.NewCell(t, "CountdownEventPre.count", initial)}
+	c.ws.SetFootprintLoc(t.NewLoc())
+	return c
 }
 
 // Signal decrements the count by n. BUG (root cause E): load and store are

@@ -26,7 +26,9 @@ type ManualResetEventSlimPre struct {
 
 // NewManualResetEventSlimPre constructs an event in the unset state.
 func NewManualResetEventSlimPre(t *sched.Thread) *ManualResetEventSlimPre {
-	return &ManualResetEventSlimPre{state: vsync.NewAtomicInt(t, "MREPre.state", 0)}
+	e := &ManualResetEventSlimPre{state: vsync.NewAtomicInt(t, "MREPre.state", 0)}
+	e.ws.SetFootprintLoc(t.NewLoc())
+	return e
 }
 
 // Set signals the event, waking all current waiters; like the corrected

@@ -24,11 +24,13 @@ type SemaphoreSlimPre struct {
 
 // NewSemaphoreSlimPre constructs a semaphore with the given initial count.
 func NewSemaphoreSlimPre(t *sched.Thread, initial int) *SemaphoreSlimPre {
-	return &SemaphoreSlimPre{
+	s := &SemaphoreSlimPre{
 		mu:      vsync.NewMutex(t, "SemaphoreSlimPre.lock"),
 		count:   vsync.NewCell(t, "SemaphoreSlimPre.count", initial),
 		waiters: vsync.NewAtomicInt(t, "SemaphoreSlimPre.waiters", 0),
 	}
+	s.ws.SetFootprintLoc(t.NewLoc())
+	return s
 }
 
 // Wait acquires one permit, blocking while none is available. BUG (root

@@ -28,10 +28,12 @@ type TaskCompletionSourcePre struct {
 
 // NewTaskCompletionSourcePre constructs a pending completion source.
 func NewTaskCompletionSourcePre(t *sched.Thread) *TaskCompletionSourcePre {
-	return &TaskCompletionSourcePre{
+	s := &TaskCompletionSourcePre{
 		status: vsync.NewCell(t, "TCSPre.status", tcsPending),
 		value:  vsync.NewCell(t, "TCSPre.value", 0),
 	}
+	s.ws.SetFootprintLoc(t.NewLoc())
+	return s
 }
 
 func (s *TaskCompletionSourcePre) trySet(t *sched.Thread, status, v int) bool {

@@ -17,7 +17,9 @@ type CountdownEvent struct {
 
 // NewCountdownEvent constructs an event with the given initial count.
 func NewCountdownEvent(t *sched.Thread, initial int) *CountdownEvent {
-	return &CountdownEvent{count: vsync.NewAtomicInt(t, "CountdownEvent.count", initial)}
+	c := &CountdownEvent{count: vsync.NewAtomicInt(t, "CountdownEvent.count", initial)}
+	c.ws.SetFootprintLoc(t.NewLoc())
+	return c
 }
 
 // Signal decrements the count by n; it reports false if the count would

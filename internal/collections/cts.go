@@ -28,11 +28,13 @@ type CancellationTokenSource struct {
 
 // NewCancellationTokenSource constructs an active source.
 func NewCancellationTokenSource(t *sched.Thread) *CancellationTokenSource {
-	return &CancellationTokenSource{
+	c := &CancellationTokenSource{
 		state:      vsync.NewAtomicInt(t, "CTS.state", ctsActive),
 		ncallbacks: vsync.NewAtomicInt(t, "CTS.callbacks", 0),
 		fired:      vsync.NewCell(t, "CTS.fired", 0),
 	}
+	c.ws.SetFootprintLoc(t.NewLoc())
+	return c
 }
 
 // Cancel requests cancellation. The first caller runs the registered

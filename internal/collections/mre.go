@@ -20,7 +20,9 @@ type ManualResetEventSlim struct {
 
 // NewManualResetEventSlim constructs an event in the unset state.
 func NewManualResetEventSlim(t *sched.Thread) *ManualResetEventSlim {
-	return &ManualResetEventSlim{state: vsync.NewAtomicInt(t, "MRE.state", 0)}
+	e := &ManualResetEventSlim{state: vsync.NewAtomicInt(t, "MRE.state", 0)}
+	e.ws.SetFootprintLoc(t.NewLoc())
+	return e
 }
 
 // Set signals the event, waking all current waiters.

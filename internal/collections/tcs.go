@@ -34,9 +34,11 @@ type TaskCompletionSource struct {
 
 // NewTaskCompletionSource constructs a pending completion source.
 func NewTaskCompletionSource(t *sched.Thread) *TaskCompletionSource {
-	return &TaskCompletionSource{
+	s := &TaskCompletionSource{
 		state: vsync.NewAtomic(t, "TCS.state", tcsState{status: tcsPending}),
 	}
+	s.ws.SetFootprintLoc(t.NewLoc())
+	return s
 }
 
 func (s *TaskCompletionSource) trySet(t *sched.Thread, status, v int) bool {

@@ -216,17 +216,18 @@ func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummar
 
 	sum := &RandomSummary{Subject: sub, Results: make([]*Result, samples), PreemptionUsed: opts.bound()}
 	cp := &RandomCheckpoint{
-		Version: randomCheckpointVersion,
-		Subject: sub.Name,
-		Seed:    opts.Seed,
-		Rows:    rows,
-		Cols:    cols,
-		Samples: samples,
-		Bound:   opts.bound(),
+		Version:   randomCheckpointVersion,
+		Subject:   sub.Name,
+		Seed:      opts.Seed,
+		Rows:      rows,
+		Cols:      cols,
+		Samples:   samples,
+		Bound:     opts.bound(),
+		Reduction: opts.Reduction.String(),
 	}
 	done := make([]bool, samples)
 	if opts.Resume != nil {
-		if err := opts.Resume.validate(sub.Name, opts.Seed, rows, cols, samples, opts.bound()); err != nil {
+		if err := opts.Resume.validate(sub.Name, opts.Seed, rows, cols, samples, opts.bound(), opts.Reduction.String()); err != nil {
 			return nil, err
 		}
 		for _, t := range opts.Resume.Tests {

@@ -89,6 +89,13 @@ type Options struct {
 	// process-global, so it is forced off whenever executions run
 	// concurrently (Workers > 1 here, or RandomOptions.Workers > 1).
 	DetectLeaks bool
+	// Reduction selects the explorer's partial-order reduction for phase 2
+	// (sched.ReductionNone or sched.ReductionSleep). Sleep-set reduction
+	// prunes schedules that only reorder independent steps; the verdict, the
+	// reported violation, and the set of distinct histories are bit-identical
+	// to an unreduced run while Executions drops (often by several times).
+	// Phase 1 is serial and never reduced; sampling ignores Reduction.
+	Reduction sched.Reduction
 	// MaxFailures enables graceful degradation in phase 2: up to this many
 	// failed executions (panic, hung, leak) are classified and recorded in
 	// Result.Failures while exploration continues, instead of aborting the
@@ -212,6 +219,8 @@ type PhaseStats struct {
 	Decisions  int           // scheduling decisions taken
 	Histories  int           // distinct full histories observed
 	Stuck      int           // distinct stuck histories observed
+	Pruned     int           // branches skipped by partial-order reduction
+	DedupHits  int           // executions answered by the history cache
 	Duration   time.Duration // wall-clock time of the phase
 }
 

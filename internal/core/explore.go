@@ -20,6 +20,7 @@ func ForEachExecution(sub *Subject, m *Test, opts Options, recordTrace bool, vis
 		PreemptionBound:   opts.bound(),
 		MaxExecutions:     opts.maxExecs(),
 		ContinueOnFailure: opts.MaxFailures > 0,
+		Reduction:         opts.Reduction,
 	}
 	if opts.Workers > 1 {
 		var mu sync.Mutex

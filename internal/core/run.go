@@ -26,26 +26,38 @@ func program(sub *Subject, m *Test, holder *any) sched.Program {
 	}
 	for _, row := range m.Rows {
 		row := row
+		names := opNames(row)
 		prog.Threads = append(prog.Threads, func(t *sched.Thread) {
-			for _, op := range row {
-				name := op.Name()
-				t.OpStart(name)
+			for i, op := range row {
+				t.OpStart(names[i])
 				res := op.Run(t, *holder)
-				t.OpEnd(name, res)
+				t.OpEnd(names[i], res)
 			}
 		})
 	}
 	if len(m.Final) > 0 {
+		names := opNames(m.Final)
 		prog.Teardown = func(t *sched.Thread) {
-			for _, op := range m.Final {
-				name := op.Name()
-				t.OpStart(name)
+			for i, op := range m.Final {
+				t.OpStart(names[i])
 				res := op.Run(t, *holder)
-				t.OpEnd(name, res)
+				t.OpEnd(names[i], res)
 			}
 		}
 	}
 	return prog
+}
+
+// opNames resolves the display names of a row once per exploration. Name()
+// formats the operation (fmt.Sprintf for parameterized ops), which is pure
+// per-op work an exploration would otherwise repeat on every one of its
+// thousands of executions.
+func opNames(row []Op) []string {
+	names := make([]string, len(row))
+	for i, op := range row {
+		names[i] = op.Name()
+	}
+	return names
 }
 
 // toHistory converts an execution outcome into a history. Scheduler thread
@@ -92,24 +104,28 @@ func OutcomeHistory(out *sched.Outcome) (*history.History, error) {
 func ExploreHistories(sub *Subject, m *Test, opts Options, visit func(*history.History) bool) error {
 	var holder any
 	var err error
-	seen := make(map[string]bool)
+	cache := newHistCache()
 	relaxed := opts.relaxedSet()
 	_, exploreErr := sched.Explore(sched.ExploreConfig{
 		Config:          sched.Config{Granularity: opts.Granularity},
 		PreemptionBound: opts.bound(),
 		MaxExecutions:   opts.maxExecs(),
+		Reduction:       opts.Reduction,
 	}, program(sub, m, &holder), func(out *sched.Outcome) bool {
+		_, isNew, herr := cache.lookup(out, relaxed)
+		if herr != nil {
+			err = herr
+			return false
+		}
+		if !isNew {
+			return true
+		}
 		h, herr := toHistory(out)
 		if herr != nil {
 			err = herr
 			return false
 		}
 		normalizeRelaxed(h, relaxed)
-		key := historyKey(h)
-		if seen[key] {
-			return true
-		}
-		seen[key] = true
 		return visit(h)
 	})
 	if err != nil {

@@ -18,7 +18,7 @@ func SynthesizeSpec(sub *Subject, m *Test, opts Options) (*history.Spec, PhaseSt
 	var holder any
 	var err error
 	start := time.Now()
-	seen := make(map[string]bool)
+	cache := newHistCache()
 	relaxed := opts.relaxedSet()
 	// Phase 1 arms the containment config (watchdog, leak detection) but
 	// stays strict: serial executions run deterministic subject code, so a
@@ -28,17 +28,20 @@ func SynthesizeSpec(sub *Subject, m *Test, opts Options) (*history.Spec, PhaseSt
 		PreemptionBound: sched.Unbounded,
 		MaxExecutions:   opts.maxExecs(),
 	}, program(sub, m, &holder), func(out *sched.Outcome) bool {
+		_, isNew, herr := cache.lookup(out, relaxed)
+		if herr != nil {
+			err = herr
+			return false
+		}
+		if !isNew {
+			return true
+		}
 		h, herr := toHistory(out)
 		if herr != nil {
 			err = herr
 			return false
 		}
 		normalizeRelaxed(h, relaxed)
-		key := historyKey(h)
-		if seen[key] {
-			return true
-		}
-		seen[key] = true
 		spec.Add(history.ToSerial(h))
 		return true
 	})
@@ -47,6 +50,7 @@ func SynthesizeSpec(sub *Subject, m *Test, opts Options) (*history.Spec, PhaseSt
 		Decisions:  stats.Decisions,
 		Histories:  spec.NumFull(),
 		Stuck:      spec.NumStuck(),
+		DedupHits:  cache.hits,
 		Duration:   time.Since(start),
 	}
 	if err != nil {
@@ -71,8 +75,10 @@ const (
 )
 
 // phase2Decider is the per-history decision procedure shared by the
-// sequential and parallel phase-2 drivers: outcome → (history, dedup key),
-// and new history → (violation or pass).
+// sequential and parallel phase-2 drivers: deduplication happens on the
+// canonical encoded key (histCache) without materializing a history; only
+// the first occurrence of a key pays for history construction and witness
+// search.
 type phase2Decider struct {
 	backend witnessBackend
 	mode    witnessMode
@@ -80,13 +86,15 @@ type phase2Decider struct {
 	relaxed map[string]bool
 }
 
-func (d *phase2Decider) history(out *sched.Outcome) (*history.History, string, error) {
+// materialize builds the normalized history of a not-yet-seen outcome for
+// the witness decision.
+func (d *phase2Decider) materialize(out *sched.Outcome) (*history.History, error) {
 	h, err := toHistory(out)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	normalizeRelaxed(h, d.relaxed)
-	return h, historyKey(h), nil
+	return h, nil
 }
 
 // witness decides witness existence for one not-yet-seen history, returning
@@ -129,7 +137,7 @@ func (d *phase2Decider) witness(h *history.History) (*Violation, error) {
 type phase2Seq struct {
 	d         *phase2Decider
 	exhaust   bool
-	seen      map[string]bool
+	cache     *histCache
 	failures  *failureCollector
 	n         int // arrival index, the sequential position of the next visit
 	full      int
@@ -150,28 +158,35 @@ func (s *phase2Seq) visit(out *sched.Outcome) bool {
 		}
 		return true
 	}
-	h, key, herr := s.d.history(out)
+	en, isNew, herr := s.cache.lookup(out, s.d.relaxed)
 	if herr != nil {
 		s.err = herr
 		return false
 	}
-	if s.seen[key] {
+	if !isNew {
+		// Memoized: the first occurrence already decided this history (a
+		// violating key with ExhaustPhase2 keeps exploring, exactly as the
+		// first occurrence did), so a repeat never changes the verdict.
 		return true
 	}
-	s.seen[key] = true
-	if h.Stuck {
+	if en.stuck {
 		s.stuck++
 	} else {
 		s.full++
 	}
-	v, werr := s.d.witness(h)
-	if werr != nil {
-		s.err = werr
+	h, herr := s.d.materialize(out)
+	if herr != nil {
+		s.err = herr
 		return false
 	}
-	if v != nil {
+	en.v, en.err = s.d.witness(h)
+	if en.err != nil {
+		s.err = en.err
+		return false
+	}
+	if en.v != nil {
 		if s.violation == nil {
-			s.violation = v
+			s.violation = en.v
 		}
 		return s.exhaust
 	}
@@ -190,19 +205,11 @@ type phase2Par struct {
 	exhaust  bool
 	failures *failureCollector
 	mu       sync.Mutex
-	entries  map[string]*keyDecision
-	firstPos map[string]sched.Pos
+	cache    *histCache
+	firstPos map[*histEntry]sched.Pos
 	full     int
 	stuck    int
 	errs     []posError
-}
-
-// keyDecision memoizes the witness decision of one history key; done is
-// closed once v/err are final.
-type keyDecision struct {
-	done chan struct{}
-	v    *Violation
-	err  error
 }
 
 type posError struct {
@@ -220,29 +227,32 @@ func (s *phase2Par) visit(out *sched.Outcome, p sched.Pos) bool {
 		// the full sequential prefix of failures and prunes exactly.
 		return s.failures.addPos(p, out)
 	}
-	h, key, herr := s.d.history(out)
+	s.mu.Lock()
+	en, isNew, herr := s.cache.lookup(out, s.d.relaxed)
 	if herr != nil {
-		s.mu.Lock()
 		s.errs = append(s.errs, posError{p, herr})
 		s.mu.Unlock()
 		return false
 	}
-	s.mu.Lock()
-	if q, ok := s.firstPos[key]; !ok || p.Before(q) {
-		s.firstPos[key] = p
+	if q, ok := s.firstPos[en]; !ok || p.Before(q) {
+		s.firstPos[en] = p
 	}
-	e, ok := s.entries[key]
-	if !ok {
-		e = &keyDecision{done: make(chan struct{})}
-		s.entries[key] = e
-		if h.Stuck {
+	if isNew {
+		en.done = make(chan struct{})
+		if en.stuck {
 			s.stuck++
 		} else {
 			s.full++
 		}
 		s.mu.Unlock()
-		e.v, e.err = s.d.witness(h)
-		close(e.done)
+		// Decide outside the lock: witness search is the expensive part.
+		h, herr := s.d.materialize(out)
+		if herr != nil {
+			en.err = herr
+		} else {
+			en.v, en.err = s.d.witness(h)
+		}
+		close(en.done)
 	} else {
 		s.mu.Unlock()
 		// Wait for the deciding worker so that this occurrence reacts to the
@@ -250,15 +260,15 @@ func (s *phase2Par) visit(out *sched.Outcome, p sched.Pos) bool {
 		// in particular a repeated occurrence of a failing key must stop
 		// exploration here, or early cancellation could miss the sequentially
 		// first stopping point.
-		<-e.done
+		<-en.done
 	}
-	if e.err != nil {
+	if en.err != nil {
 		s.mu.Lock()
-		s.errs = append(s.errs, posError{p, e.err})
+		s.errs = append(s.errs, posError{p, en.err})
 		s.mu.Unlock()
 		return false
 	}
-	if e.v != nil {
+	if en.v != nil {
 		return s.exhaust
 	}
 	return true
@@ -274,12 +284,14 @@ func (s *phase2Par) resolve() (*Violation, []RuntimeFailure, error) {
 	s.mu.Lock()
 	var vPos sched.Pos
 	var v *Violation
-	for key, e := range s.entries {
-		if e.v == nil {
-			continue
-		}
-		if p := s.firstPos[key]; vPos == nil || p.Before(vPos) {
-			vPos, v = p, e.v
+	for _, bucket := range s.cache.buckets {
+		for _, en := range bucket {
+			if en.v == nil {
+				continue
+			}
+			if p := s.firstPos[en]; vPos == nil || p.Before(vPos) {
+				vPos, v = p, en.v
+			}
 		}
 	}
 	var ePos sched.Pos
@@ -337,11 +349,11 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 	var exploreErr error
 	var violation *Violation
 	var failures []RuntimeFailure
-	var full, stuckN int
+	var full, stuckN, dedupHits int
 	switch {
 	case opts.SampleSchedules > 0:
 		var holder any
-		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, seen: make(map[string]bool), failures: newFailureCollector(opts.MaxFailures)}
+		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, cache: newHistCache(), failures: newFailureCollector(opts.MaxFailures)}
 		stats, exploreErr = sched.ExploreRandom(sched.RandomConfig{
 			Config:            opts.schedConfig(false, false),
 			Runs:              opts.SampleSchedules,
@@ -356,21 +368,22 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		if exploreErr != nil {
 			return nil, exploreErr
 		}
-		violation, full, stuckN = seq.violation, seq.full, seq.stuck
+		violation, full, stuckN, dedupHits = seq.violation, seq.full, seq.stuck, seq.cache.hits
 		failures = seq.failures.before(nil)
 	case opts.Workers > 1:
 		par := &phase2Par{
 			d:        d,
 			exhaust:  opts.ExhaustPhase2,
 			failures: newFailureCollector(opts.MaxFailures),
-			entries:  make(map[string]*keyDecision),
-			firstPos: make(map[string]sched.Pos),
+			cache:    newHistCache(),
+			firstPos: make(map[*histEntry]sched.Pos),
 		}
 		stats, exploreErr = sched.ExploreParallel(sched.ExploreConfig{
 			Config:            opts.schedConfig(false, false),
 			PreemptionBound:   opts.bound(),
 			MaxExecutions:     opts.maxExecs(),
 			ContinueOnFailure: contain,
+			Reduction:         opts.Reduction,
 		}, sched.ParallelConfig{
 			Workers:  opts.Workers,
 			Progress: opts.ShardProgress,
@@ -391,15 +404,16 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		if exploreErr == sched.ErrBudget {
 			return nil, exploreErr
 		}
-		violation, full, stuckN, failures = v, par.full, par.stuck, fs
+		violation, full, stuckN, dedupHits, failures = v, par.full, par.stuck, par.cache.hits, fs
 	default:
 		var holder any
-		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, seen: make(map[string]bool), failures: newFailureCollector(opts.MaxFailures)}
+		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, cache: newHistCache(), failures: newFailureCollector(opts.MaxFailures)}
 		stats, exploreErr = sched.Explore(sched.ExploreConfig{
 			Config:            opts.schedConfig(false, false),
 			PreemptionBound:   opts.bound(),
 			MaxExecutions:     opts.maxExecs(),
 			ContinueOnFailure: contain,
+			Reduction:         opts.Reduction,
 		}, program(sub, m, &holder), seq.visit)
 		if seq.err != nil {
 			return nil, seq.err
@@ -407,7 +421,7 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		if exploreErr != nil {
 			return nil, exploreErr
 		}
-		violation, full, stuckN = seq.violation, seq.full, seq.stuck
+		violation, full, stuckN, dedupHits = seq.violation, seq.full, seq.stuck, seq.cache.hits
 		failures = seq.failures.before(nil)
 	}
 	res.Phase2 = PhaseStats{
@@ -415,6 +429,8 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		Decisions:  stats.Decisions,
 		Histories:  full,
 		Stuck:      stuckN,
+		Pruned:     stats.Pruned,
+		DedupHits:  dedupHits,
 		Duration:   time.Since(start),
 	}
 	res.Failures = failures

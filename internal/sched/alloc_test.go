@@ -1,0 +1,86 @@
+package sched_test
+
+import (
+	"testing"
+
+	"lineup/internal/sched"
+)
+
+// allocProgram is the steady-state workload of the allocation guard: two
+// threads of two recorded operations each, the shape every phase-2
+// exploration runs thousands of times.
+func allocProgram() sched.Program {
+	return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
+}
+
+func exploreAllocWorkload(b testing.TB, reduction sched.Reduction) int {
+	execs := 0
+	_, err := sched.Explore(sched.ExploreConfig{
+		PreemptionBound: 2,
+		Reduction:       reduction,
+	}, allocProgram(), func(o *sched.Outcome) bool {
+		execs++
+		return true
+	})
+	if err != nil {
+		b.Fatalf("explore: %v", err)
+	}
+	return execs
+}
+
+// BenchmarkExploreAllocs measures the explorer's per-exploration allocation
+// behavior; run with -benchmem to see allocs/op. The paired regression test
+// below turns the same workload into a hard ceiling.
+func BenchmarkExploreAllocs(b *testing.B) {
+	for _, bc := range []struct {
+		name      string
+		reduction sched.Reduction
+	}{
+		{"full", sched.ReductionNone},
+		{"sleep", sched.ReductionSleep},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exploreAllocWorkload(b, bc.reduction)
+			}
+		})
+	}
+}
+
+// TestExploreAllocsPerExecution is the allocation regression guard for the
+// DFS hot path: each steady-state execution (goroutine spin-up, event and
+// schedule recording, outcome delivery) must stay under a fixed allocation
+// budget. The ceilings have ~40% headroom over measured values; a hot-path
+// change that starts allocating per decision or per event blows through
+// them immediately.
+func TestExploreAllocsPerExecution(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	for _, tc := range []struct {
+		name      string
+		reduction sched.Reduction
+		ceiling   float64 // allocs per execution
+	}{
+		{"full", sched.ReductionNone, 60},
+		{"sleep", sched.ReductionSleep, 80},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			execs := exploreAllocWorkload(t, tc.reduction)
+			if execs == 0 {
+				t.Fatal("workload ran no executions")
+			}
+			perRun := testing.AllocsPerRun(5, func() {
+				exploreAllocWorkload(t, tc.reduction)
+			})
+			perExec := perRun / float64(execs)
+			t.Logf("%s: %.0f allocs per exploration, %.1f per execution (%d executions)",
+				tc.name, perRun, perExec, execs)
+			if perExec > tc.ceiling {
+				t.Errorf("%s: %.1f allocs per execution exceeds the %.0f ceiling",
+					tc.name, perExec, tc.ceiling)
+			}
+		})
+	}
+}

@@ -36,6 +36,14 @@ type ExploreConfig struct {
 	// order continues exactly where the interrupted run left off. The
 	// program must be the one the checkpoint was taken from.
 	Resume *Checkpoint
+	// Reduction selects the partial-order reduction strategy. ReductionSleep
+	// prunes schedules that only commute independent steps of already
+	// explored ones; the set of distinct histories visited — and therefore
+	// every verdict derived from them — is identical to ReductionNone, while
+	// the number of executions can drop by orders of magnitude. Pruning is a
+	// deterministic function of the schedule tree, so it composes with the
+	// parallel explorer, work stealing, and checkpoint/resume.
+	Reduction Reduction
 }
 
 // Checkpoint is a serializable snapshot of a depth-first exploration
@@ -50,6 +58,18 @@ type Checkpoint struct {
 	// checkpoint; a resumed exploration continues counting from them.
 	Executions int `json:"executions"`
 	Decisions  int `json:"decisions"`
+	// Pruned is the sleep-set skip count accumulated before the checkpoint
+	// (only written when reduction is on).
+	Pruned int `json:"pruned,omitempty"`
+	// Explored records, for every decision level of Path, the branches the
+	// interrupted run had already fully explored and retired at that level,
+	// with the window footprints their first steps produced. Sleep sets are
+	// otherwise a deterministic function of the branch path, but these
+	// retired branches describe finished subtrees the resumed run never
+	// revisits, so they must be carried along for the resumed DFS to prune —
+	// and count — exactly like an uninterrupted one. Only written when
+	// reduction is on.
+	Explored [][]BranchRecord `json:"explored,omitempty"`
 }
 
 // ErrBudget is returned when exploration hits MaxExecutions before the
@@ -60,7 +80,12 @@ var ErrBudget = errors.New("sched: execution budget exhausted before exploration
 type ExploreStats struct {
 	Executions int
 	Decisions  int
-	Truncated  bool // true if MaxExecutions stopped exploration early
+	// Pruned counts branches skipped by sleep-set reduction: decision
+	// alternatives that were within the preemption budget but provably
+	// redundant. It is deterministic for full explorations, regardless of
+	// worker count.
+	Pruned    int
+	Truncated bool // true if MaxExecutions stopped exploration early
 }
 
 // choice is one decision point on the DFS stack.
@@ -70,6 +95,23 @@ type choice struct {
 	curEnabled bool
 	next       int // index into enabled currently being explored
 	budget     int // preemption budget remaining before this decision
+
+	// Sleep-set reduction state (ReductionSleep only).
+	//
+	// sleep is fixed at node creation: threads whose next step is covered by
+	// an earlier-explored subtree (inherited from the parent's sleep and
+	// retired branches, minus entries woken by dependence on the parent's
+	// executed window). explored accumulates this node's retired branches
+	// that are eligible to put descendants to sleep. foot is the window
+	// footprint of the branch currently at next, recorded by the first
+	// execution through it and cleared when the branch is retired. exhausted
+	// marks a node whose every affordable branch was asleep at creation: its
+	// single forced continuation is provably redundant, so the node never
+	// branches.
+	sleep     []sleepEntry
+	explored  []sleepEntry
+	foot      *Footprint
+	exhausted bool
 }
 
 func (c *choice) cost(i int) int {
@@ -84,12 +126,16 @@ func (c *choice) cost(i int) int {
 // frontier with default (non-preemptive) choices.
 type explorer struct {
 	bound  int
+	red    Reduction
 	stack  []*choice
 	depth  int
 	budget int
+	pruned int // sleep-set skips, see ExploreStats.Pruned
 	// seed pins the branch index of every frontier level reached during the
 	// first execution after a checkpoint resume; it is cleared afterwards.
-	seed []int
+	// seedExplored restores the retired-branch records of those levels.
+	seed         []int
+	seedExplored [][]BranchRecord
 }
 
 func (e *explorer) begin() {
@@ -107,7 +153,7 @@ func (e *explorer) allowed(c *choice, i int) bool {
 func (e *explorer) Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) ThreadID {
 	if e.depth < len(e.stack) {
 		c := e.stack[e.depth]
-		if !sameIDs(c.enabled, enabled) || c.cur != cur || c.curEnabled != curEnabled {
+		if !sameIDsOrdered(c.enabled, cur, curEnabled, enabled) || c.cur != cur || c.curEnabled != curEnabled {
 			panic(fmt.Sprintf("sched: nondeterministic replay at decision %d: recorded (cur=%d enabled=%v), got (cur=%d enabled=%v)",
 				e.depth, c.cur, c.enabled, cur, enabled))
 		}
@@ -116,19 +162,129 @@ func (e *explorer) Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) Threa
 		return c.enabled[c.next]
 	}
 	ord := orderChoices(cur, curEnabled, enabled)
-	next := 0
+	c := &choice{enabled: ord, cur: cur, curEnabled: curEnabled, budget: e.budget}
+	if e.red == ReductionSleep {
+		c.sleep = e.childSleep()
+	}
 	if e.depth < len(e.seed) {
-		next = e.seed[e.depth]
-		if next < 0 || next >= len(ord) {
+		// Checkpoint resume: the seed pins the branch (and restores the
+		// retired branches) of every level the interrupted run had reached;
+		// its pruning decisions were already taken — and counted — there.
+		c.next = e.seed[e.depth]
+		if c.next < 0 || c.next >= len(ord) {
 			panic(fmt.Sprintf("sched: checkpoint does not match program: decision %d offers %d choices, resume path wants branch %d",
-				e.depth, len(ord), next))
+				e.depth, len(ord), c.next))
+		}
+		if e.depth < len(e.seedExplored) {
+			for _, br := range e.seedExplored[e.depth] {
+				c.explored = append(c.explored, sleepEntry{tid: br.Thread, foot: br.Foot.clone()})
+			}
+		}
+	} else if e.red == ReductionSleep {
+		// Skip straight to the first affordable non-sleeping branch. If every
+		// affordable branch is asleep the whole node is redundant; the
+		// execution still has to finish, so take the free continuation
+		// (branch 0 costs nothing) and never branch here.
+		for c.next < len(ord) {
+			if !e.allowed(c, c.next) {
+				c.next++
+				continue
+			}
+			if e.sleeps(c, c.next) {
+				e.pruned++
+				c.next++
+				continue
+			}
+			break
+		}
+		if c.next >= len(ord) {
+			c.next = 0
+			c.exhausted = true
 		}
 	}
-	c := &choice{enabled: ord, cur: cur, curEnabled: curEnabled, next: next, budget: e.budget}
 	e.stack = append(e.stack, c)
-	e.budget -= c.cost(next)
+	e.budget -= c.cost(c.next)
 	e.depth++
-	return ord[next]
+	return ord[c.next]
+}
+
+// sleeps reports whether branch i of c schedules a sleeping thread.
+func (e *explorer) sleeps(c *choice, i int) bool {
+	for _, s := range c.sleep {
+		if s.tid == c.enabled[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// childSleep computes the sleep set of the node about to be created from its
+// parent (the deepest stack node): the parent's sleeping threads plus the
+// threads of the parent's retired branches, minus the thread the parent is
+// executing and minus every entry whose deferred step depends on the parent's
+// executed window (a dependent step must be rescheduled — only reorderings of
+// independent steps are redundant).
+func (e *explorer) childSleep() []sleepEntry {
+	if e.depth == 0 {
+		return nil
+	}
+	p := e.stack[e.depth-1]
+	w := p.enabled[p.next]
+	var out []sleepEntry
+	for _, src := range [2][]sleepEntry{p.sleep, p.explored} {
+		for _, s := range src {
+			if s.tid == w || s.foot.ConflictsWith(p.foot) {
+				continue
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// retire closes out the branch currently at c.next: its subtree is fully
+// explored. If the branch is eligible to put later siblings' descendants to
+// sleep, it is recorded with its window footprint. Under preemption bounding
+// only the current thread's free continuation (branch 0 with cur enabled) is
+// eligible: moving that branch's step later in an equivalent schedule never
+// costs an extra preemption, so the pruned schedule's representative is
+// affordable wherever the pruned schedule was. Unbounded explorations have no
+// budget to respect and use classic full sleep sets. See DESIGN.md.
+func (e *explorer) retire(c *choice) {
+	if e.red != ReductionSleep || c.exhausted {
+		c.foot = nil
+		return
+	}
+	if e.bound == Unbounded || (c.next == 0 && c.curEnabled) {
+		c.explored = append(c.explored, sleepEntry{tid: c.enabled[c.next], foot: footOrGlobal(c.foot)})
+	}
+	c.foot = nil
+}
+
+// observeWindow receives the footprint of the window closed by the upcoming
+// decision (or by the end of the execution); it belongs to the branch
+// currently explored at the deepest already-visited level. The footprint is
+// only recorded once per branch — replayed prefixes regenerate identical
+// windows.
+func (e *explorer) observeWindow(f *Footprint) {
+	if e.depth == 0 || e.depth > len(e.stack) {
+		return
+	}
+	c := e.stack[e.depth-1]
+	if c.foot == nil {
+		c.foot = f.clone()
+	}
+}
+
+// poisonDeepest marks the deepest executed branch's window footprint as
+// conflicting with everything. Called after a failed execution (panic, hang):
+// the window the failure interrupted is incomplete, so nothing may sleep
+// through it.
+func (e *explorer) poisonDeepest() {
+	if e.depth == 0 || e.depth > len(e.stack) {
+		return
+	}
+	e.stack[e.depth-1].foot = globalFootprint()
 }
 
 // advance backtracks to the deepest decision with an unexplored, affordable
@@ -144,9 +300,25 @@ func (e *explorer) advance() bool {
 func (e *explorer) advanceAbove(floor int) bool {
 	for len(e.stack) > floor {
 		c := e.stack[len(e.stack)-1]
+		if c.exhausted {
+			// A fully-slept node never branches; its forced continuation was
+			// already accounted at creation.
+			e.stack = e.stack[:len(e.stack)-1]
+			continue
+		}
+		e.retire(c)
 		c.next++
-		for c.next < len(c.enabled) && !e.allowed(c, c.next) {
-			c.next++
+		for c.next < len(c.enabled) {
+			if !e.allowed(c, c.next) {
+				c.next++
+				continue
+			}
+			if e.red == ReductionSleep && e.sleeps(c, c.next) {
+				e.pruned++
+				c.next++
+				continue
+			}
+			break
 		}
 		if c.next < len(c.enabled) {
 			return true
@@ -174,20 +346,33 @@ func orderChoices(cur ThreadID, curEnabled bool, enabled []ThreadID) []ThreadID 
 	return ord
 }
 
-func sameIDs(a []ThreadID, b []ThreadID) bool {
-	if len(a) != len(b) {
+// sameIDsOrdered verifies that ord is exactly what orderChoices would build
+// from (cur, curEnabled, enabled) — the replay-consistency check of Pick —
+// without allocating. ord came from orderChoices at record time, so an
+// element-wise walk (cur first if enabled, then the remaining IDs in
+// ascending order) is equivalent to the set comparison it replaces, and this
+// runs once per replayed decision on the exploration hot path.
+func sameIDsOrdered(ord []ThreadID, cur ThreadID, curEnabled bool, enabled []ThreadID) bool {
+	if len(ord) != len(enabled) {
 		return false
 	}
-	seen := make(map[ThreadID]bool, len(a))
-	for _, id := range a {
-		seen[id] = true
-	}
-	for _, id := range b {
-		if !seen[id] {
+	i := 0
+	if curEnabled {
+		if len(ord) == 0 || ord[0] != cur {
 			return false
 		}
+		i = 1
 	}
-	return true
+	for _, id := range enabled {
+		if curEnabled && id == cur {
+			continue
+		}
+		if i >= len(ord) || ord[i] != id {
+			return false
+		}
+		i++
+	}
+	return i == len(ord)
 }
 
 // Explore enumerates the schedules of prog and calls visit for every
@@ -197,14 +382,21 @@ func sameIDs(a []ThreadID, b []ThreadID) bool {
 // watchdog hang, or goroutine leak — unless cfg.ContinueOnFailure hands
 // failed outcomes to visit instead) or the execution budget ran out.
 func Explore(cfg ExploreConfig, prog Program, visit func(*Outcome) bool) (ExploreStats, error) {
-	e := &explorer{bound: cfg.PreemptionBound}
+	if cfg.Reduction == ReductionSleep {
+		cfg.Config.TrackFootprints = true
+	}
+	e := &explorer{bound: cfg.PreemptionBound, red: cfg.Reduction}
 	var stats ExploreStats
+	basePruned := 0
 	if cfg.Resume != nil {
 		e.seed = cfg.Resume.Path
+		e.seedExplored = cfg.Resume.Explored
 		stats.Executions = cfg.Resume.Executions
 		stats.Decisions = cfg.Resume.Decisions
+		basePruned = cfg.Resume.Pruned
 	}
 	for {
+		stats.Pruned = basePruned + e.pruned
 		if cfg.MaxExecutions > 0 && stats.Executions >= cfg.MaxExecutions {
 			stats.Truncated = true
 			return stats, ErrBudget
@@ -212,26 +404,60 @@ func Explore(cfg ExploreConfig, prog Program, visit func(*Outcome) bool) (Explor
 		e.begin()
 		s := NewScheduler(cfg.Config, e)
 		out := s.Run(prog)
-		e.seed = nil
+		e.seed, e.seedExplored = nil, nil
 		stats.Executions++
 		stats.Decisions += out.Decisions
-		if k := out.FailureKind(); k != FailNone && !cfg.ContinueOnFailure {
-			return stats, out.FailureError()
+		stats.Pruned = basePruned + e.pruned
+		if k := out.FailureKind(); k != FailNone {
+			if e.red == ReductionSleep {
+				// The failure interrupted the deepest window mid-flight; its
+				// recorded footprint under-approximates the step, so poison it.
+				e.poisonDeepest()
+			}
+			if !cfg.ContinueOnFailure {
+				return stats, out.FailureError()
+			}
+		}
+		// Feed the next execution's buffer sizes from this one: steady-state
+		// executions of one exploration have near-identical shapes.
+		cfg.Config.Prealloc = CapHint{
+			Events:   len(out.Events),
+			Schedule: len(out.Schedule),
+			Trace:    len(out.Trace),
 		}
 		if !visit(out) {
 			return stats, nil
 		}
-		if !e.advance() {
+		adv := e.advance()
+		stats.Pruned = basePruned + e.pruned
+		if !adv {
 			return stats, nil
 		}
 		if cfg.Checkpoint != nil {
-			cfg.Checkpoint(Checkpoint{
+			cp := Checkpoint{
 				Path:       []int(pathOf(e.stack)),
 				Executions: stats.Executions,
 				Decisions:  stats.Decisions,
-			})
+			}
+			if e.red == ReductionSleep {
+				cp.Pruned = stats.Pruned
+				cp.Explored = exploredOf(e.stack)
+			}
+			cfg.Checkpoint(cp)
 		}
 	}
+}
+
+// exploredOf serializes the retired-branch records of every stack level for a
+// checkpoint.
+func exploredOf(stack []*choice) [][]BranchRecord {
+	out := make([][]BranchRecord, len(stack))
+	for i, c := range stack {
+		for _, s := range c.explored {
+			out[i] = append(out[i], BranchRecord{Thread: s.tid, Foot: *footOrGlobal(s.foot)})
+		}
+	}
+	return out
 }
 
 // ScheduleDivergenceError reports that a recorded schedule could not be

@@ -95,8 +95,11 @@ func (sh *shard) split(e *explorer) *shard {
 	level := -1
 	for i := sh.floor; i < len(e.stack); i++ {
 		c := e.stack[i]
+		if c.exhausted {
+			continue
+		}
 		for j := c.next + 1; j < len(c.enabled); j++ {
-			if e.allowed(c, j) {
+			if e.allowed(c, j) && !(e.red == ReductionSleep && e.sleeps(c, j)) {
 				level = i
 				break
 			}
@@ -110,8 +113,18 @@ func (sh *shard) split(e *explorer) *shard {
 	}
 	st := cloneStack(e.stack[:level+1])
 	c := st[level]
+	// The handed-off child continues exactly where a sequential advance at
+	// this level would: the donor's current branch is retired into the
+	// child's node (the donor will finish its subtree, and every live stack
+	// level has already run an execution, so its window footprint is final),
+	// and sleeping branches between the two are skipped and counted here —
+	// the donor's floor pin means no one else ever advances this level.
+	e.retire(c)
 	c.next++
-	for !e.allowed(c, c.next) {
+	for !e.allowed(c, c.next) || (e.red == ReductionSleep && e.sleeps(c, c.next)) {
+		if e.allowed(c, c.next) {
+			e.pruned++
+		}
 		c.next++
 	}
 	sh.floor = level + 1
@@ -119,12 +132,17 @@ func (sh *shard) split(e *explorer) *shard {
 }
 
 // cloneStack deep-copies the choice structs of a decision stack so that two
-// explorers can advance the same prefix independently. The enabled slices are
-// shared: they are never mutated after creation.
+// explorers can advance the same prefix independently. The enabled and sleep
+// slices are shared (never mutated after creation), and footprints are
+// immutable once recorded; the explored slice is owned by the advancing
+// explorer and must be copied.
 func cloneStack(stack []*choice) []*choice {
 	out := make([]*choice, len(stack))
 	for i, c := range stack {
 		cc := *c
+		if len(c.explored) > 0 {
+			cc.explored = append([]sleepEntry(nil), c.explored...)
+		}
 		out[i] = &cc
 	}
 	return out
@@ -248,6 +266,19 @@ func (co *coordinator) finishRun(out *Outcome) {
 	co.mu.Unlock()
 }
 
+// addPruned merges one explorer's sleep-set skip count. Every (node, branch)
+// skip is counted by exactly one explorer — nodes live in exactly one stack,
+// split hand-offs count the skipped gap on the donor — so the merged total is
+// deterministic for full explorations.
+func (co *coordinator) addPruned(n int) {
+	if n == 0 {
+		return
+	}
+	co.mu.Lock()
+	co.stats.Pruned += n
+	co.mu.Unlock()
+}
+
 // noteTerminal records a terminal event (visit stop when err is nil, failed
 // execution otherwise) at position p, keeping the minimal-position one.
 func (co *coordinator) noteTerminal(p Pos, err error) {
@@ -278,7 +309,8 @@ func (co *coordinator) splitWanted() bool {
 // Every generation run is itself the leftmost execution of the shard it
 // discovers, so no execution is ever run twice.
 func (co *coordinator) generate(cfg ExploreConfig, prog Program, shardDepth int) {
-	e := &explorer{bound: cfg.PreemptionBound}
+	e := &explorer{bound: cfg.PreemptionBound, red: cfg.Reduction}
+	defer func() { co.addPruned(e.pruned) }()
 	for {
 		p := pathOf(e.stack)
 		if !co.reserve(p) {
@@ -287,9 +319,15 @@ func (co *coordinator) generate(cfg ExploreConfig, prog Program, shardDepth int)
 		e.begin()
 		out := NewScheduler(cfg.Config, e).Run(prog)
 		co.finishRun(out)
-		if k := out.FailureKind(); k != FailNone && !cfg.ContinueOnFailure {
-			co.noteTerminal(p, out.FailureError())
-			break
+		cfg.Config.Prealloc = CapHint{Events: len(out.Events), Schedule: len(out.Schedule), Trace: len(out.Trace)}
+		if k := out.FailureKind(); k != FailNone {
+			if e.red == ReductionSleep {
+				e.poisonDeepest()
+			}
+			if !cfg.ContinueOnFailure {
+				co.noteTerminal(p, out.FailureError())
+				break
+			}
 		}
 		floor := shardDepth
 		if len(e.stack) < floor {
@@ -332,7 +370,8 @@ func (w *shardWorker) runShard(sh *shard) {
 	if w.co.abandoned(sh.path) {
 		return
 	}
-	e := &explorer{bound: w.cfg.PreemptionBound, stack: sh.stack}
+	e := &explorer{bound: w.cfg.PreemptionBound, red: w.cfg.Reduction, stack: sh.stack}
+	defer func() { w.co.addPruned(e.pruned) }()
 	pending := sh.out == nil // split child: the stack already points at an unexplored alternative
 	if sh.out != nil {
 		if !w.visit(sh.out, sh.path) {
@@ -360,9 +399,15 @@ func (w *shardWorker) runShard(sh *shard) {
 		e.begin()
 		out := NewScheduler(w.cfg.Config, e).Run(w.prog)
 		w.co.finishRun(out)
-		if k := out.FailureKind(); k != FailNone && !w.cfg.ContinueOnFailure {
-			w.co.noteTerminal(p, out.FailureError())
-			return
+		w.cfg.Config.Prealloc = CapHint{Events: len(out.Events), Schedule: len(out.Schedule), Trace: len(out.Trace)}
+		if k := out.FailureKind(); k != FailNone {
+			if e.red == ReductionSleep {
+				e.poisonDeepest()
+			}
+			if !w.cfg.ContinueOnFailure {
+				w.co.noteTerminal(p, out.FailureError())
+				return
+			}
 		}
 		if !w.visit(out, p) {
 			w.co.noteTerminal(p, nil)
@@ -405,6 +450,9 @@ func ExploreParallel(cfg ExploreConfig, pcfg ParallelConfig, newProg func() Prog
 	// several schedulers run concurrently; containment of hangs and panics
 	// still works per execution.
 	cfg.DetectLeaks = false
+	if cfg.Reduction == ReductionSleep {
+		cfg.Config.TrackFootprints = true
+	}
 	workers := pcfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -196,6 +196,24 @@ type Config struct {
 	// only meaningful when no other code spawns goroutines concurrently, so
 	// the parallel explorer forces it off.
 	DetectLeaks bool
+	// TrackFootprints accumulates a per-decision-window Footprint (shared
+	// locations touched, history events recorded) and delivers it to the
+	// controller — if it implements the footprint observer hook — immediately
+	// before every Pick and once more at the end of the execution. The
+	// explorer enables this when sleep-set reduction is on; it is independent
+	// of RecordTrace.
+	TrackFootprints bool
+	// Prealloc sizes the execution's event, schedule, and trace buffers up
+	// front. Explorations set it from the previous execution's outcome so
+	// that steady-state executions allocate each buffer once.
+	Prealloc CapHint
+}
+
+// CapHint carries slice capacity hints for one execution's recording buffers.
+type CapHint struct {
+	Events   int
+	Schedule int
+	Trace    int
 }
 
 func (c Config) maxOpSteps() int {
@@ -336,15 +354,21 @@ type Scheduler struct {
 	leaked     []string
 	wdTimer    *time.Timer
 
-	// mu guards events, trace and the loc/op counters: a thread abandoned by the watchdog
-	// may still be between instrumented points appending to them while the
-	// scheduler goroutine assembles the outcome. Uncontended in every
-	// cooperative execution.
+	// mu guards events, trace, wfoot and the loc/op counters: a thread
+	// abandoned by the watchdog may still be between instrumented points
+	// appending to them while the scheduler goroutine assembles the outcome.
+	// Uncontended in every cooperative execution.
 	mu      sync.Mutex
 	events  []OpEvent
 	trace   []MemEvent
 	nextLoc int
 	nextOp  int
+
+	// fo, when non-nil, receives the footprint of every decision window
+	// (Config.TrackFootprints and a controller implementing the observer
+	// hook). wfoot is the reusable window accumulator.
+	fo    footprintObserver
+	wfoot Footprint
 }
 
 // NewScheduler creates the scheduler for one execution of prog under ctrl.
@@ -355,7 +379,13 @@ func NewScheduler(cfg Config, ctrl Controller) *Scheduler {
 	if ctrl == nil {
 		ctrl = defaultController{}
 	}
-	return &Scheduler{cfg: cfg, ctrl: ctrl}
+	s := &Scheduler{cfg: cfg, ctrl: ctrl}
+	if cfg.TrackFootprints {
+		if fo, ok := ctrl.(footprintObserver); ok {
+			s.fo = fo
+		}
+	}
+	return s
 }
 
 type defaultController struct{}
@@ -422,6 +452,17 @@ func (s *Scheduler) Run(prog Program) *Outcome {
 	// message per resume, so buffering does not change the rendezvous
 	// semantics.
 	s.back = make(chan msg, 2*(len(prog.Threads)+2)+2)
+	if h := s.cfg.Prealloc; h != (CapHint{}) {
+		if h.Events > 0 {
+			s.events = make([]OpEvent, 0, h.Events)
+		}
+		if h.Schedule > 0 {
+			s.schedule = make([]ThreadID, 0, h.Schedule)
+		}
+		if h.Trace > 0 && s.cfg.RecordTrace {
+			s.trace = make([]MemEvent, 0, h.Trace)
+		}
+	}
 	baseGoroutines := 0
 	if s.cfg.DetectLeaks {
 		baseGoroutines = runtime.NumGoroutine()
@@ -445,6 +486,9 @@ func (s *Scheduler) Run(prog Program) *Outcome {
 		// The abandonment path already unwound (or gave up on) every thread.
 		s.killAll()
 	}
+	// Deliver the final decision window (the steps after the last Pick). For
+	// failed executions the window may be incomplete; the explorer poisons it.
+	s.flushWindow()
 	out := &Outcome{
 		Stuck:      s.stuck,
 		Decisions:  s.decisions,
@@ -531,6 +575,9 @@ func (s *Scheduler) loop(group []*Thread) {
 				curEnabled = s.cur.getState() == stateRunnable
 			}
 			s.decisions++
+			// The steps since the previous decision form one window; hand its
+			// footprint to the observer before the decision that closes it.
+			s.flushWindow()
 			pick := s.ctrl.Pick(cur, curEnabled, ids)
 			for _, t := range enabled {
 				if t.id == pick {
@@ -737,6 +784,47 @@ func (t *Thread) block() {
 	}
 }
 
+// flushWindow delivers the accumulated window footprint to the observer and
+// resets the accumulator. Called from the scheduler goroutine only; the lock
+// orders it against abandoned threads that may still be appending. The
+// observer reads the footprint under the lock and must copy what it keeps.
+func (s *Scheduler) flushWindow() {
+	if s.fo == nil {
+		return
+	}
+	s.mu.Lock()
+	s.fo.observeWindow(&s.wfoot)
+	s.wfoot.reset()
+	s.mu.Unlock()
+}
+
+// noteAccess merges one shared-memory access into the current window
+// footprint.
+func (s *Scheduler) noteAccess(loc int, write bool) {
+	s.mu.Lock()
+	s.wfoot.add(loc, write)
+	s.mu.Unlock()
+}
+
+// noteGlobal poisons the current window: it performed an effect that cannot
+// be attributed to a location, so it must conflict with everything.
+func (s *Scheduler) noteGlobal() {
+	s.mu.Lock()
+	s.wfoot.Global = true
+	s.mu.Unlock()
+}
+
+// Touch merges a shared-memory access into the current window footprint
+// without recording a trace event. Instrumented primitives use it for
+// accesses that the race checkers do not model but that still order steps —
+// e.g. a failed TryLock reads the lock word.
+func (t *Thread) Touch(loc int, write bool) {
+	if t.sch.fo == nil {
+		return
+	}
+	t.sch.noteAccess(loc, write)
+}
+
 // NewLoc allocates a fresh shared-memory location identifier. Instrumented
 // cells call this once at construction time.
 func (t *Thread) NewLoc() int {
@@ -748,7 +836,12 @@ func (t *Thread) NewLoc() int {
 }
 
 // Record appends a memory event to the execution trace if tracing is on.
+// Independently of tracing, the access enters the current decision window's
+// footprint when footprints are tracked.
 func (t *Thread) Record(kind MemKind, loc int, name string) {
+	if t.sch.fo != nil {
+		t.sch.noteAccess(loc, writeClass(kind))
+	}
 	if !t.sch.cfg.RecordTrace {
 		return
 	}
@@ -772,6 +865,9 @@ func (t *Thread) OpStart(name string) {
 	s.events = append(s.events, OpEvent{
 		Thread: t.id, Kind: EvCall, Op: name, OpIndex: t.curOp,
 	})
+	if s.fo != nil {
+		s.wfoot.Event = true
+	}
 	s.mu.Unlock()
 }
 
@@ -787,6 +883,9 @@ func (t *Thread) OpEnd(name, result string) {
 	s.events = append(s.events, OpEvent{
 		Thread: t.id, Kind: EvReturn, Op: name, Result: result, OpIndex: op,
 	})
+	if s.fo != nil {
+		s.wfoot.Event = true
+	}
 	s.mu.Unlock()
 }
 

@@ -13,11 +13,37 @@ import "sort"
 type WaitSet struct {
 	waiters  map[*Thread]bool // value: pending signal
 	ordering []*Thread        // registration order, for deterministic Signal
+	footLoc  int              // loc+1 for footprint attribution, 0 = unset
 }
 
 func (ws *WaitSet) init() {
 	if ws.waiters == nil {
 		ws.waiters = make(map[*Thread]bool)
+	}
+}
+
+// SetFootprintLoc attributes the wait set's operations to a shared-memory
+// location for partial-order reduction: two wait-set operations on the same
+// object never commute, so they must share a location in the window
+// footprints. Owners must call this from their constructor (never lazily:
+// location identifiers are only stable across the executions of one
+// exploration when they are allocated in deterministic construction order).
+// Operations on a wait set without a registered location poison their window
+// as conflicting with everything, which is sound but prunes nothing.
+func (ws *WaitSet) SetFootprintLoc(loc int) {
+	ws.footLoc = loc + 1
+}
+
+// touch records the wait-set mutation in the calling thread's current window
+// footprint.
+func (ws *WaitSet) touch(t *Thread) {
+	if t.sch.fo == nil {
+		return
+	}
+	if ws.footLoc > 0 {
+		t.sch.noteAccess(ws.footLoc-1, true)
+	} else {
+		t.sch.noteGlobal()
 	}
 }
 
@@ -27,6 +53,7 @@ func (ws *WaitSet) init() {
 // free of lost wakeups.
 func (ws *WaitSet) Register(t *Thread) {
 	ws.init()
+	ws.touch(t)
 	if _, ok := ws.waiters[t]; !ok {
 		ws.waiters[t] = false
 		ws.ordering = append(ws.ordering, t)
@@ -38,6 +65,7 @@ func (ws *WaitSet) Register(t *Thread) {
 // Threads that did not Register first are registered implicitly.
 func (ws *WaitSet) Wait(t *Thread) {
 	ws.init()
+	ws.touch(t)
 	if sig, ok := ws.waiters[t]; ok && sig {
 		ws.remove(t)
 		return
@@ -45,7 +73,9 @@ func (ws *WaitSet) Wait(t *Thread) {
 	ws.Register(t)
 	t.block()
 	// The scheduler resumed us because a signal arrived (Broadcast/Signal
-	// set the state back to runnable); deregister.
+	// set the state back to runnable); deregister. The consumption mutates
+	// the wait set inside the woken thread's window, so touch again.
+	ws.touch(t)
 	ws.remove(t)
 }
 
@@ -63,6 +93,7 @@ func (ws *WaitSet) remove(t *Thread) {
 // keep a pending signal so their Wait returns immediately.
 func (ws *WaitSet) Broadcast(t *Thread) {
 	ws.init()
+	ws.touch(t)
 	for w := range ws.waiters {
 		ws.waiters[w] = true
 		if w.getState() == stateBlocked {
@@ -77,6 +108,7 @@ func (ws *WaitSet) Broadcast(t *Thread) {
 // wakeup.
 func (ws *WaitSet) Signal(t *Thread) {
 	ws.init()
+	ws.touch(t)
 	for _, w := range ws.ordering {
 		if sig := ws.waiters[w]; !sig {
 			ws.waiters[w] = true

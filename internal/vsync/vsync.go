@@ -137,7 +137,9 @@ type Mutex struct {
 
 // NewMutex allocates a mutex.
 func NewMutex(t *sched.Thread, name string) *Mutex {
-	return &Mutex{loc: t.NewLoc(), name: name}
+	m := &Mutex{loc: t.NewLoc(), name: name}
+	m.ws.SetFootprintLoc(m.loc)
+	return m
 }
 
 // Lock acquires the mutex, blocking while it is held by another thread.
@@ -156,6 +158,10 @@ func (m *Mutex) Lock(t *sched.Thread) {
 func (m *Mutex) TryLock(t *sched.Thread) bool {
 	t.Point(sched.PointLock)
 	if m.holder != nil && m.holder != t {
+		// The failed attempt records nothing, but its result observed the
+		// holder; footprint the read so reduction never commutes it past an
+		// acquire or release.
+		t.Touch(m.loc, false)
 		return false
 	}
 	m.holder = t
@@ -180,8 +186,12 @@ func (m *Mutex) Unlock(t *sched.Thread) {
 }
 
 // Held reports whether the mutex is currently held by t. It is an assertion
-// helper, not a scheduling point.
-func (m *Mutex) Held(t *sched.Thread) bool { return m.holder == t }
+// helper, not a scheduling point; it still footprints the holder read so
+// that code branching on it is visible to partial-order reduction.
+func (m *Mutex) Held(t *sched.Thread) bool {
+	t.Touch(m.loc, false)
+	return m.holder == t
+}
 
 // Cond is a condition variable associated with a Mutex, with Mesa semantics
 // (Wait can wake spuriously; callers re-check their condition in a loop).
@@ -190,8 +200,15 @@ type Cond struct {
 	ws sched.WaitSet
 }
 
-// NewCond allocates a condition variable for m.
-func NewCond(m *Mutex) *Cond { return &Cond{m: m} }
+// NewCond allocates a condition variable for m. Its wait set shares the
+// mutex's footprint location: condition-variable operations synchronize with
+// lock transfers on m, so attributing both to one location keeps their
+// conflicts visible to partial-order reduction without a second location.
+func NewCond(m *Mutex) *Cond {
+	c := &Cond{m: m}
+	c.ws.SetFootprintLoc(m.loc)
+	return c
+}
 
 // Wait atomically registers the thread, releases the mutex, parks until a
 // signal, and reacquires the mutex before returning. The register-first

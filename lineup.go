@@ -62,6 +62,10 @@ type (
 	RandomCheckpoint = core.RandomCheckpoint
 	// TestCheckpoint is the per-test record inside a RandomCheckpoint.
 	TestCheckpoint = core.TestCheckpoint
+	// Reduction selects the partial-order reduction strategy of
+	// Options.Reduction; verdicts and violations are bit-identical with
+	// reduction on and off, only the schedule counts drop.
+	Reduction = sched.Reduction
 )
 
 // Failure kinds for RuntimeFailure.Kind and Outcome classification.
@@ -104,6 +108,18 @@ const (
 	// NoPreemptions allows only voluntary context switches.
 	NoPreemptions = core.NoPreemptions
 )
+
+// Reduction strategies for Options.Reduction.
+const (
+	// ReductionNone explores the full preemption-bounded schedule tree.
+	ReductionNone = sched.ReductionNone
+	// ReductionSleep prunes redundant interleavings with sleep sets.
+	ReductionSleep = sched.ReductionSleep
+)
+
+// ParseReduction parses the CLI spelling ("none" or "sleep") of a reduction
+// strategy.
+func ParseReduction(s string) (Reduction, error) { return sched.ParseReduction(s) }
 
 // Check runs the two-phase Check(X, m) of Fig. 5 on one test.
 func Check(sub *Subject, m *Test, opts Options) (*Result, error) {

@@ -76,6 +76,41 @@ func TestFacadeCheck(t *testing.T) {
 	}
 }
 
+// TestFacadeReduction exercises Options.Reduction through the public API:
+// the sleep-set-reduced check must return the identical verdict and
+// violation while exploring no more schedules than the full one.
+func TestFacadeReduction(t *testing.T) {
+	if r, err := lineup.ParseReduction("sleep"); err != nil || r != lineup.ReductionSleep {
+		t.Fatalf("ParseReduction(sleep) = %v, %v", r, err)
+	}
+	bad := registerSubject(true)
+	add, get := bad.Ops[2], bad.Ops[1]
+	m := &lineup.Test{Rows: [][]lineup.Op{{add, get}, {add}}}
+	full, err := lineup.Check(bad, m, lineup.Options{ExhaustPhase2: true})
+	if err != nil {
+		t.Fatalf("full check: %v", err)
+	}
+	reduced, err := lineup.Check(bad, m, lineup.Options{
+		ExhaustPhase2: true, Reduction: lineup.ReductionSleep,
+	})
+	if err != nil {
+		t.Fatalf("reduced check: %v", err)
+	}
+	if full.Verdict != reduced.Verdict {
+		t.Fatalf("reduction changed the verdict: %v vs %v", full.Verdict, reduced.Verdict)
+	}
+	if full.Violation.String() != reduced.Violation.String() {
+		t.Fatalf("reduction changed the violation:\n%v\nvs\n%v", full.Violation, reduced.Violation)
+	}
+	if reduced.Phase2.Executions > full.Phase2.Executions {
+		t.Fatalf("reduced run explored more schedules (%d) than full (%d)",
+			reduced.Phase2.Executions, full.Phase2.Executions)
+	}
+	if reduced.Phase2.Pruned == 0 {
+		t.Fatal("reduced run pruned nothing")
+	}
+}
+
 // TestFacadeAutoCheckAndShrink exercises AutoCheck and Shrink through the
 // facade.
 func TestFacadeAutoCheckAndShrink(t *testing.T) {
