@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check check-race build vet test race bench bench-reduction fuzz clean
+.PHONY: check check-race build vet test race bench bench-reduction bench-telemetry fuzz clean
 
 check: build vet test fuzz
 
@@ -34,7 +34,11 @@ fuzz:
 check-race:
 	$(GO) test -race -timeout=60m ./...
 
-bench:
+# `make check` (via the test target) also runs the telemetry-overhead smoke
+# benchmark (TestTelemetryOverheadBaseline in its quick mode): a
+# milliseconds-scale off-vs-on pair that proves the instrumentation
+# machinery and the observe-only contract on every tier-1 run.
+bench: bench-telemetry
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
 # Regenerate the kind=="reduction" rows of BENCH_lineup.json: the full
@@ -44,6 +48,13 @@ bench:
 # on every `make check` via `go test ./...`.
 bench-reduction:
 	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestReductionBaseline -v -timeout=30m ./internal/bench
+
+# Regenerate the kind=="telemetry" rows of BENCH_lineup.json: telemetry
+# off-vs-on wall times of the -scale workload (~80k schedules) at 1 and 4
+# workers, best-of-3, gated at the acceptance overhead ceiling. Fails
+# without writing if enabling the collector changes any verdict or count.
+bench-telemetry:
+	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestTelemetryOverheadBaseline -v -timeout=30m ./internal/bench
 
 clean:
 	$(GO) clean ./...

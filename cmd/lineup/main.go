@@ -16,7 +16,6 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"lineup/internal/bench"
@@ -218,6 +217,7 @@ func cmdTable2(args []string) error {
 	maxFailures := fs.Int("max-failures", 0, "contain up to N failed executions per check instead of aborting (0 = strict)")
 	reductionSpec := fs.String("reduction", "none", "partial-order reduction for phase 2: none or sleep")
 	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
+	tflags := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -225,12 +225,51 @@ func cmdTable2(args []string) error {
 	if err != nil {
 		return err
 	}
-	table, err := bench.RunTable2(bench.Table2Options{
+	tr, err := tflags.start("table2")
+	if err != nil {
+		return err
+	}
+	opts := bench.Table2Options{
 		Samples: *samples, Rows: *rows, Cols: *cols, Seed: *seed,
 		Workers: *workers, ExploreWorkers: *exploreWorkers, IncludePre: *pre,
 		Watchdog: *watchdog, MaxFailures: *maxFailures, Reduction: reduction,
-	}, func(class string) { fmt.Fprintf(os.Stderr, "checking %s...\n", class) })
-	if err != nil {
+		Telemetry: tr.C,
+	}
+	report := func(class string) { fmt.Fprintf(os.Stderr, "checking %s...\n", class) }
+	if tr.Prog != nil {
+		// One unit per class; the extra slot tracks the class in flight and
+		// its per-test counts. report runs between classes and Tick between
+		// tests of one class, so the current-class variable is never written
+		// concurrently with a read.
+		classes := 0
+		for _, e := range bench.Registry() {
+			classes++
+			if *pre && e.Pre != nil {
+				classes++
+			}
+		}
+		tr.Prog.SetTotal(classes)
+		started := 0
+		current := ""
+		report = func(class string) {
+			if started > 0 {
+				tr.Prog.Step(1)
+			}
+			started++
+			current = class
+			tr.Prog.SetExtra(class)
+			tr.Prog.Tick()
+		}
+		opts.Tick = func(done, total int) {
+			tr.Prog.SetExtra(fmt.Sprintf("%s %d/%d tests", current, done, total))
+			tr.Prog.Tick()
+		}
+	}
+	table, err := bench.RunTable2(opts, report)
+	if err == nil && tr.Prog != nil {
+		tr.Prog.Step(1) // the last class has no successor to step it
+	}
+	if err = tr.finishAfter(err); err != nil {
 		return err
 	}
 	bench.WriteTable2(os.Stdout, table)
@@ -283,7 +322,6 @@ func cmdCheck(args []string) error {
 	bound := fs.Int("pb", 0, "preemption bound (0 = class default)")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (one test per worker)")
 	exploreWorkers := fs.Int("explore-workers", 1, "shard each check's phase-2 exploration across this many workers")
-	progress := fs.Bool("progress", false, "print per-shard progress counters (with -explore-workers > 1)")
 	shrink := fs.Bool("shrink", true, "minimize the first failing test")
 	watchdog := fs.Duration("watchdog", 0, "abandon executions making no scheduler progress for this long (0 = off)")
 	maxFailures := fs.Int("max-failures", 0, "contain up to N failed executions (panic/hang/leak) per test instead of aborting (0 = strict)")
@@ -291,6 +329,7 @@ func cmdCheck(args []string) error {
 	reductionSpec := fs.String("reduction", "none", "partial-order reduction for phase 2: none or sleep")
 	checkpointFile := fs.String("checkpoint", "", "save progress to FILE (atomically) after every completed test")
 	resumeFile := fs.String("resume", "", "resume from a checkpoint FILE written by a previous -checkpoint run")
+	tflags := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -306,6 +345,10 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
+	tr, err := tflags.start("check " + sub.Name)
+	if err != nil {
+		return err
+	}
 	copts := core.Options{
 		PreemptionBound: pb,
 		Workers:         *exploreWorkers,
@@ -313,14 +356,19 @@ func cmdCheck(args []string) error {
 		MaxFailures:     *maxFailures,
 		DetectLeaks:     *detectLeaks,
 		Reduction:       reduction,
+		Telemetry:       tr.C,
 	}
-	if *progress && *exploreWorkers > 1 {
-		copts.ShardProgress = shardProgressPrinter(os.Stderr)
+	if *exploreWorkers > 1 {
+		copts.ShardProgress = tr.shardProgress()
 	}
 	ropts := core.RandomOptions{
 		Rows: *rows, Cols: *cols, Samples: *samples, Seed: *seed,
 		Workers: *workers,
 		Options: copts,
+	}
+	if tr.Prog != nil {
+		tr.Prog.SetTotal(*samples)
+		ropts.Progress = func(done, total int) { tr.Prog.SetUnits(done, total) }
 	}
 	if *resumeFile != "" {
 		cp, err := core.LoadRandomCheckpoint(*resumeFile)
@@ -337,7 +385,7 @@ func cmdCheck(args []string) error {
 		}
 	}
 	sum, err := core.RandomCheck(sub, nil, ropts)
-	if err != nil {
+	if err = tr.finishAfter(err); err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d passed, %d failed (of %d sampled %dx%d tests, PB=%d)\n",
@@ -586,30 +634,6 @@ func cmdCompare(args []string) error {
 	return nil
 }
 
-// shardProgressPrinter returns a core.Options.ShardProgress callback that
-// keeps a single status line on w up to date, throttled so tight exploration
-// loops do not drown the terminal. Safe for concurrent snapshots.
-func shardProgressPrinter(w io.Writer) func(sched.ShardProgress) {
-	var (
-		mu   sync.Mutex
-		last time.Time
-	)
-	return func(p sched.ShardProgress) {
-		mu.Lock()
-		defer mu.Unlock()
-		now := time.Now()
-		if now.Sub(last) < 100*time.Millisecond && p.Done != p.Shards {
-			return
-		}
-		last = now
-		fmt.Fprintf(w, "\rshards %d/%d (%d splits), %d executions ",
-			p.Done, p.Shards, p.Splits, p.Executions)
-		if p.Done == p.Shards {
-			fmt.Fprintln(w)
-		}
-	}
-}
-
 // parseWorkerList parses the comma-separated -workers argument of the
 // parallel subcommand.
 func parseWorkerList(s string) ([]int, error) {
@@ -638,10 +662,10 @@ func cmdParallel(args []string) error {
 	fs := flag.NewFlagSet("parallel", flag.ExitOnError)
 	workers := fs.String("workers", "1,2,4,8", "comma-separated worker counts (1 = sequential baseline)")
 	repeat := fs.Int("repeat", 3, "measurements per configuration (best wall time wins)")
-	progress := fs.Bool("progress", false, "print per-subject progress to stderr")
 	scale := fs.Bool("scale", false, "add the larger three-thread scalability workload (seconds, not ms)")
 	reductionSpec := fs.String("reduction", "none", "partial-order reduction for the measured explorations: none or sleep")
 	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
+	tflags := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -653,14 +677,23 @@ func cmdParallel(args []string) error {
 	if err != nil {
 		return err
 	}
+	tr, err := tflags.start("parallel")
+	if err != nil {
+		return err
+	}
 	var report func(string)
-	if *progress {
-		report = func(s string) { fmt.Fprintf(os.Stderr, "exploring %s...\n", s) }
+	if tr.Prog != nil {
+		report = func(s string) {
+			tr.Prog.Step(1)
+			tr.Prog.SetExtra(s)
+			tr.Prog.Tick()
+		}
 	}
 	rows, err := bench.RunParallel(bench.ParallelOptions{
 		Workers: ws, Repeat: *repeat, Scale: *scale, Reduction: reduction,
+		Telemetry: tr.C,
 	}, report)
-	if err != nil {
+	if err = tr.finishAfter(err); err != nil {
 		return err
 	}
 	bench.WriteParallel(os.Stdout, rows)
@@ -680,8 +713,8 @@ func cmdReduction(args []string) error {
 	fs := flag.NewFlagSet("reduction", flag.ExitOnError)
 	causesSpec := fs.String("causes", "", "comma-separated cause labels to measure (default: all, e.g. A,B',F)")
 	skipUnbounded := fs.Bool("skip-unbounded", false, "measure only under each case's preemption bound")
-	progress := fs.Bool("progress", false, "print per-case progress to stderr")
 	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
+	tflags := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -691,12 +724,21 @@ func cmdReduction(args []string) error {
 			opts.Causes = append(opts.Causes, bench.Cause(f))
 		}
 	}
+	tr, err := tflags.start("reduction")
+	if err != nil {
+		return err
+	}
+	opts.Telemetry = tr.C
 	var report func(string)
-	if *progress {
-		report = func(s string) { fmt.Fprintf(os.Stderr, "measuring %s...\n", s) }
+	if tr.Prog != nil {
+		report = func(s string) {
+			tr.Prog.Step(1)
+			tr.Prog.SetExtra(s)
+			tr.Prog.Tick()
+		}
 	}
 	rows, err := bench.RunReduction(opts, report)
-	if err != nil {
+	if err = tr.finishAfter(err); err != nil {
 		return err
 	}
 	bench.WriteReduction(os.Stdout, rows)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lineup/internal/core"
+	"lineup/internal/telemetry"
 )
 
 // buildLineup compiles the CLI binary once per test into a temp dir, so the
@@ -109,12 +110,29 @@ func testKillResume(t *testing.T, bin, reduction string) {
 				t.Fatalf("victim finished all %d tests before the kill; fixture too fast", cp.Samples)
 			}
 
-			resumed, err := exec.Command(bin, args("-workers", workers, "-resume", ck, "-checkpoint", ck)...).Output()
+			// The resumed run also writes a telemetry event trace: both the
+			// checkpoint and the trace go through obsfile.AtomicWriteFile, so
+			// this doubles as the CLI-level check that the fsync-hardened
+			// atomic write path produces complete, parseable files.
+			traceOut := filepath.Join(t.TempDir(), "trace.jsonl")
+			resumed, err := exec.Command(bin, args("-workers", workers, "-resume", ck, "-checkpoint", ck, "-trace-out", traceOut)...).Output()
 			if err != nil {
 				t.Fatalf("resumed run: %v", err)
 			}
 			if got := deterministicLines(string(resumed)); got != want {
 				t.Errorf("resumed report differs from uninterrupted run:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s", got, want)
+			}
+			tf, err := os.Open(traceOut)
+			if err != nil {
+				t.Fatalf("telemetry trace not written: %v", err)
+			}
+			events, err := telemetry.ReadTraceEvents(tf)
+			tf.Close()
+			if err != nil {
+				t.Fatalf("telemetry trace unparseable: %v", err)
+			}
+			if len(events) == 0 || events[len(events)-1].Kind != "final" {
+				t.Errorf("telemetry trace incomplete: %d events", len(events))
 			}
 			final, err := core.LoadRandomCheckpoint(ck)
 			if err != nil {

@@ -14,7 +14,7 @@ const JSONFile = "BENCH_lineup.json"
 // (schedules explored, histories checked) and how long it took, per class.
 // Fields that do not apply to a record kind are omitted.
 type JSONRow struct {
-	Kind      string  `json:"kind"`            // "table2", "compare", "parallel" or "reduction"
+	Kind      string  `json:"kind"`            // "table2", "compare", "parallel", "reduction" or "telemetry"
 	Class     string  `json:"class"`           // subject name
 	Cause     string  `json:"cause,omitempty"` // reduction: directed cause label
 	Tests     int     `json:"tests,omitempty"` // random tests sampled
@@ -33,7 +33,10 @@ type JSONRow struct {
 	// cache answered without re-deciding witness existence.
 	ReductionRatio float64 `json:"reduction_ratio,omitempty"`
 	DedupHits      int     `json:"dedup_hits,omitempty"`
-	WallMS         float64 `json:"wall_ms"`
+	// OverheadPct is the telemetry rows' wall-time cost of enabling the
+	// collector, in percent of the uninstrumented run.
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+	WallMS      float64 `json:"wall_ms"`
 }
 
 // Table2JSON converts Table 2 rows to JSON records.

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lineup/internal/core"
+	"lineup/internal/telemetry"
+)
+
+// TelemetryOverheadRow is one telemetry off-vs-on wall-time pair: the same
+// exhaustive check run with Options.Telemetry nil and with a live collector,
+// best-of-Repeat each, interleaved so thermal and scheduler drift hit both
+// sides equally.
+type TelemetryOverheadRow struct {
+	Class      string
+	Bound      int
+	Workers    int
+	Executions int // phase-1 + phase-2 schedules, identical off and on
+	Verdict    string
+	WallOff    time.Duration
+	WallOn     time.Duration
+	// OverheadPct is (WallOn - WallOff) / WallOff in percent; negative values
+	// mean the instrumented run won the coin flip, i.e. the true overhead is
+	// below the noise floor.
+	OverheadPct float64
+}
+
+// TelemetryOverheadOptions parameterizes RunTelemetryOverhead.
+type TelemetryOverheadOptions struct {
+	// Workers lists the explorer worker counts to measure (default 1).
+	Workers []int
+	// Repeat measures each side this many times and keeps the best wall time
+	// (default 3). The exploration is deterministic, so repeats only shed
+	// scheduler noise.
+	Repeat int
+	// Scale measures the scalability workload (the Fig. 9 scenario with a
+	// second waiter at bound 3, ~80k schedules) instead of the default Fig. 9
+	// smoke case. The smoke case finishes in milliseconds, where wall-clock
+	// noise dwarfs any real overhead; the scaled class is the one the
+	// committed overhead numbers are measured on.
+	Scale bool
+}
+
+func (o TelemetryOverheadOptions) withDefaults() TelemetryOverheadOptions {
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1}
+	}
+	if o.Repeat <= 0 {
+		o.Repeat = 3
+	}
+	return o
+}
+
+// RunTelemetryOverhead measures the wall-clock cost of enabling telemetry on
+// an exhaustive directed check. Every measured pair must agree on verdict and
+// executions (the observe-only contract); a divergence is an error, not a
+// row. One row is produced per worker count.
+func RunTelemetryOverhead(opts TelemetryOverheadOptions, progress func(string)) ([]TelemetryOverheadRow, error) {
+	opts = opts.withDefaults()
+	var c CauseCase
+	if opts.Scale {
+		c = scaleCase()
+	} else {
+		found := false
+		for _, cc := range CauseCases() {
+			if cc.Cause == CauseA {
+				c, found = cc, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("bench: no cause-A case in the registry")
+		}
+	}
+	var rows []TelemetryOverheadRow
+	for _, w := range opts.Workers {
+		if progress != nil {
+			progress(fmt.Sprintf("%s workers=%d", c.Subject.Name, w))
+		}
+		check := func(col *telemetry.Collector) (*core.Result, time.Duration, error) {
+			start := time.Now()
+			r, err := core.Check(c.Subject, c.Test, core.Options{
+				PreemptionBound: c.Bound,
+				ExhaustPhase2:   true,
+				Workers:         w,
+				Telemetry:       col,
+			})
+			return r, time.Since(start), err
+		}
+		row := TelemetryOverheadRow{Class: c.Subject.Name, Bound: c.Bound, Workers: w}
+		for i := 0; i < opts.Repeat; i++ {
+			off, dOff, err := check(nil)
+			if err != nil {
+				return nil, err
+			}
+			col := telemetry.New()
+			on, dOn, err := check(col)
+			if err != nil {
+				return nil, err
+			}
+			offExecs := off.Phase1.Executions + off.Phase2.Executions
+			onExecs := on.Phase1.Executions + on.Phase2.Executions
+			if off.Verdict != on.Verdict || offExecs != onExecs {
+				return nil, fmt.Errorf("bench: telemetry changed the %s check: %v/%d executions vs %v/%d",
+					c.Subject.Name, off.Verdict, offExecs, on.Verdict, onExecs)
+			}
+			if col.Snapshot().ExecutionsDone == 0 {
+				return nil, fmt.Errorf("bench: collector observed no executions on %s", c.Subject.Name)
+			}
+			if i == 0 || dOff < row.WallOff {
+				row.WallOff = dOff
+			}
+			if i == 0 || dOn < row.WallOn {
+				row.WallOn = dOn
+			}
+			row.Executions = offExecs
+			row.Verdict = off.Verdict.String()
+		}
+		row.OverheadPct = 100 * (float64(row.WallOn) - float64(row.WallOff)) / float64(row.WallOff)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TelemetryJSON converts telemetry-overhead rows to JSON records
+// (kind "telemetry"); WallMS records the instrumented run.
+func TelemetryJSON(rows []TelemetryOverheadRow) []JSONRow {
+	out := make([]JSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, JSONRow{
+			Kind:        "telemetry",
+			Class:       r.Class,
+			PB:          r.Bound,
+			Workers:     r.Workers,
+			Schedules:   r.Executions,
+			Verdict:     r.Verdict,
+			OverheadPct: r.OverheadPct,
+			WallMS:      float64(r.WallOn) / float64(time.Millisecond),
+		})
+	}
+	return out
+}

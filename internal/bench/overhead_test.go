@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func telemetryKey(r JSONRow) string {
+	return fmt.Sprintf("%s|%d|%d", r.Class, r.PB, r.Workers)
+}
+
+// TestTelemetryOverheadBaseline is the telemetry-overhead gate. The smoke
+// mode (every `make check`) measures the millisecond-scale Fig. 9 case and
+// only checks the machinery — rows produced, off/on runs bit-identical, a
+// collector that actually observed the run — because wall-clock noise on a
+// run that short dwarfs any real overhead. With LINEUP_BENCH_FULL=1 (the
+// `make bench-telemetry` entry point) it measures the -scale workload
+// (~80k schedules) at 1 and 4 workers and enforces the acceptance ceiling:
+// at most 2% overhead, plus headroom for measurement noise. With
+// LINEUP_UPDATE_BENCH=1 the measured rows are merged into BENCH_lineup.json.
+func TestTelemetryOverheadBaseline(t *testing.T) {
+	opts := TelemetryOverheadOptions{Workers: []int{1}, Repeat: 2}
+	full := os.Getenv("LINEUP_BENCH_FULL") == "1"
+	if full {
+		opts = TelemetryOverheadOptions{Workers: []int{1, 4}, Repeat: 3, Scale: true}
+	}
+	rows, err := RunTelemetryOverhead(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(opts.Workers) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(opts.Workers))
+	}
+	// The acceptance bar is 2%; best-of-N wall times on a seconds-scale run
+	// still jitter by a few percent on a loaded machine, so the hard gate
+	// adds noise headroom. The committed BENCH_lineup.json rows record the
+	// actual measured value.
+	const gate = 5.0
+	for _, r := range rows {
+		t.Logf("%s PB=%d workers=%d: off=%v on=%v overhead=%+.2f%% (%d executions, %s)",
+			r.Class, r.Bound, r.Workers, r.WallOff, r.WallOn, r.OverheadPct, r.Executions, r.Verdict)
+		if r.Executions == 0 {
+			t.Errorf("%s workers=%d: no executions measured", r.Class, r.Workers)
+		}
+		if full && r.OverheadPct > gate {
+			t.Errorf("%s workers=%d: telemetry overhead %.2f%% exceeds the %.0f%% gate",
+				r.Class, r.Workers, r.OverheadPct, gate)
+		}
+	}
+	if t.Failed() || !full || os.Getenv("LINEUP_UPDATE_BENCH") != "1" {
+		return
+	}
+	path := filepath.Join(moduleRoot(), JSONFile)
+	var all []JSONRow
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			t.Fatalf("committed %s is not valid JSON: %v", path, err)
+		}
+	}
+	fresh := TelemetryJSON(rows)
+	measured := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		measured[telemetryKey(r)] = true
+	}
+	var merged []JSONRow
+	for _, r := range all {
+		if r.Kind == "telemetry" && measured[telemetryKey(r)] {
+			continue
+		}
+		merged = append(merged, r)
+	}
+	merged = append(merged, fresh...)
+	if err := WriteJSONRows(path, merged); err != nil {
+		t.Fatalf("updating %s: %v", path, err)
+	}
+	t.Logf("updated %s with %d telemetry rows", path, len(fresh))
+}
+
+// TestTelemetryJSONFields pins the machine-readable schema of the telemetry
+// overhead rows.
+func TestTelemetryJSONFields(t *testing.T) {
+	rows := []TelemetryOverheadRow{{
+		Class: "ManualResetEvent(Pre) 3x", Bound: 3, Workers: 4,
+		Executions: 80000, Verdict: "FAIL",
+		WallOff: 1000000000, WallOn: 1010000000, OverheadPct: 1,
+	}}
+	js := TelemetryJSON(rows)
+	if len(js) != 1 {
+		t.Fatalf("got %d rows", len(js))
+	}
+	r := js[0]
+	if r.Kind != "telemetry" || r.PB != 3 || r.Workers != 4 ||
+		r.Schedules != 80000 || r.Verdict != "FAIL" || r.OverheadPct != 1 ||
+		r.WallMS != 1010 {
+		t.Fatalf("bad telemetry JSON row: %+v", r)
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"overhead_pct", "workers", "preemption_bound", "wall_ms"} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("serialized row missing %q: %s", field, data)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"lineup/internal/core"
 	"lineup/internal/sched"
+	"lineup/internal/telemetry"
 )
 
 // ParallelRow is one sequential-vs-parallel measurement: the same exhaustive
@@ -50,6 +51,11 @@ type ParallelOptions struct {
 	// Reduction applies the sleep-set partial-order reduction to every
 	// measured exploration (identical verdicts, fewer schedules).
 	Reduction sched.Reduction
+	// Telemetry, when non-nil, is shared by every measured exploration
+	// (core.Options.Telemetry). Note that counters then include every repeat
+	// and worker count, so the collector reflects the whole benchmark run,
+	// not one configuration.
+	Telemetry *telemetry.Collector
 }
 
 func (o ParallelOptions) withDefaults() ParallelOptions {
@@ -137,6 +143,7 @@ func RunParallel(opts ParallelOptions, progress func(string)) ([]ParallelRow, er
 					ExhaustPhase2:   true,
 					Workers:         w,
 					Reduction:       opts.Reduction,
+					Telemetry:       opts.Telemetry,
 				}
 				var res *core.Result
 				best := time.Duration(0)

@@ -8,6 +8,7 @@ import (
 
 	"lineup/internal/core"
 	"lineup/internal/sched"
+	"lineup/internal/telemetry"
 )
 
 // ReductionRow is one full-vs-reduced measurement: the same exhaustive
@@ -47,6 +48,10 @@ type ReductionOptions struct {
 	// where the reduction is strongest but the unreduced baseline explores
 	// orders of magnitude more schedules).
 	SkipUnbounded bool
+	// Telemetry, when non-nil, is shared by every measured check
+	// (core.Options.Telemetry); counters accumulate across the full and
+	// reduced runs of every case.
+	Telemetry *telemetry.Collector
 }
 
 func (o ReductionOptions) wants(c Cause) bool {
@@ -88,6 +93,7 @@ func RunReduction(opts ReductionOptions, progress func(string)) ([]ReductionRow,
 		base := core.Options{
 			PreemptionBound: bound,
 			ExhaustPhase2:   true,
+			Telemetry:       opts.Telemetry,
 		}
 		reduced := base
 		reduced.Reduction = sched.ReductionSleep

@@ -12,6 +12,7 @@ import (
 
 	"lineup/internal/core"
 	"lineup/internal/sched"
+	"lineup/internal/telemetry"
 )
 
 // moduleRoot locates the repository root (for Table 1 line counting) from
@@ -142,6 +143,13 @@ type Table2Options struct {
 	// phase-2 exploration of the sweep (core.Options.Reduction). Verdicts
 	// and violations are identical; the schedule counts drop.
 	Reduction sched.Reduction
+	// Telemetry, when non-nil, is shared by every check of the sweep
+	// (core.Options.Telemetry); counters accumulate across classes.
+	Telemetry *telemetry.Collector
+	// Tick, when non-nil, is called after every completed test with the
+	// per-class progress (done and total tests of the class currently
+	// running). It is invoked under an internal lock and must return quickly.
+	Tick func(done, total int)
 }
 
 func (o Table2Options) withDefaults() Table2Options {
@@ -187,12 +195,14 @@ func RunTable2(opts Table2Options, progress func(string)) ([]Table2Row, error) {
 		sum, err := core.RandomCheck(sub, nil, core.RandomOptions{
 			Rows: opts.Rows, Cols: opts.Cols, Samples: opts.Samples,
 			Seed: opts.Seed, Workers: opts.Workers,
+			Progress: opts.Tick,
 			Options: core.Options{
 				PreemptionBound: bound,
 				Workers:         opts.ExploreWorkers,
 				Watchdog:        opts.Watchdog,
 				MaxFailures:     opts.MaxFailures,
 				Reduction:       opts.Reduction,
+				Telemetry:       opts.Telemetry,
 			},
 		})
 		if err != nil {

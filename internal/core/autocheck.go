@@ -134,6 +134,11 @@ type RandomOptions struct {
 	Workers int
 	// StopAtFirstFailure ends the run at the first failing test.
 	StopAtFirstFailure bool
+	// Progress, when non-nil, is called after every completed test with the
+	// number of tests finished so far (including any restored from a resumed
+	// checkpoint) and the total sample size. Calls are serialized; the hook
+	// must return quickly and must not call back into the checker.
+	Progress func(done, total int)
 	// Init and Final are fixed initial/final invocation sequences attached
 	// to every sampled test (Section 4.3).
 	Init, Final []Op
@@ -226,6 +231,7 @@ func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummar
 		Reduction: opts.Reduction.String(),
 	}
 	done := make([]bool, samples)
+	completed := 0
 	if opts.Resume != nil {
 		if err := opts.Resume.validate(sub.Name, opts.Seed, rows, cols, samples, opts.bound(), opts.Reduction.String()); err != nil {
 			return nil, err
@@ -235,15 +241,23 @@ func RandomCheck(sub *Subject, universe []Op, opts RandomOptions) (*RandomSummar
 				continue
 			}
 			done[t.Index] = true
+			completed++
 			sum.Results[t.Index] = t.restore(sub, tests[t.Index])
 			cp.Tests = append(cp.Tests, t)
 		}
+	}
+	if opts.Progress != nil && completed > 0 {
+		opts.Progress(completed, samples)
 	}
 	// finish records a completed test under the caller's lock and forwards
 	// the checkpoint; its error aborts the run like a check error.
 	finish := func(k int, r *Result) error {
 		sum.Results[k] = r
 		done[k] = true
+		completed++
+		if opts.Progress != nil {
+			opts.Progress(completed, samples)
+		}
 		if opts.Checkpoint == nil {
 			return nil
 		}

@@ -8,6 +8,7 @@ import (
 	"lineup/internal/history"
 	"lineup/internal/monitor"
 	"lineup/internal/sched"
+	"lineup/internal/telemetry"
 )
 
 // Preemption-bound sentinels for Options.PreemptionBound.
@@ -106,6 +107,13 @@ type Options struct {
 	// Phase 1 is always strict: serial executions run deterministic subject
 	// code whose failures are not schedule-dependent.
 	MaxFailures int
+	// Telemetry, when non-nil, collects counters and phase wall-clock spans
+	// from both phases, the explorer, and the witness backend (see package
+	// telemetry). It is observe-only: every value reported in Result and
+	// PhaseStats is computed from the deterministic explorer statistics,
+	// never read back from the collector, so enabling telemetry cannot
+	// change a verdict. One collector may be shared across tests and phases.
+	Telemetry *telemetry.Collector
 }
 
 // schedConfig assembles the per-execution scheduler configuration the

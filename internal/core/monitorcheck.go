@@ -5,6 +5,7 @@ import (
 
 	"lineup/internal/history"
 	"lineup/internal/monitor"
+	"lineup/internal/telemetry"
 )
 
 // WitnessSearch selects phase 2's witness decision backend.
@@ -39,7 +40,7 @@ func (o Options) witnessBackend(spec *history.Spec) (witnessBackend, error) {
 		if o.MonitorModel == nil {
 			return nil, errors.New("core: WitnessSearch == WitnessMonitor requires Options.MonitorModel")
 		}
-		return monitorBackend{model: o.MonitorModel}, nil
+		return monitorBackend{model: o.MonitorModel, tel: o.Telemetry}, nil
 	}
 	if spec == nil {
 		return nil, errors.New("core: the specification backend requires a synthesized spec")
@@ -68,10 +69,13 @@ func (b specBackend) witnessStuck(h *history.History, e history.Op) (bool, error
 
 // monitorBackend decides witness existence with the monitor's memoized
 // Wing–Gong search against an executable model.
-type monitorBackend struct{ model *monitor.Model }
+type monitorBackend struct {
+	model *monitor.Model
+	tel   *telemetry.Collector
+}
 
 func (b monitorBackend) check(h *history.History, mode monitor.Mode) (bool, error) {
-	out, err := monitor.Check(b.model, h, monitor.Options{Mode: mode})
+	out, err := monitor.Check(b.model, h, monitor.Options{Mode: mode, Telemetry: b.tel})
 	if err != nil {
 		return false, err
 	}

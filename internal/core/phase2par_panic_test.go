@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lineup/internal/history"
+	"lineup/internal/monitor"
+	"lineup/internal/sched"
+)
+
+// panicBackend is a witness backend that dies on every query, modeling a
+// buggy executable specification. The parallel phase-2 driver must convert
+// the panic into a per-entry error and still close the entry's done channel;
+// a waiter blocked on an entry whose decider died would otherwise hang its
+// worker — and ExploreParallel's final join — forever.
+type panicBackend struct{}
+
+func (panicBackend) witnessFull(*history.History) (bool, error) {
+	panic("witness backend exploded")
+}
+func (panicBackend) witnessClassic(*history.History) (bool, error) {
+	panic("witness backend exploded")
+}
+func (panicBackend) witnessStuck(*history.History, history.Op) (bool, error) {
+	panic("witness backend exploded")
+}
+
+// noopOp is an instrumented invocation with no shared state: every schedule
+// of a noop test collapses to few distinct histories, so many parallel
+// visitors pile onto the same cache entries — exactly the contention the
+// done-channel protocol must survive.
+func noopOp(name string) Op {
+	return Op{Method: name, Run: func(t *sched.Thread, o any) string { return "ok" }}
+}
+
+// TestParallelWitnessPanicDoesNotHangWaiters is the regression test for the
+// histEntry.done liveness bug: a deciding worker that panicked between
+// creating the channel and closing it left every concurrent visitor of the
+// same history key blocked forever. Run under -race, the test drives the
+// parallel phase-2 driver with a panicking backend and requires a prompt,
+// structured error instead of a hang.
+func TestParallelWitnessPanicDoesNotHangWaiters(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	sub := &Subject{
+		Name: "noopbox",
+		New:  func(t *sched.Thread) any { return struct{}{} },
+	}
+	m := &Test{Rows: [][]Op{
+		{noopOp("A"), noopOp("B")},
+		{noopOp("C"), noopOp("D")},
+	}}
+	d := &phase2Decider{backend: panicBackend{}, mode: modeGeneralized, m: m}
+	par := &phase2Par{
+		d:        d,
+		failures: newFailureCollector(0),
+		cache:    newHistCache(),
+		firstPos: make(map[*histEntry]sched.Pos),
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, exploreErr := sched.ExploreParallel(sched.ExploreConfig{
+			PreemptionBound: 2,
+			MaxExecutions:   200000,
+		}, sched.ParallelConfig{Workers: 4}, func() sched.Program {
+			var holder any
+			return program(sub, m, &holder)
+		}, par.visit)
+		if exploreErr != nil && exploreErr != sched.ErrBudget {
+			errCh <- exploreErr
+			return
+		}
+		_, _, verr := par.resolve()
+		errCh <- verr
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "witness decision panicked") {
+			t.Fatalf("want a witness-panic error, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("parallel phase 2 hung after a panicking witness decision")
+	}
+}
+
+// TestCheckWithPanickingMonitorModelReturnsError covers the same liveness
+// property end to end: a monitor model that panics during replay must surface
+// as a check error on every worker count, never as a hang or a process crash
+// (the monitor runs multi-part searches on raw goroutines, where an
+// unrecovered panic would kill the process before any result is delivered).
+func TestCheckWithPanickingMonitorModelReturnsError(t *testing.T) {
+	model := &monitor.Model{
+		Name: "explosive",
+		Init: func() any { return 0 },
+		Step: func(state any, op string) (string, any, error) {
+			panic("model exploded")
+		},
+		Fingerprint: func(state any) string { return "s" },
+	}
+	sub := &Subject{
+		Name: "noopbox",
+		New:  func(t *sched.Thread) any { return struct{}{} },
+	}
+	m := &Test{Rows: [][]Op{
+		{noopOp("A")},
+		{noopOp("B")},
+	}}
+	for _, workers := range []int{1, 4} {
+		done := make(chan error, 1)
+		go func() {
+			_, err := CheckWithMonitor(sub, model, m, RefOptions{Options: Options{
+				PreemptionBound: 2,
+				Workers:         workers,
+			}})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Fatalf("workers=%d: want a model-panic error, got %v", workers, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: check hung on a panicking model", workers)
+		}
+	}
+}

@@ -1,12 +1,25 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"lineup/internal/history"
 	"lineup/internal/sched"
+	"lineup/internal/telemetry"
 )
+
+// flushCacheTelemetry publishes a finished phase's history-cache counters.
+// The flush happens once per phase — not per lookup — so cache totals stay a
+// deterministic function of the explored schedule space.
+func flushCacheTelemetry(c *telemetry.Collector, cache *histCache) {
+	if c == nil {
+		return
+	}
+	c.HistCacheHits.Add(int64(cache.hits))
+	c.HistCacheEntries.Add(int64(cache.entries))
+}
 
 // SynthesizeSpec runs phase 1 alone: it enumerates the serial executions of
 // the test and returns the synthesized specification, together with the
@@ -18,7 +31,10 @@ func SynthesizeSpec(sub *Subject, m *Test, opts Options) (*history.Spec, PhaseSt
 	var holder any
 	var err error
 	start := time.Now()
+	endSpan := opts.Telemetry.StartSpan("phase1")
+	defer endSpan()
 	cache := newHistCache()
+	defer flushCacheTelemetry(opts.Telemetry, cache)
 	relaxed := opts.relaxedSet()
 	// Phase 1 arms the containment config (watchdog, leak detection) but
 	// stays strict: serial executions run deterministic subject code, so a
@@ -27,6 +43,7 @@ func SynthesizeSpec(sub *Subject, m *Test, opts Options) (*history.Spec, PhaseSt
 		Config:          opts.schedConfig(true, false),
 		PreemptionBound: sched.Unbounded,
 		MaxExecutions:   opts.maxExecs(),
+		Telemetry:       opts.Telemetry,
 	}, program(sub, m, &holder), func(out *sched.Outcome) bool {
 		_, isNew, herr := cache.lookup(out, relaxed)
 		if herr != nil {
@@ -84,6 +101,7 @@ type phase2Decider struct {
 	mode    witnessMode
 	m       *Test
 	relaxed map[string]bool
+	tel     *telemetry.Collector
 }
 
 // materialize builds the normalized history of a not-yet-seen outcome for
@@ -100,6 +118,11 @@ func (d *phase2Decider) materialize(out *sched.Outcome) (*history.History, error
 // witness decides witness existence for one not-yet-seen history, returning
 // the violation it proves (nil if the history is covered) or a backend error.
 func (d *phase2Decider) witness(h *history.History) (*Violation, error) {
+	if d.tel != nil {
+		// One query per distinct history; backend-level node counts are
+		// reported by the monitor itself.
+		d.tel.WitnessQueries.Add(1)
+	}
 	if !h.Stuck {
 		ok, err := d.backend.witnessFull(h)
 		if err != nil {
@@ -245,14 +268,27 @@ func (s *phase2Par) visit(out *sched.Outcome, p sched.Pos) bool {
 			s.full++
 		}
 		s.mu.Unlock()
-		// Decide outside the lock: witness search is the expensive part.
-		h, herr := s.d.materialize(out)
-		if herr != nil {
-			en.err = herr
-		} else {
-			en.v, en.err = s.d.witness(h)
-		}
-		close(en.done)
+		// Decide outside the lock: witness search is the expensive part. The
+		// done channel must close on EVERY path out of the decision — a waiter
+		// blocked on an entry whose decider died would hang its worker forever,
+		// deadlocking ExploreParallel's final join — so the close is deferred
+		// and a panicking decision (a buggy model or backend) is converted into
+		// the entry's error, which every occurrence then reports at its own
+		// position.
+		func() {
+			defer close(en.done)
+			defer func() {
+				if r := recover(); r != nil {
+					en.v, en.err = nil, fmt.Errorf("core: witness decision panicked: %v", r)
+				}
+			}()
+			h, herr := s.d.materialize(out)
+			if herr != nil {
+				en.err = herr
+			} else {
+				en.v, en.err = s.d.witness(h)
+			}
+		}()
 	} else {
 		s.mu.Unlock()
 		// Wait for the deciding worker so that this occurrence reacts to the
@@ -342,9 +378,11 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 			return res, nil
 		}
 	}
-	d := &phase2Decider{backend: backend, mode: mode, m: m, relaxed: opts.relaxedSet()}
+	d := &phase2Decider{backend: backend, mode: mode, m: m, relaxed: opts.relaxedSet(), tel: opts.Telemetry}
 	contain := opts.MaxFailures > 0
 	start := time.Now()
+	endSpan := opts.Telemetry.StartSpan("phase2")
+	defer endSpan()
 	var stats sched.ExploreStats
 	var exploreErr error
 	var violation *Violation
@@ -354,6 +392,7 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 	case opts.SampleSchedules > 0:
 		var holder any
 		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, cache: newHistCache(), failures: newFailureCollector(opts.MaxFailures)}
+		defer flushCacheTelemetry(opts.Telemetry, seq.cache)
 		stats, exploreErr = sched.ExploreRandom(sched.RandomConfig{
 			Config:            opts.schedConfig(false, false),
 			Runs:              opts.SampleSchedules,
@@ -361,6 +400,7 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 			Strategy:          opts.SampleStrategy,
 			Depth:             opts.PCTDepth,
 			ContinueOnFailure: contain,
+			Telemetry:         opts.Telemetry,
 		}, program(sub, m, &holder), seq.visit)
 		if seq.err != nil {
 			return nil, seq.err
@@ -378,12 +418,14 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 			cache:    newHistCache(),
 			firstPos: make(map[*histEntry]sched.Pos),
 		}
+		defer flushCacheTelemetry(opts.Telemetry, par.cache)
 		stats, exploreErr = sched.ExploreParallel(sched.ExploreConfig{
 			Config:            opts.schedConfig(false, false),
 			PreemptionBound:   opts.bound(),
 			MaxExecutions:     opts.maxExecs(),
 			ContinueOnFailure: contain,
 			Reduction:         opts.Reduction,
+			Telemetry:         opts.Telemetry,
 		}, sched.ParallelConfig{
 			Workers:  opts.Workers,
 			Progress: opts.ShardProgress,
@@ -408,12 +450,14 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 	default:
 		var holder any
 		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, cache: newHistCache(), failures: newFailureCollector(opts.MaxFailures)}
+		defer flushCacheTelemetry(opts.Telemetry, seq.cache)
 		stats, exploreErr = sched.Explore(sched.ExploreConfig{
 			Config:            opts.schedConfig(false, false),
 			PreemptionBound:   opts.bound(),
 			MaxExecutions:     opts.maxExecs(),
 			ContinueOnFailure: contain,
 			Reduction:         opts.Reduction,
+			Telemetry:         opts.Telemetry,
 		}, program(sub, m, &holder), seq.visit)
 		if seq.err != nil {
 			return nil, seq.err

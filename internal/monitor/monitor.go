@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"lineup/internal/history"
+	"lineup/internal/telemetry"
 )
 
 // Mode selects how pending operations of the history are judged.
@@ -39,6 +40,10 @@ type Options struct {
 	// MaxStates bounds the search nodes expanded per history part (a safety
 	// net against adversarial histories; 0 selects a 4,000,000 default).
 	MaxStates int
+	// Telemetry, when non-nil, accumulates the check's search measurements
+	// (expanded nodes, memo hits, parts) across calls. Outcome.Stats remains
+	// the per-call source of truth; the collector only aggregates.
+	Telemetry *telemetry.Collector
 }
 
 func (o Options) maxStates() int {
@@ -140,6 +145,14 @@ func Check(m *Model, h *history.History, opts Options) (*Outcome, error) {
 		return nil, errors.New("monitor: history is not well-formed (a thread overlaps its own operations)")
 	}
 	out := &Outcome{Linearizable: true}
+	defer func() {
+		// Aggregate whatever the search measured, even on an error return.
+		if c := opts.Telemetry; c != nil {
+			c.WitnessNodes.Add(int64(out.Stats.Visited))
+			c.MonitorMemoHits.Add(int64(out.Stats.MemoHits))
+			c.MonitorParts.Add(int64(out.Stats.Parts))
+		}
+	}()
 	pending := h.Pending()
 	mode := opts.Mode
 	if mode == ModeAuto {
@@ -233,14 +246,22 @@ func mergePart(out *Outcome, res partResult, key string) {
 	}
 }
 
-// runPart runs the Wing–Gong search on one history part.
-func runPart(m *Model, part *history.History, kind checkKind, opts Options) partResult {
+// runPart runs the Wing–Gong search on one history part. The model's Init,
+// Step, and Partition hooks are user code; a panic in them is contained as a
+// part error so a multi-part check (whose parts run in their own goroutines)
+// can never take down the process or strand its siblings.
+func runPart(m *Model, part *history.History, kind checkKind, opts Options) (res partResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = partResult{err: fmt.Errorf("monitor: model panicked during witness search: %v", r)}
+		}
+	}()
 	s, err := newSearcher(m, part, kind, opts)
 	if err != nil {
 		return partResult{err: err}
 	}
 	ok, err := s.run()
-	res := partResult{ok: ok, stats: Stats{Visited: s.visited, MemoHits: s.memoHits}, err: err}
+	res = partResult{ok: ok, stats: Stats{Visited: s.visited, MemoHits: s.memoHits}, err: err}
 	if ok && kind != kindStuck {
 		res.witness = s.witness()
 	}

@@ -117,3 +117,35 @@ func TestWriteTraceFileRoundTrips(t *testing.T) {
 		}
 	}
 }
+
+// TestSyncDirDurability pins the crash-durability half of AtomicWriteFile:
+// the parent directory is fsynced after the rename so the new directory
+// entry survives a power loss, and an unreachable directory surfaces as an
+// error rather than a silent durability downgrade.
+func TestSyncDirDurability(t *testing.T) {
+	dir := t.TempDir()
+	if err := syncDir(dir); err != nil {
+		t.Fatalf("syncDir on a real directory: %v", err)
+	}
+	if err := syncDir(filepath.Join(dir, "does-not-exist")); err == nil {
+		t.Fatal("syncDir on a missing directory reported success")
+	} else if !strings.Contains(err.Error(), "opening directory") {
+		t.Fatalf("unexpected diagnostic: %v", err)
+	}
+	// The full write path must still succeed (and sync) in a freshly created
+	// nested directory, where the parent entry itself is brand new.
+	nested := filepath.Join(dir, "a", "b")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(nested, "out.json")
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}); err != nil {
+		t.Fatalf("AtomicWriteFile in a fresh directory: %v", err)
+	}
+	if data, err := os.ReadFile(path); err != nil || string(data) != "{}\n" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+}

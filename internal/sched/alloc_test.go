@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lineup/internal/sched"
+	"lineup/internal/telemetry"
 )
 
 // allocProgram is the steady-state workload of the allocation guard: two
@@ -13,11 +14,12 @@ func allocProgram() sched.Program {
 	return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
 }
 
-func exploreAllocWorkload(b testing.TB, reduction sched.Reduction) int {
+func exploreAllocWorkload(b testing.TB, reduction sched.Reduction, tel *telemetry.Collector) int {
 	execs := 0
 	_, err := sched.Explore(sched.ExploreConfig{
 		PreemptionBound: 2,
 		Reduction:       reduction,
+		Telemetry:       tel,
 	}, allocProgram(), func(o *sched.Outcome) bool {
 		execs++
 		return true
@@ -42,7 +44,14 @@ func BenchmarkExploreAllocs(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				exploreAllocWorkload(b, bc.reduction)
+				exploreAllocWorkload(b, bc.reduction, nil)
+			}
+		})
+		b.Run(bc.name+"-telemetry", func(b *testing.B) {
+			b.ReportAllocs()
+			tel := telemetry.New()
+			for i := 0; i < b.N; i++ {
+				exploreAllocWorkload(b, bc.reduction, tel)
 			}
 		})
 	}
@@ -53,7 +62,10 @@ func BenchmarkExploreAllocs(b *testing.B) {
 // schedule recording, outcome delivery) must stay under a fixed allocation
 // budget. The ceilings have ~40% headroom over measured values; a hot-path
 // change that starts allocating per decision or per event blows through
-// them immediately.
+// them immediately. Every workload also runs with a live telemetry
+// collector under the SAME ceiling: the counters are plain atomic adds with
+// per-execution delta flushes, so enabling them must not add a single
+// allocation to the hot path.
 func TestExploreAllocsPerExecution(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation inflates allocation counts")
@@ -66,21 +78,27 @@ func TestExploreAllocsPerExecution(t *testing.T) {
 		{"full", sched.ReductionNone, 60},
 		{"sleep", sched.ReductionSleep, 80},
 	} {
-		t.Run(tc.name, func(t *testing.T) {
-			execs := exploreAllocWorkload(t, tc.reduction)
-			if execs == 0 {
-				t.Fatal("workload ran no executions")
+		for _, tel := range []*telemetry.Collector{nil, telemetry.New()} {
+			name := tc.name
+			if tel != nil {
+				name += "-telemetry"
 			}
-			perRun := testing.AllocsPerRun(5, func() {
-				exploreAllocWorkload(t, tc.reduction)
+			t.Run(name, func(t *testing.T) {
+				execs := exploreAllocWorkload(t, tc.reduction, tel)
+				if execs == 0 {
+					t.Fatal("workload ran no executions")
+				}
+				perRun := testing.AllocsPerRun(5, func() {
+					exploreAllocWorkload(t, tc.reduction, tel)
+				})
+				perExec := perRun / float64(execs)
+				t.Logf("%s: %.0f allocs per exploration, %.1f per execution (%d executions)",
+					name, perRun, perExec, execs)
+				if perExec > tc.ceiling {
+					t.Errorf("%s: %.1f allocs per execution exceeds the %.0f ceiling",
+						name, perExec, tc.ceiling)
+				}
 			})
-			perExec := perRun / float64(execs)
-			t.Logf("%s: %.0f allocs per exploration, %.1f per execution (%d executions)",
-				tc.name, perRun, perExec, execs)
-			if perExec > tc.ceiling {
-				t.Errorf("%s: %.1f allocs per execution exceeds the %.0f ceiling",
-					tc.name, perExec, tc.ceiling)
-			}
-		})
+		}
 	}
 }

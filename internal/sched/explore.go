@@ -3,6 +3,8 @@ package sched
 import (
 	"errors"
 	"fmt"
+
+	"lineup/internal/telemetry"
 )
 
 // Unbounded disables preemption bounding (used for the serial phase, which
@@ -44,6 +46,13 @@ type ExploreConfig struct {
 	// deterministic function of the schedule tree, so it composes with the
 	// parallel explorer, work stealing, and checkpoint/resume.
 	Reduction Reduction
+	// Telemetry, when non-nil, receives execution/decision/pruning counters
+	// and the DFS-depth watermark. The explorer accumulates plain-int deltas
+	// during an execution and flushes them with a few atomic adds once per
+	// execution, so nothing telemetry-related runs inside Pick; a nil
+	// collector costs one pointer test per execution. Counters are
+	// observe-only — ExploreStats remains the deterministic source of truth.
+	Telemetry *telemetry.Collector
 }
 
 // Checkpoint is a serializable snapshot of a depth-first exploration
@@ -136,6 +145,15 @@ type explorer struct {
 	// seedExplored restores the retired-branch records of those levels.
 	seed         []int
 	seedExplored [][]BranchRecord
+
+	// tel receives counter flushes once per execution (never inside Pick).
+	// wakes counts sleep-set entries woken by a dependent window; lastPruned
+	// and lastWakes remember the counts already flushed, so each flush adds
+	// only the delta and totals stay commutative across parallel workers.
+	tel        *telemetry.Collector
+	wakes      int
+	lastPruned int
+	lastWakes  int
 }
 
 func (e *explorer) begin() {
@@ -233,13 +251,79 @@ func (e *explorer) childSleep() []sleepEntry {
 	var out []sleepEntry
 	for _, src := range [2][]sleepEntry{p.sleep, p.explored} {
 		for _, s := range src {
-			if s.tid == w || s.foot.ConflictsWith(p.foot) {
+			if s.tid == w {
+				continue
+			}
+			if s.foot.ConflictsWith(p.foot) {
+				// The deferred step depends on the executed window: wake it.
+				e.wakes++
 				continue
 			}
 			out = append(out, s)
 		}
 	}
 	return out
+}
+
+// recordOutcomeTelemetry publishes one finished execution's outcome counters:
+// a handful of atomic adds, shared by the DFS, parallel, and sampling
+// explorers so the three report failures identically.
+func recordOutcomeTelemetry(c *telemetry.Collector, out *Outcome) {
+	if c == nil {
+		return
+	}
+	c.ExecutionsDone.Add(1)
+	c.Decisions.Add(int64(out.Decisions))
+	if out.Stuck {
+		c.StuckExecutions.Add(1)
+	}
+	switch out.FailureKind() {
+	case FailPanic:
+		c.FailPanics.Add(1)
+	case FailHung:
+		c.WatchdogFires.Add(1)
+		c.FailHangs.Add(1)
+	case FailLeak:
+		c.FailLeaks.Add(1)
+	}
+}
+
+// flushTelemetry publishes one finished execution's counter deltas to the
+// collector. It runs between executions — never inside Pick — and performs a
+// handful of atomic adds; pruning/wake counts are flushed as deltas so the
+// totals are commutative sums independent of worker count and visit order.
+func (e *explorer) flushTelemetry(out *Outcome) {
+	c := e.tel
+	if c == nil {
+		return
+	}
+	recordOutcomeTelemetry(c, out)
+	c.ObserveDepth(len(e.stack))
+	if d := e.pruned - e.lastPruned; d > 0 {
+		c.SchedulesPruned.Add(int64(d))
+		e.lastPruned = e.pruned
+	}
+	if d := e.wakes - e.lastWakes; d > 0 {
+		c.SleepWakes.Add(int64(d))
+		e.lastWakes = e.wakes
+	}
+}
+
+// flushPruneTelemetry publishes pruning/wake deltas accumulated since the
+// last flush (advance prunes branches after the final execution's flush).
+func (e *explorer) flushPruneTelemetry() {
+	c := e.tel
+	if c == nil {
+		return
+	}
+	if d := e.pruned - e.lastPruned; d > 0 {
+		c.SchedulesPruned.Add(int64(d))
+		e.lastPruned = e.pruned
+	}
+	if d := e.wakes - e.lastWakes; d > 0 {
+		c.SleepWakes.Add(int64(d))
+		e.lastWakes = e.wakes
+	}
 }
 
 // retire closes out the branch currently at c.next: its subtree is fully
@@ -385,7 +469,8 @@ func Explore(cfg ExploreConfig, prog Program, visit func(*Outcome) bool) (Explor
 	if cfg.Reduction == ReductionSleep {
 		cfg.Config.TrackFootprints = true
 	}
-	e := &explorer{bound: cfg.PreemptionBound, red: cfg.Reduction}
+	e := &explorer{bound: cfg.PreemptionBound, red: cfg.Reduction, tel: cfg.Telemetry}
+	defer e.flushPruneTelemetry()
 	var stats ExploreStats
 	basePruned := 0
 	if cfg.Resume != nil {
@@ -402,9 +487,13 @@ func Explore(cfg ExploreConfig, prog Program, visit func(*Outcome) bool) (Explor
 			return stats, ErrBudget
 		}
 		e.begin()
+		if c := cfg.Telemetry; c != nil {
+			c.ExecutionsStarted.Add(1)
+		}
 		s := NewScheduler(cfg.Config, e)
 		out := s.Run(prog)
 		e.seed, e.seedExplored = nil, nil
+		e.flushTelemetry(out)
 		stats.Executions++
 		stats.Decisions += out.Decisions
 		stats.Pruned = basePruned + e.pruned

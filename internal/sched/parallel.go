@@ -111,6 +111,27 @@ func (sh *shard) split(e *explorer) *shard {
 	if level < 0 {
 		return nil
 	}
+	// Raising the donor's floor past [sh.floor, level) orphans those levels:
+	// the donor never advances them again and the child only advances its own
+	// floor level, so their trailing sleeping branches — which a sequential
+	// pop would skip and count — must be counted here or the merged Pruned
+	// total silently depends on where the timing-driven splits landed. Each
+	// such level has no affordable non-sleeping branch left (that is why the
+	// split chose a deeper level), so the remainder is exactly what a pop
+	// would prune.
+	if e.red == ReductionSleep {
+		for i := sh.floor; i < level; i++ {
+			c := e.stack[i]
+			if c.exhausted {
+				continue
+			}
+			for j := c.next + 1; j < len(c.enabled); j++ {
+				if e.allowed(c, j) && e.sleeps(c, j) {
+					e.pruned++
+				}
+			}
+		}
+	}
 	st := cloneStack(e.stack[:level+1])
 	c := st[level]
 	// The handed-off child continues exactly where a sequential advance at
@@ -188,6 +209,23 @@ func (co *coordinator) emitProgress() {
 		co.prog.Executions = co.stats.Executions
 		co.progFn(co.prog)
 	}
+}
+
+// finalProgress delivers the closing progress snapshot — complete merged
+// totals — exactly once, after every worker has joined, and then seals the
+// callback so nothing can emit after ExploreParallel returns. Shard-event
+// emissions are interleaved with execution reservations, so without this the
+// last event-driven snapshot can under-report the totals.
+func (co *coordinator) finalProgress() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	fn := co.progFn
+	if fn == nil {
+		return
+	}
+	co.progFn = nil
+	co.prog.Executions = co.stats.Executions
+	fn(co.prog)
 }
 
 func (co *coordinator) push(sh *shard) {
@@ -309,15 +347,22 @@ func (co *coordinator) splitWanted() bool {
 // Every generation run is itself the leftmost execution of the shard it
 // discovers, so no execution is ever run twice.
 func (co *coordinator) generate(cfg ExploreConfig, prog Program, shardDepth int) {
-	e := &explorer{bound: cfg.PreemptionBound, red: cfg.Reduction}
-	defer func() { co.addPruned(e.pruned) }()
+	e := &explorer{bound: cfg.PreemptionBound, red: cfg.Reduction, tel: cfg.Telemetry}
+	defer func() {
+		e.flushPruneTelemetry()
+		co.addPruned(e.pruned)
+	}()
 	for {
 		p := pathOf(e.stack)
 		if !co.reserve(p) {
 			break
 		}
 		e.begin()
+		if c := cfg.Telemetry; c != nil {
+			c.ExecutionsStarted.Add(1)
+		}
 		out := NewScheduler(cfg.Config, e).Run(prog)
+		e.flushTelemetry(out)
 		co.finishRun(out)
 		cfg.Config.Prealloc = CapHint{Events: len(out.Events), Schedule: len(out.Schedule), Trace: len(out.Trace)}
 		if k := out.FailureKind(); k != FailNone {
@@ -370,8 +415,11 @@ func (w *shardWorker) runShard(sh *shard) {
 	if w.co.abandoned(sh.path) {
 		return
 	}
-	e := &explorer{bound: w.cfg.PreemptionBound, red: w.cfg.Reduction, stack: sh.stack}
-	defer func() { w.co.addPruned(e.pruned) }()
+	e := &explorer{bound: w.cfg.PreemptionBound, red: w.cfg.Reduction, stack: sh.stack, tel: w.cfg.Telemetry}
+	defer func() {
+		e.flushPruneTelemetry()
+		w.co.addPruned(e.pruned)
+	}()
 	pending := sh.out == nil // split child: the stack already points at an unexplored alternative
 	if sh.out != nil {
 		if !w.visit(sh.out, sh.path) {
@@ -397,7 +445,11 @@ func (w *shardWorker) runShard(sh *shard) {
 			return
 		}
 		e.begin()
+		if c := w.cfg.Telemetry; c != nil {
+			c.ExecutionsStarted.Add(1)
+		}
 		out := NewScheduler(w.cfg.Config, e).Run(w.prog)
+		e.flushTelemetry(out)
 		w.co.finishRun(out)
 		w.cfg.Config.Prealloc = CapHint{Events: len(out.Events), Schedule: len(out.Schedule), Trace: len(out.Trace)}
 		if k := out.FailureKind(); k != FailNone {
@@ -474,6 +526,7 @@ func ExploreParallel(cfg ExploreConfig, pcfg ParallelConfig, newProg func() Prog
 	}
 	co.generate(cfg, newProg(), depth)
 	wg.Wait()
+	co.finalProgress()
 	stats := co.stats
 	switch {
 	case co.termPos != nil && co.termErr != nil:

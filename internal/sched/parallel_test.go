@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"lineup/internal/sched"
 )
@@ -410,5 +411,80 @@ func TestParallelPropertyRandomPrograms(t *testing.T) {
 				t.Fatalf("%s: decisions disagree: sequential %d parallel %d", tag, seqStats.Decisions, parStats.Decisions)
 			}
 		}
+	}
+}
+
+// TestParallelProgressSealedAfterReturn is the regression test for the final
+// progress emission: ExploreParallel must deliver a closing snapshot with the
+// complete merged totals exactly once, and the callback must never fire after
+// the call returns — a late shard-retire emission used to race with (and
+// sometimes outrun) the caller tearing the sink down. The early-cancel
+// variant is the hard case: workers are still retiring abandoned shards
+// while the coordinator unwinds.
+func TestParallelProgressSealedAfterReturn(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	mk := func() sched.Program {
+		return sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}}
+	}
+	for _, tc := range []struct {
+		name   string
+		cancel bool
+	}{
+		{"full", false},
+		{"cancel", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var (
+				mu     sync.Mutex
+				sealed bool
+				count  int
+				last   sched.ShardProgress
+			)
+			pcfg := sched.ParallelConfig{Workers: 4, Progress: func(p sched.ShardProgress) {
+				mu.Lock()
+				defer mu.Unlock()
+				if sealed {
+					t.Errorf("progress emitted after ExploreParallel returned: %+v", p)
+				}
+				count++
+				last = p
+			}}
+			var visited int32
+			visit := func(o *sched.Outcome, p sched.Pos) bool {
+				if !tc.cancel {
+					return true
+				}
+				mu.Lock()
+				visited++
+				stop := visited >= 5
+				mu.Unlock()
+				return !stop
+			}
+			stats, err := sched.ExploreParallel(sched.ExploreConfig{PreemptionBound: 2}, pcfg, mk, visit)
+			if err != nil {
+				t.Fatalf("parallel explore: %v", err)
+			}
+			mu.Lock()
+			sealed = true
+			final, n := last, count
+			mu.Unlock()
+			if n == 0 {
+				t.Fatal("progress callback never invoked")
+			}
+			if final.Done != final.Shards {
+				t.Errorf("final snapshot incomplete: %d done of %d shards", final.Done, final.Shards)
+			}
+			if final.Executions != stats.Executions {
+				t.Errorf("final snapshot reports %d executions, returned stats %d", final.Executions, stats.Executions)
+			}
+			// Any emission still in flight at return would trip the sealed
+			// check above; give a buggy implementation a beat to do so.
+			time.Sleep(50 * time.Millisecond)
+			mu.Lock()
+			if count != n {
+				t.Errorf("%d progress emissions arrived after return", count-n)
+			}
+			mu.Unlock()
+		})
 	}
 }

@@ -1,6 +1,10 @@
 package sched
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"lineup/internal/telemetry"
+)
 
 // Strategy selects a sampling scheduler for ExploreRandom.
 type Strategy int
@@ -37,6 +41,9 @@ type RandomConfig struct {
 	// visit callback instead of aborting the sampling run, mirroring
 	// ExploreConfig.ContinueOnFailure.
 	ContinueOnFailure bool
+	// Telemetry, when non-nil, receives per-execution counters, mirroring
+	// ExploreConfig.Telemetry.
+	Telemetry *telemetry.Collector
 }
 
 // ExploreRandom samples schedules of prog instead of enumerating them: it
@@ -56,8 +63,12 @@ func ExploreRandom(cfg RandomConfig, prog Program, visit func(*Outcome) bool) (E
 		default:
 			ctrl = &walkController{rng: rng}
 		}
+		if c := cfg.Telemetry; c != nil {
+			c.ExecutionsStarted.Add(1)
+		}
 		s := NewScheduler(cfg.Config, ctrl)
 		out := s.Run(prog)
+		recordOutcomeTelemetry(cfg.Telemetry, out)
 		stats.Executions++
 		stats.Decisions += out.Decisions
 		if k := out.FailureKind(); k != FailNone && !cfg.ContinueOnFailure {

@@ -486,6 +486,7 @@ func (s *Scheduler) Run(prog Program) *Outcome {
 		// The abandonment path already unwound (or gave up on) every thread.
 		s.killAll()
 	}
+	s.stopWatchdog()
 	// Deliver the final decision window (the steps after the last Pick). For
 	// failed executions the window may be incomplete; the explorer poisons it.
 	s.flushWindow()
@@ -628,6 +629,17 @@ func (s *Scheduler) loop(group []*Thread) {
 	}
 }
 
+// watchdogTimersLive counts the watchdog timers currently armed (created and
+// not yet released). Explorations create one scheduler per execution, so a
+// long run cycles through many timers; tests assert the count returns to zero
+// to catch timers escaping their execution.
+var watchdogTimersLive atomic.Int64
+
+// WatchdogTimersLive reports the number of per-execution watchdog timers
+// armed and not yet released. It is zero whenever no execution with
+// Config.Watchdog is in flight; tests use it to assert timer hygiene.
+func WatchdogTimersLive() int64 { return watchdogTimersLive.Load() }
+
 // recv waits for the running thread's next message. With a watchdog armed it
 // bounds the wait; on expiry it abandons the execution and reports !ok.
 func (s *Scheduler) recv(chosen *Thread) (msg, bool) {
@@ -636,12 +648,20 @@ func (s *Scheduler) recv(chosen *Thread) (msg, bool) {
 	}
 	if s.wdTimer == nil {
 		s.wdTimer = time.NewTimer(s.cfg.Watchdog)
+		watchdogTimersLive.Add(1)
 	} else {
 		s.wdTimer.Reset(s.cfg.Watchdog)
 	}
 	select {
 	case m := <-s.back:
-		s.wdTimer.Stop()
+		// Stop may lose the race against expiry; drain the stale fire so the
+		// next Reset cannot trip the watchdog on a healthy execution.
+		if !s.wdTimer.Stop() {
+			select {
+			case <-s.wdTimer.C:
+			default:
+			}
+		}
 		return m, true
 	case <-s.wdTimer.C:
 		s.hung = true
@@ -649,6 +669,23 @@ func (s *Scheduler) recv(chosen *Thread) (msg, bool) {
 		s.abandon()
 		return msg{}, false
 	}
+}
+
+// stopWatchdog releases the execution's watchdog timer at the end of Run:
+// stopped, drained, and dropped so nothing keeps a per-execution timer alive
+// once the outcome is assembled. Safe to call when no timer was ever armed.
+func (s *Scheduler) stopWatchdog() {
+	if s.wdTimer == nil {
+		return
+	}
+	if !s.wdTimer.Stop() {
+		select {
+		case <-s.wdTimer.C:
+		default:
+		}
+	}
+	s.wdTimer = nil
+	watchdogTimersLive.Add(-1)
 }
 
 // abandon force-terminates an execution whose running thread stopped

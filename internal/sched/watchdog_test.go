@@ -269,3 +269,50 @@ func TestAbandonedExecutionLeavesNoThreadsBehind(t *testing.T) {
 		t.Fatalf("follow-up execution failed: %+v", out2)
 	}
 }
+
+// TestWatchdogTimersReleasedOnCompletion is the regression test for the
+// timer-leak fix: every execution that arms the wall-clock watchdog must
+// stop and drain its timer when Run returns, on the normal path and the
+// abandonment path alike. The live-timer gauge must read zero after any mix
+// of outcomes — before the fix, completed executions left their timers
+// armed until expiry, and a stale fire could bleed a spurious hung verdict
+// into the next execution's recv.
+func TestWatchdogTimersReleasedOnCompletion(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	if n := sched.WatchdogTimersLive(); n != 0 {
+		t.Fatalf("%d watchdog timers live before the test", n)
+	}
+
+	// Normal completions: a small exploration with the watchdog armed on
+	// every execution.
+	execs := 0
+	if _, err := sched.Explore(sched.ExploreConfig{
+		Config:          sched.Config{Watchdog: 30 * time.Second},
+		PreemptionBound: 2,
+	}, sched.Program{Threads: []func(*sched.Thread){opThread(2, "a"), opThread(2, "b")}},
+		func(o *sched.Outcome) bool {
+			execs++
+			return true
+		}); err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if execs == 0 {
+		t.Fatal("exploration ran no executions")
+	}
+	if n := sched.WatchdogTimersLive(); n != 0 {
+		t.Errorf("%d watchdog timers live after %d completed executions, want 0", n, execs)
+	}
+
+	// Abandonment: the watchdog fires, the execution is abandoned, and the
+	// fired timer must be released too.
+	ch := make(chan struct{})
+	defer close(ch)
+	s := sched.NewScheduler(sched.Config{Watchdog: 30 * time.Millisecond}, nil)
+	out := s.Run(uncooperative(func() { <-ch }))
+	if !out.Hung {
+		t.Fatalf("expected hung outcome, got %+v", out)
+	}
+	if n := sched.WatchdogTimersLive(); n != 0 {
+		t.Errorf("%d watchdog timers live after an abandoned execution, want 0", n)
+	}
+}

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	// Every observation method must be a no-op on nil.
+	c.ObserveDepth(7)
+	c.Emit("test", "x", 0)
+	c.StartSpan("phase")()
+	if got := c.MaxDepth(); got != 0 {
+		t.Fatalf("nil MaxDepth = %d, want 0", got)
+	}
+	if s := c.Snapshot(); s != (Snap{}) {
+		t.Fatalf("nil Snapshot = %+v, want zeros", s)
+	}
+	if c.Spans() != nil || c.Events() != nil {
+		t.Fatal("nil collector returned non-nil spans/events")
+	}
+	if err := c.WriteTrace(io.Discard); err == nil {
+		t.Fatal("nil WriteTrace should error")
+	}
+}
+
+func TestCountersAndDepthWatermark(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.ExecutionsDone.Add(1)
+				c.ObserveDepth(i*100 + j)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.ExecutionsDone != 800 {
+		t.Fatalf("ExecutionsDone = %d, want 800", s.ExecutionsDone)
+	}
+	if s.MaxDepth != 799 {
+		t.Fatalf("MaxDepth = %d, want 799", s.MaxDepth)
+	}
+	// The watermark never regresses.
+	c.ObserveDepth(3)
+	if got := c.MaxDepth(); got != 799 {
+		t.Fatalf("MaxDepth after lower observation = %d, want 799", got)
+	}
+}
+
+func TestSpansAndTrace(t *testing.T) {
+	c := New()
+	done := c.StartSpan("phase1")
+	time.Sleep(time.Millisecond)
+	done()
+	c.StartSpan("phase2")()
+	c.HistCacheHits.Add(3)
+	c.Emit("test", "Fig1", 0)
+
+	if n := len(c.Spans()); n != 2 {
+		t.Fatalf("got %d spans, want 2", n)
+	}
+	if c.SpanTotal("phase1") <= 0 {
+		t.Fatal("phase1 span total should be positive")
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	events, err := ReadTraceEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadTraceEvents: %v", err)
+	}
+	// 2 span events + 1 test event + synthetic final.
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Kind != "final" {
+		t.Fatalf("last event kind = %q, want final", last.Kind)
+	}
+	if last.Counters.HistCacheHits != 3 {
+		t.Fatalf("final snapshot HistCacheHits = %d, want 3", last.Counters.HistCacheHits)
+	}
+	// Events are time-ordered.
+	for i := 1; i < len(events); i++ {
+		if events[i].TMS < events[i-1].TMS {
+			t.Fatalf("events out of order: %v then %v", events[i-1].TMS, events[i].TMS)
+		}
+	}
+}
+
+func TestReadTraceEventsRejectsGarbage(t *testing.T) {
+	if _, err := ReadTraceEvents(strings.NewReader("{\"ev\":\"span\"}\nnot json\n")); err == nil {
+		t.Fatal("want parse error on malformed line")
+	}
+}
+
+func TestProgressRendersAndFinishes(t *testing.T) {
+	var buf bytes.Buffer
+	c := New()
+	c.ExecutionsDone.Add(42)
+	p := NewProgress(&buf, c, "check")
+	p.SetTotal(10)
+	p.Step(3)
+	p.SetExtra("2 shards")
+	p.Finish()
+	p.Finish() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "check 3/10") {
+		t.Fatalf("progress output missing unit counts: %q", out)
+	}
+	if !strings.Contains(out, "42 execs") {
+		t.Fatalf("progress output missing exec counter: %q", out)
+	}
+	if !strings.Contains(out, "2 shards") {
+		t.Fatalf("progress output missing extra: %q", out)
+	}
+	if got := strings.Count(out, "\n"); got != 1 {
+		t.Fatalf("progress wrote %d newlines, want exactly 1", got)
+	}
+	// After Finish, further updates must not write.
+	n := buf.Len()
+	p.Step(1)
+	p.Tick()
+	if buf.Len() != n {
+		t.Fatal("progress wrote after Finish")
+	}
+}
+
+func TestNilProgressIsSafe(t *testing.T) {
+	var p *Progress
+	p.SetTotal(5)
+	p.Step(1)
+	p.SetUnits(1, 2)
+	p.SetExtra("x")
+	p.Tick()
+	p.Finish()
+}
+
+func TestServeVarsAndPprof(t *testing.T) {
+	c := New()
+	c.WitnessNodes.Add(9)
+	c.StartSpan("phase2")()
+	s, err := Serve("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + s.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(b)
+	}
+
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, `"witness_nodes": 9`) {
+		t.Fatalf("/debug/vars missing counter: %s", vars)
+	}
+	if !strings.Contains(vars, `"phase2"`) {
+		t.Fatalf("/debug/vars missing span totals: %s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected: %.80s", idx)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"lineup/internal/monitor"
 	"lineup/internal/obsfile"
 	"lineup/internal/sched"
+	"lineup/internal/telemetry"
 )
 
 // Core vocabulary, re-exported from the implementation packages so that
@@ -66,7 +67,19 @@ type (
 	// Options.Reduction; verdicts and violations are bit-identical with
 	// reduction on and off, only the schedule counts drop.
 	Reduction = sched.Reduction
+	// Telemetry collects low-overhead counters, phase spans, and an event
+	// trace from a run when assigned to Options.Telemetry (see package
+	// telemetry). It is observe-only: enabling it cannot change any verdict
+	// or statistic reported in Result.
+	Telemetry = telemetry.Collector
+	// TelemetrySnap is a moment-in-time copy of every telemetry counter.
+	TelemetrySnap = telemetry.Snap
 )
+
+// NewTelemetry creates an empty telemetry collector; assign it to
+// Options.Telemetry (one collector may be shared across tests and phases)
+// and read it with Snapshot, Spans, or WriteTrace when the run completes.
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // Failure kinds for RuntimeFailure.Kind and Outcome classification.
 const (
