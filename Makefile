@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check check-race build vet test race bench bench-reduction bench-telemetry fuzz clean
+.PHONY: check check-race build vet test race serve-smoke bench bench-reduction bench-serve bench-telemetry fuzz clean
 
-check: build vet test fuzz
+check: build vet test serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -20,13 +20,22 @@ test:
 # fault-injection containment harness, and the monitor (parallel partition
 # search). -short skips the long sweeps.
 race:
-	$(GO) test -race -short ./internal/sched ./internal/core ./internal/faultinject ./internal/monitor ./internal/bench
+	$(GO) test -race -short ./internal/sched ./internal/core ./internal/faultinject ./internal/monitor ./internal/serve ./internal/bench
 
-# Short coverage-guided fuzz pass over the external input parser (the JSONL
-# trace reader); the seed corpus plus a few seconds of mutation on every
-# `make check` keeps crash regressions out of the hot parsing path.
+# Race-enabled smoke of the streaming service: the full internal/serve suite
+# (worker pool, backpressure, checkpoint/resume, HTTP ingest) plus the bench
+# load generator in its quick mode. Part of `make check`: the service is the
+# one subsystem whose whole job is cross-goroutine handoff.
+serve-smoke:
+	$(GO) test -race -run 'TestServe' ./internal/serve ./internal/bench
+
+# Short coverage-guided fuzz pass over the external input parsers (the batch
+# JSONL trace reader and the incremental stream reader); the seed corpus plus
+# a few seconds of mutation on every `make check` keeps crash regressions out
+# of the hot parsing path.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=5s ./internal/obsfile
+	$(GO) test -run='^$$' -fuzz=FuzzStreamReader -fuzztime=5s ./internal/obsfile
 
 # Full race-enabled pass over every package (much slower than `race`;
 # exercises the prefix-sharded parallel explorer end to end). The bench
@@ -48,6 +57,14 @@ bench: bench-telemetry
 # on every `make check` via `go test ./...`.
 bench-reduction:
 	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestReductionBaseline -v -timeout=30m ./internal/bench
+
+# Regenerate the kind=="serve" rows of BENCH_lineup.json: the streaming
+# service's sustained throughput replaying explorer-emitted histories at
+# >=1.2M checked operations per run, at 1 and 4 checker workers. Fails
+# without writing if any partition's verdict drifts from linearizable or the
+# op accounting does not balance.
+bench-serve:
+	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestServeBaseline -v -timeout=30m ./internal/bench
 
 # Regenerate the kind=="telemetry" rows of BENCH_lineup.json: telemetry
 # off-vs-on wall times of the -scale workload (~80k schedules) at 1 and 4

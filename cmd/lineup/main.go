@@ -46,6 +46,7 @@ var commands = []command{
 	{"causes", "[-v]", "directed minimal test per root cause A..L", cmdCauses},
 	{"check", "-class NAME [flags]", "RandomCheck one class", cmdCheck},
 	{"monitor", "-trace FILE -model NAME [flags]", "check a recorded JSONL history trace against a model", cmdMonitor},
+	{"serve", "-model NAME [flags]", "stream live JSONL history events through the sharded incremental checker", cmdServe},
 	{"fig1", "", "the Fig. 1 queue violation", noArgs(cmdFig1)},
 	{"fig4", "", "the Fig. 4 counter (classic vs generalized)", noArgs(cmdFig4)},
 	{"fig7", "", "the Fig. 7 observation file and violation report", noArgs(cmdFig7)},
@@ -140,6 +141,7 @@ func cmdMonitor(args []string) error {
 	classic := fs.Bool("classic", false, "classic Definition 1 treatment of pending operations")
 	noMemo := fs.Bool("no-memo", false, "disable the memoized seen-set")
 	noPart := fs.Bool("no-partition", false, "disable P-compositional partitioning")
+	window := fs.Int("window", 0, "check incrementally, retiring quiescent windows of N completed ops (0 = batch; caps peak memory on long traces)")
 	verbose := fs.Bool("v", false, "print the witness linearization")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -163,13 +165,22 @@ func cmdMonitor(args []string) error {
 		defer f.Close()
 		r = f
 	}
-	h, err := obsfile.ReadTrace(r)
-	if err != nil {
-		return err
-	}
 	opts := monitor.Options{NoMemo: *noMemo, NoPartition: *noPart}
 	if *classic {
 		opts.Mode = monitor.ModeClassic
+	}
+	if *window > 0 {
+		// Streaming path: the trace never materializes as one History —
+		// events flow through the incremental windowed checker, so peak
+		// memory is bounded by the window, not the trace length.
+		if *noPart {
+			return fmt.Errorf("monitor: -no-partition is incompatible with -window (the stream is split before windowing)")
+		}
+		return monitorStream(model, r, opts, *window)
+	}
+	h, err := obsfile.ReadTrace(r)
+	if err != nil {
+		return err
 	}
 	out, err := monitor.Check(model, h, opts)
 	if err != nil {

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lineup/internal/monitor"
+	"lineup/internal/obsfile"
+	"lineup/internal/serve"
+)
+
+// genRegisterPartition generates one complete single-partition register
+// history as raw trace events: results are assigned at return time by
+// stepping a live model, so the partition is linearizable by construction.
+// Threads are drawn from [base, base+3) so several partitions interleave in
+// one globally well-formed trace.
+func genRegisterPartition(rng *rand.Rand, key string, base, nOps int) []obsfile.TraceEvent {
+	m := monitor.RegisterModel()
+	state := m.Init()
+	open := map[int]string{}
+	const threads = 3
+	var evs []obsfile.TraceEvent
+	issued := 0
+	for issued < nOps || len(open) > 0 {
+		th := base + rng.Intn(threads)
+		if op, busy := open[th]; busy && rng.Intn(2) == 0 {
+			res, next, err := m.Step(state, op)
+			if err != nil {
+				panic(err)
+			}
+			state = next
+			evs = append(evs, obsfile.TraceEvent{T: th, K: "ret", Op: op, Res: res})
+			delete(open, th)
+		} else if !busy && issued < nOps {
+			var op string
+			if rng.Intn(2) == 0 {
+				op = fmt.Sprintf("Write(%d)", 1+rng.Intn(3))
+			} else {
+				op = "Read()"
+			}
+			evs = append(evs, obsfile.TraceEvent{T: th, K: "call", Op: op, P: key})
+			open[th] = op
+			issued++
+		}
+	}
+	return evs
+}
+
+// writeServeTrace writes a deterministic multi-partition register trace to
+// path: `partitions` independent partitions of `opsPer` operations each,
+// interleaved. The last partition is corrupted (one return result is
+// overwritten with an impossible value) so the trace is NOT linearizable.
+// Returns the total event count.
+func writeServeTrace(t *testing.T, path string, partitions, opsPer int) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	parts := make([][]obsfile.TraceEvent, partitions)
+	for i := range parts {
+		parts[i] = genRegisterPartition(rng, fmt.Sprintf("r%d", i), i*10, opsPer)
+	}
+	// Corrupt one mid-partition return of the last partition.
+	last := parts[partitions-1]
+	corrupted := false
+	for i := len(last) * 3 / 5; i < len(last); i++ {
+		if last[i].K == "ret" {
+			last[i].Res = "777"
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("generated partition has no return past the 60% mark")
+	}
+	var buf bytes.Buffer
+	total := 0
+	idx := make([]int, partitions)
+	live := partitions
+	for live > 0 {
+		p := rng.Intn(partitions)
+		if idx[p] >= len(parts[p]) {
+			continue
+		}
+		line, err := json.Marshal(parts[p][idx[p]])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		idx[p]++
+		total++
+		if idx[p] == len(parts[p]) {
+			live--
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+// serveVerdictLines keeps only the deterministic report lines of a serve
+// run — the final verdict and the per-partition failure lines — dropping
+// the wall-clock-bearing stats lines.
+func serveVerdictLines(out string) string {
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "verdict:") || strings.HasPrefix(line, "  partition") {
+			keep = append(keep, line)
+		}
+	}
+	return strings.Join(keep, "\n")
+}
+
+// runServe runs the built binary and returns stdout; exit status 1 (the
+// violation exit) is expected, anything else fails the test.
+func runServe(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("%v: %v\nstderr:\n%s", args, err, stderr.String())
+		}
+	}
+	return stdout.String()
+}
+
+// TestServeCheckpointResumeAfterKill is the end-to-end acceptance check for
+// the streaming service's durability: a 'lineup serve -checkpoint' process
+// is SIGKILLed mid-stream, then resumed with '-resume'; the final verdicts
+// must match the uninterrupted run's bit for bit (one partition of the
+// fixture trace is corrupted, so the runs must agree on a violation).
+func TestServeCheckpointResumeAfterKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes; skipped in -short mode")
+	}
+	bin := buildLineup(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	total := writeServeTrace(t, trace, 4, 30000)
+
+	args := func(extra ...string) []string {
+		return append([]string{
+			"serve", "-model", "register", "-trace", trace,
+			"-window", "64", "-workers", "2",
+		}, extra...)
+	}
+	base := runServe(t, bin, args()...)
+	want := serveVerdictLines(base)
+	if !strings.Contains(want, "NOT linearizable") || !strings.Contains(want, `partition "r3"`) {
+		t.Fatalf("baseline run missed the planted violation; fixture broken:\n%s", base)
+	}
+
+	ck := filepath.Join(dir, "serve.ckpt")
+	victim := exec.Command(bin, args("-checkpoint", ck, "-checkpoint-every", "2048")...)
+	if err := victim.Start(); err != nil {
+		t.Fatalf("starting victim: %v", err)
+	}
+	// Kill -9 as soon as the first automatic checkpoint lands.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if cp, err := serve.Load(ck); err == nil && cp.Tracker.Events >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			victim.Wait()
+			t.Fatal("victim wrote no checkpoint within 60s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	victim.Wait() // expected to report the kill; the checkpoint is what matters
+
+	cp, err := serve.Load(ck)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after SIGKILL (atomic write broken?): %v", err)
+	}
+	if cp.Tracker.Events >= int64(total) {
+		t.Fatalf("victim checkpointed all %d events before the kill; fixture too fast", total)
+	}
+	t.Logf("killed victim after %d of %d events", cp.Tracker.Events, total)
+
+	resumed := runServe(t, bin, args("-checkpoint", ck, "-resume")...)
+	if got := serveVerdictLines(resumed); got != want {
+		t.Errorf("resumed verdicts differ from uninterrupted run:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s", got, want)
+	}
+}
+
+// TestServeResumeWindowMismatch asserts a checkpoint written under one
+// window size cannot be resumed under another: window boundaries decide
+// which cuts are retired, so silently mixing them could change verdict
+// provenance.
+func TestServeResumeWindowMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real binary; skipped in -short mode")
+	}
+	bin := buildLineup(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	writeServeTrace(t, trace, 2, 200)
+	ck := filepath.Join(dir, "serve.ckpt")
+	cmd := exec.Command(bin, "serve", "-model", "register", "-trace", trace,
+		"-window", "16", "-checkpoint", ck)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			t.Fatalf("checkpointed run: %v\n%s", err, out)
+		}
+	}
+	out, err := exec.Command(bin, "serve", "-model", "register", "-trace", trace,
+		"-window", "32", "-checkpoint", ck, "-resume").CombinedOutput()
+	if err == nil {
+		t.Fatalf("resume with a different window size must fail:\n%s", out)
+	}
+	if !strings.Contains(string(out), "window") {
+		t.Fatalf("mismatch diagnostic does not mention the window:\n%s", out)
+	}
+}

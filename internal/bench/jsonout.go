@@ -14,7 +14,7 @@ const JSONFile = "BENCH_lineup.json"
 // (schedules explored, histories checked) and how long it took, per class.
 // Fields that do not apply to a record kind are omitted.
 type JSONRow struct {
-	Kind      string  `json:"kind"`            // "table2", "compare", "parallel", "reduction" or "telemetry"
+	Kind      string  `json:"kind"`            // "table2", "compare", "parallel", "reduction", "telemetry" or "serve"
 	Class     string  `json:"class"`           // subject name
 	Cause     string  `json:"cause,omitempty"` // reduction: directed cause label
 	Tests     int     `json:"tests,omitempty"` // random tests sampled
@@ -36,7 +36,13 @@ type JSONRow struct {
 	// OverheadPct is the telemetry rows' wall-time cost of enabling the
 	// collector, in percent of the uninstrumented run.
 	OverheadPct float64 `json:"overhead_pct,omitempty"`
-	WallMS      float64 `json:"wall_ms"`
+	// Serve rows: streaming-load shape and sustained throughput.
+	Partitions int     `json:"partitions,omitempty"`
+	Window     int     `json:"window,omitempty"`
+	Ops        int64   `json:"ops_checked,omitempty"`
+	Events     int64   `json:"events_ingested,omitempty"`
+	Throughput float64 `json:"ops_per_sec,omitempty"`
+	WallMS     float64 `json:"wall_ms"`
 }
 
 // Table2JSON converts Table 2 rows to JSON records.

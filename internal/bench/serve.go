@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lineup/internal/core"
+	"lineup/internal/history"
+	"lineup/internal/monitor"
+	"lineup/internal/obsfile"
+	"lineup/internal/serve"
+	"lineup/internal/telemetry"
+)
+
+// ServeLoadOptions configures a streaming-service load run: explorer-emitted
+// histories of the Fig. 1 scenario (corrected BlockingCollection, so every
+// history is linearizable) are replayed across Partitions independent
+// partition keys until Ops operations have been ingested, through a
+// serve.Server with the given worker-pool and window configuration.
+type ServeLoadOptions struct {
+	// Ops is the target number of completed operations per run.
+	Ops int64
+	// Partitions is the number of distinct partition keys the load is
+	// spread over (default 16).
+	Partitions int
+	// Workers are the serve worker-pool sizes to measure, one row each
+	// (default {1}).
+	Workers []int
+	// WindowOps is the incremental checker's window size (default 128).
+	WindowOps int
+	// NoDedup disables the shared window-verdict cache, measuring the
+	// raw incremental-check path.
+	NoDedup bool
+}
+
+// ServeRow is one measured streaming-load run.
+type ServeRow struct {
+	Class      string        // subject whose histories were replayed
+	Ops        int64         // operations checked
+	Events     int64         // raw events ingested
+	Partitions int           // distinct partition keys
+	Workers    int           // serve worker-pool size
+	Window     int           // window size (completed ops per retirement)
+	CacheHits  int64         // window-verdict dedup cache hits
+	Verdict    string        // "PASS" when every partition is linearizable
+	Wall       time.Duration // ingest-to-final-verdict wall time
+	Throughput float64       // Ops / Wall seconds
+}
+
+// harvestServeHistories explores the Fig. 1 corrected BlockingCollection and
+// collects its distinct complete histories (the replay corpus), along with
+// the queue model that checks them and the subject's display name.
+func harvestServeHistories(limit int) ([]*history.History, *monitor.Model, string, error) {
+	var cc *CauseCase
+	for _, c := range CauseCases() {
+		if c.Cause == CauseB {
+			cc = &c
+			break
+		}
+	}
+	if cc == nil || cc.Counterpart == nil {
+		return nil, nil, "", fmt.Errorf("bench: no corrected Fig. 1 cause case registered")
+	}
+	model, ok := monitor.Builtin("queue")
+	if !ok {
+		return nil, nil, "", fmt.Errorf("bench: no builtin model for cause B")
+	}
+	var hists []*history.History
+	err := core.ExploreHistories(cc.Counterpart, cc.Test,
+		core.Options{PreemptionBound: cc.Bound}, func(h *history.History) bool {
+			if !h.Stuck {
+				hists = append(hists, h)
+			}
+			return len(hists) < limit
+		})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	if len(hists) == 0 {
+		return nil, nil, "", fmt.Errorf("bench: explorer emitted no complete histories")
+	}
+	return hists, model, cc.Counterpart.Name, nil
+}
+
+// RunServeLoad measures the streaming service's sustained checking
+// throughput: one row per worker-pool size. Each run replays the harvested
+// corpus round-robin across the partitions until the op target is reached,
+// then drains and asserts every partition's verdict. Progress (if non-nil)
+// receives a line per completed run.
+func RunServeLoad(opts ServeLoadOptions, progress func(string)) ([]ServeRow, error) {
+	if opts.Ops <= 0 {
+		opts.Ops = 1_000_000
+	}
+	if opts.Partitions <= 0 {
+		opts.Partitions = 16
+	}
+	if len(opts.Workers) == 0 {
+		opts.Workers = []int{1}
+	}
+	if opts.WindowOps <= 0 {
+		opts.WindowOps = 128
+	}
+	hists, model, class, err := harvestServeHistories(256)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-convert each history to trace events once; replays then only remap
+	// the thread base and partition key. Thread bases are spaced so no two
+	// partitions share a thread id (the stream tracker enforces per-thread
+	// call discipline globally).
+	stride := 0
+	opsPer := make([]int64, len(hists))
+	for i, h := range hists {
+		for _, e := range h.Events {
+			if e.Thread >= stride {
+				stride = e.Thread + 1
+			}
+			if e.Kind == history.Return {
+				opsPer[i]++
+			}
+		}
+	}
+	keys := make([]string, opts.Partitions)
+	for p := range keys {
+		keys[p] = fmt.Sprintf("p%02d", p)
+	}
+	var rows []ServeRow
+	for _, workers := range opts.Workers {
+		col := telemetry.New()
+		s, err := serve.New(serve.Config{
+			Model:     model,
+			Workers:   workers,
+			WindowOps: opts.WindowOps,
+			NoDedup:   opts.NoDedup,
+			Telemetry: col,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		var issued int64
+		for i := 0; issued < opts.Ops; i++ {
+			h := hists[i%len(hists)]
+			p := i % opts.Partitions
+			base := p * stride
+			for _, e := range h.Events {
+				ev := obsfile.TraceEvent{T: base + e.Thread, Op: e.Op}
+				if e.Kind == history.Call {
+					ev.K, ev.P = "call", keys[p]
+				} else {
+					ev.K, ev.Res = "ret", e.Result
+				}
+				if err := s.Ingest(ev); err != nil {
+					_, _ = s.Close()
+					return nil, fmt.Errorf("bench: ingest: %w", err)
+				}
+			}
+			issued += opsPer[i%len(hists)]
+		}
+		sum, err := s.Close()
+		wall := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		st := sum.Stats
+		if st.OpsChecked != issued {
+			return nil, fmt.Errorf("bench: issued %d ops but the service checked %d", issued, st.OpsChecked)
+		}
+		if st.EventsShed != 0 {
+			return nil, fmt.Errorf("bench: block policy shed %d events", st.EventsShed)
+		}
+		verdict := "PASS"
+		if !sum.Linearizable {
+			verdict = "FAIL"
+		}
+		row := ServeRow{
+			Class:      class,
+			Ops:        st.OpsChecked,
+			Events:     st.EventsIngested,
+			Partitions: opts.Partitions,
+			Workers:    workers,
+			Window:     opts.WindowOps,
+			CacheHits:  st.CacheHits,
+			Verdict:    verdict,
+			Wall:       wall,
+			Throughput: float64(st.OpsChecked) / wall.Seconds(),
+		}
+		rows = append(rows, row)
+		if progress != nil {
+			progress(fmt.Sprintf("serve %s workers=%d: %d ops in %v (%.0f ops/s, %d cache hits, %s)",
+				class, workers, row.Ops, wall.Round(time.Millisecond), row.Throughput, row.CacheHits, verdict))
+		}
+	}
+	return rows, nil
+}
+
+// ServeJSON converts streaming-load rows to JSON records.
+func ServeJSON(rows []ServeRow) []JSONRow {
+	out := make([]JSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, JSONRow{
+			Kind:       "serve",
+			Class:      r.Class,
+			Workers:    r.Workers,
+			Partitions: r.Partitions,
+			Window:     r.Window,
+			Ops:        r.Ops,
+			Events:     r.Events,
+			Throughput: r.Throughput,
+			DedupHits:  int(r.CacheHits),
+			Verdict:    r.Verdict,
+			WallMS:     float64(r.Wall) / float64(time.Millisecond),
+		})
+	}
+	return out
+}

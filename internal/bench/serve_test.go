@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lineup/internal/monitor"
+)
+
+func serveKey(r JSONRow) string {
+	return fmt.Sprintf("%s|%d|%d|%d", r.Class, r.Workers, r.Partitions, r.Window)
+}
+
+// TestServeBaseline is the streaming-service load gate. The smoke mode
+// (every `make check`, and `make serve-smoke` under -race) replays a few
+// thousand operations and checks the machinery: the op accounting balances,
+// nothing is shed under the block policy, the dedup cache fires, and the
+// all-linearizable corpus yields a PASS verdict. With LINEUP_BENCH_FULL=1
+// (the `make bench-serve` entry point) it sustains the acceptance target of
+// at least one million checked operations per run, at 1 and 4 workers. With
+// LINEUP_UPDATE_BENCH=1 the measured rows are merged into BENCH_lineup.json.
+func TestServeBaseline(t *testing.T) {
+	opts := ServeLoadOptions{Ops: 20_000, Partitions: 8, Workers: []int{2}}
+	full := os.Getenv("LINEUP_BENCH_FULL") == "1"
+	if full {
+		opts = ServeLoadOptions{Ops: 1_200_000, Partitions: 16, Workers: []int{1, 4}}
+	}
+	rows, err := RunServeLoad(opts, func(line string) { t.Log(line) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(opts.Workers) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(opts.Workers))
+	}
+	for _, r := range rows {
+		if r.Ops < opts.Ops {
+			t.Errorf("workers=%d: checked %d ops, target %d", r.Workers, r.Ops, opts.Ops)
+		}
+		if r.Verdict != "PASS" {
+			t.Errorf("workers=%d: linearizable corpus judged %s", r.Workers, r.Verdict)
+		}
+		if r.CacheHits == 0 {
+			t.Errorf("workers=%d: identical replayed windows produced no dedup hits", r.Workers)
+		}
+		if full && r.Throughput <= 0 {
+			t.Errorf("workers=%d: no throughput measured", r.Workers)
+		}
+	}
+	if t.Failed() || !full || os.Getenv("LINEUP_UPDATE_BENCH") != "1" {
+		return
+	}
+	path := filepath.Join(moduleRoot(), JSONFile)
+	var all []JSONRow
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			t.Fatalf("committed %s is not valid JSON: %v", path, err)
+		}
+	}
+	fresh := ServeJSON(rows)
+	measured := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		measured[serveKey(r)] = true
+	}
+	var merged []JSONRow
+	for _, r := range all {
+		if r.Kind == "serve" && measured[serveKey(r)] {
+			continue
+		}
+		merged = append(merged, r)
+	}
+	merged = append(merged, fresh...)
+	if err := WriteJSONRows(path, merged); err != nil {
+		t.Fatalf("updating %s: %v", path, err)
+	}
+	t.Logf("updated %s with %d serve rows", path, len(fresh))
+}
+
+// TestServeCorpusIsLinearizable spot-checks the replay corpus against the
+// batch monitor: every harvested history must be linearizable on its own, so
+// a streaming PASS at load genuinely agrees with `lineup monitor` run on
+// each partition's trace.
+func TestServeCorpusIsLinearizable(t *testing.T) {
+	hists, model, _, err := harvestServeHistories(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hists {
+		out, err := monitor.Check(model, h, monitor.Options{})
+		if err != nil {
+			t.Fatalf("history %d: %v", i, err)
+		}
+		if !out.Linearizable {
+			t.Fatalf("corpus history %d is not linearizable:\n%s", i, h)
+		}
+	}
+	t.Logf("batch monitor agrees on all %d corpus histories", len(hists))
+}
+
+// TestServeJSONFields pins the machine-readable schema of the serve rows.
+func TestServeJSONFields(t *testing.T) {
+	rows := []ServeRow{{
+		Class: "BlockingCollection", Ops: 1_000_000, Events: 2_000_000,
+		Partitions: 16, Workers: 4, Window: 128, CacheHits: 5000,
+		Verdict: "PASS", Wall: 2_000_000_000, Throughput: 500_000,
+	}}
+	js := ServeJSON(rows)
+	if len(js) != 1 {
+		t.Fatalf("got %d rows", len(js))
+	}
+	r := js[0]
+	if r.Kind != "serve" || r.Workers != 4 || r.Partitions != 16 || r.Window != 128 ||
+		r.Ops != 1_000_000 || r.Events != 2_000_000 || r.Throughput != 500_000 ||
+		r.DedupHits != 5000 || r.Verdict != "PASS" || r.WallMS != 2000 {
+		t.Fatalf("bad serve JSON row: %+v", r)
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"ops_checked", "events_ingested", "ops_per_sec", "partitions", "window", "wall_ms"} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("serialized row missing %q: %s", field, data)
+		}
+	}
+}

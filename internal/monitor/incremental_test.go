@@ -1,0 +1,212 @@
+package monitor_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lineup/internal/history"
+	"lineup/internal/monitor"
+)
+
+// runIncremental feeds h through an Incremental checker, retiring a window
+// at every quiescent cut with at least window completed operations, and
+// returns the final verdict — the streaming service's checking loop in
+// miniature.
+func runIncremental(t *testing.T, m *monitor.Model, h *history.History, window int) bool {
+	t.Helper()
+	inc, err := monitor.NewIncremental(m, monitor.Options{})
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	var buf []history.Event
+	open, completed := 0, 0
+	for _, e := range h.Events {
+		buf = append(buf, e)
+		if e.Kind == history.Call {
+			open++
+		} else {
+			open--
+			completed++
+		}
+		if open == 0 && completed >= window {
+			if _, err := inc.ExtendComplete(&history.History{Events: buf}); err != nil {
+				t.Fatalf("ExtendComplete: %v", err)
+			}
+			buf = buf[:0]
+			completed = 0
+		}
+	}
+	out, err := inc.Finish(&history.History{Events: buf, Stuck: h.Stuck})
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return out.Linearizable
+}
+
+// randomQueueHistory generates a random concurrent queue history whose
+// results are assigned at return time by stepping a live model (so the
+// completion order is a witness and the history is linearizable by
+// construction); corrupt flips one result to break that.
+func randomQueueHistory(rng *rand.Rand, m *monitor.Model, nOps int, corrupt bool) *history.History {
+	b := newHB()
+	state := m.Init()
+	open := map[int]string{}
+	const threads = 3
+	issued := 0
+	for issued < nOps || len(open) > 0 {
+		th := rng.Intn(threads)
+		if op, busy := open[th]; busy && (rng.Intn(2) == 0 || issued >= nOps) {
+			res, next, err := m.Step(state, op)
+			if err != nil {
+				panic(err) // Enqueue/TryDequeue never block
+			}
+			state = next
+			b.ret(th, res)
+			delete(open, th)
+		} else if !busy && issued < nOps {
+			var op string
+			if rng.Intn(2) == 0 {
+				op = "Enqueue(" + string(rune('0'+rng.Intn(3))) + ")"
+			} else {
+				op = "TryDequeue()"
+			}
+			b.call(th, op)
+			open[th] = op
+			issued++
+		}
+	}
+	h := b.done()
+	if corrupt {
+		rets := []int{}
+		for i, e := range h.Events {
+			if e.Kind == history.Return {
+				rets = append(rets, i)
+			}
+		}
+		i := rets[rng.Intn(len(rets))]
+		wrong := []string{"0", "1", "2", "Fail", "ok"}
+		for _, wr := range wrong {
+			if wr != h.Events[i].Result {
+				h.Events[i].Result = wr
+				break
+			}
+		}
+	}
+	return h
+}
+
+// TestIncrementalMatchesBatch is the soundness-and-completeness check of the
+// quiescent-cut decomposition: over random histories (half deliberately
+// corrupted) and several window sizes, the windowed incremental verdict must
+// equal the batch Check verdict.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	m := monitor.QueueModel()
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		h := randomQueueHistory(rng, m, 4+rng.Intn(10), trial%2 == 1)
+		batch := mustCheck(t, m, h, monitor.Options{NoPartition: true})
+		for _, w := range []int{1, 2, 4, 8} {
+			if got := runIncremental(t, m, h, w); got != batch.Linearizable {
+				t.Fatalf("trial %d window %d: incremental says %v, batch says %v\nhistory: %+v",
+					trial, w, got, batch.Linearizable, h.Events)
+			}
+		}
+	}
+}
+
+// TestIncrementalFrontierKeepsAllWitnessStates: two overlapping writes have
+// witnesses in both orders, so after the window retires the frontier must
+// hold both final register values — collapsing to one would wrongly reject
+// the read of the other.
+func TestIncrementalFrontierKeepsAllWitnessStates(t *testing.T) {
+	m := monitor.RegisterModel()
+	window := newHB().call(0, "Write(1)").call(1, "Write(2)").ret(0, "ok").ret(1, "ok").done()
+	for _, read := range []struct {
+		res  string
+		want bool
+	}{{"1", true}, {"2", true}, {"3", false}} {
+		inc, err := monitor.NewIncremental(m, monitor.Options{})
+		if err != nil {
+			t.Fatalf("NewIncremental: %v", err)
+		}
+		ok, err := inc.ExtendComplete(window)
+		if err != nil || !ok {
+			t.Fatalf("ExtendComplete: ok=%v err=%v", ok, err)
+		}
+		if got := inc.FrontierSize(); got != 2 {
+			t.Fatalf("frontier size after overlapping writes = %d, want 2", got)
+		}
+		out, err := inc.Finish(newHB().op(0, "Read()", read.res).done())
+		if err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		if out.Linearizable != read.want {
+			t.Errorf("Read()=%s: linearizable=%v, want %v", read.res, out.Linearizable, read.want)
+		}
+	}
+}
+
+// TestIncrementalRejectsNonQuiescentWindow: a window with a pending call is
+// not a quiescent cut and must be refused, not misjudged.
+func TestIncrementalRejectsNonQuiescentWindow(t *testing.T) {
+	m := monitor.CounterModel()
+	inc, err := monitor.NewIncremental(m, monitor.Options{})
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	h := newHB().op(0, "Inc()", "ok").call(1, "Inc()").done()
+	if _, err := inc.ExtendComplete(h); !errors.Is(err, monitor.ErrWindowNotQuiescent) {
+		t.Fatalf("ExtendComplete on pending window: err=%v, want ErrWindowNotQuiescent", err)
+	}
+}
+
+// TestIncrementalFailureIsSticky: once a window fails, the frontier is empty
+// and every later window (and Finish) reports not linearizable.
+func TestIncrementalFailureIsSticky(t *testing.T) {
+	m := monitor.CounterModel()
+	inc, err := monitor.NewIncremental(m, monitor.Options{})
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	ok, err := inc.ExtendComplete(newHB().op(0, "Get()", "5").done())
+	if err != nil || ok {
+		t.Fatalf("corrupt window: ok=%v err=%v, want rejection", ok, err)
+	}
+	if inc.FrontierSize() != 0 {
+		t.Fatalf("frontier after failure = %d, want 0", inc.FrontierSize())
+	}
+	ok, err = inc.ExtendComplete(newHB().op(0, "Inc()", "ok").done())
+	if err != nil || ok {
+		t.Fatalf("window after failure: ok=%v err=%v, want sticky failure", ok, err)
+	}
+	out, err := inc.Finish(newHB().done())
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if out.Linearizable {
+		t.Fatal("Finish after failed window reports linearizable")
+	}
+}
+
+// TestIncrementalStuckResidual: the stuck marker applies to the residual
+// window at Finish, reproducing the generalized stuck treatment.
+func TestIncrementalStuckResidual(t *testing.T) {
+	m := monitor.QueueModel()
+	inc, err := monitor.NewIncremental(m, monitor.Options{})
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	if ok, err := inc.ExtendComplete(newHB().op(0, "Enqueue(10)", "ok").done()); err != nil || !ok {
+		t.Fatalf("ExtendComplete: ok=%v err=%v", ok, err)
+	}
+	// Take() pending on a non-empty queue cannot be stuck: not linearizable
+	// under the generalized definition.
+	out, err := inc.Finish(newHB().call(1, "Take()").stuck().done())
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if out.Linearizable {
+		t.Fatal("stuck Take() on non-empty queue reported linearizable")
+	}
+}

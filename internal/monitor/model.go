@@ -55,6 +55,13 @@ type Model struct {
 	// disables partitioning of the history. A nil Partition means the model
 	// is monolithic.
 	Partition func(op string) (key string, ok bool)
+	// EncodeState and DecodeState serialize a model state for durable
+	// checkpoints (the streaming service persists per-partition state
+	// frontiers across restarts). They must round-trip: DecodeState of an
+	// EncodeState output yields a behaviorally identical state. Both nil is
+	// fine for models that are never checkpointed.
+	EncodeState func(state any) ([]byte, error)
+	DecodeState func(data []byte) (any, error)
 }
 
 // SplitOp separates an operation display name "Method(args)" into its method

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"encoding/json"
 	"sort"
 	"strconv"
 	"strings"
@@ -15,6 +16,20 @@ const (
 )
 
 func boolResult(v bool) string { return strconv.FormatBool(v) }
+
+// jsonStateCodec installs EncodeState/DecodeState that round-trip the model's
+// state representation T through JSON. Every built-in model declares one, so
+// the streaming service can checkpoint its per-partition state frontiers.
+func jsonStateCodec[T any](m *Model) {
+	m.EncodeState = func(state any) ([]byte, error) { return json.Marshal(state.(T)) }
+	m.DecodeState = func(data []byte) (any, error) {
+		var v T
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+}
 
 // Builtin returns a built-in model by name (see BuiltinNames).
 func Builtin(name string) (*Model, bool) {
@@ -47,6 +62,7 @@ func BuiltinNames() []string {
 // ConcurrentQueue and BlockingCollection vocabularies.
 func QueueModel() *Model {
 	m := &Model{Name: "queue", Init: func() any { return []string(nil) }}
+	jsonStateCodec[[]string](m)
 	m.Fingerprint = func(state any) string { return strings.Join(state.([]string), ",") }
 	m.Step = func(state any, op string) (string, any, error) {
 		q := state.([]string)
@@ -91,6 +107,7 @@ func QueueModel() *Model {
 // top-first.
 func StackModel() *Model {
 	m := &Model{Name: "stack", Init: func() any { return []string(nil) }}
+	jsonStateCodec[[]string](m)
 	m.Fingerprint = func(state any) string { return strings.Join(state.([]string), ",") }
 	m.Step = func(state any, op string) (string, any, error) {
 		s := state.([]string)
@@ -136,6 +153,7 @@ func StackModel() *Model {
 // whole-object observer and disables splitting.
 func SetModel() *Model {
 	m := &Model{Name: "set", Init: func() any { return []string(nil) }}
+	jsonStateCodec[[]string](m)
 	m.Fingerprint = func(state any) string { return strings.Join(state.([]string), ",") }
 	m.Partition = func(op string) (string, bool) {
 		method, args := SplitOp(op)
@@ -183,6 +201,7 @@ func SetModel() *Model {
 // reports success.
 func RegisterModel() *Model {
 	m := &Model{Name: "register", Init: func() any { return "0" }}
+	jsonStateCodec[string](m)
 	m.Fingerprint = func(state any) string { return state.(string) }
 	m.Step = func(state any, op string) (string, any, error) {
 		v := state.(string)
@@ -208,6 +227,7 @@ func RegisterModel() *Model {
 // returns the current count.
 func CounterModel() *Model {
 	m := &Model{Name: "counter", Init: func() any { return 0 }}
+	jsonStateCodec[int](m)
 	m.Fingerprint = func(state any) string { return strconv.Itoa(state.(int)) }
 	m.Step = func(state any, op string) (string, any, error) {
 		n := state.(int)
@@ -230,6 +250,7 @@ func CounterModel() *Model {
 // the event is set.
 func MREModel() *Model {
 	m := &Model{Name: "mre", Init: func() any { return false }}
+	jsonStateCodec[bool](m)
 	m.Fingerprint = func(state any) string { return boolResult(state.(bool)) }
 	m.Step = func(state any, op string) (string, any, error) {
 		set := state.(bool)

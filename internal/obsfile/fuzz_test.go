@@ -2,6 +2,7 @@ package obsfile
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -73,6 +74,71 @@ func FuzzReadTrace(f *testing.F) {
 			w := h.Events[i]
 			if e.Thread != w.Thread || e.Kind != w.Kind || e.Op != w.Op || e.Result != w.Result {
 				t.Fatalf("round trip changed event %d: got %+v want %+v", i, e, w)
+			}
+		}
+	})
+}
+
+// FuzzStreamReader exercises the incremental trace reader with arbitrary
+// input — malformed JSON, truncated lines, interleaved partition keys. The
+// invariants are: Next never panics; errors are sticky (a broken stream can
+// never wedge or half-advance a consumer); and the event-by-event result
+// agrees exactly with the batch ReadTrace on the same bytes.
+func FuzzStreamReader(f *testing.F) {
+	seeds := []string{
+		"",
+		`{"t":0,"k":"call","op":"A()","p":"x"}` + "\n" + `{"t":0,"k":"ret","res":"ok"}`,
+		`{"t":0,"k":"call","op":"A()","p":"x"}` + "\n" + `{"t":0,"k":"ret","res":"ok","p":"y"}`,
+		`{"t":0,"k":"call","op":"A()"}` + "\n" + `{"t":1,"k":"call","op":"B()","p":"q"}` + "\n{bad",
+		`{"k":"stuck"}` + "\n" + `{"t":0,"k":"call","op":"A()"}`,
+		`{"t":0,"k":"call","op":"A()"}` + "\n" + `{"t":0,"k":"call","op":"B()"}`,
+		"\x00\xff{not json at all",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		sr := NewStreamReader(strings.NewReader(in))
+		var events []StreamEvent
+		var stuck bool
+		var streamErr error
+		for {
+			ev, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				streamErr = err
+				// Sticky: every further Next returns the identical error.
+				if _, again := sr.Next(); again == nil || again.Error() != err.Error() {
+					t.Fatalf("error not sticky: first %v then %v", err, again)
+				}
+				break
+			}
+			if ev.Stuck {
+				stuck = true
+			} else {
+				events = append(events, ev)
+			}
+		}
+		h, rerr := ReadTrace(strings.NewReader(in))
+		if (rerr == nil) != (streamErr == nil) {
+			t.Fatalf("batch/stream disagree: batch err %v, stream err %v", rerr, streamErr)
+		}
+		if rerr != nil {
+			if rerr.Error() != streamErr.Error() {
+				t.Fatalf("batch/stream error text differs: %q vs %q", rerr, streamErr)
+			}
+			return
+		}
+		if h.Stuck != stuck || len(h.Events) != len(events) {
+			t.Fatalf("batch/stream shape differs: batch %d events stuck=%v, stream %d stuck=%v",
+				len(h.Events), h.Stuck, len(events), stuck)
+		}
+		for i, ev := range events {
+			he := ev.HistoryEvent()
+			if he != h.Events[i] {
+				t.Fatalf("event %d differs: stream %+v batch %+v", i, he, h.Events[i])
 			}
 		}
 	})

@@ -1,0 +1,114 @@
+package obsfile
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"lineup/internal/history"
+)
+
+func TestStreamReaderEventByEvent(t *testing.T) {
+	in := `
+# comment
+{"t":0,"k":"call","op":"Enqueue(10)","p":"q1"}
+{"t":1,"k":"call","op":"TryDequeue()","p":"q1"}
+{"t":0,"k":"ret","res":"ok"}
+{"t":1,"k":"ret","res":"10"}
+{"k":"stuck"}
+`
+	sr := NewStreamReader(strings.NewReader(in))
+	want := []StreamEvent{
+		{Thread: 0, Kind: history.Call, Op: "Enqueue(10)", Part: "q1", Index: 0, Line: 3},
+		{Thread: 1, Kind: history.Call, Op: "TryDequeue()", Part: "q1", Index: 1, Line: 4},
+		{Thread: 0, Kind: history.Return, Op: "Enqueue(10)", Result: "ok", Part: "q1", Index: 0, Line: 5},
+		{Thread: 1, Kind: history.Return, Op: "TryDequeue()", Result: "10", Part: "q1", Index: 1, Line: 6},
+		{Stuck: true, Line: 7},
+	}
+	for i, w := range want {
+		ev, err := sr.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev != w {
+			t.Fatalf("event %d: got %+v want %+v", i, ev, w)
+		}
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("after stuck: err=%v, want EOF", err)
+	}
+	if !sr.Tracker().Stuck() || sr.Tracker().Events() != 5 {
+		t.Fatalf("tracker: stuck=%v events=%d", sr.Tracker().Stuck(), sr.Tracker().Events())
+	}
+}
+
+func TestStreamReaderPartitionMismatch(t *testing.T) {
+	in := `{"t":0,"k":"call","op":"A()","p":"x"}
+{"t":0,"k":"ret","res":"ok","p":"y"}
+`
+	sr := NewStreamReader(strings.NewReader(in))
+	if _, err := sr.Next(); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	_, err := sr.Next()
+	if err == nil || !strings.Contains(err.Error(), `partition "y"`) {
+		t.Fatalf("conflicting return partition: err=%v", err)
+	}
+}
+
+func TestTrackerStateRoundTrip(t *testing.T) {
+	tr := NewStreamTracker()
+	events := []TraceEvent{
+		{T: 0, K: "call", Op: "A()", P: "x"},
+		{T: 1, K: "call", Op: "B()"},
+		{T: 0, K: "ret", Res: "ok"},
+		{T: 2, K: "call", Op: "C()", P: "z"},
+	}
+	for i, ev := range events {
+		if _, err := tr.Apply(ev, i+1); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+	restored := RestoreStreamTracker(tr.State())
+	if restored.Events() != tr.Events() || restored.OpenCalls() != tr.OpenCalls() {
+		t.Fatalf("restored tracker differs: events %d/%d open %d/%d",
+			restored.Events(), tr.Events(), restored.OpenCalls(), tr.OpenCalls())
+	}
+	// The restored tracker continues with identical op indices and keys.
+	for _, tk := range []*StreamTracker{tr, restored} {
+		ev, err := tk.Apply(TraceEvent{T: 1, K: "ret", Res: "ok"}, 5)
+		if err != nil {
+			t.Fatalf("ret on %p: %v", tk, err)
+		}
+		if ev.Op != "B()" || ev.Index != 1 {
+			t.Fatalf("resolved return %+v, want B() index 1", ev)
+		}
+	}
+	// And rejects a double call the same way.
+	if _, err := restored.Apply(TraceEvent{T: 2, K: "call", Op: "D()"}, 6); err == nil {
+		t.Fatal("restored tracker accepted a double call")
+	}
+}
+
+func TestRawReaderSkipsValidation(t *testing.T) {
+	// A raw reader parses events a tracker would reject (validation is the
+	// caller's job) but still fails stop on malformed JSON.
+	in := `{"t":0,"k":"ret","res":"ok"}
+# comment
+{"t":0,"k":"call","op":"A()"}
+{oops
+`
+	rr := NewRawReader(strings.NewReader(in))
+	if ev, err := rr.Next(); err != nil || ev.K != "ret" {
+		t.Fatalf("first: %+v err=%v", ev, err)
+	}
+	if ev, err := rr.Next(); err != nil || ev.Op != "A()" || rr.Line() != 3 {
+		t.Fatalf("second: %+v line=%d err=%v", ev, rr.Line(), err)
+	}
+	if _, err := rr.Next(); err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("malformed line: err=%v", err)
+	}
+	if _, err := rr.Next(); err == nil || err == io.EOF {
+		t.Fatalf("error not sticky: %v", err)
+	}
+}

@@ -3,9 +3,7 @@ package obsfile
 import (
 	"bufio"
 	"encoding/json"
-	"fmt"
 	"io"
-	"strings"
 
 	"lineup/internal/history"
 )
@@ -21,78 +19,43 @@ import (
 //	{"t":0,"k":"ret","op":"Enqueue(10)","res":"ok"}
 //	{"t":1,"k":"call","op":"TryDequeue()"}
 //	{"t":1,"k":"ret","op":"TryDequeue()","res":"Fail"}
+//
+// A call may carry an optional partition key "p" naming the independent
+// sub-object it touches (P-compositionality); the streaming monitor routes
+// events by it. Returns inherit the key of their call. The batch reader
+// accepts and ignores it.
 type TraceEvent struct {
 	T   int    `json:"t"`             // thread index
 	K   string `json:"k"`             // "call", "ret", or "stuck"
 	Op  string `json:"op,omitempty"`  // operation display name, e.g. "Enqueue(10)"
 	Res string `json:"res,omitempty"` // result string; "ret" events only
+	P   string `json:"p,omitempty"`   // partition key; "call" events only
 }
 
 // ReadTrace parses a JSONL history trace into a well-formed history. It
 // validates the thread discipline line by line: a thread may not call while
 // it has an open operation, may not return without one, a "ret" line naming
 // an operation must name the thread's open operation, and a "stuck" marker
-// must be the last event of the trace.
+// must be the last event of the trace. It is the batch face of the
+// StreamReader: the events are validated by the same incremental machinery
+// the streaming monitor uses, merely accumulated into one History.
 func ReadTrace(r io.Reader) (*history.History, error) {
 	h := &history.History{}
-	open := make(map[int]int)    // thread -> op index of its open call
-	name := make(map[int]string) // op index -> display name
-	next := 0
-	line := 0
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+	sr := NewStreamReader(r)
+	for {
+		ev, err := sr.Next()
+		if err == io.EOF {
+			return h, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ev.Stuck {
+			h.Stuck = true
 			continue
 		}
-		if h.Stuck {
-			return nil, fmt.Errorf("obsfile: trace line %d: events after the stuck marker", line)
-		}
-		var ev TraceEvent
-		if err := json.Unmarshal([]byte(text), &ev); err != nil {
-			return nil, fmt.Errorf("obsfile: trace line %d: %w", line, err)
-		}
-		if ev.T < 0 {
-			return nil, fmt.Errorf("obsfile: trace line %d: negative thread index %d", line, ev.T)
-		}
-		switch ev.K {
-		case "call":
-			if ev.Op == "" {
-				return nil, fmt.Errorf("obsfile: trace line %d: call without an op name", line)
-			}
-			if _, busy := open[ev.T]; busy {
-				return nil, fmt.Errorf("obsfile: trace line %d: thread %d calls %s while %s is still open",
-					line, ev.T, ev.Op, name[open[ev.T]])
-			}
-			open[ev.T] = next
-			name[next] = ev.Op
-			h.Events = append(h.Events, history.Event{Thread: ev.T, Kind: history.Call, Op: ev.Op, Index: next})
-			next++
-		case "ret":
-			idx, busy := open[ev.T]
-			if !busy {
-				return nil, fmt.Errorf("obsfile: trace line %d: thread %d returns without an open call", line, ev.T)
-			}
-			if ev.Op != "" && ev.Op != name[idx] {
-				return nil, fmt.Errorf("obsfile: trace line %d: thread %d returns from %s but %s is open",
-					line, ev.T, ev.Op, name[idx])
-			}
-			delete(open, ev.T)
-			h.Events = append(h.Events, history.Event{
-				Thread: ev.T, Kind: history.Return, Op: name[idx], Result: ev.Res, Index: idx,
-			})
-		case "stuck":
-			h.Stuck = true
-		default:
-			return nil, fmt.Errorf("obsfile: trace line %d: unknown event kind %q", line, ev.K)
-		}
+		h.Events = append(h.Events, ev.HistoryEvent())
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obsfile: reading trace: %w", err)
-	}
-	return h, nil
 }
 
 // WriteTrace renders a history in the JSONL trace format read by ReadTrace.

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"lineup/internal/history"
+	"lineup/internal/monitor"
+	"lineup/internal/obsfile"
+)
+
+// Checkpoint is the durable snapshot of a running service: the stream
+// tracker (thread discipline and the count of events covered), every
+// partition's frontier and residual window, and the backpressure bookkeeping.
+// It is written atomically (obsfile.AtomicWriteFile), so a crash mid-write
+// leaves the previous checkpoint intact. Resume replays the producer's
+// stream from the start and skips the Tracker.Events leading events — the
+// at-least-once protocol of the resume satellite.
+type Checkpoint struct {
+	Version    int                  `json:"version"`
+	Model      string               `json:"model"`
+	WindowOps  int                  `json:"window_ops"` // flush threshold; must match on resume for identical verdicts
+	Tracker    obsfile.TrackerState `json:"tracker"`
+	Routed     int64                `json:"routed"`
+	Shed       int64                `json:"shed,omitempty"`
+	Poisoned   []string             `json:"poisoned,omitempty"`
+	Partitions []PartCheckpoint     `json:"partitions,omitempty"`
+}
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// PartCheckpoint is one partition's durable state.
+type PartCheckpoint struct {
+	Key      string            `json:"key"`
+	Frontier []json.RawMessage `json:"frontier"` // encoded model states (Model.EncodeState)
+	Window   []eventJSON       `json:"window,omitempty"`
+	Ops      int64             `json:"ops"`
+	Windows  int64             `json:"windows"`
+	Failed   bool              `json:"failed,omitempty"`
+	Err      string            `json:"error,omitempty"`
+}
+
+// eventJSON serializes one window event.
+type eventJSON struct {
+	T   int    `json:"t"`
+	K   int    `json:"k"` // history.Kind
+	Op  string `json:"op,omitempty"`
+	Res string `json:"res,omitempty"`
+	I   int    `json:"i"`
+}
+
+func toEventJSON(e history.Event) eventJSON {
+	return eventJSON{T: e.Thread, K: int(e.Kind), Op: e.Op, Res: e.Result, I: e.Index}
+}
+
+func (e eventJSON) event() history.Event {
+	return history.Event{Thread: e.T, Kind: history.Kind(e.K), Op: e.Op, Result: e.Res, Index: e.I}
+}
+
+// snapshot captures the worker's partitions (ctlSnapshot handler; runs on
+// the worker goroutine, with ingest stalled by the caller's barrier).
+func (w *worker) snapshot() ([]PartCheckpoint, error) {
+	enc := w.srv.cfg.Model.EncodeState
+	var out []PartCheckpoint
+	for _, key := range w.sortedKeys() {
+		p := w.parts[key]
+		pc := PartCheckpoint{Key: p.key, Ops: p.ops, Windows: p.windows, Failed: p.failed, Err: p.errMsg}
+		for _, st := range p.inc.FrontierStates() {
+			b, err := enc(st)
+			if err != nil {
+				return nil, fmt.Errorf("serve: partition %q: encoding state: %w", p.key, err)
+			}
+			pc.Frontier = append(pc.Frontier, json.RawMessage(b))
+		}
+		for _, e := range p.window {
+			pc.Window = append(pc.Window, toEventJSON(e))
+		}
+		out = append(out, pc)
+	}
+	return out, nil
+}
+
+// Checkpoint writes a durable snapshot now (independent of CheckpointEvery).
+func (s *Server) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.checkpointLocked()
+}
+
+// checkpointLocked performs the barrier snapshot: with the ingest lock held
+// no new event enters, and the ctlSnapshot control drains each worker's
+// queue before it replies, so the snapshot is a consistent cut — exactly the
+// events the tracker has accepted, all folded into partition state.
+func (s *Server) checkpointLocked() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	replies, err := s.broadcast(ctlMsg{kind: ctlSnapshot})
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	cp := Checkpoint{
+		Version:   checkpointVersion,
+		Model:     s.cfg.Model.Name,
+		WindowOps: s.cfg.windowOps(),
+		Tracker:   s.tracker.State(),
+		Routed:    s.routed,
+		Shed:      s.shed,
+	}
+	for k := range s.poisoned {
+		cp.Poisoned = append(cp.Poisoned, k)
+	}
+	sort.Strings(cp.Poisoned)
+	for _, r := range replies {
+		cp.Partitions = append(cp.Partitions, r.parts...)
+	}
+	sort.Slice(cp.Partitions, func(i, j int) bool { return cp.Partitions[i].Key < cp.Partitions[j].Key })
+	if err := obsfile.AtomicWriteFile(s.cfg.CheckpointPath, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		return enc.Encode(&cp)
+	}); err != nil {
+		return fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	s.checkpoints.Add(1)
+	if c := s.cfg.Telemetry; c != nil {
+		c.ServeCheckpoints.Add(1)
+	}
+	return nil
+}
+
+// Load reads a checkpoint file.
+func Load(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("serve: reading checkpoint %s: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("serve: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	return &cp, nil
+}
+
+// Resume returns a copy of cfg configured to restore from the checkpoint at
+// cfg.CheckpointPath: New rebuilds the partition state and the first
+// Tracker.Events events of the replayed stream are skipped at ingest.
+func Resume(cfg Config) (Config, error) {
+	cp, err := Load(cfg.CheckpointPath)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.resume = cp
+	cfg.SkipEvents = cp.Tracker.Events
+	return cfg, nil
+}
+
+// restore rebuilds service state from a checkpoint; the workers are not yet
+// running, so partition state is written into their maps directly.
+func (s *Server) restore(cp *Checkpoint) error {
+	if cp.Model != s.cfg.Model.Name {
+		return fmt.Errorf("serve: checkpoint is for model %q, serving %q", cp.Model, s.cfg.Model.Name)
+	}
+	if cp.WindowOps != s.cfg.windowOps() {
+		return fmt.Errorf("serve: checkpoint used window %d, serving %d (window size must match for identical verdicts)",
+			cp.WindowOps, s.cfg.windowOps())
+	}
+	dec := s.cfg.Model.DecodeState
+	if dec == nil {
+		return fmt.Errorf("serve: resuming model %q requires DecodeState", s.cfg.Model.Name)
+	}
+	s.tracker = obsfile.RestoreStreamTracker(cp.Tracker)
+	s.routed = cp.Routed
+	s.shed = cp.Shed
+	s.applied.Store(cp.Routed)
+	for _, k := range cp.Poisoned {
+		s.poisoned[k] = true
+	}
+	for _, pc := range cp.Partitions {
+		inc, err := monitor.NewIncremental(s.cfg.Model, s.stats)
+		if err != nil {
+			return err
+		}
+		states := make([]any, 0, len(pc.Frontier))
+		for _, raw := range pc.Frontier {
+			st, err := dec([]byte(raw))
+			if err != nil {
+				return fmt.Errorf("serve: partition %q: decoding state: %w", pc.Key, err)
+			}
+			states = append(states, st)
+		}
+		inc.SetFrontier(states)
+		p := &part{key: pc.Key, inc: inc, ops: pc.Ops, windows: pc.Windows, failed: pc.Failed, errMsg: pc.Err}
+		for _, ej := range pc.Window {
+			e := ej.event()
+			p.window = append(p.window, e)
+			if e.Kind == history.Call {
+				p.open++
+			} else {
+				p.open--
+				p.completed++
+			}
+		}
+		w := s.workers[s.workerFor(pc.Key)]
+		w.parts[pc.Key] = p
+		s.partsCreated.Add(1)
+	}
+	if s.partitionHint(cp) {
+		s.sawNamedKey = true
+	}
+	return nil
+}
+
+// partitionHint reports whether the checkpoint shows named partitions, so
+// the whole-object-op guard survives a restart.
+func (s *Server) partitionHint(cp *Checkpoint) bool {
+	for _, pc := range cp.Partitions {
+		if pc.Key != "" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// StartHTTP starts the service's ingest endpoint on addr (e.g. ":8080" or
+// "127.0.0.1:0") and returns the bound address. The endpoint serves:
+//
+//	POST /ingest     — body is JSONL trace events, ingested in order
+//	GET  /verdicts   — live per-partition status (JSON array)
+//	GET  /stats      — live counters (JSON)
+//	POST /checkpoint — write a durable snapshot now
+//
+// The listener is closed by Close. Ingest over HTTP shares the global
+// stream tracker with every other transport, so thread discipline spans
+// transports: a call may arrive on stdin and its return over HTTP.
+func (s *Server) StartHTTP(addr string) (string, error) {
+	if s.httpCloser != nil {
+		return "", errors.New("serve: HTTP endpoint already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/verdicts", s.handleVerdicts)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	s.httpCloser = srv // srv.Close stops the listener and active connections
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSONL trace body", http.StatusMethodNotAllowed)
+		return
+	}
+	n, err := s.IngestReader(r.Body)
+	if err != nil {
+		// Events before the error are already ingested (at-least-once); the
+		// producer learns how far the batch got.
+		http.Error(w, fmt.Sprintf("ingested %d events, then: %v", n, err), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"ingested\":%d}\n", n)
+}
+
+func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
+	verds, err := s.Verdicts()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if verds == nil {
+		verds = []PartitionVerdict{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(verds)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Stats())
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST to checkpoint", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cfg.CheckpointPath == "" {
+		http.Error(w, "no checkpoint path configured", http.StatusConflict)
+		return
+	}
+	if err := s.Checkpoint(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

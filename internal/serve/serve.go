@@ -1,0 +1,566 @@
+// Package serve is the streaming linearizability-monitoring service: a
+// long-running server that ingests live JSONL history events (stdin pipes,
+// HTTP), routes them by P-compositional partition key to a bounded worker
+// pool, and checks each partition incrementally in bounded memory.
+//
+// Architecture, front to back:
+//
+//   - One global StreamTracker (package obsfile) validates thread discipline
+//     across every transport and resolves each event's operation index and
+//     partition key. Ingest is serialized by a mutex, so several producers
+//     may feed one server.
+//   - A router hashes the partition key onto a fixed pool of workers, each
+//     with a bounded FIFO queue. Events of one partition always land on the
+//     same worker, so partition state is worker-owned and lock-free. When
+//     producers outrun the checkers the queue fills and the configured
+//     backpressure policy applies: BlockOnFull stalls the producer,
+//     ShedOnFull poisons the partition (its verdict would be meaningless on
+//     a gapped history, so all its subsequent events are counted shed too).
+//   - Each partition is checked by a monitor.Incremental: a window of events
+//     accumulates until the partition quiesces (no open calls) with at least
+//     WindowOps completed operations, then the window is retired through the
+//     frontier-of-states transition and forgotten. Identical windows from
+//     identical frontiers — common when many partitions run the same
+//     workload — are answered by a shared verdict dedup cache patterned on
+//     the phase-2 history cache of internal/core.
+//   - The whole service state (tracker, per-partition frontiers and windows,
+//     counters) checkpoints atomically through obsfile.AtomicWriteFile, so a
+//     killed server resumes without re-reading the stream from the start:
+//     the producer replays and the server skips everything the checkpoint
+//     already covers.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lineup/internal/monitor"
+	"lineup/internal/obsfile"
+	"lineup/internal/telemetry"
+)
+
+// Backpressure selects what Ingest does when a worker queue is full.
+type Backpressure int
+
+const (
+	// BlockOnFull stalls the producer until the worker catches up: no event
+	// is ever lost and every verdict is exact. This is the default.
+	BlockOnFull Backpressure = iota
+	// ShedOnFull drops the event, counts it, and poisons its partition:
+	// a partition with a gap cannot be judged, so its later events are shed
+	// too and its verdict is reported with Shed set instead of a boolean
+	// that would be a guess.
+	ShedOnFull
+)
+
+func (b Backpressure) String() string {
+	if b == ShedOnFull {
+		return "shed"
+	}
+	return "block"
+}
+
+// ParseBackpressure parses the CLI spelling of a backpressure policy.
+func ParseBackpressure(s string) (Backpressure, error) {
+	switch s {
+	case "block":
+		return BlockOnFull, nil
+	case "shed":
+		return ShedOnFull, nil
+	}
+	return 0, fmt.Errorf("serve: unknown backpressure policy %q (block or shed)", s)
+}
+
+// Config configures a Server.
+type Config struct {
+	// Model is the executable sequential specification every partition is
+	// checked against. Required.
+	Model *monitor.Model
+	// Monitor carries the per-window search options (mode for the final
+	// residual windows, NoMemo, MaxStates). Partitioning inside the monitor
+	// is disabled by the server — the stream is split before windowing.
+	Monitor monitor.Options
+	// Workers is the checker pool size; 0 selects GOMAXPROCS.
+	Workers int
+	// WindowOps is the retirement threshold: a partition's window is retired
+	// once it quiesces holding at least this many completed operations.
+	// 0 selects 128.
+	WindowOps int
+	// QueueDepth bounds each worker's event queue; 0 selects 1024.
+	QueueDepth int
+	// Backpressure selects the full-queue policy (default BlockOnFull).
+	Backpressure Backpressure
+	// CheckpointPath, when set, enables checkpointing to this file (written
+	// atomically). The model must define EncodeState/DecodeState.
+	CheckpointPath string
+	// CheckpointEvery writes a checkpoint after this many ingested events
+	// (0 disables automatic checkpoints; Checkpoint may still be called).
+	CheckpointEvery int64
+	// SkipEvents drops this many leading events at ingest without applying
+	// them: the resume protocol, where the producer replays the stream from
+	// the start and the server fast-forwards past what the checkpoint
+	// already covers. Load fills it from the checkpoint's event count.
+	SkipEvents int64
+	// NoDedup disables the shared window verdict cache.
+	NoDedup bool
+	// Telemetry, when non-nil, accumulates the service counters (ingested,
+	// shed, ops checked, flushes, overflows, cache hits, checkpoints).
+	Telemetry *telemetry.Collector
+	// OnVerdict, when non-nil, is called from a worker goroutine the moment
+	// a partition's verdict becomes NOT linearizable (streaming alerting).
+	OnVerdict func(PartitionVerdict)
+
+	// resume is the loaded checkpoint New restores from (set by Resume).
+	resume *Checkpoint
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) windowOps() int {
+	if c.WindowOps > 0 {
+		return c.WindowOps
+	}
+	return 128
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 1024
+}
+
+// maxWindowEvents is the soft cap above which a non-quiescing partition's
+// growing window is counted as an overflow (memory for that partition is no
+// longer bounded; correctness is preserved by keeping the events).
+func (c Config) maxWindowEvents() int { return 8 * c.windowOps() }
+
+// ErrClosed is returned by Ingest after Close.
+var ErrClosed = errors.New("serve: server is closed")
+
+// Server is one running monitoring service. Create it with New, feed it
+// through Ingest/IngestReader (and the HTTP endpoint, see StartHTTP), and
+// finish with Close, which drains the pool, judges the residual windows, and
+// returns the final per-partition verdicts.
+type Server struct {
+	cfg     Config
+	stats   monitor.Options // per-window search options with partitioning off
+	cache   *windowCache
+	workers []*worker
+
+	mu       sync.Mutex // ingest lock: tracker, routing tables, checkpoint barrier
+	tracker  *obsfile.StreamTracker
+	poisoned map[string]bool
+	skip     int64
+	routed   int64
+	shed     int64
+	sinceCp  int64
+	closed   bool
+
+	sawNamedKey     bool // some op routed to a named partition
+	sawDerivedWhole bool // the model declared some op whole-object
+
+	// Counters written by workers, read by Stats (atomics).
+	applied      atomic.Int64
+	partsCreated atomic.Int64
+	opsChecked   atomic.Int64
+	flushes      atomic.Int64
+	overflows    atomic.Int64
+	checkpoints  atomic.Int64
+	maxWindow    atomic.Int64
+	maxFrontier  atomic.Int64
+
+	httpCloser io.Closer
+}
+
+// New creates and starts a server: the worker pool runs immediately.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil || cfg.Model.Init == nil || cfg.Model.Step == nil {
+		return nil, errors.New("serve: Config.Model must define Init and Step")
+	}
+	if cfg.CheckpointPath != "" && (cfg.Model.EncodeState == nil || cfg.Model.DecodeState == nil) {
+		return nil, fmt.Errorf("serve: checkpointing model %q requires EncodeState/DecodeState", cfg.Model.Name)
+	}
+	mopts := cfg.Monitor
+	mopts.NoPartition = true // the stream is split before windowing
+	s := &Server{
+		cfg:      cfg,
+		stats:    mopts,
+		tracker:  obsfile.NewStreamTracker(),
+		poisoned: make(map[string]bool),
+		skip:     cfg.SkipEvents,
+	}
+	if !cfg.NoDedup {
+		s.cache = newWindowCache()
+	}
+	for i := 0; i < cfg.workers(); i++ {
+		s.workers = append(s.workers, &worker{
+			srv:   s,
+			ch:    make(chan workItem, cfg.queueDepth()),
+			parts: make(map[string]*part),
+			done:  make(chan struct{}),
+		})
+	}
+	// Restore before the workers run: partition state is rebuilt directly
+	// into the (not yet concurrent) worker maps.
+	if cp := cfg.resume; cp != nil {
+		if err := s.restore(cp); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range s.workers {
+		go w.loop()
+	}
+	return s, nil
+}
+
+// workItem is one unit on a worker queue: a routed event or a control
+// message (barrier, snapshot, finish).
+type workItem struct {
+	key string
+	ev  obsfile.StreamEvent
+	ctl *ctlMsg
+}
+
+type ctlKind int
+
+const (
+	ctlDrain ctlKind = iota
+	ctlSnapshot
+	ctlStatus
+	ctlFinish
+)
+
+type ctlMsg struct {
+	kind  ctlKind
+	stuck bool // ctlFinish: global stuck flag for residual windows
+	ack   chan ctlReply
+}
+
+type ctlReply struct {
+	parts []PartCheckpoint   // ctlSnapshot
+	verds []PartitionVerdict // ctlStatus / ctlFinish
+	err   error
+}
+
+// resolveKey maps an event to its partition key: an explicit "p" field wins;
+// otherwise the model's Partition function is consulted; monolithic models
+// (or whole-object operations) fall back to the single "" partition.
+func (s *Server) resolveKey(ev obsfile.StreamEvent) (string, error) {
+	key := ev.Part
+	derivedWhole := false
+	if key == "" && s.cfg.Model.Partition != nil && ev.Op != "" {
+		k, ok := s.cfg.Model.Partition(ev.Op)
+		if ok {
+			key = k
+		} else {
+			derivedWhole = true
+		}
+	}
+	// A whole-object operation observed alongside named partitions breaks
+	// P-compositionality: the batch monitor would refuse to split, so a
+	// split live stream could disagree with it. Fail stop either way round.
+	if derivedWhole {
+		s.sawDerivedWhole = true
+	} else if key != "" {
+		s.sawNamedKey = true
+	}
+	if s.sawDerivedWhole && s.sawNamedKey {
+		return "", fmt.Errorf("serve: operation %q observes the whole object but the stream is partitioned; supply explicit partition keys or a partitionable model", ev.Op)
+	}
+	return key, nil
+}
+
+// Ingest validates, routes, and (policy permitting) enqueues one raw trace
+// event. It returns a validation error for malformed events (the stream is
+// then unusable, matching the fail-stop StreamReader) and nil for shed
+// events, which are only counted.
+func (s *Server) Ingest(ev obsfile.TraceEvent) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingestLocked(ev)
+}
+
+func (s *Server) ingestLocked(ev obsfile.TraceEvent) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.skip > 0 {
+		s.skip--
+		return nil
+	}
+	line := int(s.tracker.Events() + 1) // event ordinal, for error messages
+	sev, err := s.tracker.Apply(ev, line)
+	if err != nil {
+		return err
+	}
+	if c := s.cfg.Telemetry; c != nil {
+		c.ServeEventsIngested.Add(1)
+	}
+	if sev.Stuck {
+		return s.maybeCheckpointLocked()
+	}
+	key, err := s.resolveKey(sev)
+	if err != nil {
+		return err
+	}
+	if s.poisoned[key] {
+		s.shedLocked()
+		return s.maybeCheckpointLocked()
+	}
+	w := s.workers[s.workerFor(key)]
+	item := workItem{key: key, ev: sev}
+	if s.cfg.Backpressure == ShedOnFull {
+		select {
+		case w.ch <- item:
+			s.routed++
+		default:
+			s.poisoned[key] = true
+			s.shedLocked()
+		}
+	} else {
+		w.ch <- item
+		s.routed++
+	}
+	return s.maybeCheckpointLocked()
+}
+
+func (s *Server) shedLocked() {
+	s.shed++
+	if c := s.cfg.Telemetry; c != nil {
+		c.ServeEventsShed.Add(1)
+	}
+}
+
+func (s *Server) maybeCheckpointLocked() error {
+	if s.cfg.CheckpointPath == "" || s.cfg.CheckpointEvery <= 0 {
+		return nil
+	}
+	s.sinceCp++
+	if s.sinceCp < s.cfg.CheckpointEvery {
+		return nil
+	}
+	s.sinceCp = 0
+	return s.checkpointLocked()
+}
+
+func (s *Server) workerFor(key string) int {
+	h := fnv.New32a()
+	_, _ = io.WriteString(h, key)
+	return int(h.Sum32() % uint32(len(s.workers)))
+}
+
+// IngestReader pumps a JSONL trace stream (e.g. a stdin pipe) through
+// Ingest until EOF or the first error, returning the number of raw events
+// read. Blank lines and '#' comments are skipped.
+func (s *Server) IngestReader(r io.Reader) (int64, error) {
+	sr := obsfile.NewRawReader(r)
+	var n int64
+	for {
+		ev, err := sr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+		if err := s.Ingest(ev); err != nil {
+			return n, err
+		}
+	}
+}
+
+// broadcast sends one control message to every worker and collects the
+// replies. The caller must hold s.mu (or otherwise guarantee no concurrent
+// ingest) for barrier semantics: with ingest stalled, the FIFO queues mean
+// every event routed before the control is applied before the reply.
+func (s *Server) broadcast(msg ctlMsg) ([]ctlReply, error) {
+	replies := make([]ctlReply, 0, len(s.workers))
+	for _, w := range s.workers {
+		ack := make(chan ctlReply, 1)
+		m := msg
+		m.ack = ack
+		w.ch <- workItem{ctl: &m}
+		replies = append(replies, <-ack)
+	}
+	for _, r := range replies {
+		if r.err != nil {
+			return replies, r.err
+		}
+	}
+	return replies, nil
+}
+
+// Drain blocks until every event ingested so far has been applied to its
+// partition.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	_, err := s.broadcast(ctlMsg{kind: ctlDrain})
+	return err
+}
+
+// Verdicts returns a live snapshot of the per-partition status without
+// finishing the stream: partitions that already failed report Linearizable
+// false; the rest are still in flight and report Linearizable true with
+// Final false.
+func (s *Server) Verdicts() ([]PartitionVerdict, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	replies, err := s.broadcast(ctlMsg{kind: ctlStatus})
+	if err != nil {
+		return nil, err
+	}
+	return mergeVerdicts(replies), nil
+}
+
+func mergeVerdicts(replies []ctlReply) []PartitionVerdict {
+	var out []PartitionVerdict
+	for _, r := range replies {
+		out = append(out, r.verds...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Stats is a live counter snapshot of the service.
+type Stats struct {
+	EventsIngested  int64 `json:"events_ingested"` // accepted by the tracker
+	EventsRouted    int64 `json:"events_routed"`
+	EventsShed      int64 `json:"events_shed"`
+	EventsApplied   int64 `json:"events_applied"` // folded into partition state
+	Partitions      int64 `json:"partitions"`
+	OpsChecked      int64 `json:"ops_checked"` // completed ops retired through windows
+	WindowFlushes   int64 `json:"window_flushes"`
+	WindowOverflows int64 `json:"window_overflows"`
+	CacheHits       int64 `json:"cache_hits"`
+	CacheEntries    int64 `json:"cache_entries"`
+	Checkpoints     int64 `json:"checkpoints"`
+	MaxWindowEvents int64 `json:"max_window_events"` // widest window observed
+	MaxFrontier     int64 `json:"max_frontier"`      // widest state frontier observed
+	OpenCalls       int   `json:"open_calls"`        // operations currently pending
+	Stuck           bool  `json:"stuck,omitempty"`   // the stream's stuck marker arrived
+	QueueDepths     []int `json:"queue_depths"`      // live per-worker backlog
+}
+
+// Stats snapshots the counters; safe to call concurrently with ingest.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	ingested := s.tracker.Events()
+	open := s.tracker.OpenCalls()
+	stuck := s.tracker.Stuck()
+	routed, shed := s.routed, s.shed
+	s.mu.Unlock()
+	st := Stats{
+		EventsIngested:  ingested,
+		EventsRouted:    routed,
+		EventsShed:      shed,
+		OpenCalls:       open,
+		Stuck:           stuck,
+		EventsApplied:   s.applied.Load(),
+		Partitions:      s.partsCreated.Load(),
+		OpsChecked:      s.opsChecked.Load(),
+		WindowFlushes:   s.flushes.Load(),
+		WindowOverflows: s.overflows.Load(),
+		Checkpoints:     s.checkpoints.Load(),
+		MaxWindowEvents: s.maxWindow.Load(),
+		MaxFrontier:     s.maxFrontier.Load(),
+	}
+	if s.cache != nil {
+		st.CacheHits, st.CacheEntries = s.cache.counts()
+	}
+	for _, w := range s.workers {
+		st.QueueDepths = append(st.QueueDepths, len(w.ch))
+	}
+	return st
+}
+
+// PartitionVerdict is the judgment of one partition.
+type PartitionVerdict struct {
+	Key          string `json:"partition"`
+	Linearizable bool   `json:"linearizable"`
+	Final        bool   `json:"final"`           // residual window judged (Close) or failed early
+	Shed         bool   `json:"shed,omitempty"`  // poisoned: verdict covers a gapped stream
+	Err          string `json:"error,omitempty"` // search error (state limit, unknown op, model panic)
+	Ops          int64  `json:"ops"`             // completed operations observed
+	Windows      int64  `json:"windows"`         // windows retired
+	Frontier     int    `json:"frontier"`        // frontier states at last transition
+}
+
+// Summary is the final outcome of a served stream.
+type Summary struct {
+	Verdicts     []PartitionVerdict `json:"verdicts"`
+	Stats        Stats              `json:"stats"`
+	Linearizable bool               `json:"linearizable"` // every judged partition linearizable, no errors
+}
+
+// Close finishes the service: it drains the queues, judges every residual
+// window (applying the stream's stuck marker, if any), stops the workers and
+// the HTTP endpoint, and returns the final summary. A configured checkpoint
+// file gets one last snapshot before the verdict pass so a crash during
+// shutdown still resumes.
+func (s *Server) Close() (*Summary, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.cfg.CheckpointPath != "" {
+		if err := s.checkpointLocked(); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	s.closed = true
+	stuck := s.tracker.Stuck()
+	replies, err := s.broadcast(ctlMsg{kind: ctlFinish, stuck: stuck})
+	s.mu.Unlock()
+	s.shutdownWorkers()
+	if s.httpCloser != nil {
+		_ = s.httpCloser.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	poisonedKeys := make(map[string]bool, len(s.poisoned))
+	for k := range s.poisoned {
+		poisonedKeys[k] = true
+	}
+	sum := &Summary{Verdicts: mergeVerdicts(replies), Linearizable: true}
+	for i := range sum.Verdicts {
+		v := &sum.Verdicts[i]
+		v.Shed = poisonedKeys[v.Key]
+		if v.Err != "" || (!v.Linearizable && !v.Shed) {
+			sum.Linearizable = false
+		}
+	}
+	sum.Stats = s.Stats()
+	return sum, nil
+}
+
+func (s *Server) shutdownWorkers() {
+	for _, w := range s.workers {
+		close(w.ch)
+	}
+	for _, w := range s.workers {
+		<-w.done
+	}
+}

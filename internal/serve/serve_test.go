@@ -1,0 +1,525 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lineup/internal/history"
+	"lineup/internal/monitor"
+	"lineup/internal/obsfile"
+	"lineup/internal/serve"
+	"lineup/internal/telemetry"
+)
+
+// genPartition generates a random complete single-partition register history
+// as raw trace events: results are assigned at return time by stepping a
+// live model, so the history is linearizable by construction; corrupt flips
+// one result. Threads are drawn from [base, base+threads) so several
+// partitions can interleave in one globally well-formed trace.
+func genPartition(rng *rand.Rand, key string, base, nOps int, corrupt bool) []obsfile.TraceEvent {
+	m := monitor.RegisterModel()
+	state := m.Init()
+	open := map[int]string{}
+	const threads = 3
+	var evs []obsfile.TraceEvent
+	issued := 0
+	for issued < nOps || len(open) > 0 {
+		th := base + rng.Intn(threads)
+		if op, busy := open[th]; busy && (rng.Intn(2) == 0 || issued >= nOps) {
+			res, next, err := m.Step(state, op)
+			if err != nil {
+				panic(err)
+			}
+			state = next
+			evs = append(evs, obsfile.TraceEvent{T: th, K: "ret", Op: op, Res: res})
+			delete(open, th)
+		} else if !busy && issued < nOps {
+			var op string
+			if rng.Intn(2) == 0 {
+				op = fmt.Sprintf("Write(%d)", 1+rng.Intn(3))
+			} else {
+				op = "Read()"
+			}
+			evs = append(evs, obsfile.TraceEvent{T: th, K: "call", Op: op, P: key})
+			open[th] = op
+			issued++
+		}
+	}
+	if corrupt {
+		rets := []int{}
+		for i, e := range evs {
+			if e.K == "ret" {
+				rets = append(rets, i)
+			}
+		}
+		i := rets[rng.Intn(len(rets))]
+		for _, wrong := range []string{"7", "ok"} {
+			if wrong != evs[i].Res {
+				evs[i].Res = wrong
+				break
+			}
+		}
+	}
+	return evs
+}
+
+// interleave merges per-partition event sequences into one trace, preserving
+// each partition's order.
+func interleave(rng *rand.Rand, parts [][]obsfile.TraceEvent) []obsfile.TraceEvent {
+	var out []obsfile.TraceEvent
+	pos := make([]int, len(parts))
+	for {
+		live := []int{}
+		for i := range parts {
+			if pos[i] < len(parts[i]) {
+				live = append(live, i)
+			}
+		}
+		if len(live) == 0 {
+			return out
+		}
+		i := live[rng.Intn(len(live))]
+		out = append(out, parts[i][pos[i]])
+		pos[i]++
+	}
+}
+
+// batchVerdict checks one partition's sub-history with the batch monitor.
+func batchVerdict(t *testing.T, m *monitor.Model, evs []obsfile.TraceEvent, key string) bool {
+	t.Helper()
+	tr := obsfile.NewStreamTracker()
+	h := &history.History{}
+	line := 0
+	for _, ev := range evs {
+		line++
+		sev, err := tr.Apply(ev, line)
+		if err != nil {
+			t.Fatalf("tracker: %v", err)
+		}
+		if sev.Part == key && !sev.Stuck {
+			h.Events = append(h.Events, sev.HistoryEvent())
+		}
+	}
+	out, err := monitor.Check(m, h, monitor.Options{NoPartition: true})
+	if err != nil {
+		t.Fatalf("batch Check: %v", err)
+	}
+	return out.Linearizable
+}
+
+func ingestAll(t *testing.T, s *serve.Server, evs []obsfile.TraceEvent) {
+	t.Helper()
+	for _, ev := range evs {
+		if err := s.Ingest(ev); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+}
+
+// TestServeMatchesBatch: the tentpole equivalence — for random multi-
+// partition traces (some corrupted), every partition's streaming verdict
+// equals the batch monitor's verdict on that partition's sub-history.
+func TestServeMatchesBatch(t *testing.T) {
+	m := monitor.RegisterModel()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		keys := []string{"a", "b", "c"}
+		parts := make([][]obsfile.TraceEvent, len(keys))
+		for i, k := range keys {
+			parts[i] = genPartition(rng, k, i*10, 3+rng.Intn(8), rng.Intn(2) == 1)
+		}
+		trace := interleave(rng, parts)
+		s, err := serve.New(serve.Config{Model: m, Workers: 2, WindowOps: 2})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		ingestAll(t, s, trace)
+		sum, err := s.Close()
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if len(sum.Verdicts) != len(keys) {
+			t.Fatalf("trial %d: %d verdicts, want %d", trial, len(sum.Verdicts), len(keys))
+		}
+		for i, k := range keys {
+			want := batchVerdict(t, m, trace, k)
+			var got *serve.PartitionVerdict
+			for j := range sum.Verdicts {
+				if sum.Verdicts[j].Key == k {
+					got = &sum.Verdicts[j]
+				}
+			}
+			if got == nil {
+				t.Fatalf("trial %d: no verdict for partition %q", trial, k)
+			}
+			if got.Err != "" {
+				t.Fatalf("trial %d partition %q: error %q", trial, k, got.Err)
+			}
+			if got.Linearizable != want {
+				t.Fatalf("trial %d partition %q: serve says %v, batch says %v\nsub-history ops=%d",
+					trial, k, got.Linearizable, want, len(parts[i])/2)
+			}
+		}
+	}
+}
+
+// TestServeModelDerivedPartition: without explicit keys, routing falls back
+// to the model's Partition function (set model: per-value keys).
+func TestServeModelDerivedPartition(t *testing.T) {
+	s, err := serve.New(serve.Config{Model: monitor.SetModel(), WindowOps: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ingestAll(t, s, []obsfile.TraceEvent{
+		{T: 0, K: "call", Op: "Add(1)"}, {T: 0, K: "ret", Op: "Add(1)", Res: "true"},
+		{T: 1, K: "call", Op: "Add(2)"}, {T: 1, K: "ret", Op: "Add(2)", Res: "true"},
+		{T: 0, K: "call", Op: "Contains(1)"}, {T: 0, K: "ret", Op: "Contains(1)", Res: "true"},
+	})
+	sum, err := s.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !sum.Linearizable || len(sum.Verdicts) != 2 {
+		t.Fatalf("got linearizable=%v verdicts=%v, want true with partitions 1 and 2", sum.Linearizable, sum.Verdicts)
+	}
+}
+
+// TestServeWholeObjectOpRejected: a whole-object observer (set Count) on a
+// stream already split into named partitions breaks P-compositionality and
+// must fail ingest, not silently misjudge.
+func TestServeWholeObjectOpRejected(t *testing.T) {
+	s, err := serve.New(serve.Config{Model: monitor.SetModel()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Ingest(obsfile.TraceEvent{T: 0, K: "call", Op: "Add(1)"}); err != nil {
+		t.Fatalf("keyed op: %v", err)
+	}
+	err = s.Ingest(obsfile.TraceEvent{T: 1, K: "call", Op: "Count()"})
+	if err == nil || !strings.Contains(err.Error(), "whole object") {
+		t.Fatalf("Count() on a partitioned stream: err=%v, want whole-object rejection", err)
+	}
+	_, _ = s.Close()
+}
+
+// slowModel wraps the register model with a per-Step delay so the test can
+// outrun the checker and force backpressure.
+func slowModel(d time.Duration) *monitor.Model {
+	m := monitor.RegisterModel()
+	step := m.Step
+	m.Step = func(state any, op string) (string, any, error) {
+		time.Sleep(d)
+		return step(state, op)
+	}
+	return m
+}
+
+// TestServeShedAccounting: under the shed policy every ingested event is
+// accounted for — routed + shed equals the tracker's accepted count, sheds
+// are counted, and a shed partition is reported Shed rather than judged.
+func TestServeShedAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	keys := []string{"a", "b", "c", "d"}
+	parts := make([][]obsfile.TraceEvent, len(keys))
+	for i, k := range keys {
+		parts[i] = genPartition(rng, k, i*10, 40, false)
+	}
+	trace := interleave(rng, parts)
+	col := telemetry.New()
+	s, err := serve.New(serve.Config{
+		Model:        slowModel(2 * time.Millisecond),
+		Workers:      2,
+		WindowOps:    1,
+		QueueDepth:   4,
+		Backpressure: serve.ShedOnFull,
+		NoDedup:      true, // cache hits would defeat the slow model
+		Telemetry:    col,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ingestAll(t, s, trace)
+	sum, err := s.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := sum.Stats
+	if st.EventsIngested != int64(len(trace)) {
+		t.Fatalf("ingested %d, want %d", st.EventsIngested, len(trace))
+	}
+	if st.EventsRouted+st.EventsShed != st.EventsIngested {
+		t.Fatalf("accounting: routed %d + shed %d != ingested %d", st.EventsRouted, st.EventsShed, st.EventsIngested)
+	}
+	if st.EventsApplied != st.EventsRouted {
+		t.Fatalf("after close: applied %d != routed %d", st.EventsApplied, st.EventsRouted)
+	}
+	if st.EventsShed == 0 {
+		t.Fatal("expected sheds with a slow model and queue depth 4")
+	}
+	snap := col.Snapshot()
+	if snap.ServeEventsShed != st.EventsShed || snap.ServeEventsIngested != st.EventsIngested {
+		t.Fatalf("telemetry mirror: %+v vs stats %+v", snap, st)
+	}
+	shedParts := 0
+	for _, v := range sum.Verdicts {
+		if v.Shed {
+			shedParts++
+		}
+	}
+	if shedParts == 0 {
+		t.Fatal("no partition reported Shed")
+	}
+}
+
+// TestServeBlockNeverSheds: the block policy stalls the producer instead of
+// dropping; every event is applied.
+func TestServeBlockNeverSheds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	trace := interleave(rng, [][]obsfile.TraceEvent{
+		genPartition(rng, "a", 0, 30, false),
+		genPartition(rng, "b", 10, 30, false),
+	})
+	s, err := serve.New(serve.Config{
+		Model:      slowModel(time.Millisecond),
+		Workers:    2,
+		WindowOps:  1,
+		QueueDepth: 2,
+		NoDedup:    true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ingestAll(t, s, trace)
+	sum, err := s.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := sum.Stats
+	if st.EventsShed != 0 || st.EventsApplied != int64(len(trace)) {
+		t.Fatalf("block policy: shed=%d applied=%d want 0/%d", st.EventsShed, st.EventsApplied, len(trace))
+	}
+	if !sum.Linearizable {
+		t.Fatalf("linearizable trace judged %v", sum.Verdicts)
+	}
+}
+
+// TestServeBoundedWindow: a long linearizable stream is retired window by
+// window — the widest window observed stays within the configured bound
+// instead of growing with the stream.
+func TestServeBoundedWindow(t *testing.T) {
+	m := monitor.QueueModel()
+	s, err := serve.New(serve.Config{Model: m, Workers: 1, WindowOps: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 2000; i++ {
+		op := fmt.Sprintf("Enqueue(%d)", i%5)
+		if err := s.Ingest(obsfile.TraceEvent{T: 0, K: "call", Op: op}); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+		if err := s.Ingest(obsfile.TraceEvent{T: 0, K: "ret", Op: op, Res: "ok"}); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+	sum, err := s.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !sum.Linearizable {
+		t.Fatalf("sequential enqueue stream judged %+v", sum.Verdicts)
+	}
+	if sum.Stats.WindowFlushes < 100 {
+		t.Fatalf("window flushes = %d, want many", sum.Stats.WindowFlushes)
+	}
+	// Serial stream: quiescent after every return, so windows retire right
+	// at the threshold (2*8 events) and never approach the overflow cap.
+	if sum.Stats.MaxWindowEvents > 2*8 {
+		t.Fatalf("max window = %d events, want <= 16", sum.Stats.MaxWindowEvents)
+	}
+	if sum.Stats.WindowOverflows != 0 {
+		t.Fatalf("overflows = %d, want 0", sum.Stats.WindowOverflows)
+	}
+}
+
+// TestServeCheckpointResume: checkpoint mid-stream, abandon the server, and
+// resume a fresh one over the replayed stream — the final verdicts must be
+// identical to an uninterrupted run (one partition is corrupted on purpose).
+func TestServeCheckpointResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	keys := []string{"a", "b", "c"}
+	parts := make([][]obsfile.TraceEvent, len(keys))
+	for i, k := range keys {
+		parts[i] = genPartition(rng, k, i*10, 20, i == 1)
+	}
+	trace := interleave(rng, parts)
+	m := monitor.RegisterModel()
+
+	uninterrupted, err := serve.New(serve.Config{Model: m, Workers: 2, WindowOps: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ingestAll(t, uninterrupted, trace)
+	wantSum, err := uninterrupted.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	cpPath := filepath.Join(t.TempDir(), "serve.ckpt")
+	first, err := serve.New(serve.Config{Model: m, Workers: 2, WindowOps: 2, CheckpointPath: cpPath})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cut := len(trace) / 2
+	ingestAll(t, first, trace[:cut])
+	if err := first.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Abandon `first` without Close: the crash. (Its goroutines drain idle.)
+
+	cfg, err := serve.Resume(serve.Config{Model: m, Workers: 2, WindowOps: 2, CheckpointPath: cpPath})
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if cfg.SkipEvents != int64(cut) {
+		t.Fatalf("SkipEvents = %d, want %d", cfg.SkipEvents, cut)
+	}
+	resumed, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("New(resumed): %v", err)
+	}
+	ingestAll(t, resumed, trace) // full replay; the first half is skipped
+	gotSum, err := resumed.Close()
+	if err != nil {
+		t.Fatalf("Close(resumed): %v", err)
+	}
+
+	if len(gotSum.Verdicts) != len(wantSum.Verdicts) {
+		t.Fatalf("verdict count: got %d want %d", len(gotSum.Verdicts), len(wantSum.Verdicts))
+	}
+	for i := range wantSum.Verdicts {
+		w, g := wantSum.Verdicts[i], gotSum.Verdicts[i]
+		if w.Key != g.Key || w.Linearizable != g.Linearizable || w.Err != g.Err || w.Ops != g.Ops {
+			t.Fatalf("verdict %d differs after resume:\nuninterrupted: %+v\nresumed:       %+v", i, w, g)
+		}
+	}
+	if gotSum.Linearizable != wantSum.Linearizable {
+		t.Fatalf("summary verdict: got %v want %v", gotSum.Linearizable, wantSum.Linearizable)
+	}
+}
+
+// TestServeDedupCacheShares: many partitions running an identical workload
+// share window transitions through the dedup cache.
+func TestServeDedupCacheShares(t *testing.T) {
+	m := monitor.RegisterModel()
+	col := telemetry.New()
+	s, err := serve.New(serve.Config{Model: m, Workers: 2, WindowOps: 1, Telemetry: col})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for p := 0; p < 16; p++ {
+		key := fmt.Sprintf("k%02d", p)
+		th := p
+		for i := 0; i < 4; i++ {
+			ingestAll(t, s, []obsfile.TraceEvent{
+				{T: th, K: "call", Op: "Write(1)", P: key},
+				{T: th, K: "ret", Op: "Write(1)", Res: "ok"},
+			})
+		}
+	}
+	sum, err := s.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !sum.Linearizable {
+		t.Fatalf("verdicts: %+v", sum.Verdicts)
+	}
+	if sum.Stats.CacheHits == 0 {
+		t.Fatalf("cache hits = 0 across 16 identical partitions (entries %d)", sum.Stats.CacheEntries)
+	}
+	if sum.Stats.CacheEntries >= sum.Stats.WindowFlushes {
+		t.Fatalf("entries %d not smaller than flushes %d", sum.Stats.CacheEntries, sum.Stats.WindowFlushes)
+	}
+}
+
+// TestServeHTTPIngest: the HTTP transport shares the global tracker — a
+// batch posted over HTTP lands in the same partitions, and /stats and
+// /verdicts serve live JSON.
+func TestServeHTTPIngest(t *testing.T) {
+	s, err := serve.New(serve.Config{Model: monitor.RegisterModel(), WindowOps: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr, err := s.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartHTTP: %v", err)
+	}
+	body := strings.Join([]string{
+		`{"t":0,"k":"call","op":"Write(5)","p":"x"}`,
+		`{"t":0,"k":"ret","op":"Write(5)","res":"ok"}`,
+		`{"t":0,"k":"call","op":"Read()","p":"x"}`,
+		`{"t":0,"k":"ret","op":"Read()","res":"5"}`,
+	}, "\n")
+	resp, err := http.Post("http://"+addr+"/ingest", "application/jsonl", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /ingest: %v", err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(out, []byte(`"ingested":4`)) {
+		t.Fatalf("POST /ingest: status %d body %q", resp.StatusCode, out)
+	}
+	resp, err = http.Get("http://" + addr + "/verdicts")
+	if err != nil {
+		t.Fatalf("GET /verdicts: %v", err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(out, []byte(`"partition": "x"`)) {
+		t.Fatalf("GET /verdicts: %s", out)
+	}
+	resp, err = http.Get("http://" + addr + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(out, []byte(`"events_ingested": 4`)) {
+		t.Fatalf("GET /stats: %s", out)
+	}
+	sum, err := s.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !sum.Linearizable {
+		t.Fatalf("verdicts: %+v", sum.Verdicts)
+	}
+	// The endpoint is down after Close.
+	if _, err := http.Get("http://" + addr + "/stats"); err == nil {
+		t.Fatal("HTTP endpoint still serving after Close")
+	}
+}
+
+// TestServeMalformedStreamFailsStop: a bad event fails ingest without
+// wedging the pool, and Close still works.
+func TestServeMalformedStreamFailsStop(t *testing.T) {
+	s, err := serve.New(serve.Config{Model: monitor.RegisterModel()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Ingest(obsfile.TraceEvent{T: 0, K: "ret", Res: "ok"}); err == nil {
+		t.Fatal("return without open call ingested")
+	}
+	if _, err := s.IngestReader(strings.NewReader("{not json\n")); err == nil {
+		t.Fatal("malformed JSON ingested")
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatalf("Close after errors: %v", err)
+	}
+}

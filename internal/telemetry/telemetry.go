@@ -60,6 +60,15 @@ type Collector struct {
 	MonitorMemoHits atomic.Int64 // WGL nodes pruned by the seen-set
 	MonitorParts    atomic.Int64 // P-compositional parts searched
 
+	// Streaming-service counters (package serve).
+	ServeEventsIngested  atomic.Int64 // events accepted by the stream tracker
+	ServeEventsShed      atomic.Int64 // events dropped by the shed backpressure policy
+	ServeOpsChecked      atomic.Int64 // completed operations retired through windows
+	ServeWindowFlushes   atomic.Int64 // quiescent windows retired
+	ServeWindowOverflows atomic.Int64 // windows that outgrew the soft cap without quiescing
+	ServeCacheHits       atomic.Int64 // window transitions answered by the dedup cache
+	ServeCheckpoints     atomic.Int64 // checkpoints written
+
 	mu     sync.Mutex
 	spans  []Span
 	open   map[string]time.Time
@@ -168,6 +177,14 @@ type Snap struct {
 	WitnessNodes      int64 `json:"witness_nodes"`
 	MonitorMemoHits   int64 `json:"monitor_memo_hits"`
 	MonitorParts      int64 `json:"monitor_parts"`
+
+	ServeEventsIngested  int64 `json:"serve_events_ingested,omitempty"`
+	ServeEventsShed      int64 `json:"serve_events_shed,omitempty"`
+	ServeOpsChecked      int64 `json:"serve_ops_checked,omitempty"`
+	ServeWindowFlushes   int64 `json:"serve_window_flushes,omitempty"`
+	ServeWindowOverflows int64 `json:"serve_window_overflows,omitempty"`
+	ServeCacheHits       int64 `json:"serve_cache_hits,omitempty"`
+	ServeCheckpoints     int64 `json:"serve_checkpoints,omitempty"`
 }
 
 // Snapshot copies every counter; on a nil collector it returns zeros.
@@ -193,5 +210,13 @@ func (c *Collector) Snapshot() Snap {
 		WitnessNodes:      c.WitnessNodes.Load(),
 		MonitorMemoHits:   c.MonitorMemoHits.Load(),
 		MonitorParts:      c.MonitorParts.Load(),
+
+		ServeEventsIngested:  c.ServeEventsIngested.Load(),
+		ServeEventsShed:      c.ServeEventsShed.Load(),
+		ServeOpsChecked:      c.ServeOpsChecked.Load(),
+		ServeWindowFlushes:   c.ServeWindowFlushes.Load(),
+		ServeWindowOverflows: c.ServeWindowOverflows.Load(),
+		ServeCacheHits:       c.ServeCacheHits.Load(),
+		ServeCheckpoints:     c.ServeCheckpoints.Load(),
 	}
 }

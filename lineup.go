@@ -8,6 +8,7 @@ import (
 	"lineup/internal/monitor"
 	"lineup/internal/obsfile"
 	"lineup/internal/sched"
+	"lineup/internal/serve"
 	"lineup/internal/telemetry"
 )
 
@@ -238,3 +239,75 @@ func WriteTraceFile(path string, h *History) error { return obsfile.WriteTraceFi
 func LoadRandomCheckpoint(path string) (*RandomCheckpoint, error) {
 	return core.LoadRandomCheckpoint(path)
 }
+
+// Streaming-service vocabulary, re-exported from internal/serve and the
+// streaming half of internal/obsfile: a long-running monitor that ingests
+// live JSONL history events, routes them by partition key to a worker pool,
+// and checks each partition incrementally in bounded memory, with verdicts
+// identical to batch CheckHistory on the same trace.
+type (
+	// StreamEvent is one validated, partition-resolved event of a live
+	// JSONL history stream.
+	StreamEvent = obsfile.StreamEvent
+	// StreamReader incrementally parses and validates a JSONL history
+	// stream event by event, in constant memory.
+	StreamReader = obsfile.StreamReader
+	// Incremental checks a single partition window by window, carrying the
+	// full frontier of witness states so windowed verdicts equal batch ones.
+	Incremental = monitor.Incremental
+	// ServeConfig configures NewServer.
+	ServeConfig = serve.Config
+	// ServeServer is the running streaming-monitoring service.
+	ServeServer = serve.Server
+	// ServeStats is a live counter snapshot of a ServeServer.
+	ServeStats = serve.Stats
+	// ServeSummary is the final report of a drained ServeServer.
+	ServeSummary = serve.Summary
+	// PartitionVerdict is one partition's judgment.
+	PartitionVerdict = serve.PartitionVerdict
+	// ServeCheckpoint is the resumable on-disk state of a ServeServer
+	// (ServeConfig.CheckpointPath / ResumeServer).
+	ServeCheckpoint = serve.Checkpoint
+	// Backpressure selects the full-queue policy of ServeConfig.
+	Backpressure = serve.Backpressure
+)
+
+// Backpressure policies for ServeConfig.Backpressure.
+const (
+	// BlockOnFull stalls the producer until the worker catches up.
+	BlockOnFull = serve.BlockOnFull
+	// ShedOnFull drops the event and poisons its partition: the partition's
+	// verdict is withheld rather than silently computed on a gapped history.
+	ShedOnFull = serve.ShedOnFull
+)
+
+// ParseBackpressure parses the CLI spelling ("block" or "shed") of a
+// backpressure policy.
+func ParseBackpressure(s string) (Backpressure, error) { return serve.ParseBackpressure(s) }
+
+// NewStreamReader wraps a live JSONL history stream (a pipe, a socket) for
+// incremental event-by-event reading; errors are sticky and agree exactly
+// with batch ReadTrace on the same bytes.
+func NewStreamReader(r io.Reader) *StreamReader { return obsfile.NewStreamReader(r) }
+
+// NewIncremental creates a windowed incremental checker for one partition's
+// event stream; feed it quiescent windows with ExtendComplete and judge the
+// residual with Finish.
+func NewIncremental(m *Model, opts MonitorOptions) (*Incremental, error) {
+	return monitor.NewIncremental(m, opts)
+}
+
+// NewServer starts the streaming monitoring service ('lineup serve' as a
+// library): Ingest events as they happen, read Verdicts live, Close for the
+// final summary.
+func NewServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cfg) }
+
+// ResumeServer loads cfg.CheckpointPath and returns a config that resumes
+// the checkpointed run: pass it to NewServer, then replay the stream from
+// the beginning — the first ServeConfig.SkipEvents already-checked events
+// are skipped.
+func ResumeServer(cfg ServeConfig) (ServeConfig, error) { return serve.Resume(cfg) }
+
+// LoadServeCheckpoint reads a service checkpoint written via
+// ServeConfig.CheckpointPath.
+func LoadServeCheckpoint(path string) (*ServeCheckpoint, error) { return serve.Load(path) }
