@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check check-race build vet test race serve-smoke bench bench-reduction bench-serve bench-telemetry fuzz clean
+.PHONY: check check-race build vet test race serve-smoke subjects-smoke bench bench-reduction bench-serve bench-telemetry bench-generate fuzz clean
 
-check: build vet test serve-smoke fuzz
+check: build vet test serve-smoke subjects-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -29,13 +29,23 @@ race:
 serve-smoke:
 	$(GO) test -race -run 'TestServe' ./internal/serve ./internal/bench
 
+# Race-enabled smoke of the Go-native subject corpus: the directed
+# strict/Pre/Relaxed verdict tests for every family under the real Go race
+# detector, so a corpus subject whose synchronization is broken at the Go
+# level (not just at the modeled vsync level) fails loudly. Part of
+# `make check`.
+subjects-smoke:
+	$(GO) test -race -run 'TestRegistry|TestStrictSubjectsPass|TestPreSubjectsFail|TestRelaxedSubjects' ./internal/subjects
+
 # Short coverage-guided fuzz pass over the external input parsers (the batch
-# JSONL trace reader and the incremental stream reader); the seed corpus plus
-# a few seconds of mutation on every `make check` keeps crash regressions out
-# of the hot parsing path.
+# JSONL trace reader and the incremental stream reader) and the test-matrix
+# mutator (well-formedness + schedule replayability of every mutant); the
+# seed corpus plus a few seconds of mutation on every `make check` keeps
+# crash regressions out of the hot paths.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=5s ./internal/obsfile
 	$(GO) test -run='^$$' -fuzz=FuzzStreamReader -fuzztime=5s ./internal/obsfile
+	$(GO) test -run='^$$' -fuzz=FuzzMutate -fuzztime=5s ./internal/core
 
 # Full race-enabled pass over every package (much slower than `race`;
 # exercises the prefix-sharded parallel explorer end to end). The bench
@@ -72,6 +82,15 @@ bench-serve:
 # without writing if enabling the collector changes any verdict or count.
 bench-telemetry:
 	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestTelemetryOverheadBaseline -v -timeout=30m ./internal/bench
+
+# Regenerate the kind=="generate" rows of BENCH_lineup.json: coverage-guided
+# generation vs uniform random sampling on every defect-seeded subject of the
+# Go-native corpus, same seed and test budget, recording tests-to-first-
+# violation and wall time. Fails without writing if the guided strategy
+# misses any seeded bug within the budget. The quick smoke subset of the same
+# test runs on every `make check` via `go test ./...`.
+bench-generate:
+	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestGenerateBaseline -v -timeout=30m ./internal/bench
 
 clean:
 	$(GO) clean ./...

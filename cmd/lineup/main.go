@@ -24,6 +24,7 @@ import (
 	"lineup/internal/monitor"
 	"lineup/internal/obsfile"
 	"lineup/internal/sched"
+	"lineup/internal/subjects"
 )
 
 // command is one subcommand of the CLI; the commands table drives both
@@ -45,6 +46,7 @@ var commands = []command{
 	{"table2", "[flags]", "evaluation results (Table 2)", cmdTable2},
 	{"causes", "[-v]", "directed minimal test per root cause A..L", cmdCauses},
 	{"check", "-class NAME [flags]", "RandomCheck one class", cmdCheck},
+	{"generate", "-class NAME [flags]", "coverage-guided test generation against one class", cmdGenerate},
 	{"monitor", "-trace FILE -model NAME [flags]", "check a recorded JSONL history trace against a model", cmdMonitor},
 	{"serve", "-model NAME [flags]", "stream live JSONL history events through the sharded incremental checker", cmdServe},
 	{"fig1", "", "the Fig. 1 queue violation", noArgs(cmdFig1)},
@@ -126,6 +128,11 @@ func cmdList(args []string) error {
 		if e.Pre != nil {
 			fmt.Println(e.Pre.Name)
 		}
+	}
+	for _, e := range subjects.Registry() {
+		fmt.Println(e.Subject.Name)
+		fmt.Println(e.Pre.Name)
+		fmt.Println(e.Relaxed.Name)
 	}
 	return nil
 }
@@ -344,11 +351,10 @@ func cmdCheck(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sub, entry, ok := bench.Find(*class)
+	sub, pb, ok := findSubject(*class)
 	if !ok {
 		return fmt.Errorf("unknown class %q (try 'lineup list')", *class)
 	}
-	pb := entry.Bound
 	if *bound != 0 {
 		pb = *bound
 	}
@@ -433,6 +439,101 @@ func cmdCheck(args []string) error {
 		} else {
 			fmt.Println(indent(sum.FirstFailure.Violation.String()))
 		}
+	}
+	return nil
+}
+
+// findSubject resolves a class name against both registries: the Go-native
+// subject corpus (internal/subjects — correct, (Pre) and (Relaxed) variants)
+// and the Table 1 classes. It returns the subject and its class's default
+// preemption bound.
+func findSubject(name string) (*core.Subject, int, bool) {
+	for _, e := range subjects.Registry() {
+		for _, sub := range []*core.Subject{e.Subject, e.Pre, e.Relaxed} {
+			if sub != nil && sub.Name == name {
+				return sub, e.Bound, true
+			}
+		}
+	}
+	if sub, entry, ok := bench.Find(name); ok {
+		return sub, entry.Bound, true
+	}
+	return nil, 0, false
+}
+
+// cmdGenerate runs coverage-guided test generation against one class: starting
+// from the smallest pairwise tests over the invocation universe, it mutates
+// corpus entries and keeps every mutant that touches a new (memory-kind,
+// location) pair or produces a new phase-2 history, until a violation is found
+// or the budget runs out. The seed is echoed in all output so any violation is
+// reproducible bit-for-bit.
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	class := fs.String("class", "", "class name (see 'lineup list')")
+	seed := fs.Int64("seed", 1, "mutation seed (same seed + same class = same run)")
+	budget := fs.Int("budget", 600, "maximum number of generated tests to check")
+	corpusDir := fs.String("corpus-dir", "", "persist the accepted corpus as JSON files in DIR")
+	bound := fs.Int("pb", 0, "preemption bound (0 = class default)")
+	maxThreads := fs.Int("max-threads", 3, "maximum threads per generated test")
+	maxOps := fs.Int("max-ops", 3, "maximum invocations per thread")
+	consistencySpec := fs.String("consistency", "", "correctness criterion: linearizable (default), sequential, quiescent")
+	keepGoing := fs.Bool("keep-going", false, "spend the whole budget even after a violation")
+	tflags := addTelemetryFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sub, pb, ok := findSubject(*class)
+	if !ok {
+		return fmt.Errorf("unknown class %q (try 'lineup list')", *class)
+	}
+	if *bound != 0 {
+		pb = *bound
+	}
+	cons, err := core.ParseConsistency(*consistencySpec)
+	if err != nil {
+		return err
+	}
+	tr, err := tflags.start("generate " + sub.Name)
+	if err != nil {
+		return err
+	}
+	gopts := core.GenOptions{
+		Options: core.Options{
+			PreemptionBound: pb,
+			Consistency:     cons,
+			Telemetry:       tr.C,
+		},
+		Seed:       *seed,
+		Budget:     *budget,
+		MaxThreads: *maxThreads,
+		MaxOps:     *maxOps,
+		CorpusDir:  *corpusDir,
+		KeepGoing:  *keepGoing,
+	}
+	if tr.Prog != nil {
+		tr.Prog.SetTotal(*budget)
+		gopts.Progress = func(done, total int) { tr.Prog.SetUnits(done, total) }
+	}
+	res, err := core.Generate(sub, gopts)
+	if err = tr.finishAfter(err); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d tests generated (seed=%d, PB=%d), %d accepted into the corpus\n",
+		sub.Name, res.Tests, res.Seed, pb, res.Accepted)
+	fmt.Printf("coverage: %d (kind,loc) pairs, %d distinct phase-2 histories; corpus size %d\n",
+		res.CoveragePairs, res.CoverageHists, res.CorpusSize)
+	if *corpusDir != "" {
+		fmt.Printf("corpus persisted to %s\n", *corpusDir)
+	}
+	if res.Failed != nil {
+		fmt.Printf("\nviolation found at test %d of %d (seed=%d — rerun with -seed %d to reproduce):\n",
+			res.TestsToFailure, res.Tests, res.Seed, res.Seed)
+		fmt.Println(indent(res.Failed.Test.String()))
+		fmt.Println(indent(res.Failed.Violation.String()))
+		return errViolation
+	}
+	if res.Exhausted {
+		fmt.Printf("no violation within the budget (seed=%d); the class may still be incorrect\n", res.Seed)
 	}
 	return nil
 }
@@ -844,7 +945,7 @@ func cmdRecord(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sub, _, ok := bench.Find(*class)
+	sub, _, ok := findSubject(*class)
 	if !ok {
 		return fmt.Errorf("unknown class %q (try 'lineup list')", *class)
 	}
@@ -881,7 +982,7 @@ func cmdVerify(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sub, _, ok := bench.Find(*class)
+	sub, _, ok := findSubject(*class)
 	if !ok {
 		return fmt.Errorf("unknown class %q (try 'lineup list')", *class)
 	}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"lineup/internal/core"
+	"lineup/internal/subjects"
+	"lineup/internal/telemetry"
+)
+
+// GenerateRow is one time-to-first-violation measurement on a defect-seeded
+// subject from the Go-native corpus: how many tests one generation strategy
+// needed before it hit the seeded bug, and what it cost.
+type GenerateRow struct {
+	Class string
+	// Mode is "guided" (coverage-guided mutation, core.Generate) or "random"
+	// (uniform 3×3 sampling, core.RandomCheck with StopAtFirstFailure).
+	Mode   string
+	Seed   int64
+	Budget int
+	Bound  int
+	// Found reports whether the seeded bug was hit within the budget;
+	// TestsToViolation is the 1-based index of the first failing test (0 if
+	// not found). Tests is the number of tests actually checked.
+	Found            bool
+	TestsToViolation int
+	Tests            int
+	// Guided-only coverage accounting (zero for random rows).
+	CorpusSize int
+	CovPairs   int
+	CovHists   int
+	Wall       time.Duration
+}
+
+// GenerateOptions parameterizes RunGenerate.
+type GenerateOptions struct {
+	// Classes restricts the run to these corpus families (empty = all).
+	Classes []string
+	// Seed drives both the mutation stream and the random sampler, so the
+	// two modes are compared on the same randomness budget.
+	Seed int64
+	// Budget is the per-subject test budget for both modes (default 600).
+	Budget int
+	// SkipRandom drops the random-sampling baseline rows (the smoke gate
+	// only exercises the guided machinery).
+	SkipRandom bool
+	// Telemetry, when non-nil, is shared by every measured run.
+	Telemetry *telemetry.Collector
+}
+
+func (o GenerateOptions) wants(name string) bool {
+	if len(o.Classes) == 0 {
+		return true
+	}
+	for _, c := range o.Classes {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunGenerate measures coverage-guided generation against uniform random
+// sampling on the defect-seeded subjects of the Go-native corpus
+// (internal/subjects): for each family it runs both strategies from the same
+// seed with the same test budget against the (Pre) variant and records the
+// tests-to-first-violation. The guided rows also record the final corpus and
+// coverage sizes, so regressions in the coverage signal show up as budget
+// blow-ups in the committed baseline.
+func RunGenerate(opts GenerateOptions, progress func(string)) ([]GenerateRow, error) {
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = 600
+	}
+	var rows []GenerateRow
+	for _, e := range subjects.Registry() {
+		if !opts.wants(e.Name) {
+			continue
+		}
+		checkOpts := core.Options{PreemptionBound: e.Bound, Telemetry: opts.Telemetry}
+
+		if progress != nil {
+			progress(fmt.Sprintf("%s guided seed=%d budget=%d", e.Pre.Name, opts.Seed, budget))
+		}
+		start := time.Now()
+		g, err := core.Generate(e.Pre, core.GenOptions{
+			Options: checkOpts,
+			Seed:    opts.Seed,
+			Budget:  budget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: generate %s: %w", e.Pre.Name, err)
+		}
+		rows = append(rows, GenerateRow{
+			Class: e.Pre.Name, Mode: "guided",
+			Seed: opts.Seed, Budget: budget, Bound: e.Bound,
+			Found:            g.Failed != nil,
+			TestsToViolation: g.TestsToFailure,
+			Tests:            g.Tests,
+			CorpusSize:       g.CorpusSize,
+			CovPairs:         g.CoveragePairs,
+			CovHists:         g.CoverageHists,
+			Wall:             time.Since(start),
+		})
+
+		if opts.SkipRandom {
+			continue
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("%s random seed=%d budget=%d", e.Pre.Name, opts.Seed, budget))
+		}
+		start = time.Now()
+		sum, err := core.RandomCheck(e.Pre, nil, core.RandomOptions{
+			Options: checkOpts,
+			Rows:    3, Cols: 3,
+			Samples:            budget,
+			Seed:               opts.Seed,
+			StopAtFirstFailure: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: random %s: %w", e.Pre.Name, err)
+		}
+		row := GenerateRow{
+			Class: e.Pre.Name, Mode: "random",
+			Seed: opts.Seed, Budget: budget, Bound: e.Bound,
+			Found: sum.FirstFailure != nil,
+			Tests: sum.Passed + sum.Failed,
+			Wall:  time.Since(start),
+		}
+		if row.Found {
+			// Sequential + stop-at-first-failure: the failing test is the
+			// last one checked.
+			row.TestsToViolation = row.Tests
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteGenerate renders guided-vs-random time-to-first-violation rows.
+func WriteGenerate(w io.Writer, rows []GenerateRow) {
+	fmt.Fprintf(w, "%-22s %-7s %5s %7s %3s | %6s %9s %7s | %7s %6s %6s | %9s\n",
+		"Class", "mode", "seed", "budget", "PB", "found", "tests2bug", "tests", "corpus", "pairs", "hists", "wall")
+	fmt.Fprintln(w, strings.Repeat("-", 118))
+	for _, r := range rows {
+		found := "yes"
+		t2b := fmt.Sprint(r.TestsToViolation)
+		if !r.Found {
+			found, t2b = "NO", "-"
+		}
+		corpus, pairs, hists := "-", "-", "-"
+		if r.Mode == "guided" {
+			corpus, pairs, hists = fmt.Sprint(r.CorpusSize), fmt.Sprint(r.CovPairs), fmt.Sprint(r.CovHists)
+		}
+		fmt.Fprintf(w, "%-22s %-7s %5d %7d %3d | %6s %9s %7d | %7s %6s %6s | %9s\n",
+			r.Class, r.Mode, r.Seed, r.Budget, r.Bound,
+			found, t2b, r.Tests, corpus, pairs, hists, round(r.Wall))
+	}
+}
+
+// GenerateJSON converts generation rows to JSON records.
+func GenerateJSON(rows []GenerateRow) []JSONRow {
+	out := make([]JSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, JSONRow{
+			Kind:             "generate",
+			Class:            r.Class,
+			Mode:             r.Mode,
+			Seed:             r.Seed,
+			Budget:           r.Budget,
+			PB:               r.Bound,
+			Tests:            r.Tests,
+			TestsToViolation: r.TestsToViolation,
+			Failed:           btoi(r.Found),
+			CorpusSize:       r.CorpusSize,
+			CovPairs:         r.CovPairs,
+			CovHists:         r.CovHists,
+			WallMS:           float64(r.Wall) / float64(time.Millisecond),
+		})
+	}
+	return out
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lineup/internal/subjects"
+	"lineup/internal/telemetry"
+)
+
+func generateKey(r JSONRow) string {
+	return fmt.Sprintf("%s|%s", r.Class, r.Mode)
+}
+
+// TestGenerateBaseline is the coverage-guided-generation gate. The smoke mode
+// (every `make check`) runs the guided strategy only, on the two cheapest
+// corpus families with a small budget, and requires it to find the seeded
+// bugs — the machinery check. With LINEUP_BENCH_FULL=1 (the `make
+// bench-generate` entry point) it measures guided vs random on every corpus
+// family with the full budget and requires the guided rows to find every
+// seeded bug. With LINEUP_UPDATE_BENCH=1 the measured rows are merged into
+// BENCH_lineup.json.
+func TestGenerateBaseline(t *testing.T) {
+	tel := telemetry.New()
+	opts := GenerateOptions{
+		Classes:    []string{"Pipeline", "ShardedMap"},
+		Seed:       1,
+		Budget:     200,
+		SkipRandom: true,
+		Telemetry:  tel,
+	}
+	full := os.Getenv("LINEUP_BENCH_FULL") == "1"
+	if full {
+		opts = GenerateOptions{Seed: 1, Budget: 600, Telemetry: tel}
+	}
+	rows, err := RunGenerate(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(opts.Classes)
+	if full {
+		want = 2 * len(subjects.Registry()) // guided + random per corpus family
+	}
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		t.Logf("%s %s seed=%d budget=%d: found=%v tests-to-violation=%d (%d tests, %v)",
+			r.Class, r.Mode, r.Seed, r.Budget, r.Found, r.TestsToViolation, r.Tests, r.Wall)
+		if r.Mode == "guided" && !r.Found {
+			t.Errorf("%s: guided generation missed the seeded bug within %d tests", r.Class, r.Budget)
+		}
+		if r.Mode == "guided" && (r.CovPairs == 0 || r.CovHists == 0) {
+			t.Errorf("%s: guided run accumulated no coverage (%d pairs, %d hists)", r.Class, r.CovPairs, r.CovHists)
+		}
+	}
+	snap := tel.Snapshot()
+	if snap.GenTests == 0 || snap.GenCovPairs == 0 {
+		t.Errorf("telemetry observed no generation work: %+v", snap)
+	}
+	if t.Failed() || !full || os.Getenv("LINEUP_UPDATE_BENCH") != "1" {
+		return
+	}
+	path := filepath.Join(moduleRoot(), JSONFile)
+	var all []JSONRow
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			t.Fatalf("committed %s is not valid JSON: %v", path, err)
+		}
+	}
+	fresh := GenerateJSON(rows)
+	measured := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		measured[generateKey(r)] = true
+	}
+	var merged []JSONRow
+	for _, r := range all {
+		if r.Kind == "generate" && measured[generateKey(r)] {
+			continue
+		}
+		merged = append(merged, r)
+	}
+	merged = append(merged, fresh...)
+	if err := WriteJSONRows(path, merged); err != nil {
+		t.Fatalf("updating %s: %v", path, err)
+	}
+	t.Logf("updated %s with %d generate rows", path, len(fresh))
+}
+
+// TestGenerateJSONFields pins the machine-readable schema of the generation
+// rows.
+func TestGenerateJSONFields(t *testing.T) {
+	rows := []GenerateRow{{
+		Class: "MSQueue(Pre)", Mode: "guided", Seed: 1, Budget: 600, Bound: 2,
+		Found: true, TestsToViolation: 95, Tests: 95,
+		CorpusSize: 40, CovPairs: 60, CovHists: 200, Wall: 2500000000,
+	}}
+	js := GenerateJSON(rows)
+	if len(js) != 1 {
+		t.Fatalf("got %d rows", len(js))
+	}
+	r := js[0]
+	if r.Kind != "generate" || r.Mode != "guided" || r.Seed != 1 || r.Budget != 600 ||
+		r.PB != 2 || r.Tests != 95 || r.TestsToViolation != 95 || r.Failed != 1 ||
+		r.CorpusSize != 40 || r.CovPairs != 60 || r.CovHists != 200 || r.WallMS != 2500 {
+		t.Fatalf("bad generate JSON row: %+v", r)
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"mode", "seed", "budget", "tests_to_violation", "coverage_pairs", "coverage_hists"} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("serialized row missing %q: %s", field, data)
+		}
+	}
+}

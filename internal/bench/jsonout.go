@@ -14,7 +14,7 @@ const JSONFile = "BENCH_lineup.json"
 // (schedules explored, histories checked) and how long it took, per class.
 // Fields that do not apply to a record kind are omitted.
 type JSONRow struct {
-	Kind      string  `json:"kind"`            // "table2", "compare", "parallel", "reduction", "telemetry" or "serve"
+	Kind      string  `json:"kind"`            // "table2", "compare", "parallel", "reduction", "telemetry", "generate" or "serve"
 	Class     string  `json:"class"`           // subject name
 	Cause     string  `json:"cause,omitempty"` // reduction: directed cause label
 	Tests     int     `json:"tests,omitempty"` // random tests sampled
@@ -36,6 +36,17 @@ type JSONRow struct {
 	// OverheadPct is the telemetry rows' wall-time cost of enabling the
 	// collector, in percent of the uninstrumented run.
 	OverheadPct float64 `json:"overhead_pct,omitempty"`
+	// Generate rows: guided-vs-random time-to-first-violation. Mode is
+	// "guided" or "random"; TestsToViolation is the 1-based index of the
+	// first failing test (0 = not found within Budget); the coverage fields
+	// record the guided run's final corpus and signal sizes.
+	Mode             string `json:"mode,omitempty"`
+	Seed             int64  `json:"seed,omitempty"`
+	Budget           int    `json:"budget,omitempty"`
+	TestsToViolation int    `json:"tests_to_violation,omitempty"`
+	CorpusSize       int    `json:"corpus_size,omitempty"`
+	CovPairs         int    `json:"coverage_pairs,omitempty"`
+	CovHists         int    `json:"coverage_hists,omitempty"`
 	// Serve rows: streaming-load shape and sustained throughput.
 	Partitions int     `json:"partitions,omitempty"`
 	Window     int     `json:"window,omitempty"`

@@ -15,6 +15,13 @@ type AutoOptions struct {
 	MaxN int
 	// MaxTests bounds the total number of tests checked across all n.
 	MaxTests int
+	// CoverageGuided replaces Fig. 6's exhaustive dimension-by-dimension
+	// enumeration with coverage-guided mutation (Generate): MaxN caps the
+	// matrix shape, MaxTests is the budget, and Seed drives the mutation
+	// stream.
+	CoverageGuided bool
+	// Seed is the mutation seed of a coverage-guided run.
+	Seed int64
 }
 
 // AutoResult is the outcome of a bounded AutoCheck run.
@@ -41,6 +48,19 @@ func AutoCheck(sub *Subject, opts AutoOptions) (*AutoResult, error) {
 	maxTests := opts.MaxTests
 	if maxTests <= 0 {
 		maxTests = 10000
+	}
+	if opts.CoverageGuided {
+		g, err := Generate(sub, GenOptions{
+			Options:    opts.Options,
+			Seed:       opts.Seed,
+			Budget:     maxTests,
+			MaxThreads: maxN,
+			MaxOps:     maxN,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &AutoResult{Failed: g.Failed, Tests: g.Tests, Exhausted: g.Exhausted}, nil
 	}
 	for n := 1; n <= maxN; n++ {
 		universe := sub.Ops

@@ -45,6 +45,20 @@ type Options struct {
 	// results are treated as nondeterministic: they are wildcarded before
 	// specification synthesis and witness checking (see Options.Relax).
 	RelaxedOps []string
+	// Consistency selects the correctness criterion for complete histories:
+	// strict linearizability (the zero value), sequential consistency, or
+	// quiescent consistency (see the Consistency constants). The relaxed
+	// criteria require the spec-lookup witness backend; combining them with
+	// WitnessMonitor is an error. Stuck histories are always checked
+	// strictly.
+	Consistency Consistency
+	// Coverage, when non-nil, accumulates the (MemKind, location) footprint
+	// pairs and canonical phase-2 history hashes the check observes. It is
+	// the feedback signal of coverage-guided generation (Generate) and is
+	// observe-only: it never influences a verdict. One Coverage may be
+	// shared across many checks; phase 1 (serial executions) contributes no
+	// pairs, so the signal stays concurrency-specific.
+	Coverage *Coverage
 	// SampleSchedules, when positive, replaces exhaustive phase-2
 	// exploration with this many randomly sampled schedules (see
 	// SampleStrategy). Sampling gives up the coverage of exhaustive
@@ -121,11 +135,12 @@ type Options struct {
 // containment settings apply uniformly.
 func (o Options) schedConfig(serial, recordTrace bool) sched.Config {
 	return sched.Config{
-		Serial:      serial,
-		Granularity: o.Granularity,
-		RecordTrace: recordTrace,
-		Watchdog:    o.Watchdog,
-		DetectLeaks: o.DetectLeaks,
+		Serial:        serial,
+		Granularity:   o.Granularity,
+		RecordTrace:   recordTrace,
+		Watchdog:      o.Watchdog,
+		DetectLeaks:   o.DetectLeaks,
+		TrackCoverage: o.Coverage != nil && !serial,
 	}
 }
 

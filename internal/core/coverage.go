@@ -1,0 +1,81 @@
+package core
+
+import "sync"
+
+// Coverage accumulates the two feedback signals of coverage-guided test
+// generation across any number of checks:
+//
+//   - footprint pairs: the distinct (MemKind, location) pairs phase-2
+//     executions touch, as exported by sched.Outcome.Coverage. Location
+//     identifiers are dense per execution and allocated in construction
+//     order, so pairs are comparable across executions and tests of the same
+//     subject; a mutant that drives the subject through a new access kind on
+//     a location (say, the first contended CAS on a tail pointer) registers
+//     as new coverage.
+//   - history hashes: the 64-bit FNV-1a keys of the canonical phase-2
+//     history encoding (the same keys the dedup cache buckets by). A mutant
+//     whose schedules produce a call/return interleaving no earlier test
+//     produced registers as new coverage even when it touches no new
+//     location.
+//
+// Coverage is observe-only — it never feeds a verdict — and safe for
+// concurrent use (the parallel explorer merges outcomes from many workers).
+// Totals are deterministic for a fixed sequence of checks because both
+// signals are sets.
+type Coverage struct {
+	mu    sync.Mutex
+	pairs map[uint64]struct{}
+	hists map[uint64]struct{}
+}
+
+// NewCoverage creates an empty coverage accumulator.
+func NewCoverage() *Coverage {
+	return &Coverage{
+		pairs: make(map[uint64]struct{}),
+		hists: make(map[uint64]struct{}),
+	}
+}
+
+// Pairs returns the number of distinct (MemKind, location) pairs observed.
+func (c *Coverage) Pairs() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pairs)
+}
+
+// Hists returns the number of distinct canonical phase-2 histories observed.
+func (c *Coverage) Hists() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.hists)
+}
+
+// addPairs merges one execution's footprint pairs.
+func (c *Coverage) addPairs(keys []uint64) {
+	if c == nil || len(keys) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, k := range keys {
+		c.pairs[k] = struct{}{}
+	}
+	c.mu.Unlock()
+}
+
+// addHists merges the canonical history hashes of a finished phase-2 cache.
+func (c *Coverage) addHists(cache *histCache) {
+	if c == nil || cache == nil {
+		return
+	}
+	c.mu.Lock()
+	for h := range cache.buckets {
+		c.hists[h] = struct{}{}
+	}
+	c.mu.Unlock()
+}

@@ -1,6 +1,62 @@
 package core
 
-import "lineup/internal/history"
+import (
+	"fmt"
+
+	"lineup/internal/history"
+)
+
+// Consistency selects the correctness criterion phase 2 checks complete
+// histories against. Linearizability is the paper's default; the two relaxed
+// criteria weaken only the ordering constraints of the witness search —
+// results must still match some serial execution, and stuck histories are
+// always checked strictly (blocking behavior is a liveness property that
+// neither criterion relaxes). Both relaxed criteria are weaker than
+// linearizability: every history with a linearizability witness also has a
+// witness under either of them, never the converse.
+type Consistency int
+
+const (
+	// Linearizability is the strict criterion of Definition 1/3: the witness
+	// must respect all real-time precedence (<H ⊆ <S).
+	Linearizability Consistency = iota
+	// SequentialConsistency keeps only program order: the witness must have
+	// the same per-thread subhistories but may reorder operations of
+	// different threads arbitrarily, even against real time.
+	SequentialConsistency
+	// QuiescentConsistency keeps real-time order only across quiescent
+	// points (instants with no operation pending): operations separated by a
+	// quiescent point stay ordered, operations within one quiescence block
+	// may be reordered freely.
+	QuiescentConsistency
+)
+
+func (c Consistency) String() string {
+	switch c {
+	case Linearizability:
+		return "linearizable"
+	case SequentialConsistency:
+		return "sequential"
+	case QuiescentConsistency:
+		return "quiescent"
+	default:
+		return fmt.Sprintf("Consistency(%d)", int(c))
+	}
+}
+
+// ParseConsistency parses a -consistency flag value.
+func ParseConsistency(s string) (Consistency, error) {
+	switch s {
+	case "", "linearizable", "linearizability", "strict":
+		return Linearizability, nil
+	case "sequential", "sc":
+		return SequentialConsistency, nil
+	case "quiescent", "qc":
+		return QuiescentConsistency, nil
+	default:
+		return 0, fmt.Errorf("core: unknown consistency %q (want linearizable, sequential, or quiescent)", s)
+	}
+}
 
 // RelaxedResult is the wildcard that replaces the results of relaxed
 // operations in histories and specifications.

@@ -102,6 +102,14 @@ type phase2Decider struct {
 	m       *Test
 	relaxed map[string]bool
 	tel     *telemetry.Collector
+	// consistency selects the full-history criterion; the relaxed criteria
+	// (sequential, quiescent) search the phase-1 spec directly, so spec is
+	// non-nil whenever consistency is not Linearizability (validated by
+	// phase2). Stuck histories always go through the strict backend.
+	consistency Consistency
+	spec        *history.Spec
+	// cov, when non-nil, receives every visited outcome's footprint pairs.
+	cov *Coverage
 }
 
 // materialize builds the normalized history of a not-yet-seen outcome for
@@ -124,7 +132,16 @@ func (d *phase2Decider) witness(h *history.History) (*Violation, error) {
 		d.tel.WitnessQueries.Add(1)
 	}
 	if !h.Stuck {
-		ok, err := d.backend.witnessFull(h)
+		var ok bool
+		var err error
+		switch d.consistency {
+		case SequentialConsistency:
+			_, ok = d.spec.WitnessSeqCon(h)
+		case QuiescentConsistency:
+			_, ok = d.spec.WitnessQuiescent(h)
+		default:
+			ok, err = d.backend.witnessFull(h)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -181,6 +198,7 @@ func (s *phase2Seq) visit(out *sched.Outcome) bool {
 		}
 		return true
 	}
+	s.d.cov.addPairs(out.Coverage)
 	en, isNew, herr := s.cache.lookup(out, s.d.relaxed)
 	if herr != nil {
 		s.err = herr
@@ -250,6 +268,7 @@ func (s *phase2Par) visit(out *sched.Outcome, p sched.Pos) bool {
 		// the full sequential prefix of failures and prunes exactly.
 		return s.failures.addPos(p, out)
 	}
+	s.d.cov.addPairs(out.Coverage)
 	s.mu.Lock()
 	en, isNew, herr := s.cache.lookup(out, s.d.relaxed)
 	if herr != nil {
@@ -378,7 +397,18 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 			return res, nil
 		}
 	}
-	d := &phase2Decider{backend: backend, mode: mode, m: m, relaxed: opts.relaxedSet(), tel: opts.Telemetry}
+	if opts.Consistency != Linearizability {
+		if opts.WitnessSearch == WitnessMonitor {
+			return nil, fmt.Errorf("core: %s consistency requires the spec-lookup witness backend, not WitnessMonitor", opts.Consistency)
+		}
+		if spec == nil {
+			return nil, fmt.Errorf("core: %s consistency requires a phase-1 specification", opts.Consistency)
+		}
+	}
+	d := &phase2Decider{
+		backend: backend, mode: mode, m: m, relaxed: opts.relaxedSet(), tel: opts.Telemetry,
+		consistency: opts.Consistency, spec: spec, cov: opts.Coverage,
+	}
 	contain := opts.MaxFailures > 0
 	start := time.Now()
 	endSpan := opts.Telemetry.StartSpan("phase2")
@@ -393,6 +423,7 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		var holder any
 		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, cache: newHistCache(), failures: newFailureCollector(opts.MaxFailures)}
 		defer flushCacheTelemetry(opts.Telemetry, seq.cache)
+		defer func() { opts.Coverage.addHists(seq.cache) }()
 		stats, exploreErr = sched.ExploreRandom(sched.RandomConfig{
 			Config:            opts.schedConfig(false, false),
 			Runs:              opts.SampleSchedules,
@@ -419,6 +450,7 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 			firstPos: make(map[*histEntry]sched.Pos),
 		}
 		defer flushCacheTelemetry(opts.Telemetry, par.cache)
+		defer func() { opts.Coverage.addHists(par.cache) }()
 		stats, exploreErr = sched.ExploreParallel(sched.ExploreConfig{
 			Config:            opts.schedConfig(false, false),
 			PreemptionBound:   opts.bound(),
@@ -451,6 +483,7 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		var holder any
 		seq := &phase2Seq{d: d, exhaust: opts.ExhaustPhase2, cache: newHistCache(), failures: newFailureCollector(opts.MaxFailures)}
 		defer flushCacheTelemetry(opts.Telemetry, seq.cache)
+		defer func() { opts.Coverage.addHists(seq.cache) }()
 		stats, exploreErr = sched.Explore(sched.ExploreConfig{
 			Config:            opts.schedConfig(false, false),
 			PreemptionBound:   opts.bound(),

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -203,6 +204,13 @@ type Config struct {
 	// explorer enables this when sleep-set reduction is on; it is independent
 	// of RecordTrace.
 	TrackFootprints bool
+	// TrackCoverage accumulates the set of distinct (MemKind, location)
+	// pairs the execution touches and exports it on Outcome.Coverage. It is
+	// the per-execution coverage signal of coverage-guided test generation
+	// (core.Generate) and is independent of both RecordTrace and
+	// TrackFootprints — footprints are per-decision-window and consumed by
+	// reduction, coverage is per-execution and consumed by the caller.
+	TrackCoverage bool
 	// Prealloc sizes the execution's event, schedule, and trace buffers up
 	// front. Explorations set it from the previous execution's outcome so
 	// that steady-state executions allocate each buffer once.
@@ -333,6 +341,23 @@ type Outcome struct {
 	// LeakedGoroutines counts goroutines spawned by the subject outside the
 	// scheduler that survived the execution (only when Config.DetectLeaks).
 	LeakedGoroutines int
+	// Coverage is the sorted set of distinct (MemKind, location) pairs the
+	// execution touched, encoded with CoverageKey (nil unless
+	// Config.TrackCoverage). Location identifiers are dense per execution and
+	// allocated in construction order, so executions of the same program are
+	// comparable.
+	Coverage []uint64
+}
+
+// CoverageKey encodes one (MemKind, location) coverage pair of
+// Outcome.Coverage. The kind occupies the low three bits.
+func CoverageKey(kind MemKind, loc int) uint64 {
+	return uint64(loc)<<3 | uint64(kind)&0x7
+}
+
+// DecodeCoverageKey splits a CoverageKey back into its kind and location.
+func DecodeCoverageKey(key uint64) (MemKind, int) {
+	return MemKind(key & 0x7), int(key >> 3)
 }
 
 // Scheduler coordinates the logical threads of a single execution. A fresh
@@ -361,6 +386,7 @@ type Scheduler struct {
 	mu      sync.Mutex
 	events  []OpEvent
 	trace   []MemEvent
+	cov     map[uint64]struct{} // distinct (kind, loc) pairs (Config.TrackCoverage)
 	nextLoc int
 	nextOp  int
 
@@ -380,6 +406,9 @@ func NewScheduler(cfg Config, ctrl Controller) *Scheduler {
 		ctrl = defaultController{}
 	}
 	s := &Scheduler{cfg: cfg, ctrl: ctrl}
+	if cfg.TrackCoverage {
+		s.cov = make(map[uint64]struct{})
+	}
 	if cfg.TrackFootprints {
 		if fo, ok := ctrl.(footprintObserver); ok {
 			s.fo = fo
@@ -509,6 +538,13 @@ func (s *Scheduler) Run(prog Program) *Outcome {
 	} else {
 		out.Events = s.events
 		out.Trace = s.trace
+	}
+	if s.cov != nil {
+		out.Coverage = make([]uint64, 0, len(s.cov))
+		for k := range s.cov {
+			out.Coverage = append(out.Coverage, k)
+		}
+		sort.Slice(out.Coverage, func(i, j int) bool { return out.Coverage[i] < out.Coverage[j] })
 	}
 	s.mu.Unlock()
 	if s.cfg.DetectLeaks {
@@ -878,6 +914,11 @@ func (t *Thread) NewLoc() int {
 func (t *Thread) Record(kind MemKind, loc int, name string) {
 	if t.sch.fo != nil {
 		t.sch.noteAccess(loc, writeClass(kind))
+	}
+	if t.sch.cov != nil {
+		t.sch.mu.Lock()
+		t.sch.cov[CoverageKey(kind, loc)] = struct{}{}
+		t.sch.mu.Unlock()
 	}
 	if !t.sch.cfg.RecordTrace {
 		return

@@ -1,0 +1,35 @@
+package subjects_test
+
+import (
+	"testing"
+
+	"lineup/internal/core"
+	"lineup/internal/sched"
+	"lineup/internal/subjects"
+)
+
+// TestGenerateFindsSeededBugs: coverage-guided generation rediscovers every
+// seeded bug in the corpus from the op universes alone — no directed tests,
+// just the subject, a seed, and a budget.
+func TestGenerateFindsSeededBugs(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	for _, e := range subjects.Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := core.Generate(e.Pre, core.GenOptions{
+				Options: core.Options{PreemptionBound: e.Bound},
+				Seed:    1,
+				Budget:  600,
+			})
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if res.Failed == nil {
+				t.Fatalf("generation missed the %s(Pre) bug in %d tests (%d pairs, %d hists)",
+					e.Name, res.Tests, res.CoveragePairs, res.CoverageHists)
+			}
+			t.Logf("%s(Pre): violation after %d tests (corpus %d, %d pairs, %d hists)",
+				e.Name, res.TestsToFailure, res.CorpusSize, res.CoveragePairs, res.CoverageHists)
+		})
+	}
+}

@@ -1,0 +1,140 @@
+package subjects
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lineup/internal/monitor"
+)
+
+// MapModel is the executable sequential specification of the ShardedMap
+// vocabulary: Put(k,v) returns "ok", Get(k) the stored value or "Fail",
+// Delete(k) whether the key was present, Len() the entry count. Single-key
+// operations declare a per-key partition (P-compositionality); Len observes
+// the whole map and disables splitting. The state is a sorted "k=v" slice so
+// fingerprints are canonical.
+func MapModel() *monitor.Model {
+	m := &monitor.Model{Name: "map", Init: func() any { return []string(nil) }}
+	m.Fingerprint = func(state any) string { return strings.Join(state.([]string), ",") }
+	m.Partition = func(op string) (string, bool) {
+		method, args := monitor.SplitOp(op)
+		switch method {
+		case "Put":
+			if i := strings.IndexByte(args, ','); i >= 0 {
+				return args[:i], true
+			}
+			return args, true
+		case "Get", "Delete":
+			return args, true
+		}
+		return "", false
+	}
+	m.Step = func(state any, op string) (string, any, error) {
+		entries := state.([]string)
+		method, args := monitor.SplitOp(op)
+		find := func(k string) int {
+			for i, e := range entries {
+				if strings.HasPrefix(e, k+"=") {
+					return i
+				}
+			}
+			return -1
+		}
+		switch method {
+		case "Put":
+			k, v, ok := strings.Cut(args, ",")
+			if !ok {
+				return "", nil, fmt.Errorf("monitor: map model needs Put(k,v), got %q", op)
+			}
+			e := k + "=" + v
+			next := append([]string(nil), entries...)
+			if i := find(k); i >= 0 {
+				next[i] = e
+			} else {
+				next = append(next, e)
+				sort.Strings(next)
+			}
+			return "ok", next, nil
+		case "Get":
+			if i := find(args); i >= 0 {
+				return entries[i][strings.IndexByte(entries[i], '=')+1:], entries, nil
+			}
+			return "Fail", entries, nil
+		case "Delete":
+			if i := find(args); i >= 0 {
+				next := append(append([]string(nil), entries[:i]...), entries[i+1:]...)
+				return "true", next, nil
+			}
+			return "false", entries, nil
+		case "Len":
+			return strconv.Itoa(len(entries)), entries, nil
+		}
+		return "", nil, fmt.Errorf("%w: map model cannot apply %q", monitor.ErrUnknownOp, op)
+	}
+	return m
+}
+
+// pipeState is the sequential state of the pipeline model: the bounded input
+// buffer and the (effectively unbounded for test-sized workloads) output
+// buffer.
+type pipeState struct {
+	in  []int
+	out []int
+}
+
+// PipelineModel is the executable sequential specification of the Pipeline
+// vocabulary: Send(v) blocks while the single-slot input is full, TrySend(v)
+// reports whether it enqueued, Process() blocks on an empty input and moves
+// one transformed value to the output, TryRecv() takes a transformed value
+// or fails. The model is monolithic (every operation touches the shared
+// stage), so it declares no partition.
+func PipelineModel() *monitor.Model {
+	const inCap = 1
+	m := &monitor.Model{Name: "pipeline", Init: func() any { return pipeState{} }}
+	m.Fingerprint = func(state any) string {
+		s := state.(pipeState)
+		return fmt.Sprintf("%v|%v", s.in, s.out)
+	}
+	m.Step = func(state any, op string) (string, any, error) {
+		s := state.(pipeState)
+		method, args := monitor.SplitOp(op)
+		switch method {
+		case "Send":
+			if len(s.in) >= inCap {
+				return "", nil, monitor.ErrBlock
+			}
+			v, err := strconv.Atoi(args)
+			if err != nil {
+				return "", nil, fmt.Errorf("monitor: pipeline model needs Send(int), got %q", op)
+			}
+			return "ok", pipeState{in: append(s.in[:len(s.in):len(s.in)], v), out: s.out}, nil
+		case "TrySend":
+			if len(s.in) >= inCap {
+				return "false", s, nil
+			}
+			v, err := strconv.Atoi(args)
+			if err != nil {
+				return "", nil, fmt.Errorf("monitor: pipeline model needs TrySend(int), got %q", op)
+			}
+			return "true", pipeState{in: append(s.in[:len(s.in):len(s.in)], v), out: s.out}, nil
+		case "Process":
+			if len(s.in) == 0 {
+				return "", nil, monitor.ErrBlock
+			}
+			w := s.in[0] + pipelineDelta
+			return strconv.Itoa(w), pipeState{
+				in:  append([]int(nil), s.in[1:]...),
+				out: append(s.out[:len(s.out):len(s.out)], w),
+			}, nil
+		case "TryRecv":
+			if len(s.out) == 0 {
+				return "Fail", s, nil
+			}
+			return strconv.Itoa(s.out[0]), pipeState{in: s.in, out: append([]int(nil), s.out[1:]...)}, nil
+		}
+		return "", nil, fmt.Errorf("%w: pipeline model cannot apply %q", monitor.ErrUnknownOp, op)
+	}
+	return m
+}

@@ -1,0 +1,99 @@
+package subjects_test
+
+import (
+	"testing"
+
+	"lineup/internal/core"
+	"lineup/internal/history"
+	"lineup/internal/sched"
+	"lineup/internal/subjects"
+)
+
+// TestRelaxationHierarchy is the property suite of the relaxed criteria: on
+// every complete history the explorer emits for the corpus (correct and
+// relaxed variants, directed relaxed tests), the witness searches must obey
+//
+//	linearizable ⇒ quiescently consistent ⇒ sequentially consistent
+//
+// and never the converse direction by construction: a linearizability
+// witness satisfies the quiescent block order (blocks are separated by real
+// time), and any quiescent witness satisfies the empty ordering constraints
+// of sequential consistency. The relaxed variants additionally must exhibit
+// at least one strictly-non-linearizable history — the separation that makes
+// them relaxed at all.
+func TestRelaxationHierarchy(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	for _, e := range subjects.Registry() {
+		e := e
+		cases := []struct {
+			sub *core.Subject
+			m   *core.Test
+		}{{e.Subject, e.StrictTest}, {e.Relaxed, e.RelaxedTest}}
+		for _, tc := range cases {
+			sub, m := tc.sub, tc.m
+			t.Run(sub.Name, func(t *testing.T) {
+				opts := core.Options{PreemptionBound: e.Bound}
+				spec, _, err := core.SynthesizeSpec(sub, m, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, strictFails, violations := 0, 0, 0
+				err = core.ExploreHistories(sub, m, opts, func(h *history.History) bool {
+					if h.Stuck || violations > 3 {
+						return violations <= 3
+					}
+					full++
+					_, strictOK := spec.WitnessFull(h)
+					_, scOK := spec.WitnessSeqCon(h)
+					_, qcOK := spec.WitnessQuiescent(h)
+					if !strictOK {
+						strictFails++
+					}
+					if strictOK && !qcOK {
+						violations++
+						t.Errorf("linearizable history rejected by quiescent consistency:\n%s", h)
+					}
+					if qcOK && !scOK {
+						violations++
+						t.Errorf("quiescently consistent history rejected by sequential consistency:\n%s", h)
+					}
+					return true
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if full == 0 {
+					t.Fatal("explorer emitted no complete histories")
+				}
+				if sub == e.Relaxed && strictFails == 0 {
+					t.Errorf("%s exhibited no strictly-non-linearizable history on its directed test", sub.Name)
+				}
+				t.Logf("%s: hierarchy held on %d histories (%d strictly non-linearizable)", sub.Name, full, strictFails)
+			})
+		}
+	}
+}
+
+// TestRelaxedNeverConvicts what the strict check admits: for every corpus
+// entry, running the full Check under the entry's declared relaxation on the
+// *correct* subject and its strict directed test still passes — relaxing the
+// criterion can only admit more behavior, never reject a linearizable
+// implementation.
+func TestRelaxedNeverConvicts(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	for _, e := range subjects.Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			for _, cons := range []core.Consistency{core.SequentialConsistency, core.QuiescentConsistency} {
+				opts := core.Options{PreemptionBound: e.Bound, Consistency: cons}
+				res, err := core.Check(e.Subject, e.StrictTest, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", cons, err)
+				}
+				if res.Verdict != core.Pass {
+					t.Fatalf("correct %s convicted under relaxed criterion %s:\n%s", e.Name, cons, res.Violation)
+				}
+			}
+		})
+	}
+}

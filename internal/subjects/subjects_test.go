@@ -1,0 +1,145 @@
+package subjects_test
+
+import (
+	"testing"
+
+	"lineup/internal/core"
+	"lineup/internal/sched"
+	"lineup/internal/subjects"
+)
+
+// checkOpts is the per-entry checking configuration of the directed tests.
+func checkOpts(e *subjects.Entry) core.Options {
+	return core.Options{PreemptionBound: e.Bound}
+}
+
+// TestRegistry sanity-checks the corpus wiring: every entry is complete and
+// its op universes expose the directed tests' operations.
+func TestRegistry(t *testing.T) {
+	reg := subjects.Registry()
+	if len(reg) != 4 {
+		t.Fatalf("registry has %d entries, want 4", len(reg))
+	}
+	for _, e := range reg {
+		if e.Subject == nil || e.Pre == nil || e.Relaxed == nil {
+			t.Fatalf("%s: incomplete variant set", e.Name)
+		}
+		if e.Model == nil || e.StrictTest == nil || e.RelaxedTest == nil {
+			t.Fatalf("%s: missing model or directed test", e.Name)
+		}
+		if got, ok := subjects.Find(e.Name); !ok || got.Name != e.Name {
+			t.Fatalf("Find(%q) failed", e.Name)
+		}
+		for _, row := range e.StrictTest.Rows {
+			for _, op := range row {
+				if _, ok := e.Subject.FindOp(op.Name()); !ok {
+					t.Errorf("%s: strict test op %s not in universe", e.Name, op.Name())
+				}
+			}
+		}
+		for _, row := range e.RelaxedTest.Rows {
+			for _, op := range row {
+				if _, ok := e.Relaxed.FindOp(op.Name()); !ok {
+					t.Errorf("%s: relaxed test op %s not in relaxed universe", e.Name, op.Name())
+				}
+			}
+		}
+	}
+	if _, ok := subjects.Find("NoSuchSubject"); ok {
+		t.Fatal("Find accepted an unknown name")
+	}
+}
+
+// TestStrictSubjectsPass: the correct implementation of every family passes
+// its directed test under strict linearizability.
+func TestStrictSubjectsPass(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	for _, e := range subjects.Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := core.Check(e.Subject, e.StrictTest, checkOpts(e))
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if res.Verdict != core.Pass {
+				t.Fatalf("correct %s failed its directed test:\n%s", e.Name, res.Violation)
+			}
+		})
+	}
+}
+
+// TestPreSubjectsFail: every defect-seeded sibling is convicted by the same
+// directed test its correct twin passes.
+func TestPreSubjectsFail(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	for _, e := range subjects.Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := core.Check(e.Pre, e.StrictTest, checkOpts(e))
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if res.Verdict != core.Fail {
+				t.Fatalf("seeded bug in %s(Pre) was not found", e.Name)
+			}
+		})
+	}
+}
+
+// TestRelaxedSubjectsFailStrictly: every relaxed sibling violates strict
+// linearizability on its directed test...
+func TestRelaxedSubjectsFailStrictly(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	for _, e := range subjects.Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := core.Check(e.Relaxed, e.RelaxedTest, checkOpts(e))
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if res.Verdict != core.Fail {
+				t.Fatalf("%s(Relaxed) unexpectedly passed its directed test strictly", e.Name)
+			}
+		})
+	}
+}
+
+// TestRelaxedSubjectsPassRelaxed: ...and satisfies its declared relaxation.
+func TestRelaxedSubjectsPassRelaxed(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	for _, e := range subjects.Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			opts := checkOpts(e)
+			opts.Consistency = e.RelaxedConsistency
+			opts.RelaxedOps = e.RelaxedOps
+			res, err := core.Check(e.Relaxed, e.RelaxedTest, opts)
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if res.Verdict != core.Pass {
+				t.Fatalf("%s(Relaxed) failed under %s (relaxed ops %v):\n%s",
+					e.Name, e.RelaxedConsistency, e.RelaxedOps, res.Violation)
+			}
+		})
+	}
+}
+
+// TestElimStackRelaxedSeparatesSCFromQC pins the criterion hierarchy on a
+// concrete subject: the stale-cache stack satisfies sequential consistency
+// but not quiescent consistency (a quiescent cut between the pop's return
+// and the peek's call pins an order the stale cache contradicts), so the two
+// relaxations are genuinely different.
+func TestElimStackRelaxedSeparatesSCFromQC(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	e, _ := subjects.Find("ElimStack")
+	opts := checkOpts(e)
+	opts.Consistency = core.QuiescentConsistency
+	res, err := core.Check(e.Relaxed, e.RelaxedTest, opts)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != core.Fail {
+		t.Fatal("ElimStack(Relaxed) passed under quiescent consistency; expected only sequential consistency to admit it")
+	}
+}

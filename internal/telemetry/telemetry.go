@@ -69,6 +69,13 @@ type Collector struct {
 	ServeCacheHits       atomic.Int64 // window transitions answered by the dedup cache
 	ServeCheckpoints     atomic.Int64 // checkpoints written
 
+	// Coverage-guided generation counters (package core, Generate).
+	GenTests    atomic.Int64 // mutant tests checked
+	GenAccepted atomic.Int64 // mutants admitted to the corpus (new coverage)
+	GenCorpus   atomic.Int64 // high watermark: corpus size
+	GenCovPairs atomic.Int64 // high watermark: distinct (kind, loc) footprint pairs
+	GenCovHists atomic.Int64 // high watermark: distinct canonical phase-2 histories
+
 	mu     sync.Mutex
 	spans  []Span
 	open   map[string]time.Time
@@ -185,6 +192,12 @@ type Snap struct {
 	ServeWindowOverflows int64 `json:"serve_window_overflows,omitempty"`
 	ServeCacheHits       int64 `json:"serve_cache_hits,omitempty"`
 	ServeCheckpoints     int64 `json:"serve_checkpoints,omitempty"`
+
+	GenTests    int64 `json:"gen_tests,omitempty"`
+	GenAccepted int64 `json:"gen_accepted,omitempty"`
+	GenCorpus   int64 `json:"gen_corpus,omitempty"`
+	GenCovPairs int64 `json:"gen_cov_pairs,omitempty"`
+	GenCovHists int64 `json:"gen_cov_hists,omitempty"`
 }
 
 // Snapshot copies every counter; on a nil collector it returns zeros.
@@ -218,5 +231,11 @@ func (c *Collector) Snapshot() Snap {
 		ServeWindowOverflows: c.ServeWindowOverflows.Load(),
 		ServeCacheHits:       c.ServeCacheHits.Load(),
 		ServeCheckpoints:     c.ServeCheckpoints.Load(),
+
+		GenTests:    c.GenTests.Load(),
+		GenAccepted: c.GenAccepted.Load(),
+		GenCorpus:   c.GenCorpus.Load(),
+		GenCovPairs: c.GenCovPairs.Load(),
+		GenCovHists: c.GenCovHists.Load(),
 	}
 }

@@ -1,0 +1,95 @@
+package vsync
+
+import (
+	"lineup/internal/sched"
+)
+
+// Chan is a bounded FIFO channel built on the instrumented monitor
+// primitives, modeling Go's buffered channel for subjects under test (raw
+// channels would block the scheduler invisibly). Send blocks while the
+// buffer is full, Recv while it is empty; the Try variants fail immediately
+// instead. There is no close: subjects model shutdown explicitly.
+type Chan[T any] struct {
+	mu       *Mutex
+	notFull  *Cond
+	notEmpty *Cond
+	buf      *Cell[[]T]
+	cap      int
+}
+
+// NewChan allocates a channel with the given capacity (at least 1).
+func NewChan[T any](t *sched.Thread, name string, capacity int) *Chan[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	mu := NewMutex(t, name+".mu")
+	return &Chan[T]{
+		mu:       mu,
+		notFull:  NewCond(mu),
+		notEmpty: NewCond(mu),
+		buf:      NewCell(t, name+".buf", []T(nil)),
+		cap:      capacity,
+	}
+}
+
+// Cap returns the capacity.
+func (c *Chan[T]) Cap() int { return c.cap }
+
+// Send appends v, blocking while the buffer is full.
+func (c *Chan[T]) Send(t *sched.Thread, v T) {
+	c.mu.Lock(t)
+	for len(c.buf.Load(t)) >= c.cap {
+		c.notFull.Wait(t)
+	}
+	c.buf.Store(t, append(c.buf.Load(t), v))
+	c.notEmpty.Broadcast(t)
+	c.mu.Unlock(t)
+}
+
+// TrySend appends v if the buffer has room, reporting whether it did.
+func (c *Chan[T]) TrySend(t *sched.Thread, v T) bool {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	if len(c.buf.Load(t)) >= c.cap {
+		return false
+	}
+	c.buf.Store(t, append(c.buf.Load(t), v))
+	c.notEmpty.Broadcast(t)
+	return true
+}
+
+// Recv removes and returns the oldest element, blocking while the buffer is
+// empty.
+func (c *Chan[T]) Recv(t *sched.Thread) T {
+	c.mu.Lock(t)
+	for len(c.buf.Load(t)) == 0 {
+		c.notEmpty.Wait(t)
+	}
+	b := c.buf.Load(t)
+	v := b[0]
+	c.buf.Store(t, append([]T(nil), b[1:]...))
+	c.notFull.Broadcast(t)
+	c.mu.Unlock(t)
+	return v
+}
+
+// TryRecv removes and returns the oldest element if there is one.
+func (c *Chan[T]) TryRecv(t *sched.Thread) (v T, ok bool) {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	b := c.buf.Load(t)
+	if len(b) == 0 {
+		return v, false
+	}
+	v = b[0]
+	c.buf.Store(t, append([]T(nil), b[1:]...))
+	c.notFull.Broadcast(t)
+	return v, true
+}
+
+// Len returns the number of buffered elements (linearizable: one lock).
+func (c *Chan[T]) Len(t *sched.Thread) int {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	return len(c.buf.Load(t))
+}

@@ -2,6 +2,7 @@ package lineup
 
 import (
 	"io"
+	"math/rand"
 
 	"lineup/internal/core"
 	"lineup/internal/history"
@@ -238,6 +239,68 @@ func WriteTraceFile(path string, h *History) error { return obsfile.WriteTraceFi
 // RandomOptions.Checkpoint and RandomCheckpoint.Save.
 func LoadRandomCheckpoint(path string) (*RandomCheckpoint, error) {
 	return core.LoadRandomCheckpoint(path)
+}
+
+// Relaxed-consistency and coverage-guided-generation vocabulary, re-exported
+// from internal/core.
+type (
+	// Consistency selects the correctness criterion of Options.Consistency:
+	// strict linearizability (default) or one of the relaxations checked
+	// against the same phase-1 specification.
+	Consistency = core.Consistency
+	// Coverage accumulates the exploration-coverage signal — distinct
+	// (memory-kind, location) pairs and distinct phase-2 canonical histories
+	// — across checks when assigned to Options.Coverage.
+	Coverage = core.Coverage
+	// GenOptions configures Generate.
+	GenOptions = core.GenOptions
+	// GenResult is the outcome of a Generate run.
+	GenResult = core.GenResult
+	// Mutator applies seeded random matrix mutations (op replacement, swaps,
+	// insertion/deletion, argument perturbation, thread reshaping).
+	Mutator = core.Mutator
+)
+
+// Consistency criteria for Options.Consistency.
+const (
+	// Linearizability is the strict criterion of the paper.
+	Linearizability = core.Linearizability
+	// SequentialConsistency only requires a serial witness over some
+	// reordering that preserves per-thread order.
+	SequentialConsistency = core.SequentialConsistency
+	// QuiescentConsistency only requires the order of operations separated
+	// by a quiescent point to be preserved.
+	QuiescentConsistency = core.QuiescentConsistency
+)
+
+// ParseConsistency parses the CLI spelling of a consistency criterion
+// ("linearizable", "sequential"/"sc", "quiescent"/"qc").
+func ParseConsistency(s string) (Consistency, error) { return core.ParseConsistency(s) }
+
+// NewCoverage creates an empty coverage accumulator for Options.Coverage.
+func NewCoverage() *Coverage { return core.NewCoverage() }
+
+// Generate runs coverage-guided test generation: starting from the smallest
+// pairwise tests over the subject's invocation universe, it mutates corpus
+// entries with a seeded RNG and keeps every mutant whose check touches a new
+// (memory-kind, location) pair or produces a new phase-2 history, until a
+// violation is found or the budget is exhausted. Same seed, same subject,
+// same options — bit-identical run.
+func Generate(sub *Subject, opts GenOptions) (*GenResult, error) {
+	return core.Generate(sub, opts)
+}
+
+// NewMutator creates a seeded matrix mutator over an invocation universe;
+// Generate uses one internally, and tests can drive it directly.
+func NewMutator(universe []Op, maxRows, maxCols int, rng *rand.Rand) *Mutator {
+	return core.NewMutator(universe, maxRows, maxCols, rng)
+}
+
+// TestFromNames reconstructs a test matrix from rows of rendered invocation
+// names (the persisted corpus format of GenOptions.CorpusDir), resolving each
+// name in the subject's universe.
+func TestFromNames(sub *Subject, rows [][]string) (*Test, error) {
+	return core.TestFromNames(sub, rows)
 }
 
 // Streaming-service vocabulary, re-exported from internal/serve and the
