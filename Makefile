@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check check-race build vet test race serve-smoke subjects-smoke bench bench-reduction bench-serve bench-telemetry bench-generate fuzz clean
+.PHONY: check check-race build vet test race serve-smoke subjects-smoke dist-smoke bench bench-reduction bench-serve bench-telemetry bench-generate bench-dist fuzz clean
 
-check: build vet test serve-smoke subjects-smoke fuzz
+check: build vet test serve-smoke subjects-smoke dist-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,15 @@ serve-smoke:
 # `make check`.
 subjects-smoke:
 	$(GO) test -race -run 'TestRegistry|TestStrictSubjectsPass|TestPreSubjectsFail|TestRelaxedSubjects' ./internal/subjects
+
+# Race-enabled smoke of the fault-tolerant distributed coordinator: the full
+# internal/dist suite (lease grants/expiry, randomized worker crash/hang/stall
+# injection, coordinator crash resume, poisoning) plus the bench scaling gate
+# in its quick mode — a small class at 3 workers with one injected worker
+# kill, merged result required bit-identical to the sequential check. Part of
+# `make check`: the coordinator is pure cross-goroutine handoff.
+dist-smoke:
+	$(GO) test -race -run 'TestDist' ./internal/dist ./internal/bench
 
 # Short coverage-guided fuzz pass over the external input parsers (the batch
 # JSONL trace reader and the incremental stream reader) and the test-matrix
@@ -91,6 +100,14 @@ bench-telemetry:
 # test runs on every `make check` via `go test ./...`.
 bench-generate:
 	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestGenerateBaseline -v -timeout=30m ./internal/bench
+
+# Regenerate the kind=="dist" rows of BENCH_lineup.json: the fault-tolerant
+# coordinator on a 3-thread workload at 1, 2, and 4 workers with injected
+# worker crashes, recording units, kills absorbed, lease retries, and wall
+# time. Fails without writing if any merged result diverges from the
+# sequential exhaustive check.
+bench-dist:
+	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestDistBaseline -v -timeout=30m ./internal/bench
 
 clean:
 	$(GO) clean ./...

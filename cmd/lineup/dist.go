@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lineup/internal/bench"
+	"lineup/internal/core"
+	"lineup/internal/dist"
+	"lineup/internal/sched"
+)
+
+// cmdDist runs one check's phase-2 exploration through the fault-tolerant
+// coordinator: the schedule tree is split into work units, units are leased to
+// workers under heartbeat-renewed deadlines, and the merged verdict is
+// bit-identical to the sequential exhaustive check no matter how many workers
+// ran, died, or were reassigned. With -dir the coordinator journals durable
+// state, so a killed coordinator resumes without re-running (or re-counting)
+// completed units. With -exec each unit runs in a separate worker process that
+// can be kill -9'd without taking the run down.
+//
+// The same subcommand is also the worker half: "lineup dist -worker JOBFILE"
+// runs one leased unit and is only ever spawned by an -exec coordinator.
+func cmdDist(args []string) error {
+	fs := flag.NewFlagSet("dist", flag.ExitOnError)
+	workerJob := fs.String("worker", "", "run as a worker process for JOBFILE (internal; spawned by -exec)")
+	class := fs.String("class", "", "class name (see 'lineup list')")
+	testSpec := fs.String("test", "", `test matrix, e.g. "Enqueue(10) TryDequeue() / Count()"`)
+	bound := fs.Int("pb", 0, "preemption bound (0 = class default)")
+	reductionSpec := fs.String("reduction", "none", "partial-order reduction: none or sleep")
+	maxFailures := fs.Int("max-failures", 0, "contain up to N failed executions instead of aborting (0 = strict)")
+	watchdog := fs.Duration("watchdog", 0, "abandon executions making no scheduler progress for this long (0 = off)")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent workers")
+	depth := fs.Int("depth", 2, "schedule-tree depth at which to split work units")
+	dir := fs.String("dir", "", "durable coordination directory (journal + unit reports; enables resume)")
+	lease := fs.Duration("lease", 10*time.Second, "lease length; a worker silent this long is presumed dead")
+	maxAttempts := fs.Int("max-attempts", 3, "lease attempts per unit before it is poisoned")
+	backoff := fs.Duration("backoff", 25*time.Millisecond, "reassignment backoff after a failed lease (doubles per retry)")
+	execMode := fs.Bool("exec", false, "run each unit in a separate worker process (kill -9 isolation)")
+	killUnit := fs.Int("kill-worker", -1, "with -exec: SIGKILL the worker for unit N on its first attempt (fault injection)")
+	tflags := addTelemetryFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *workerJob != "" {
+		resolve := func(name string) (*core.Subject, bool) {
+			sub, _, ok := findSubject(name)
+			return sub, ok
+		}
+		return dist.RunWorker(*workerJob, resolve, os.Stdout)
+	}
+
+	if *class == "" || *testSpec == "" {
+		return fmt.Errorf("dist: -class and -test are required (see 'lineup dist -h')")
+	}
+	sub, pb, ok := findSubject(*class)
+	if !ok {
+		return fmt.Errorf("unknown class %q (try 'lineup list')", *class)
+	}
+	m, err := bench.ParseTest(sub, *testSpec)
+	if err != nil {
+		return err
+	}
+	if *bound != 0 {
+		pb = *bound
+	}
+	reduction, err := sched.ParseReduction(*reductionSpec)
+	if err != nil {
+		return err
+	}
+	tr, err := tflags.start("dist " + sub.Name)
+	if err != nil {
+		return err
+	}
+	copts := core.Options{
+		PreemptionBound: pb,
+		MaxFailures:     *maxFailures,
+		Watchdog:        *watchdog,
+		Reduction:       reduction,
+		Telemetry:       tr.C,
+	}
+	cfg := dist.Config{
+		Subject: sub, Test: m, Options: copts,
+		Dir: *dir, Workers: *workers, Depth: *depth,
+		Lease: *lease, MaxAttempts: *maxAttempts, Backoff: *backoff,
+		Telemetry: tr.C,
+	}
+	if *execMode {
+		if len(m.Init) > 0 || len(m.Final) > 0 {
+			return fmt.Errorf("dist: init/final sections are not supported with -exec workers yet")
+		}
+		bin, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		jobDir := *dir
+		if jobDir == "" {
+			jobDir, err = os.MkdirTemp("", "lineup-dist-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(jobDir)
+		} else if err := os.MkdirAll(jobDir, 0o755); err != nil {
+			return err
+		}
+		rows := make([][]string, len(m.Rows))
+		for i, row := range m.Rows {
+			for _, op := range row {
+				rows[i] = append(rows[i], op.Name())
+			}
+		}
+		cfg.Launcher = &dist.ExecLauncher{
+			Bin: bin, Dir: jobDir,
+			Subject: sub.Name, Test: rows,
+			Options:  dist.OptionsToWorker(copts),
+			KillUnit: *killUnit,
+		}
+	} else if *killUnit >= 0 {
+		return fmt.Errorf("dist: -kill-worker requires -exec")
+	}
+
+	res, stats, err := dist.Run(context.Background(), cfg)
+	// Lease traffic is timing-dependent, so everything but the verdict goes to
+	// stderr; stdout stays deterministic for a given (class, test, flags).
+	fmt.Fprintf(os.Stderr, "units: %d total, %d done, %d resumed, %d poisoned; leases: %d granted, %d expired, %d retries, %d stale, %d worker failures\n",
+		stats.Units, stats.Done, stats.Resumed, stats.Poisoned,
+		stats.LeasesGranted, stats.LeasesExpired, stats.Retries, stats.StaleReports, stats.WorkerFailures)
+	if err = tr.finishAfter(err); err != nil {
+		return err
+	}
+	fmt.Printf("verdict: %v (%d histories, %d stuck, %d schedules)\n",
+		res.Verdict, res.Phase2.Histories, res.Phase2.Stuck, res.Phase2.Executions)
+	if res.Violation != nil {
+		fmt.Println(indent(res.Violation.String()))
+		return errViolation
+	}
+	return nil
+}

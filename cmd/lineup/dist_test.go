@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// distFixture is a failing 3-thread MSQueue(Pre) test big enough (~2s, 9 work
+// units at depth 2) that a coordinator can be killed mid-run with units both
+// completed and outstanding.
+var distFixture = []string{
+	"dist",
+	"-class", "MSQueue(Pre)",
+	"-test", "Enqueue(1) TryDequeue() TryPeek() / Enqueue(2) TryDequeue() IsEmpty() / TryPeek() IsEmpty()",
+	"-workers", "1",
+	"-depth", "2",
+}
+
+// distBaseline runs the fixture uninterrupted and returns its stdout — the
+// verdict line plus the violation report, which is deterministic by
+// construction (all timing-dependent lease stats go to stderr).
+func distBaseline(t *testing.T, bin string) string {
+	t.Helper()
+	out, err := exec.Command(bin, distFixture...).Output()
+	if err == nil {
+		t.Fatalf("baseline dist run found no violation; fixture broken:\n%s", out)
+	}
+	if !strings.Contains(string(out), "verdict: FAIL") {
+		t.Fatalf("baseline dist run: %v\n%s", err, out)
+	}
+	return string(out)
+}
+
+// TestDistCoordinatorKillResume is the CLI half of the coordinator-crash
+// acceptance gate: a 'lineup dist -dir' coordinator is SIGKILLed after at
+// least one unit is journaled done, then rerun with the same -dir; the
+// resumed run must restore completed units from the journal (no re-run, no
+// double-count) and print a byte-identical verdict and violation.
+func TestDistCoordinatorKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes")
+	}
+	bin := buildLineup(t)
+	want := distBaseline(t, bin)
+
+	dir := filepath.Join(t.TempDir(), "coord")
+	args := append(append([]string(nil), distFixture...), "-dir", dir)
+	victim := exec.Command(bin, args...)
+	if err := victim.Start(); err != nil {
+		t.Fatalf("starting victim: %v", err)
+	}
+
+	// Wait for the manifest to journal at least one done unit, then kill -9.
+	manifest := filepath.Join(dir, "manifest.json")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		data, err := os.ReadFile(manifest)
+		if err == nil && strings.Contains(string(data), `"state": "done"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			victim.Wait()
+			t.Fatal("no unit journaled done within 60s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	victim.Process.Kill()
+	victim.Wait()
+
+	resumed := exec.Command(bin, args...)
+	var stderr strings.Builder
+	resumed.Stderr = &stderr
+	out, err := resumed.Output()
+	if err == nil {
+		t.Fatalf("resumed run found no violation:\n%s", out)
+	}
+	if string(out) != want {
+		t.Fatalf("resumed verdict differs from uninterrupted run:\n--- resumed\n%s\n--- baseline\n%s", out, want)
+	}
+	if !strings.Contains(stderr.String(), " resumed") || strings.Contains(stderr.String(), "0 resumed") {
+		t.Fatalf("resumed run restored no units from the journal:\n%s", stderr.String())
+	}
+}
+
+// TestDistExecWorkerKill runs the coordinator with real worker processes and
+// the built-in fault injection that SIGKILLs one worker right after its first
+// heartbeat: the lease must be reassigned and the merged verdict must not
+// change.
+func TestDistExecWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes")
+	}
+	bin := buildLineup(t)
+	want := distBaseline(t, bin)
+
+	args := append(append([]string(nil), distFixture...),
+		"-workers", "3", "-exec", "-kill-worker", "1", "-backoff", "5ms")
+	cmd := exec.Command(bin, args...)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err == nil {
+		t.Fatalf("exec run found no violation:\n%s", out)
+	}
+	if string(out) != want {
+		t.Fatalf("worker-kill verdict differs from clean run:\n--- exec+kill\n%s\n--- baseline\n%s\nstderr:\n%s", out, want, stderr.String())
+	}
+	// The injected kill must actually have cost a lease: stderr accounting
+	// keeps the test from passing vacuously if -kill-worker ever stops firing.
+	if !strings.Contains(stderr.String(), "1 worker failures") {
+		t.Fatalf("injected worker kill left no trace in lease accounting:\n%s", stderr.String())
+	}
+}
+
+// TestDistWorkerModeBadJob pins the worker half's error discipline: a worker
+// handed a nonexistent job file must exit nonzero with a readable error, not
+// hang or crash — the coordinator depends on that to fail the lease fast.
+func TestDistWorkerModeBadJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds real binaries")
+	}
+	bin := buildLineup(t)
+	out, err := exec.Command(bin, "dist", "-worker", filepath.Join(t.TempDir(), "nope.json")).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ProcessState.ExitCode() != 1 {
+		t.Fatalf("want exit 1, got %v:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "reading job") {
+		t.Fatalf("unhelpful worker error:\n%s", out)
+	}
+}

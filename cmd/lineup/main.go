@@ -58,6 +58,7 @@ var commands = []command{
 	{"reduction", "[flags]", "full vs sleep-set-reduced exploration per root cause", cmdReduction},
 	{"ablate", "", "preemption-bound ablation", cmdAblate},
 	{"memory", "[flags]", "store-buffer (TSO) SC-violation scan (Section 5.7)", cmdMemory},
+	{"dist", "-class NAME -test SPEC [flags]", "fault-tolerant distributed phase-2 exploration", cmdDist},
 	{"record", "-class NAME -test SPEC [-o FILE]", "record an observation file (phase 1)", cmdRecord},
 	{"verify", "-class NAME -test SPEC -obs FILE", "re-check phase 2 against a recorded observation file", cmdVerify},
 	{"list", "", "list the registered classes", cmdList},

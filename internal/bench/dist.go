@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"lineup/internal/core"
+	"lineup/internal/dist"
+	"lineup/internal/faultinject"
+	"lineup/internal/sched"
+)
+
+// DistLoadOptions shapes one distributed-exploration scaling run: a class and
+// test explored once sequentially (the ground truth) and once per worker
+// count through the fault-tolerant coordinator, with deterministic worker
+// crashes injected so every row also exercises lease reassignment.
+type DistLoadOptions struct {
+	// Class and TestSpec pick the workload (TestSpec in ParseTest syntax).
+	Class    string
+	TestSpec string
+	// Workers are the coordinator pool sizes to measure.
+	Workers []int
+	// KillSeed/KillEvery parameterize the injected worker-crash plan
+	// (faultinject.ProcPlan): roughly one in KillEvery units dies on its
+	// first attempt. 0 disables injection.
+	KillSeed  int64
+	KillEvery int
+	// Depth is the work-unit split depth (0 selects 2).
+	Depth int
+}
+
+// DistRow is one measured coordinator run.
+type DistRow struct {
+	Class     string
+	Workers   int
+	CPUs      int // of the measuring machine; speedup is bounded by this
+	Units     int
+	Killed    int // injected worker crashes
+	Retries   int // lease reassignments
+	Schedules int
+	Histories int
+	// Verdict is "PASS" when the merged result is bit-identical to the
+	// sequential exhaustive check (the whole point of the protocol), "FAIL"
+	// otherwise.
+	Verdict string
+	Wall    time.Duration
+	// Speedup is wall(sequential) / wall for this worker count.
+	Speedup float64
+}
+
+// RunDistScaling measures the distributed coordinator against the sequential
+// exhaustive check. logf receives one progress line per row.
+func RunDistScaling(opts DistLoadOptions, logf func(string)) ([]DistRow, error) {
+	sub, entry, ok := Find(opts.Class)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown class %q", opts.Class)
+	}
+	m, err := ParseTest(sub, opts.TestSpec)
+	if err != nil {
+		return nil, err
+	}
+	depth := opts.Depth
+	if depth == 0 {
+		depth = 2
+	}
+	copts := core.Options{
+		PreemptionBound: entry.Bound,
+		Reduction:       sched.ReductionSleep,
+		ExhaustPhase2:   true,
+	}
+
+	seqStart := time.Now()
+	want, err := core.Check(sub, m, copts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: sequential baseline: %w", err)
+	}
+	seqWall := time.Since(seqStart)
+	want.Phase1.Duration, want.Phase2.Duration = 0, 0
+	wantViolation, _ := json.Marshal(want.Violation)
+
+	var rows []DistRow
+	for _, workers := range opts.Workers {
+		plan := &faultinject.ProcPlan{Seed: opts.KillSeed, Every: opts.KillEvery, Fault: faultinject.ProcCrash}
+		cfg := dist.Config{
+			Subject: sub, Test: m, Options: copts,
+			Workers: workers, Depth: depth,
+			Backoff: time.Millisecond,
+		}
+		if opts.KillEvery > 0 {
+			cfg.Launcher = &faultinject.FlakyLauncher{
+				Inner: &dist.InProcLauncher{Subject: sub, Test: m, Options: copts},
+				Plan:  plan,
+			}
+		}
+		start := time.Now()
+		res, stats, err := dist.Run(context.Background(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: dist workers=%d: %w", workers, err)
+		}
+		wall := time.Since(start)
+		res.Phase1.Duration, res.Phase2.Duration = 0, 0
+		gotViolation, _ := json.Marshal(res.Violation)
+		verdict := "PASS"
+		if res.Verdict != want.Verdict || res.Phase1 != want.Phase1 ||
+			res.Phase2 != want.Phase2 || string(gotViolation) != string(wantViolation) {
+			verdict = "FAIL"
+		}
+		row := DistRow{
+			Class:     sub.Name,
+			Workers:   workers,
+			CPUs:      runtime.NumCPU(),
+			Units:     stats.Units,
+			Killed:    plan.Injections(),
+			Retries:   stats.Retries,
+			Schedules: res.Phase2.Executions,
+			Histories: res.Phase2.Histories + res.Phase2.Stuck,
+			Verdict:   verdict,
+			Wall:      wall,
+			Speedup:   float64(seqWall) / float64(wall),
+		}
+		rows = append(rows, row)
+		if logf != nil {
+			logf(fmt.Sprintf("dist %s workers=%d: %d units, %d killed, %d retries, %s vs sequential, %v (seq %v)",
+				row.Class, row.Workers, row.Units, row.Killed, row.Retries, row.Verdict,
+				wall.Round(time.Millisecond), seqWall.Round(time.Millisecond)))
+		}
+	}
+	return rows, nil
+}
+
+// DistJSON converts coordinator scaling rows to JSON records.
+func DistJSON(rows []DistRow) []JSONRow {
+	out := make([]JSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, JSONRow{
+			Kind:      "dist",
+			Class:     r.Class,
+			Workers:   r.Workers,
+			CPUs:      r.CPUs,
+			Units:     r.Units,
+			Killed:    r.Killed,
+			Retries:   r.Retries,
+			Schedules: r.Schedules,
+			Histories: r.Histories,
+			Verdict:   r.Verdict,
+			Speedup:   r.Speedup,
+			WallMS:    float64(r.Wall) / float64(time.Millisecond),
+		})
+	}
+	return out
+}

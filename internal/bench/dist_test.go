@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func distKey(r JSONRow) string {
+	return fmt.Sprintf("%s|%d", r.Class, r.Workers)
+}
+
+// TestDistBaseline is the distributed-coordinator scaling gate. The smoke
+// mode (every `make check`, and `make dist-smoke` under -race) runs a small
+// class at 3 workers with injected worker crashes and requires the merged
+// result to be bit-identical to the sequential exhaustive check. With
+// LINEUP_BENCH_FULL=1 (the `make bench-dist` entry point) it measures a
+// larger workload at 1, 2, and 4 workers; with LINEUP_UPDATE_BENCH=1 the
+// rows are merged into BENCH_lineup.json as kind:"dist".
+func TestDistBaseline(t *testing.T) {
+	opts := DistLoadOptions{
+		Class:    "ConcurrentQueue(Pre)",
+		TestSpec: "Enqueue(10) TryDequeue() / TryDequeue() Enqueue(20)",
+		Workers:  []int{3},
+		KillSeed: 2, KillEvery: 2,
+	}
+	full := os.Getenv("LINEUP_BENCH_FULL") == "1"
+	if full {
+		opts = DistLoadOptions{
+			Class:    "ConcurrentQueue",
+			TestSpec: "Enqueue(10) TryDequeue() TryPeek() / Enqueue(20) TryDequeue() IsEmpty() / TryPeek() IsEmpty()",
+			Workers:  []int{1, 2, 4},
+			KillSeed: 2, KillEvery: 2,
+		}
+	}
+	rows, err := RunDistScaling(opts, func(line string) { t.Log(line) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(opts.Workers) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(opts.Workers))
+	}
+	killed := 0
+	for _, r := range rows {
+		if r.Verdict != "PASS" {
+			t.Errorf("workers=%d: merged result diverged from the sequential check", r.Workers)
+		}
+		if r.Units < 2 {
+			t.Errorf("workers=%d: only %d work units; the coordinator had nothing to coordinate", r.Workers, r.Units)
+		}
+		if r.Killed > 0 && r.Retries == 0 {
+			t.Errorf("workers=%d: %d workers killed but no lease retries recorded", r.Workers, r.Killed)
+		}
+		killed += r.Killed
+	}
+	if killed == 0 {
+		t.Error("no worker crashes injected; the fault-tolerance half of the gate is vacuous")
+	}
+	if t.Failed() || !full || os.Getenv("LINEUP_UPDATE_BENCH") != "1" {
+		return
+	}
+	path := filepath.Join(moduleRoot(), JSONFile)
+	var all []JSONRow
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			t.Fatalf("committed %s is not valid JSON: %v", path, err)
+		}
+	}
+	fresh := DistJSON(rows)
+	measured := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		measured[distKey(r)] = true
+	}
+	var merged []JSONRow
+	for _, r := range all {
+		if r.Kind == "dist" && measured[distKey(r)] {
+			continue
+		}
+		merged = append(merged, r)
+	}
+	merged = append(merged, fresh...)
+	if err := WriteJSONRows(path, merged); err != nil {
+		t.Fatalf("updating %s: %v", path, err)
+	}
+	t.Logf("updated %s with %d dist rows", path, len(fresh))
+}
+
+// TestDistJSONFields pins the machine-readable schema of the dist rows.
+func TestDistJSONFields(t *testing.T) {
+	rows := []DistRow{{
+		Class: "ConcurrentQueue", Workers: 4, Units: 9, Killed: 3, Retries: 3,
+		Schedules: 7000, Histories: 1700, Verdict: "PASS",
+		Wall: 500_000_000, Speedup: 1.8,
+	}}
+	js := DistJSON(rows)
+	if len(js) != 1 {
+		t.Fatalf("got %d rows", len(js))
+	}
+	r := js[0]
+	if r.Kind != "dist" || r.Workers != 4 || r.Units != 9 || r.Killed != 3 ||
+		r.Retries != 3 || r.Schedules != 7000 || r.Histories != 1700 ||
+		r.Verdict != "PASS" || r.Speedup != 1.8 || r.WallMS != 500 {
+		t.Fatalf("bad dist JSON row: %+v", r)
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"units", "killed_workers", "retries", "schedules_explored", "wall_ms"} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("serialized row missing %q: %s", field, data)
+		}
+	}
+}

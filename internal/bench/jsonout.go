@@ -14,7 +14,7 @@ const JSONFile = "BENCH_lineup.json"
 // (schedules explored, histories checked) and how long it took, per class.
 // Fields that do not apply to a record kind are omitted.
 type JSONRow struct {
-	Kind      string  `json:"kind"`            // "table2", "compare", "parallel", "reduction", "telemetry", "generate" or "serve"
+	Kind      string  `json:"kind"`            // "table2", "compare", "parallel", "reduction", "telemetry", "generate", "serve" or "dist"
 	Class     string  `json:"class"`           // subject name
 	Cause     string  `json:"cause,omitempty"` // reduction: directed cause label
 	Tests     int     `json:"tests,omitempty"` // random tests sampled
@@ -47,6 +47,13 @@ type JSONRow struct {
 	CorpusSize       int    `json:"corpus_size,omitempty"`
 	CovPairs         int    `json:"coverage_pairs,omitempty"`
 	CovHists         int    `json:"coverage_hists,omitempty"`
+	// Dist rows: fault-tolerant coordinator scaling. Units is the work-unit
+	// count, Killed the injected worker crashes, Retries the lease
+	// reassignments the coordinator absorbed while keeping the merged result
+	// bit-identical to the sequential check (Verdict PASS).
+	Units   int `json:"units,omitempty"`
+	Killed  int `json:"killed_workers,omitempty"`
+	Retries int `json:"retries,omitempty"`
 	// Serve rows: streaming-load shape and sustained throughput.
 	Partitions int     `json:"partitions,omitempty"`
 	Window     int     `json:"window,omitempty"`

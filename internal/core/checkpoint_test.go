@@ -3,6 +3,7 @@ package core_test
 import (
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"lineup/internal/core"
@@ -124,5 +125,38 @@ func TestRandomCheckpointRejectsMismatchedConfig(t *testing.T) {
 	bad.Resume = cp
 	if _, err := core.RandomCheck(sub, nil, bad); err == nil {
 		t.Fatalf("resume with a different seed was accepted")
+	}
+}
+
+// TestRandomCheckpointReportsAllMismatches: a stale checkpoint differing in
+// several fields names every one of them in a single error, so the operator
+// fixes the resume invocation in one pass instead of one failure per field.
+func TestRandomCheckpointReportsAllMismatches(t *testing.T) {
+	sched.RequireNoLeaks(t)
+	sub := counter1Subject()
+	opts := randomOpts(1)
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	opts.Checkpoint = func(cp *core.RandomCheckpoint) error { return cp.Save(path) }
+	if _, err := core.RandomCheck(sub, nil, opts); err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+	cp, err := core.LoadRandomCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := randomOpts(1)
+	bad.Seed = 99
+	bad.Samples = 16
+	bad.Options.PreemptionBound = 1
+	bad.Options.Reduction = sched.ReductionSleep
+	bad.Resume = cp
+	_, err = core.RandomCheck(sub, nil, bad)
+	if err == nil {
+		t.Fatal("mismatched resume was accepted")
+	}
+	for _, field := range []string{"seed", "samples", "preemption bound", "reduction"} {
+		if !strings.Contains(err.Error(), field) {
+			t.Errorf("mismatch error omits %q: %v", field, err)
+		}
 	}
 }

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lineup/internal/history"
+	"lineup/internal/sched"
+)
+
+// Distributed checking support: PlanUnits splits a check's phase-2 schedule
+// tree into sched.WorkUnits, CheckUnit runs phase 2 over exactly one unit in
+// any process (re-synthesizing the deterministic phase-1 spec locally, so a
+// worker needs nothing but the subject, the test, the options, and the
+// unit), and MergeUnitReports folds the per-unit reports back into a Result.
+// The merge applies the same min-position precedence the in-process parallel
+// explorer uses — every history key and failure carries its position in the
+// sequential visit order as (unit seq, visit index) — so the merged verdict,
+// phase statistics, first violation, and failure handling are bit-identical
+// to the sequential explorer with Options.ExhaustPhase2, no matter how units
+// were assigned, reassigned, or replayed. internal/dist builds the
+// fault-tolerant coordinator/worker machinery on top of these three calls.
+
+// ErrUnitAborted is returned by CheckUnit when the tick callback asked the
+// unit to stop (a worker whose lease was revoked, or whose coordinator went
+// away).
+var ErrUnitAborted = errors.New("core: work unit aborted by tick callback")
+
+// UnitKey is one distinct history observed inside a work unit: the canonical
+// history-cache key plus the per-unit occurrence accounting the merge needs.
+type UnitKey struct {
+	// Key is the canonical encoded history (canonicalHistKey): a pure
+	// function of the history itself, byte-exact across processes, which is
+	// what lets the merge deduplicate histories discovered by different
+	// workers. (Shared histCache keys are NOT canonical: their interning
+	// order depends on every history the cache saw before.)
+	Key []byte `json:"key"`
+	// Stuck marks a stuck (vs complete) history.
+	Stuck bool `json:"stuck,omitempty"`
+	// Count is the number of executions of this unit that collapsed to this
+	// history.
+	Count int `json:"count"`
+	// First is the visit index (within the unit, counting every execution
+	// including failed ones) of the history's first occurrence; (unit seq,
+	// First) is its position in the sequential visit order.
+	First int `json:"first"`
+	// Violating marks a history the witness decision rejected.
+	Violating bool `json:"violating,omitempty"`
+	// Schedule is the decision schedule of the first occurrence, recorded for
+	// violating keys only so the coordinator can regenerate the full
+	// violation report by deterministic replay.
+	Schedule []sched.ThreadID `json:"schedule,omitempty"`
+}
+
+// UnitFailure is one contained runtime failure observed inside a work unit.
+type UnitFailure struct {
+	// Visit is the failure's visit index within the unit.
+	Visit int `json:"visit"`
+	// Failure is the classified record (kind, message, replay schedule).
+	Failure RuntimeFailure `json:"failure"`
+}
+
+// UnitReport is the complete, serializable outcome of CheckUnit on one work
+// unit. Reports are a pure function of (subject, test, options, unit):
+// replaying a unit yields a byte-identical report, so a coordinator may merge
+// whichever replica of a reassigned unit finished first.
+type UnitReport struct {
+	Unit       int           `json:"unit"`
+	Executions int           `json:"executions"`
+	Decisions  int           `json:"decisions"`
+	Pruned     int           `json:"pruned"`
+	Truncated  bool          `json:"truncated,omitempty"`
+	Keys       []UnitKey     `json:"keys"`
+	Failures   []UnitFailure `json:"failures,omitempty"`
+}
+
+// UnitPlan is the coordinator-side preparation of a distributed check:
+// phase 1 plus the unit split of the phase-2 tree. Plans are deterministic —
+// re-planning the same (subject, test, options, depth) reproduces the same
+// units — which is how a restarted coordinator revalidates a durable
+// manifest.
+type UnitPlan struct {
+	// Spec is the phase-1 specification (needed again at merge time to
+	// regenerate the reported violation).
+	Spec *history.Spec
+	// Phase1 is the phase-1 statistics of the plan's own synthesis run.
+	Phase1 PhaseStats
+	// Nondet, when non-nil, is a phase-1 nondeterminism violation: the check
+	// already failed and there is nothing to distribute (Units is empty).
+	Nondet *Violation
+	// Units is the phase-2 work-unit split.
+	Units []sched.WorkUnit
+	// Split is the split accounting; Split.Pruned is the generator's share of
+	// the merged Pruned total.
+	Split sched.SplitStats
+}
+
+// distExploreConfig is the phase-2 exploration configuration of the
+// distributed path: identical to the sequential phase 2 except that failures
+// are always handed to the visit callback (they are data in a unit report;
+// the failure budget is applied at merge time, where the sequential
+// precedence can be reproduced) and goroutine-leak detection is forced off
+// (it is process-global, and units may run concurrently in one process).
+func distExploreConfig(opts Options) sched.ExploreConfig {
+	cfg := sched.ExploreConfig{
+		Config:            opts.schedConfig(false, false),
+		PreemptionBound:   opts.bound(),
+		MaxExecutions:     opts.maxExecs(),
+		ContinueOnFailure: true,
+		Reduction:         opts.Reduction,
+		Telemetry:         opts.Telemetry,
+	}
+	cfg.DetectLeaks = false
+	return cfg
+}
+
+// validateDistOptions rejects option combinations phase2 would reject, so
+// both the coordinator (fail fast, before spawning workers) and the workers
+// (defense in depth) report them identically.
+func validateDistOptions(opts Options) error {
+	if opts.Consistency != Linearizability && opts.WitnessSearch == WitnessMonitor {
+		return fmt.Errorf("core: %s consistency requires the spec-lookup witness backend, not WitnessMonitor", opts.Consistency)
+	}
+	if opts.SampleSchedules > 0 {
+		return errors.New("core: schedule sampling cannot be distributed (units are DFS subtrees)")
+	}
+	return nil
+}
+
+// canonicalHistKey encodes out's history into bytes that are a pure function
+// of the history: the symbol stream a *fresh* histCache produces for it
+// (interning order then depends only on this event stream), length-prefixed
+// and followed by the symbol table in intern order. The table is essential —
+// without it, two distinct histories whose symbols merely occur in isomorphic
+// patterns (say Get() returning "1" in one and "2" in the other) would encode
+// identically.
+func canonicalHistKey(out *sched.Outcome, relaxed map[string]bool) ([]byte, error) {
+	hc := newHistCache()
+	en, _, err := hc.lookup(out, relaxed)
+	if err != nil {
+		return nil, err
+	}
+	appendVarint := func(b []byte, v uint32) []byte {
+		for v >= 0x80 {
+			b = append(b, byte(v)|0x80)
+			v >>= 7
+		}
+		return append(b, byte(v))
+	}
+	key := appendVarint(nil, uint32(len(en.key)))
+	key = append(key, en.key...)
+	syms := make([]string, len(hc.syms))
+	for s, id := range hc.syms {
+		syms[id] = s
+	}
+	for _, s := range syms {
+		key = appendVarint(key, uint32(len(s)))
+		key = append(key, s...)
+	}
+	return key, nil
+}
+
+// PlanUnits runs phase 1 and splits the phase-2 schedule tree into work
+// units, backtracking only within the first depth decision levels (0 selects
+// sched.DefaultShardDepth). If phase 1 exposes nondeterministic serial
+// behavior the plan carries the violation and no units.
+func PlanUnits(sub *Subject, m *Test, opts Options, depth int) (*UnitPlan, error) {
+	if err := validateDistOptions(opts); err != nil {
+		return nil, err
+	}
+	spec, p1, err := SynthesizeSpec(sub, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	plan := &UnitPlan{Spec: spec, Phase1: p1}
+	if w, bad := spec.Nondeterministic(); bad {
+		plan.Nondet = &Violation{Kind: Nondeterminism, Test: m, Nondet: w}
+		return plan, nil
+	}
+	var holder any
+	units, split, err := sched.SplitUnits(distExploreConfig(opts), program(sub, m, &holder), depth)
+	if err != nil {
+		return nil, err
+	}
+	plan.Units, plan.Split = units, split
+	return plan, nil
+}
+
+// CheckUnit runs phase 2 over exactly one work unit and returns its report.
+// The phase-1 specification is re-synthesized locally — phase 1 is serial and
+// deterministic, so every worker computes the same spec — which keeps units
+// self-contained enough to ship to a worker process as a small JSON file.
+//
+// tick, when non-nil, is called once per execution before it is processed;
+// returning false aborts the unit with ErrUnitAborted. Workers use it to
+// emit heartbeats and to notice a revoked lease. Failed executions (panic,
+// hang) never abort the unit: they are classified and recorded in the report,
+// and the merge applies Options.MaxFailures with sequential precedence.
+func CheckUnit(sub *Subject, m *Test, opts Options, u sched.WorkUnit, tick func() bool) (*UnitReport, error) {
+	if err := validateDistOptions(opts); err != nil {
+		return nil, err
+	}
+	spec, _, err := SynthesizeSpec(sub, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, bad := spec.Nondeterministic(); bad {
+		return nil, errors.New("core: phase 1 is nondeterministic; the check fails before any unit runs")
+	}
+	backend, err := opts.witnessBackend(spec)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Consistency != Linearizability && spec == nil {
+		return nil, fmt.Errorf("core: %s consistency requires a phase-1 specification", opts.Consistency)
+	}
+	d := &phase2Decider{
+		backend: backend, mode: modeGeneralized, m: m, relaxed: opts.relaxedSet(),
+		tel: opts.Telemetry, consistency: opts.Consistency, spec: spec,
+	}
+	cache := newHistCache()
+	defer flushCacheTelemetry(opts.Telemetry, cache)
+	rep := &UnitReport{Unit: u.Seq, Keys: []UnitKey{}}
+	slot := make(map[*histEntry]int) // cache entry -> index into rep.Keys
+	var visitErr error
+	n := 0
+	var holder any
+	stats, exploreErr := sched.ExploreUnit(distExploreConfig(opts), program(sub, m, &holder), u, func(out *sched.Outcome, _ sched.Pos) bool {
+		idx := n
+		n++
+		if tick != nil && !tick() {
+			visitErr = ErrUnitAborted
+			return false
+		}
+		if out.FailureKind() != sched.FailNone {
+			rep.Failures = append(rep.Failures, UnitFailure{Visit: idx, Failure: classifyFailure(out)})
+			return true
+		}
+		en, isNew, herr := cache.lookup(out, d.relaxed)
+		if herr != nil {
+			visitErr = herr
+			return false
+		}
+		if !isNew {
+			rep.Keys[slot[en]].Count++
+			return true
+		}
+		ck, cerr := canonicalHistKey(out, d.relaxed)
+		if cerr != nil {
+			visitErr = cerr
+			return false
+		}
+		k := UnitKey{Key: ck, Stuck: en.stuck, Count: 1, First: idx}
+		h, herr := d.materialize(out)
+		if herr != nil {
+			visitErr = herr
+			return false
+		}
+		v, werr := d.witness(h)
+		if werr != nil {
+			visitErr = werr
+			return false
+		}
+		if v != nil {
+			k.Violating = true
+			k.Schedule = append([]sched.ThreadID(nil), out.Schedule...)
+		}
+		slot[en] = len(rep.Keys)
+		rep.Keys = append(rep.Keys, k)
+		return true
+	})
+	if visitErr != nil {
+		return nil, visitErr
+	}
+	if exploreErr != nil && exploreErr != sched.ErrBudget {
+		return nil, exploreErr
+	}
+	rep.Executions, rep.Decisions, rep.Pruned = stats.Executions, stats.Decisions, stats.Pruned
+	rep.Truncated = stats.Truncated
+	return rep, nil
+}
+
+// unitPos orders merged events by their position in the sequential visit
+// order: unit sequence number first, visit index within the unit second.
+type unitPos struct{ seq, visit int }
+
+func (p unitPos) before(q unitPos) bool {
+	if p.seq != q.seq {
+		return p.seq < q.seq
+	}
+	return p.visit < q.visit
+}
+
+// MergeUnitReports folds one report per unit of plan back into a Result,
+// bit-identical to the sequential explorer with Options.ExhaustPhase2 (phase
+// durations excepted: the merge does no wall-clock accounting; callers that
+// want durations stamp them). Histories are deduplicated by canonical key
+// across units, the reported violation is regenerated by deterministic
+// replay of the minimal-position violating history, and the failure budget
+// is applied with the sequential precedence: with MaxFailures == 0 the
+// minimal-position failure's error aborts the merge exactly as it would have
+// aborted the sequential explorer, and an over-budget failure set yields the
+// same *TooManyFailuresError.
+//
+// Reports may arrive in any order but must cover every unit exactly once;
+// duplicates of the same unit (reassigned leases) must be resolved by the
+// caller — replays are byte-identical, so keeping any one replica is
+// correct.
+func MergeUnitReports(sub *Subject, m *Test, opts Options, plan *UnitPlan, reports []*UnitReport) (*Result, error) {
+	res := &Result{Subject: sub, Test: m, Verdict: Pass, Phase1: plan.Phase1}
+	if plan.Nondet != nil {
+		res.Verdict = Fail
+		res.Violation = plan.Nondet
+		return res, nil
+	}
+	if len(reports) != len(plan.Units) {
+		return nil, fmt.Errorf("core: merge needs %d unit reports, got %d", len(plan.Units), len(reports))
+	}
+	sorted := append([]*UnitReport(nil), reports...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Unit < sorted[j].Unit })
+	for i, r := range sorted {
+		if r == nil || r.Unit != i {
+			return nil, fmt.Errorf("core: merge reports do not cover every unit exactly once (slot %d)", i)
+		}
+	}
+	type mergedKey struct {
+		stuck     bool
+		violating bool
+		count     int
+		pos       unitPos
+		schedule  []sched.ThreadID
+	}
+	byKey := make(map[string]*mergedKey)
+	type posFailure struct {
+		pos unitPos
+		f   RuntimeFailure
+	}
+	var fails []posFailure
+	var stats PhaseStats
+	truncated := false
+	for _, r := range sorted {
+		stats.Executions += r.Executions
+		stats.Decisions += r.Decisions
+		stats.Pruned += r.Pruned
+		truncated = truncated || r.Truncated
+		for _, k := range r.Keys {
+			mk, ok := byKey[string(k.Key)]
+			if !ok {
+				// Units are visited in sequence order and keys within a unit in
+				// visit order, so the first sighting is the minimal position.
+				byKey[string(k.Key)] = &mergedKey{
+					stuck: k.Stuck, violating: k.Violating, count: k.Count,
+					pos: unitPos{r.Unit, k.First}, schedule: k.Schedule,
+				}
+				continue
+			}
+			if mk.stuck != k.Stuck || mk.violating != k.Violating {
+				return nil, fmt.Errorf("core: unit %d disagrees with an earlier unit about a history key (corrupt or mismatched reports)", r.Unit)
+			}
+			mk.count += k.Count
+		}
+		for _, f := range r.Failures {
+			fails = append(fails, posFailure{unitPos{r.Unit, f.Visit}, f.Failure})
+		}
+	}
+	stats.Pruned += plan.Split.Pruned
+	distinct := 0
+	for _, mk := range byKey {
+		distinct++
+		if mk.stuck {
+			stats.Stuck++
+		} else {
+			stats.Histories++
+		}
+		stats.DedupHits += mk.count
+	}
+	stats.DedupHits -= distinct
+	res.Phase2 = stats
+	sort.Slice(fails, func(i, j int) bool { return fails[i].pos.before(fails[j].pos) })
+	if truncated {
+		return nil, sched.ErrBudget
+	}
+	if len(fails) > 0 && opts.MaxFailures == 0 {
+		// The sequential explorer aborts at the first failed execution with
+		// its error; regenerate that exact error by replaying the failure.
+		var holder any
+		out, rerr := sched.ReplaySchedule(opts.schedConfig(false, false), program(sub, m, &holder), fails[0].f.Schedule)
+		if rerr != nil {
+			return nil, fmt.Errorf("core: replaying the first failure diverged: %w", rerr)
+		}
+		if err := out.FailureError(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: replaying the first failure did not fail: %s", fails[0].f)
+	}
+	if opts.MaxFailures > 0 && len(fails) > opts.MaxFailures {
+		e := &TooManyFailuresError{Limit: opts.MaxFailures}
+		for i := 0; i < opts.MaxFailures; i++ {
+			e.Failures = append(e.Failures, fails[i].f)
+		}
+		return nil, e
+	}
+	for _, pf := range fails {
+		res.Failures = append(res.Failures, pf.f)
+	}
+	var vKey *mergedKey
+	for _, mk := range byKey {
+		if mk.violating && (vKey == nil || mk.pos.before(vKey.pos)) {
+			vKey = mk
+		}
+	}
+	if vKey != nil {
+		backend, err := opts.witnessBackend(plan.Spec)
+		if err != nil {
+			return nil, err
+		}
+		d := &phase2Decider{
+			backend: backend, mode: modeGeneralized, m: m, relaxed: opts.relaxedSet(),
+			consistency: opts.Consistency, spec: plan.Spec,
+		}
+		var holder any
+		out, rerr := sched.ReplaySchedule(opts.schedConfig(false, false), program(sub, m, &holder), vKey.schedule)
+		if rerr != nil {
+			return nil, fmt.Errorf("core: replaying the first violation diverged: %w", rerr)
+		}
+		h, herr := d.materialize(out)
+		if herr != nil {
+			return nil, herr
+		}
+		v, werr := d.witness(h)
+		if werr != nil {
+			return nil, werr
+		}
+		if v == nil {
+			return nil, errors.New("core: replayed violating history has a serial witness (corrupt or mismatched reports)")
+		}
+		res.Verdict = Fail
+		res.Violation = v
+	}
+	if opts.KeepSpec {
+		res.Spec = plan.Spec
+	}
+	return res, nil
+}

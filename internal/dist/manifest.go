@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lineup/internal/core"
+)
+
+// manifestVersion is the durable-state format version.
+const manifestVersion = 1
+
+// manifestUnit is one unit's journaled state. Leases are volatile by design:
+// a coordinator killed while units were leased resumes them as pending —
+// re-running a unit is free (idempotent replay), losing a completed one is
+// not, so only done/poisoned transitions are worth the fsync.
+type manifestUnit struct {
+	Seq      int    `json:"seq"`
+	State    string `json:"state"` // pending | done | poisoned
+	Attempts int    `json:"attempts"`
+	LastErr  string `json:"last_err,omitempty"`
+}
+
+// manifest is the coordinator's durable state: a fingerprint of the run
+// configuration (a resume under a different configuration is rejected with
+// every mismatch named) plus per-unit states. Reports of done units live in
+// sibling unit-NNNNNN.json files.
+type manifest struct {
+	Version     int            `json:"version"`
+	Subject     string         `json:"subject"`
+	Init        []string       `json:"init,omitempty"`
+	Test        [][]string     `json:"test"`
+	Final       []string       `json:"final,omitempty"`
+	Bound       int            `json:"preemption_bound"`
+	Reduction   string         `json:"reduction"`
+	Consistency string         `json:"consistency,omitempty"`
+	MaxFailures int            `json:"max_failures,omitempty"`
+	Depth       int            `json:"depth"`
+	Units       int            `json:"units"`
+	SplitPruned int            `json:"split_pruned"`
+	Entries     []manifestUnit `json:"entries"`
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+
+func opNames(ops []core.Op) []string {
+	if len(ops) == 0 {
+		return nil
+	}
+	names := make([]string, len(ops))
+	for i, op := range ops {
+		names[i] = op.Name()
+	}
+	return names
+}
+
+func testNames(m *core.Test) (init []string, rows [][]string, final []string) {
+	for _, row := range m.Rows {
+		rows = append(rows, opNames(row))
+	}
+	return opNames(m.Init), rows, opNames(m.Final)
+}
+
+// buildManifest fingerprints the run and snapshots unit states.
+func buildManifest(cfg Config, plan *core.UnitPlan, recs []*unitRec) *manifest {
+	init, rows, final := testNames(cfg.Test)
+	man := &manifest{
+		Version:     manifestVersion,
+		Subject:     cfg.Subject.Name,
+		Init:        init,
+		Test:        rows,
+		Final:       final,
+		Bound:       cfg.Options.PreemptionBound,
+		Reduction:   cfg.Options.Reduction.String(),
+		MaxFailures: cfg.Options.MaxFailures,
+		Depth:       cfg.Depth,
+		Units:       len(plan.Units),
+		SplitPruned: plan.Split.Pruned,
+	}
+	if cfg.Options.Consistency != core.Linearizability {
+		man.Consistency = cfg.Options.Consistency.String()
+	}
+	for seq, rec := range recs {
+		state := rec.state
+		if state == uLeased {
+			state = uPending // volatile
+		}
+		man.Entries = append(man.Entries, manifestUnit{
+			Seq: seq, State: state.String(), Attempts: rec.attempts, LastErr: rec.lastErr,
+		})
+	}
+	return man
+}
+
+func saveManifest(cfg Config, plan *core.UnitPlan, recs []*unitRec) error {
+	if cfg.Dir == "" {
+		return nil
+	}
+	return atomicWriteJSON(manifestPath(cfg.Dir), buildManifest(cfg, plan, recs))
+}
+
+// validate rejects a manifest recorded under a different configuration,
+// naming every mismatched field in one error so the operator fixes a stale
+// resume in a single pass (same contract as core's checkpoint validation).
+func (m *manifest) validate(want *manifest) error {
+	var bad []string
+	mismatch := func(field string, got, exp any) {
+		bad = append(bad, fmt.Sprintf("%s is %v in the manifest but %v here", field, got, exp))
+	}
+	if m.Version != want.Version {
+		mismatch("version", m.Version, want.Version)
+	}
+	if m.Subject != want.Subject {
+		mismatch("subject", m.Subject, want.Subject)
+	}
+	if fmt.Sprint(m.Init) != fmt.Sprint(want.Init) ||
+		fmt.Sprint(m.Test) != fmt.Sprint(want.Test) ||
+		fmt.Sprint(m.Final) != fmt.Sprint(want.Final) {
+		mismatch("test", fmt.Sprint(m.Test), fmt.Sprint(want.Test))
+	}
+	if m.Bound != want.Bound {
+		mismatch("preemption bound", m.Bound, want.Bound)
+	}
+	if m.Reduction != want.Reduction {
+		mismatch("reduction", m.Reduction, want.Reduction)
+	}
+	if m.Consistency != want.Consistency {
+		mismatch("consistency", m.Consistency, want.Consistency)
+	}
+	if m.MaxFailures != want.MaxFailures {
+		mismatch("max failures", m.MaxFailures, want.MaxFailures)
+	}
+	if m.Depth != want.Depth {
+		mismatch("depth", m.Depth, want.Depth)
+	}
+	if m.Units != want.Units {
+		mismatch("unit count", m.Units, want.Units)
+	}
+	if m.SplitPruned != want.SplitPruned {
+		mismatch("split pruned", m.SplitPruned, want.SplitPruned)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("dist: manifest does not match this run: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// resumeManifest loads Dir's manifest, if any, and restores unit states:
+// done units get their reports re-read from disk (an unreadable report
+// demotes the unit to pending — it just re-runs), poisoned units stay
+// poisoned (their budget is spent; a crash loop must not reset it), and
+// everything else — including units leased at the instant of the crash — is
+// pending. The net effect is exactly-once merging: a completed unit is never
+// re-run, never re-counted.
+func resumeManifest(cfg Config, plan *core.UnitPlan, recs []*unitRec, reports []*core.UnitReport, stats *Stats) error {
+	data, err := os.ReadFile(manifestPath(cfg.Dir))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dist: reading manifest: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return fmt.Errorf("dist: parsing manifest %s: %w", manifestPath(cfg.Dir), err)
+	}
+	if err := man.validate(buildManifest(cfg, plan, recs)); err != nil {
+		return err
+	}
+	for _, e := range man.Entries {
+		if e.Seq < 0 || e.Seq >= len(recs) {
+			return fmt.Errorf("dist: manifest entry for unit %d out of range [0, %d)", e.Seq, len(recs))
+		}
+		rec := recs[e.Seq]
+		rec.attempts = e.Attempts
+		rec.lastErr = e.LastErr
+		switch e.State {
+		case "done":
+			rep, err := loadReport(reportPath(cfg.Dir, e.Seq))
+			if err != nil {
+				// The report didn't survive (partial disk, manual cleanup):
+				// demote and re-run rather than fail the resume.
+				rec.state = uPending
+				continue
+			}
+			rec.state = uDone
+			reports[e.Seq] = rep
+			stats.Resumed++
+		case "poisoned":
+			rec.state = uPoisoned
+			stats.Poisoned++
+			if cfg.Telemetry != nil {
+				cfg.Telemetry.DistUnitsPoisoned.Add(1)
+			}
+		default:
+			rec.state = uPending
+		}
+	}
+	return nil
+}

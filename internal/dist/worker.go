@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lineup/internal/core"
+)
+
+// WorkerJob is the file an ExecLauncher coordinator hands a worker process:
+// everything the worker needs to reproduce the coordinator's configuration
+// (the deterministic phase 1 is re-synthesized worker-side) plus the unit.
+type WorkerJob struct {
+	Subject    string        `json:"subject"`
+	Test       [][]string    `json:"test"`
+	Options    WorkerOptions `json:"options"`
+	Spec       UnitSpec      `json:"spec"`
+	ReportPath string        `json:"report_path"`
+}
+
+// RunWorker is the worker half of the exec protocol: it loads the job file,
+// resolves the subject through the caller's registry, runs the unit, writes
+// the report atomically, and prints "done". Heartbeats are "hb" lines on out,
+// emitted from the per-execution tick at the job's heartbeat period. Exit
+// discipline is the caller's: any error return should exit nonzero, and the
+// coordinator treats both that and silence (kill -9, panic, hang) as a
+// failed lease.
+func RunWorker(jobPath string, resolve func(class string) (*core.Subject, bool), out io.Writer) error {
+	data, err := os.ReadFile(jobPath)
+	if err != nil {
+		return fmt.Errorf("dist: reading job: %w", err)
+	}
+	var job WorkerJob
+	if err := json.Unmarshal(data, &job); err != nil {
+		return fmt.Errorf("dist: parsing job %s: %w", jobPath, err)
+	}
+	sub, ok := resolve(job.Subject)
+	if !ok {
+		return fmt.Errorf("dist: unknown class %q", job.Subject)
+	}
+	m, err := core.TestFromNames(sub, job.Test)
+	if err != nil {
+		return err
+	}
+	opts, err := job.Options.ToOptions()
+	if err != nil {
+		return err
+	}
+
+	// Heartbeats ride the per-execution tick, rate-limited to the job's
+	// period. The first beat goes out before exploration starts so the
+	// coordinator sees a live worker even when the first execution is slow.
+	beat := func() {
+		fmt.Fprintln(out, "hb")
+	}
+	beat()
+	last := time.Now()
+	tick := func() bool {
+		if time.Since(last) >= job.Spec.HeartbeatEvery {
+			beat()
+			last = time.Now()
+		}
+		return true
+	}
+	rep, err := core.CheckUnit(sub, m, opts, job.Spec.Unit, tick)
+	if err != nil {
+		return err
+	}
+	if err := saveReport(job.ReportPath, rep); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "done")
+	return nil
+}

@@ -198,6 +198,20 @@ func (e *explorer) Pick(cur ThreadID, curEnabled bool, enabled []ThreadID) Threa
 				c.explored = append(c.explored, sleepEntry{tid: br.Thread, foot: br.Foot.clone()})
 			}
 		}
+		if e.red == ReductionSleep && c.next == 0 {
+			// Re-detect a fully-slept node. The interrupted run counted every
+			// affordable branch as pruned when it created this node and forced
+			// the free continuation; without the flag the resumed backtracking
+			// would retire the node and count the very same branches again.
+			exhausted := true
+			for i := range ord {
+				if e.allowed(c, i) && !e.sleeps(c, i) {
+					exhausted = false
+					break
+				}
+			}
+			c.exhausted = exhausted
+		}
 	} else if e.red == ReductionSleep {
 		// Skip straight to the first affordable non-sleeping branch. If every
 		// affordable branch is asleep the whole node is redundant; the

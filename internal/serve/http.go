@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"time"
@@ -33,7 +34,19 @@ func (s *Server) StartHTTP(addr string) (string, error) {
 	mux.HandleFunc("/verdicts", s.handleVerdicts)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	// Stalled and idle connections are the cheap way to wedge a long-running
+	// ingest endpoint, so both are bounded: a client that never finishes its
+	// headers is cut off at ReadHeaderTimeout, and a kept-alive connection
+	// that goes quiet is reaped at IdleTimeout.
+	rht := s.cfg.ReadHeaderTimeout
+	if rht <= 0 {
+		rht = 10 * time.Second
+	}
+	idle := s.cfg.IdleTimeout
+	if idle <= 0 {
+		idle = 2 * time.Minute
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: rht, IdleTimeout: idle}
 	go func() { _ = srv.Serve(ln) }()
 	s.httpCloser = srv // srv.Close stops the listener and active connections
 	return ln.Addr().String(), nil
@@ -44,8 +57,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST a JSONL trace body", http.StatusMethodNotAllowed)
 		return
 	}
-	n, err := s.IngestReader(r.Body)
+	limit := s.cfg.MaxIngestBytes
+	if limit <= 0 {
+		limit = 64 << 20
+	}
+	// The cap cuts the body mid-line, so the parse error the reader surfaces
+	// is usually "bad JSON", not the MaxBytesError itself — capture the
+	// transport-level error as it streams by so the producer gets a 413, not
+	// a misleading 400.
+	body := &errCapturingReader{r: http.MaxBytesReader(w, r.Body, limit)}
+	n, err := s.IngestReader(body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) || errors.As(body.err, &tooBig) {
+			http.Error(w, fmt.Sprintf("ingested %d events, then: body over %d-byte cap", n, tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		// Events before the error are already ingested (at-least-once); the
 		// producer learns how far the batch got.
 		http.Error(w, fmt.Sprintf("ingested %d events, then: %v", n, err), http.StatusBadRequest)
@@ -53,6 +81,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"ingested\":%d}\n", n)
+}
+
+// errCapturingReader remembers the first non-EOF error its inner reader
+// returns, even when the consumer (a line scanner) reports a different,
+// downstream error for the same bytes.
+type errCapturingReader struct {
+	r   io.Reader
+	err error
+}
+
+func (c *errCapturingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if err != nil && err != io.EOF && c.err == nil {
+		c.err = err
+	}
+	return n, err
 }
 
 func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {

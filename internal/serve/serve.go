@@ -39,6 +39,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lineup/internal/monitor"
 	"lineup/internal/obsfile"
@@ -115,6 +116,15 @@ type Config struct {
 	// OnVerdict, when non-nil, is called from a worker goroutine the moment
 	// a partition's verdict becomes NOT linearizable (streaming alerting).
 	OnVerdict func(PartitionVerdict)
+
+	// MaxIngestBytes caps a single POST /ingest body; an oversized request is
+	// rejected with 413 after at most this many bytes are read. 0 selects
+	// 64 MiB; producers with bigger batches should chunk or stream.
+	MaxIngestBytes int64
+	// ReadHeaderTimeout and IdleTimeout harden the HTTP listener against
+	// stalled or idle connections (zero values select 10s and 2m).
+	ReadHeaderTimeout time.Duration
+	IdleTimeout       time.Duration
 
 	// resume is the loaded checkpoint New restores from (set by Resume).
 	resume *Checkpoint

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"path/filepath"
 	"strings"
@@ -503,6 +504,94 @@ func TestServeHTTPIngest(t *testing.T) {
 	// The endpoint is down after Close.
 	if _, err := http.Get("http://" + addr + "/stats"); err == nil {
 		t.Fatal("HTTP endpoint still serving after Close")
+	}
+}
+
+// TestServeHTTPIngestBodyCap: a body over MaxIngestBytes is rejected with a
+// clean 413 naming the cap; events before the cap are ingested (at-least-once
+// batch semantics) and the server keeps serving afterwards.
+func TestServeHTTPIngestBodyCap(t *testing.T) {
+	s, err := serve.New(serve.Config{
+		Model: monitor.RegisterModel(), WindowOps: 1,
+		MaxIngestBytes: 256,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr, err := s.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartHTTP: %v", err)
+	}
+	var big strings.Builder
+	for i := 0; big.Len() < 4096; i++ {
+		fmt.Fprintf(&big, "{\"t\":0,\"k\":\"call\",\"op\":\"Write(1)\",\"p\":\"x\"}\n{\"t\":0,\"k\":\"ret\",\"op\":\"Write(1)\",\"res\":\"ok\"}\n")
+	}
+	resp, err := http.Post("http://"+addr+"/ingest", "application/jsonl", strings.NewReader(big.String()))
+	if err != nil {
+		t.Fatalf("POST /ingest: %v", err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d body %q", resp.StatusCode, out)
+	}
+	if !bytes.Contains(out, []byte("256-byte cap")) {
+		t.Fatalf("413 body does not name the cap: %q", out)
+	}
+	// The server survived: a small, well-formed batch still ingests.
+	resp, err = http.Post("http://"+addr+"/ingest", "application/jsonl",
+		strings.NewReader(`{"t":1,"k":"call","op":"Read()","p":"y"}`+"\n"+`{"t":1,"k":"ret","op":"Read()","res":"0"}`))
+	if err != nil {
+		t.Fatalf("POST after 413: %v", err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST after 413: status %d body %q", resp.StatusCode, out)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestServeHTTPStalledHeaders: a client that connects and then goes silent is
+// cut off at ReadHeaderTimeout instead of holding its connection open forever.
+func TestServeHTTPStalledHeaders(t *testing.T) {
+	s, err := serve.New(serve.Config{
+		Model: monitor.RegisterModel(), WindowOps: 1,
+		ReadHeaderTimeout: 150 * time.Millisecond,
+		IdleTimeout:       150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr, err := s.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartHTTP: %v", err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// Half a request line, then silence: the server must close the
+	// connection, observed here as EOF/reset well before the read deadline.
+	if _, err := conn.Write([]byte("POST /ingest HT")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	start := time.Now()
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // connection torn down by the server
+		}
+	}
+	if elapsed := time.Since(start); elapsed >= 5*time.Second {
+		t.Fatalf("stalled connection still open after %v", elapsed)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 }
 

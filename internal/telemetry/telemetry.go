@@ -76,6 +76,15 @@ type Collector struct {
 	GenCovPairs atomic.Int64 // high watermark: distinct (kind, loc) footprint pairs
 	GenCovHists atomic.Int64 // high watermark: distinct canonical phase-2 histories
 
+	// Distributed-exploration counters (package dist).
+	DistLeasesGranted  atomic.Int64 // work-unit leases handed to workers
+	DistLeasesExpired  atomic.Int64 // leases revoked after heartbeat loss
+	DistRetries        atomic.Int64 // units re-queued after a failed or expired lease
+	DistUnitsDone      atomic.Int64 // units completed and journaled
+	DistUnitsPoisoned  atomic.Int64 // units that exhausted their retry budget
+	DistStaleReports   atomic.Int64 // reports from superseded leases, discarded
+	DistWorkerFailures atomic.Int64 // worker runs that ended in an error
+
 	mu     sync.Mutex
 	spans  []Span
 	open   map[string]time.Time
@@ -198,6 +207,14 @@ type Snap struct {
 	GenCorpus   int64 `json:"gen_corpus,omitempty"`
 	GenCovPairs int64 `json:"gen_cov_pairs,omitempty"`
 	GenCovHists int64 `json:"gen_cov_hists,omitempty"`
+
+	DistLeasesGranted  int64 `json:"dist_leases_granted,omitempty"`
+	DistLeasesExpired  int64 `json:"dist_leases_expired,omitempty"`
+	DistRetries        int64 `json:"dist_retries,omitempty"`
+	DistUnitsDone      int64 `json:"dist_units_done,omitempty"`
+	DistUnitsPoisoned  int64 `json:"dist_units_poisoned,omitempty"`
+	DistStaleReports   int64 `json:"dist_stale_reports,omitempty"`
+	DistWorkerFailures int64 `json:"dist_worker_failures,omitempty"`
 }
 
 // Snapshot copies every counter; on a nil collector it returns zeros.
@@ -237,5 +254,13 @@ func (c *Collector) Snapshot() Snap {
 		GenCorpus:   c.GenCorpus.Load(),
 		GenCovPairs: c.GenCovPairs.Load(),
 		GenCovHists: c.GenCovHists.Load(),
+
+		DistLeasesGranted:  c.DistLeasesGranted.Load(),
+		DistLeasesExpired:  c.DistLeasesExpired.Load(),
+		DistRetries:        c.DistRetries.Load(),
+		DistUnitsDone:      c.DistUnitsDone.Load(),
+		DistUnitsPoisoned:  c.DistUnitsPoisoned.Load(),
+		DistStaleReports:   c.DistStaleReports.Load(),
+		DistWorkerFailures: c.DistWorkerFailures.Load(),
 	}
 }

@@ -1,10 +1,12 @@
 package lineup
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
 	"lineup/internal/core"
+	"lineup/internal/dist"
 	"lineup/internal/history"
 	"lineup/internal/monitor"
 	"lineup/internal/obsfile"
@@ -333,6 +335,29 @@ type (
 	ServeCheckpoint = serve.Checkpoint
 	// Backpressure selects the full-queue policy of ServeConfig.
 	Backpressure = serve.Backpressure
+	// DistConfig configures RunDist.
+	DistConfig = dist.Config
+	// DistStats counts the fault-tolerance activity of a RunDist call:
+	// units done/resumed/poisoned, leases granted/expired, retries, stale
+	// deliveries, and worker failures absorbed.
+	DistStats = dist.Stats
+	// DistLauncher executes one leased work unit; the coordinator is
+	// transport-agnostic behind this seam (in-process goroutines and local
+	// worker processes ship; multi-machine transports plug in here).
+	DistLauncher = dist.Launcher
+	// DistUnitSpec is the job a DistLauncher receives: the work unit plus
+	// its lease sequence, attempt number, and heartbeat cadence.
+	DistUnitSpec = dist.UnitSpec
+	// DistInProcLauncher runs work units on goroutines in this process.
+	DistInProcLauncher = dist.InProcLauncher
+	// DistExecLauncher runs each work unit in a fresh worker process so a
+	// kill -9 of a worker costs one lease, not the run.
+	DistExecLauncher = dist.ExecLauncher
+	// PoisonedUnit records one work unit that exhausted its retry budget.
+	PoisonedUnit = dist.PoisonedUnit
+	// PoisonedUnitsError is returned by RunDist when some units exhausted
+	// their retry budget; it carries the partial stats over completed units.
+	PoisonedUnitsError = dist.PoisonedUnitsError
 )
 
 // Backpressure policies for ServeConfig.Backpressure.
@@ -364,6 +389,17 @@ func NewIncremental(m *Model, opts MonitorOptions) (*Incremental, error) {
 // library): Ingest events as they happen, read Verdicts live, Close for the
 // final summary.
 func NewServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cfg) }
+
+// RunDist runs fault-tolerant distributed phase-2 exploration ('lineup dist'
+// as a library): the schedule tree is split into work units, leased to
+// workers with heartbeat-renewed deadlines, and merged into a result
+// bit-identical to the sequential check regardless of worker count, kill
+// schedule, or lease reassignment. With DistConfig.Dir set, the run journals
+// progress and survives a coordinator kill -9 via a later RunDist on the
+// same directory.
+func RunDist(ctx context.Context, cfg DistConfig) (*Result, DistStats, error) {
+	return dist.Run(ctx, cfg)
+}
 
 // ResumeServer loads cfg.CheckpointPath and returns a config that resumes
 // the checkpointed run: pass it to NewServer, then replay the stream from
