@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check check-race build vet test race serve-smoke subjects-smoke dist-smoke bench bench-reduction bench-serve bench-telemetry bench-generate bench-dist fuzz clean
+.PHONY: check check-race build vet test race serve-smoke subjects-smoke dist-smoke fastmon-smoke bench bench-reduction bench-serve bench-telemetry bench-generate bench-dist bench-fastmon fuzz clean
 
-check: build vet test serve-smoke subjects-smoke dist-smoke fuzz
+check: build vet test serve-smoke subjects-smoke dist-smoke fastmon-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,15 @@ subjects-smoke:
 dist-smoke:
 	$(GO) test -race -run 'TestDist' ./internal/dist ./internal/bench
 
+# Smoke of the specialized fast monitors: the full internal/monitor/fast
+# suite, the explorer-driven bit-identity property suite (fast+fallback vs
+# WGL vs the naive search vs the phase-1 spec), the WitnessFast end-to-end
+# path, and the crossover benchmark in its quick mode. Part of `make check`:
+# the fast monitors must never disagree with the search they replace.
+fastmon-smoke:
+	$(GO) test ./internal/monitor/fast
+	$(GO) test -run 'TestFastBackendBitIdentical|TestFastWitnessEndToEnd|TestFastmon' ./internal/bench
+
 # Short coverage-guided fuzz pass over the external input parsers (the batch
 # JSONL trace reader and the incremental stream reader) and the test-matrix
 # mutator (well-formedness + schedule replayability of every mutant); the
@@ -55,6 +64,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=5s ./internal/obsfile
 	$(GO) test -run='^$$' -fuzz=FuzzStreamReader -fuzztime=5s ./internal/obsfile
 	$(GO) test -run='^$$' -fuzz=FuzzMutate -fuzztime=5s ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzFastMonitor -fuzztime=5s ./internal/monitor/fast
 
 # Full race-enabled pass over every package (much slower than `race`;
 # exercises the prefix-sharded parallel explorer end to end). The bench
@@ -108,6 +118,14 @@ bench-generate:
 # sequential exhaustive check.
 bench-dist:
 	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestDistBaseline -v -timeout=30m ./internal/bench
+
+# Regenerate the kind=="fastmon" rows of BENCH_lineup.json: the specialized
+# monitors vs the memoized unpartitioned Wing–Gong search on unambiguous
+# per-type workloads, lengths 10^2 .. 10^6 (WGL is skipped once a run blows
+# the 2s budget — it is quadratic on these shapes). Fails without writing if
+# any verdict disagrees or any type misses the >=10x speedup at >=10^4.
+bench-fastmon:
+	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestFastmonBaseline -v -timeout=60m ./internal/bench
 
 clean:
 	$(GO) clean ./...

@@ -22,9 +22,11 @@ import (
 	"lineup/internal/collections"
 	"lineup/internal/core"
 	"lineup/internal/monitor"
+	"lineup/internal/monitor/fast"
 	"lineup/internal/obsfile"
 	"lineup/internal/sched"
 	"lineup/internal/subjects"
+	"lineup/internal/telemetry"
 )
 
 // command is one subcommand of the CLI; the commands table drives both
@@ -150,9 +152,14 @@ func cmdMonitor(args []string) error {
 	noMemo := fs.Bool("no-memo", false, "disable the memoized seen-set")
 	noPart := fs.Bool("no-partition", false, "disable P-compositional partitioning")
 	window := fs.Int("window", 0, "check incrementally, retiring quiescent windows of N completed ops (0 = batch; caps peak memory on long traces)")
+	witnessSpec := fs.String("witness", "wgl", "witness search: wgl (memoized Wing–Gong) or fast (specialized near-log-linear monitor with WGL fallback)")
 	verbose := fs.Bool("v", false, "print the witness linearization")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	useFast, err := parseMonitorWitness(*witnessSpec)
+	if err != nil {
+		return fmt.Errorf("monitor: %w", err)
 	}
 	if *trace == "" {
 		return fmt.Errorf("monitor: -trace is required")
@@ -184,11 +191,41 @@ func cmdMonitor(args []string) error {
 		if *noPart {
 			return fmt.Errorf("monitor: -no-partition is incompatible with -window (the stream is split before windowing)")
 		}
-		return monitorStream(model, r, opts, *window)
+		return monitorStream(model, r, opts, *window, useFast)
 	}
 	h, err := obsfile.ReadTrace(r)
 	if err != nil {
 		return err
+	}
+	if useFast {
+		if kind, ok := fast.KindFor(model.Name); !ok {
+			fmt.Fprintf(os.Stderr, "monitor: no specialized monitor for model %q; using the Wing–Gong search\n", model.Name)
+		} else {
+			lin, ferr := fast.Check(kind, h)
+			switch {
+			case ferr == nil:
+				ops, pending := h.Ops(), len(h.Pending())
+				stuck := ""
+				if h.Stuck {
+					stuck = ", stuck"
+				}
+				fmt.Printf("checked %d operations (%d pending%s) against model %q\n", len(ops), pending, stuck, model.Name)
+				fmt.Printf("search: fast %s monitor, certificate-backed (no state enumeration)\n", model.Name)
+				if lin {
+					fmt.Println("verdict: linearizable")
+					if *verbose {
+						fmt.Println("(the fast monitor proves witness existence without materializing one; rerun with -witness wgl for the linearization)")
+					}
+					return nil
+				}
+				fmt.Println("verdict: NOT linearizable")
+				return errViolation
+			case errors.Is(ferr, fast.ErrAmbiguous):
+				fmt.Fprintln(os.Stderr, "monitor: history outside the fast monitor's decidable fragment; falling back to the Wing–Gong search")
+			default:
+				return ferr
+			}
+		}
 	}
 	out, err := monitor.Check(model, h, opts)
 	if err != nil {
@@ -348,6 +385,8 @@ func cmdCheck(args []string) error {
 	reductionSpec := fs.String("reduction", "none", "partial-order reduction for phase 2: none or sleep")
 	checkpointFile := fs.String("checkpoint", "", "save progress to FILE (atomically) after every completed test")
 	resumeFile := fs.String("resume", "", "resume from a checkpoint FILE written by a previous -checkpoint run")
+	witnessSpec := fs.String("witness", "spec", "phase-2 witness backend: spec (phase-1 lookup), monitor (model replay), or fast (specialized monitors, WGL fallback); monitor and fast require -model")
+	modelName := fs.String("model", "", "sequential model for -witness monitor|fast: "+strings.Join(monitor.BuiltinNames(), ", "))
 	tflags := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -363,6 +402,22 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
+	witness, err := core.ParseWitness(*witnessSpec)
+	if err != nil {
+		return err
+	}
+	var witnessModel *monitor.Model
+	if witness != core.WitnessSpec {
+		if *modelName == "" {
+			return fmt.Errorf("check: -witness %s requires -model (one of %s)", witness, strings.Join(monitor.BuiltinNames(), ", "))
+		}
+		witnessModel, ok = monitor.Builtin(*modelName)
+		if !ok {
+			return fmt.Errorf("check: unknown model %q (one of %s)", *modelName, strings.Join(monitor.BuiltinNames(), ", "))
+		}
+	} else if *modelName != "" {
+		return fmt.Errorf("check: -model only applies with -witness monitor or -witness fast")
+	}
 	tr, err := tflags.start("check " + sub.Name)
 	if err != nil {
 		return err
@@ -374,7 +429,16 @@ func cmdCheck(args []string) error {
 		MaxFailures:     *maxFailures,
 		DetectLeaks:     *detectLeaks,
 		Reduction:       reduction,
+		WitnessSearch:   witness,
+		MonitorModel:    witnessModel,
 		Telemetry:       tr.C,
+	}
+	// The fast backend's hit/fallback split is worth a summary line even
+	// when telemetry output is off, so make sure a collector exists.
+	fastCol := tr.C
+	if witness == core.WitnessFast && fastCol == nil {
+		fastCol = telemetry.New()
+		copts.Telemetry = fastCol
 	}
 	if *exploreWorkers > 1 {
 		copts.ShardProgress = tr.shardProgress()
@@ -408,6 +472,10 @@ func cmdCheck(args []string) error {
 	}
 	fmt.Printf("%s: %d passed, %d failed (of %d sampled %dx%d tests, PB=%d)\n",
 		sub.Name, sum.Passed, sum.Failed, *samples, *rows, *cols, pb)
+	if witness == core.WitnessFast {
+		fmt.Printf("fast monitor: %d histories decided directly, %d fell back to the Wing–Gong search\n",
+			fastCol.FastHits.Load(), fastCol.FastFallbacks.Load())
+	}
 	if nf, kinds := countFailures(sum); nf > 0 {
 		fmt.Printf("contained runtime failures: %d (%s)\n", nf, kinds)
 	}
@@ -777,6 +845,7 @@ func cmdParallel(args []string) error {
 	repeat := fs.Int("repeat", 3, "measurements per configuration (best wall time wins)")
 	scale := fs.Bool("scale", false, "add the larger three-thread scalability workload (seconds, not ms)")
 	reductionSpec := fs.String("reduction", "none", "partial-order reduction for the measured explorations: none or sleep")
+	witnessSpec := fs.String("witness", "spec", "phase-2 witness backend for the measured explorations: spec, monitor, or fast")
 	jsonOut := fs.String("json", "", "also write machine-readable rows to FILE (conventionally "+bench.JSONFile+")")
 	tflags := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -787,6 +856,10 @@ func cmdParallel(args []string) error {
 		return err
 	}
 	reduction, err := sched.ParseReduction(*reductionSpec)
+	if err != nil {
+		return err
+	}
+	witness, err := core.ParseWitness(*witnessSpec)
 	if err != nil {
 		return err
 	}
@@ -804,7 +877,7 @@ func cmdParallel(args []string) error {
 	}
 	rows, err := bench.RunParallel(bench.ParallelOptions{
 		Workers: ws, Repeat: *repeat, Scale: *scale, Reduction: reduction,
-		Telemetry: tr.C,
+		Witness: witness, Telemetry: tr.C,
 	}, report)
 	if err = tr.finishAfter(err); err != nil {
 		return err

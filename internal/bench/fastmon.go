@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lineup/internal/history"
+	"lineup/internal/monitor"
+	"lineup/internal/monitor/fast"
+)
+
+// This file measures the specialized fast monitors (internal/monitor/fast)
+// against the memoized Wing–Gong search on synthetic unambiguous workloads
+// of growing length — the crossover curves behind the kind=="fastmon" rows
+// of BENCH_lineup.json. The WGL baseline runs unpartitioned: partitioning is
+// a separate (P-compositionality) optimization that only applies to some
+// types, and both cited decrease-and-conquer papers compare against the
+// plain memoized search.
+
+// FastmonRow is one crossover measurement: the same generated history judged
+// by the specialized monitor and by the memoized Wing–Gong search.
+type FastmonRow struct {
+	Model    string        // queue, stack, set, register, pqueue
+	Ops      int           // history length in operations
+	FastWall time.Duration // specialized monitor wall time
+	// WGLWall is the memoized unpartitioned Wing–Gong wall time; 0 when the
+	// measurement was skipped because the previous length already exceeded
+	// the budget (the search is quadratic on these workloads).
+	WGLWall time.Duration
+	Speedup float64 // WGLWall / FastWall; 0 when WGL was skipped
+	Verdict string  // PASS when every measured verdict is linearizable and agrees
+}
+
+// FastmonOptions parameterizes RunFastmon.
+type FastmonOptions struct {
+	// Lengths lists the history lengths (in operations) to measure; the
+	// default sweeps the decades 100 .. 1,000,000.
+	Lengths []int
+	// Models selects the specialized monitors to measure (default: all five).
+	Models []string
+	// WGLBudget stops measuring the Wing–Gong baseline for a model once a
+	// run exceeds it (longer lengths report WGLWall 0); the default is 2s.
+	WGLBudget time.Duration
+}
+
+func (o FastmonOptions) withDefaults() FastmonOptions {
+	if len(o.Lengths) == 0 {
+		o.Lengths = []int{100, 1_000, 10_000, 100_000, 1_000_000}
+	}
+	if len(o.Models) == 0 {
+		o.Models = fast.Names()
+	}
+	if o.WGLBudget <= 0 {
+		o.WGLBudget = 2 * time.Second
+	}
+	return o
+}
+
+// fastmonHist builds the unambiguous linearizable workload for one model at
+// length n (operations, rounded down to the generator's block size). Every
+// history is linearizable by construction and inside the fast fragment, so
+// the specialized monitor must return a definite true. The fill-then-drain
+// shapes grow the resident state to n/2 elements, which is exactly where the
+// unpartitioned Wing–Gong search turns quadratic (its memo keys fingerprint
+// the whole state); the register workload uses clusters of reads overlapping
+// one write, which blow up the search's frontier subsets instead.
+func fastmonHist(model string, n int) (*history.History, error) {
+	b := &histBuilder{}
+	switch model {
+	case "queue":
+		m := n / 2
+		for i := 0; i < m; i++ {
+			b.seq(0, fmt.Sprintf("Enqueue(%d)", i), "ok")
+		}
+		for i := 0; i < m; i++ {
+			b.seq(0, "TryDequeue()", fmt.Sprint(i))
+		}
+	case "stack":
+		m := n / 2
+		for i := 0; i < m; i++ {
+			b.seq(0, fmt.Sprintf("Push(%d)", i), "ok")
+		}
+		for i := m - 1; i >= 0; i-- {
+			b.seq(0, "TryPop()", fmt.Sprint(i))
+		}
+	case "set":
+		m := n / 2
+		for i := 0; i < m; i++ {
+			b.seq(0, fmt.Sprintf("Add(%d)", i), "true")
+		}
+		for i := 0; i < m; i++ {
+			b.seq(0, fmt.Sprintf("Remove(%d)", i), "true")
+		}
+	case "register":
+		// Clusters of one write overlapped by concurrent reads of the new
+		// value: every read linearizes after the write, so the history is
+		// unambiguous, but the searcher must still consider each cluster's
+		// interleavings (2^(readers+1) frontier subsets).
+		const readers = 8
+		clusters := n / (readers + 1)
+		for c := 0; c < clusters; c++ {
+			v := fmt.Sprint(c + 1) // never write the initial value "0"
+			w := b.call(0, fmt.Sprintf("Write(%s)", v))
+			reads := make([]int, readers)
+			for r := 0; r < readers; r++ {
+				reads[r] = b.call(r+1, "Read()")
+			}
+			b.ret(0, w, fmt.Sprintf("Write(%s)", v), "ok")
+			for r := 0; r < readers; r++ {
+				b.ret(r+1, reads[r], "Read()", v)
+			}
+		}
+	case "pqueue":
+		m := n / 2
+		for i := 0; i < m; i++ {
+			b.seq(0, fmt.Sprintf("Insert(%d)", i), "ok")
+		}
+		for i := 0; i < m; i++ {
+			b.seq(0, "TryDeleteMin()", fmt.Sprint(i))
+		}
+	default:
+		return nil, fmt.Errorf("bench: no fastmon workload for model %q", model)
+	}
+	return &history.History{Events: b.evs}, nil
+}
+
+// histBuilder assembles a well-formed history event list with dense op
+// indices.
+type histBuilder struct {
+	evs []history.Event
+	idx int
+}
+
+// seq appends one complete (call immediately followed by return) operation.
+func (b *histBuilder) seq(thread int, op, res string) {
+	i := b.call(thread, op)
+	b.ret(thread, i, op, res)
+}
+
+// call opens an operation and returns its index for the matching ret.
+func (b *histBuilder) call(thread int, op string) int {
+	i := b.idx
+	b.idx++
+	b.evs = append(b.evs, history.Event{Thread: thread, Kind: history.Call, Op: op, Index: i})
+	return i
+}
+
+func (b *histBuilder) ret(thread, idx int, op, res string) {
+	b.evs = append(b.evs, history.Event{Thread: thread, Kind: history.Return, Op: op, Result: res, Index: idx})
+}
+
+// RunFastmon measures the fast-vs-WGL crossover: for each model and length
+// it generates the workload, times the specialized monitor (which must
+// return a definite linearizable), and times the memoized Wing–Gong search
+// until a run exceeds the budget. Progress (if non-nil) receives a line per
+// measurement.
+func RunFastmon(opts FastmonOptions, progress func(string)) ([]FastmonRow, error) {
+	opts = opts.withDefaults()
+	var rows []FastmonRow
+	for _, name := range opts.Models {
+		kind, ok := fast.KindFor(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: no specialized monitor for model %q", name)
+		}
+		model, ok := monitor.Builtin(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: no builtin model %q", name)
+		}
+		wglAlive := true
+		for _, n := range opts.Lengths {
+			h, err := fastmonHist(name, n)
+			if err != nil {
+				return nil, err
+			}
+			row := FastmonRow{Model: name, Ops: len(h.Ops()), Verdict: "PASS"}
+			start := time.Now()
+			lin, err := fast.Check(kind, h)
+			row.FastWall = time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fast %s at %d ops must be decidable: %w", name, n, err)
+			}
+			if !lin {
+				row.Verdict = "FAIL"
+			}
+			if wglAlive {
+				start = time.Now()
+				out, err := monitor.Check(model, h, monitor.Options{NoPartition: true})
+				row.WGLWall = time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("bench: wgl %s at %d ops: %w", name, n, err)
+				}
+				if out.Linearizable != lin {
+					row.Verdict = "FAIL"
+				}
+				if row.FastWall > 0 {
+					row.Speedup = float64(row.WGLWall) / float64(row.FastWall)
+				}
+				if row.WGLWall > opts.WGLBudget {
+					wglAlive = false
+				}
+			}
+			rows = append(rows, row)
+			if progress != nil {
+				wgl := "skipped"
+				if row.WGLWall > 0 {
+					wgl = fmt.Sprintf("%v (%.1fx)", row.WGLWall.Round(time.Microsecond), row.Speedup)
+				}
+				progress(fmt.Sprintf("%s n=%d: fast %v, wgl %s", name, row.Ops,
+					row.FastWall.Round(time.Microsecond), wgl))
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FastmonJSON converts crossover rows to JSON records.
+func FastmonJSON(rows []FastmonRow) []JSONRow {
+	out := make([]JSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, JSONRow{
+			Kind:    "fastmon",
+			Class:   r.Model,
+			Ops:     int64(r.Ops),
+			Speedup: r.Speedup,
+			Verdict: r.Verdict,
+			WGLMS:   float64(r.WGLWall) / float64(time.Millisecond),
+			WallMS:  float64(r.FastWall) / float64(time.Millisecond),
+		})
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lineup/internal/monitor/fast"
+)
+
+func fastmonKey(r JSONRow) string {
+	return fmt.Sprintf("%s|%d", r.Class, r.Ops)
+}
+
+// TestFastmonBaseline is the specialized-monitor crossover gate. The smoke
+// mode (every `make check`, via `make fastmon-smoke`) measures short lengths
+// for all five types and checks the machinery: the generated workloads are
+// inside each fast fragment (a definite verdict, never ErrAmbiguous), the
+// fast and Wing–Gong verdicts agree, and the rows are well formed. With
+// LINEUP_BENCH_FULL=1 (the `make bench-fastmon` entry point) it sweeps the
+// decades 10^2 .. 10^6 and enforces the acceptance target: for every type,
+// the specialized monitor is at least 10x faster than the memoized
+// unpartitioned Wing–Gong search at some length >= 10^4. With
+// LINEUP_UPDATE_BENCH=1 the measured rows are merged into BENCH_lineup.json.
+func TestFastmonBaseline(t *testing.T) {
+	opts := FastmonOptions{Lengths: []int{100, 1_000}}
+	full := os.Getenv("LINEUP_BENCH_FULL") == "1"
+	if full {
+		opts = FastmonOptions{} // the default 10^2 .. 10^6 sweep
+	}
+	rows, err := RunFastmon(opts, func(line string) { t.Log(line) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(fast.Names()) * len(opts.withDefaults().Lengths)
+	if len(rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rows), wantRows)
+	}
+	crossed := make(map[string]bool)
+	for _, r := range rows {
+		if r.Verdict != "PASS" {
+			t.Errorf("%s n=%d: linearizable workload judged %s", r.Model, r.Ops, r.Verdict)
+		}
+		if r.FastWall <= 0 {
+			t.Errorf("%s n=%d: no fast wall time measured", r.Model, r.Ops)
+		}
+		if !full && r.WGLWall <= 0 {
+			t.Errorf("%s n=%d: smoke lengths must stay within the WGL budget", r.Model, r.Ops)
+		}
+		if r.Ops >= 10_000 && r.WGLWall > 0 && r.Speedup >= 10 {
+			crossed[r.Model] = true
+		}
+	}
+	if full {
+		for _, name := range fast.Names() {
+			if !crossed[name] {
+				t.Errorf("%s: no measured length >= 10^4 with a >=10x fast-over-WGL speedup", name)
+			}
+		}
+	}
+	if t.Failed() || !full || os.Getenv("LINEUP_UPDATE_BENCH") != "1" {
+		return
+	}
+	path := filepath.Join(moduleRoot(), JSONFile)
+	var all []JSONRow
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			t.Fatalf("committed %s is not valid JSON: %v", path, err)
+		}
+	}
+	fresh := FastmonJSON(rows)
+	measured := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		measured[fastmonKey(r)] = true
+	}
+	var merged []JSONRow
+	for _, r := range all {
+		if r.Kind == "fastmon" && measured[fastmonKey(r)] {
+			continue
+		}
+		merged = append(merged, r)
+	}
+	merged = append(merged, fresh...)
+	if err := WriteJSONRows(path, merged); err != nil {
+		t.Fatalf("updating %s: %v", path, err)
+	}
+	t.Logf("updated %s with %d fastmon rows", path, len(fresh))
+}
+
+// TestFastmonJSONFields pins the machine-readable schema of the fastmon
+// rows.
+func TestFastmonJSONFields(t *testing.T) {
+	rows := []FastmonRow{{
+		Model: "queue", Ops: 10_000, FastWall: 2_000_000, WGLWall: 500_000_000,
+		Speedup: 250, Verdict: "PASS",
+	}}
+	js := FastmonJSON(rows)
+	if len(js) != 1 {
+		t.Fatalf("got %d rows", len(js))
+	}
+	r := js[0]
+	if r.Kind != "fastmon" || r.Class != "queue" || r.Ops != 10_000 ||
+		r.WallMS != 2 || r.WGLMS != 500 || r.Speedup != 250 || r.Verdict != "PASS" {
+		t.Fatalf("bad fastmon JSON row: %+v", r)
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"kind":"fastmon"`, `"wgl_ms":500`, `"wall_ms":2`, `"speedup":250`} {
+		if !strings.Contains(string(data), field) {
+			t.Fatalf("marshaled row missing %s: %s", field, data)
+		}
+	}
+}

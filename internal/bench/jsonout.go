@@ -54,6 +54,11 @@ type JSONRow struct {
 	Units   int `json:"units,omitempty"`
 	Killed  int `json:"killed_workers,omitempty"`
 	Retries int `json:"retries,omitempty"`
+	// Fastmon rows: specialized-monitor crossover. WGLMS is the memoized
+	// unpartitioned Wing–Gong wall time on the same history (0 = skipped,
+	// the previous length exceeded the measurement budget); WallMS is the
+	// specialized monitor's.
+	WGLMS float64 `json:"wgl_ms,omitempty"`
 	// Serve rows: streaming-load shape and sustained throughput.
 	Partitions int     `json:"partitions,omitempty"`
 	Window     int     `json:"window,omitempty"`

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lineup/internal/core"
+	"lineup/internal/monitor"
 	"lineup/internal/sched"
 	"lineup/internal/telemetry"
 )
@@ -56,7 +57,17 @@ type ParallelOptions struct {
 	// and worker count, so the collector reflects the whole benchmark run,
 	// not one configuration.
 	Telemetry *telemetry.Collector
+	// Witness selects phase 2's witness decision backend for every measured
+	// exploration (core.Options.WitnessSearch). The monitor and fast
+	// backends replay histories against each workload's executable model
+	// (Fig. 1 → queue, Fig. 9 → mre) instead of the phase-1 spec set;
+	// phase 1 itself still runs for the nondeterminism check.
+	Witness core.WitnessSearch
 }
+
+// parallelModels maps each measured cause case to its executable monitor
+// model, consulted when the monitor or fast witness backend is selected.
+var parallelModels = map[Cause]string{CauseA: "mre", CauseB: "queue"}
 
 func (o ParallelOptions) withDefaults() ParallelOptions {
 	if len(o.Workers) == 0 {
@@ -144,6 +155,18 @@ func RunParallel(opts ParallelOptions, progress func(string)) ([]ParallelRow, er
 					Workers:         w,
 					Reduction:       opts.Reduction,
 					Telemetry:       opts.Telemetry,
+				}
+				if opts.Witness != core.WitnessSpec {
+					name, ok := parallelModels[c.Cause]
+					if !ok {
+						return nil, fmt.Errorf("bench: parallel %s: no monitor model for cause %s", sub.Name, c.Cause)
+					}
+					model, ok := monitor.Builtin(name)
+					if !ok {
+						return nil, fmt.Errorf("bench: parallel %s: no builtin model %q", sub.Name, name)
+					}
+					copts.WitnessSearch = opts.Witness
+					copts.MonitorModel = model
 				}
 				var res *core.Result
 				best := time.Duration(0)

@@ -119,8 +119,8 @@ func distExploreConfig(opts Options) sched.ExploreConfig {
 // both the coordinator (fail fast, before spawning workers) and the workers
 // (defense in depth) report them identically.
 func validateDistOptions(opts Options) error {
-	if opts.Consistency != Linearizability && opts.WitnessSearch == WitnessMonitor {
-		return fmt.Errorf("core: %s consistency requires the spec-lookup witness backend, not WitnessMonitor", opts.Consistency)
+	if opts.Consistency != Linearizability && opts.WitnessSearch != WitnessSpec {
+		return fmt.Errorf("core: %s consistency requires the spec-lookup witness backend", opts.Consistency)
 	}
 	if opts.SampleSchedules > 0 {
 		return errors.New("core: schedule sampling cannot be distributed (units are DFS subtrees)")
@@ -198,12 +198,25 @@ func PlanUnits(sub *Subject, m *Test, opts Options, depth int) (*UnitPlan, error
 // hang) never abort the unit: they are classified and recorded in the report,
 // and the merge applies Options.MaxFailures with sequential precedence.
 func CheckUnit(sub *Subject, m *Test, opts Options, u sched.WorkUnit, tick func() bool) (*UnitReport, error) {
+	return CheckUnitWithSpec(sub, m, opts, u, nil, tick)
+}
+
+// CheckUnitWithSpec is CheckUnit with the phase-1 specification supplied by
+// the caller — typically shipped inside an exec worker's job file, so small
+// units skip the per-unit re-synthesis that otherwise dominates their cost
+// (see EXPERIMENTS.md). A nil spec synthesizes locally, which is what
+// CheckUnit does. Phase 1 is deterministic, so a faithfully transported spec
+// yields a byte-identical unit report.
+func CheckUnitWithSpec(sub *Subject, m *Test, opts Options, u sched.WorkUnit, spec *history.Spec, tick func() bool) (*UnitReport, error) {
 	if err := validateDistOptions(opts); err != nil {
 		return nil, err
 	}
-	spec, _, err := SynthesizeSpec(sub, m, opts)
-	if err != nil {
-		return nil, err
+	if spec == nil {
+		var err error
+		spec, _, err = SynthesizeSpec(sub, m, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if _, bad := spec.Nondeterministic(); bad {
 		return nil, errors.New("core: phase 1 is nondeterministic; the check fails before any unit runs")

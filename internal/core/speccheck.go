@@ -398,8 +398,8 @@ func phase2(sub *Subject, m *Test, spec *history.Spec, opts Options, mode witnes
 		}
 	}
 	if opts.Consistency != Linearizability {
-		if opts.WitnessSearch == WitnessMonitor {
-			return nil, fmt.Errorf("core: %s consistency requires the spec-lookup witness backend, not WitnessMonitor", opts.Consistency)
+		if opts.WitnessSearch != WitnessSpec {
+			return nil, fmt.Errorf("core: %s consistency requires the spec-lookup witness backend", opts.Consistency)
 		}
 		if spec == nil {
 			return nil, fmt.Errorf("core: %s consistency requires a phase-1 specification", opts.Consistency)

@@ -201,6 +201,14 @@ func Run(ctx context.Context, cfg Config) (*core.Result, Stats, error) {
 		return res, stats, err
 	}
 
+	// Ship the freshly synthesized (and determinism-checked) phase-1 spec to
+	// exec workers so they skip the per-unit re-synthesis that dominates
+	// small units. Phase 1 is deterministic, so the reports are byte-for-byte
+	// what local synthesis would have produced.
+	if ex, ok := cfg.Launcher.(*ExecLauncher); ok && ex.Spec == nil {
+		ex.Spec = plan.Spec
+	}
+
 	recs := make([]*unitRec, len(plan.Units))
 	for i := range recs {
 		recs[i] = &unitRec{state: uPending}

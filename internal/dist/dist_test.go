@@ -15,6 +15,7 @@ import (
 	"lineup/internal/core"
 	"lineup/internal/dist"
 	"lineup/internal/faultinject"
+	"lineup/internal/history"
 	"lineup/internal/sched"
 	"lineup/internal/telemetry"
 )
@@ -333,5 +334,53 @@ func TestDistTelemetry(t *testing.T) {
 	}
 	if plan.Injections() > 0 && snap.DistWorkerFailures == 0 {
 		t.Fatalf("injected crashes left no DistWorkerFailures: %+v", snap)
+	}
+}
+
+// TestDistShippedSpecReportsByteIdentical pins the phase-1 spec-shipping
+// optimization: a worker that rebuilds the specification from the job
+// file's exported serial histories (a JSON round trip, exactly what
+// ExecLauncher ships) must produce a unit report byte-identical to one that
+// re-synthesizes the spec locally — for every unit of the plan, passing and
+// failing subjects alike.
+func TestDistShippedSpecReportsByteIdentical(t *testing.T) {
+	t.Parallel()
+	for _, sub := range []*core.Subject{counterSubject(), counter1Subject()} {
+		m := testFor(sub)
+		opts := core.Options{PreemptionBound: 2}
+		plan, err := core.PlanUnits(sub, m, opts, 2)
+		if err != nil {
+			t.Fatalf("%s: plan: %v", sub.Name, err)
+		}
+		if len(plan.Units) < 2 {
+			t.Fatalf("%s: plan has %d units; want a real split", sub.Name, len(plan.Units))
+		}
+		// Round-trip the spec the way the job file does.
+		wire, err := json.Marshal(plan.Spec.Export())
+		if err != nil {
+			t.Fatalf("%s: marshal spec: %v", sub.Name, err)
+		}
+		var hs []*history.SerialHistory
+		if err := json.Unmarshal(wire, &hs); err != nil {
+			t.Fatalf("%s: unmarshal spec: %v", sub.Name, err)
+		}
+		shipped := history.ImportSpec(hs)
+		for _, u := range plan.Units {
+			local, err := core.CheckUnit(sub, m, opts, u, nil)
+			if err != nil {
+				t.Fatalf("%s unit %d: local synth: %v", sub.Name, u.Seq, err)
+			}
+			remote, err := core.CheckUnitWithSpec(sub, m, opts, u, shipped, nil)
+			if err != nil {
+				t.Fatalf("%s unit %d: shipped spec: %v", sub.Name, u.Seq, err)
+			}
+			lj, _ := json.Marshal(local)
+			rj, _ := json.Marshal(remote)
+			if string(lj) != string(rj) {
+				t.Fatalf("%s unit %d: shipped-spec report differs:\n local %s\nremote %s",
+					sub.Name, u.Seq, lj, rj)
+			}
+		}
+		t.Logf("%s: %d unit reports byte-identical with the shipped spec", sub.Name, len(plan.Units))
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lineup/internal/core"
+	"lineup/internal/history"
 	"lineup/internal/obsfile"
 	"lineup/internal/sched"
 )
@@ -78,8 +79,8 @@ type ExecLauncher struct {
 	Bin string
 	// Dir holds job and report files (required).
 	Dir string
-	// Subject names the class the worker should resolve (the worker re-runs
-	// the deterministic phase 1 itself, so nothing else is shipped).
+	// Subject names the class the worker should resolve; code never travels,
+	// only the name (plus, optionally, the Spec below).
 	Subject string
 	// Test is the test matrix as rows of invocation display names.
 	Test [][]string
@@ -92,6 +93,11 @@ type ExecLauncher struct {
 	KillUnit int
 	// Env appends extra environment variables to workers.
 	Env []string
+	// Spec, when non-nil, is the coordinator's synthesized phase-1
+	// specification, shipped inside every job file so workers skip the
+	// per-unit re-synthesis (the dominant cost of small units). Phase 1 is
+	// deterministic, so shipping it cannot change any report.
+	Spec *history.Spec
 }
 
 func (l *ExecLauncher) Run(ctx context.Context, spec UnitSpec, heartbeat func()) (*core.UnitReport, error) {
@@ -103,6 +109,9 @@ func (l *ExecLauncher) Run(ctx context.Context, spec UnitSpec, heartbeat func())
 		Options:    l.Options,
 		Spec:       spec,
 		ReportPath: repPath,
+	}
+	if l.Spec != nil {
+		job.SpecHistories = l.Spec.Export()
 	}
 	data, err := json.MarshalIndent(job, "", "  ")
 	if err != nil {

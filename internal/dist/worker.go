@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lineup/internal/core"
+	"lineup/internal/history"
 )
 
 // WorkerJob is the file an ExecLauncher coordinator hands a worker process:
@@ -19,6 +20,11 @@ type WorkerJob struct {
 	Options    WorkerOptions `json:"options"`
 	Spec       UnitSpec      `json:"spec"`
 	ReportPath string        `json:"report_path"`
+	// SpecHistories, when present, is the coordinator's phase-1
+	// specification in history.Spec Export order; the worker rebuilds the
+	// spec from it instead of re-synthesizing. Absent (older coordinators,
+	// hand-written jobs), the worker synthesizes locally as before.
+	SpecHistories []*history.SerialHistory `json:"spec_histories,omitempty"`
 }
 
 // RunWorker is the worker half of the exec protocol: it loads the job file,
@@ -65,7 +71,11 @@ func RunWorker(jobPath string, resolve func(class string) (*core.Subject, bool),
 		}
 		return true
 	}
-	rep, err := core.CheckUnit(sub, m, opts, job.Spec.Unit, tick)
+	var spec *history.Spec
+	if len(job.SpecHistories) > 0 {
+		spec = history.ImportSpec(job.SpecHistories)
+	}
+	rep, err := core.CheckUnitWithSpec(sub, m, opts, job.Spec.Unit, spec, tick)
 	if err != nil {
 		return err
 	}

@@ -481,3 +481,28 @@ func (sp *Spec) WitnessStuck(h *History, e Op) (*SerialHistory, bool) {
 	}
 	return nil, false
 }
+
+// Export returns every serial history of the specification in a
+// deterministic order: groups in first-seen order, full histories before
+// stuck ones within each group, insertion order within each set. Feeding the
+// result to ImportSpec rebuilds an equivalent specification — same groups in
+// the same order, same candidate order per group, same determinism verdict —
+// so a coordinator can ship a synthesized phase-1 spec to worker processes
+// and have them produce byte-identical reports without re-synthesizing.
+func (sp *Spec) Export() []*SerialHistory {
+	out := make([]*SerialHistory, 0, sp.nFull+sp.nStuck)
+	for _, sig := range sp.groups {
+		out = append(out, sp.full[sig]...)
+		out = append(out, sp.stuck[sig]...)
+	}
+	return out
+}
+
+// ImportSpec rebuilds a specification from Export's output.
+func ImportSpec(hs []*SerialHistory) *Spec {
+	sp := NewSpec()
+	for _, s := range hs {
+		sp.Add(s)
+	}
+	return sp
+}

@@ -1,0 +1,115 @@
+package fast
+
+import (
+	"fmt"
+	"testing"
+
+	"lineup/internal/history"
+)
+
+// allocHistory builds the steady-state allocation workload for one kind: a
+// sequential unambiguous fill-then-drain history (write clusters for the
+// register) of about n operations, entirely inside the fragment, so Check
+// exercises its witness-construction hot path end to end.
+func allocHistory(k Kind, n int) *history.History {
+	b := newHB()
+	m := n / 2
+	switch k {
+	case KindQueue:
+		for i := 0; i < m; i++ {
+			b.op(0, fmt.Sprintf("Enqueue(%d)", i), "ok")
+		}
+		for i := 0; i < m; i++ {
+			b.op(0, "TryDequeue()", fmt.Sprint(i))
+		}
+	case KindStack:
+		for i := 0; i < m; i++ {
+			b.op(0, fmt.Sprintf("Push(%d)", i), "ok")
+		}
+		for i := m - 1; i >= 0; i-- {
+			b.op(0, "TryPop()", fmt.Sprint(i))
+		}
+	case KindSet:
+		for i := 0; i < m; i++ {
+			b.op(0, fmt.Sprintf("Add(%d)", i), "true")
+		}
+		for i := 0; i < m; i++ {
+			b.op(0, fmt.Sprintf("Remove(%d)", i), "true")
+		}
+	case KindRegister:
+		for i := 0; i < m; i++ {
+			v := fmt.Sprint(i + 1)
+			b.op(0, "Write("+v+")", "ok")
+			b.op(0, "Read()", v)
+		}
+	case KindPQueue:
+		for i := 0; i < m; i++ {
+			b.op(0, fmt.Sprintf("Insert(%d)", i), "ok")
+		}
+		for i := 0; i < m; i++ {
+			b.op(0, "TryDeleteMin()", fmt.Sprint(i))
+		}
+	}
+	return b.done()
+}
+
+// BenchmarkFastMonitorAllocs measures each specialized monitor's allocation
+// behavior on a 1024-operation in-fragment history; run with -benchmem to
+// see allocs/op. The paired regression test below turns the same workload
+// into a hard per-operation ceiling.
+func BenchmarkFastMonitorAllocs(b *testing.B) {
+	for k := KindQueue; k <= KindPQueue; k++ {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			h := allocHistory(k, 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Check(k, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestFastMonitorAllocsPerOp is the allocation regression guard for the
+// specialized monitors: deciding one operation of an in-fragment history
+// must stay under a fixed allocation budget per type. The ceilings have
+// roughly 50% headroom over measured values; a hot-path change that starts
+// allocating per comparison or per event (string joins, per-op maps) blows
+// through them immediately.
+func TestFastMonitorAllocsPerOp(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	const n = 1024
+	ceilings := map[Kind]float64{
+		KindQueue:    3, // measured 1.56
+		KindStack:    3, // measured 1.56
+		KindSet:      4, // measured 2.05
+		KindRegister: 5, // measured 3.05
+		KindPQueue:   3, // measured 1.56
+	}
+	for k := KindQueue; k <= KindPQueue; k++ {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			h := allocHistory(k, n)
+			ops := len(h.Ops())
+			if ops == 0 {
+				t.Fatal("workload has no operations")
+			}
+			perRun := testing.AllocsPerRun(5, func() {
+				if _, err := Check(k, h); err != nil {
+					t.Fatal(err)
+				}
+			})
+			perOp := perRun / float64(ops)
+			t.Logf("%s: %.0f allocs per check, %.2f per operation (%d operations)",
+				k, perRun, perOp, ops)
+			if perOp > ceilings[k] {
+				t.Errorf("%s: %.2f allocs per operation exceeds the %.0f ceiling", k, perOp, ceilings[k])
+			}
+		})
+	}
+}

@@ -1,0 +1,247 @@
+package fast
+
+import "sort"
+
+// pqVal is the lifetime of one distinct value through a priority queue.
+type pqVal struct {
+	val             string
+	rank            int // position in ascending priority order
+	insCall, insRet int
+	delCall, delRet int
+	deleted         bool
+	simInserted     bool
+	simDeleted      bool
+}
+
+// checkPQueue decides a complete min-priority-queue history over the
+// unambiguous fragment: Insert(v)→ok with pairwise-distinct values and
+// DeleteMin→v (failed TryDeleteMin and PeekMin are outside the fragment).
+// Priorities compare numerically when both values parse as integers,
+// lexicographically otherwise, matching monitor.PQueueModel.
+//
+// Violation certificates: a delete of a value never inserted or deleted
+// twice; a value deleted before its insert was called; and the pairwise
+// priority certificate of Lee & Mathur — values a < b (priority order)
+// with insRet(a) < delCall(b) and delRet(b) < delCall(a) (an undeleted a
+// counts as delete at +inf): a is inserted and still present across the
+// whole of DeleteMin→b, so the minimum at b's linearization point is at
+// most a, never b. The scan processes values in ascending priority,
+// querying a Fenwick tree indexed by insert-return rank for the maximum
+// delete-call among smaller values inserted early enough — O(n log n).
+//
+// A history clean of certificates is confirmed by the same greedy
+// event-order simulation as the stack, with "top of stack" replaced by
+// "current minimum": every simulated DeleteMin removes the minimum of the
+// simulated multiset, so a completed run is a witness. A stuck simulation
+// (a smaller value present whose delete is not open) reports ErrAmbiguous.
+func checkPQueue(ops []call) (bool, error) {
+	vals := make(map[string]*pqVal)
+	for _, op := range ops {
+		switch op.method {
+		case "Insert", "Add", "Put":
+			if op.arg == "" || op.res != okResult {
+				return false, ErrAmbiguous
+			}
+			if _, dup := vals[op.arg]; dup {
+				return false, ErrAmbiguous
+			}
+			vals[op.arg] = &pqVal{val: op.arg, insCall: op.call, insRet: op.ret, delCall: inf, delRet: inf}
+		case "DeleteMin", "RemoveMin", "TryDeleteMin", "TryRemoveMin":
+			if op.res == failResult {
+				return false, ErrAmbiguous
+			}
+		default:
+			return false, ErrAmbiguous
+		}
+	}
+	for _, op := range ops {
+		switch op.method {
+		case "DeleteMin", "RemoveMin", "TryDeleteMin", "TryRemoveMin":
+			v := vals[op.res]
+			if v == nil {
+				return false, nil // delete of a value never inserted
+			}
+			if v.deleted {
+				return false, nil // deleted twice
+			}
+			if op.ret < v.insCall {
+				return false, nil // delete precedes insert
+			}
+			v.deleted = true
+			v.delCall, v.delRet = op.call, op.ret
+		}
+	}
+
+	// Rank values by priority; rank insert-returns for the Fenwick index.
+	byPrio := make([]*pqVal, 0, len(vals))
+	for _, v := range vals {
+		byPrio = append(byPrio, v)
+	}
+	sort.Slice(byPrio, func(i, j int) bool { return valueLess(byPrio[i].val, byPrio[j].val) })
+	for i, v := range byPrio {
+		v.rank = i
+	}
+	byInsRet := append([]*pqVal(nil), byPrio...)
+	sort.Slice(byInsRet, func(i, j int) bool { return byInsRet[i].insRet < byInsRet[j].insRet })
+	insRetRank := make(map[*pqVal]int, len(byInsRet))
+	for i, v := range byInsRet {
+		insRetRank[v] = i
+	}
+
+	// Fenwick tree over insert-return ranks holding max delete-call; values
+	// are added in ascending priority, so when b is processed the tree
+	// holds exactly the values a < b. prefixMax(r) is the max delCall over
+	// a with insRetRank < r, i.e. insRet(a) below the query position.
+	fen := newMaxFenwick(len(byInsRet))
+	for _, b := range byPrio {
+		if b.deleted {
+			// Certificate: some a < b with insRet(a) < delCall(b) and
+			// delCall(a) > delRet(b).
+			r := sort.Search(len(byInsRet), func(i int) bool { return byInsRet[i].insRet >= b.delCall })
+			if fen.prefixMax(r) > b.delRet {
+				return false, nil
+			}
+		}
+		fen.update(insRetRank[b], b.delCall)
+	}
+
+	// Greedy simulation over return events in real-time order; present
+	// values live in a segment tree keyed by priority rank for O(log n)
+	// minimum queries.
+	type retEvent struct {
+		pos   int
+		v     *pqVal
+		isDel bool
+	}
+	rets := make([]retEvent, 0, len(ops))
+	for _, op := range ops {
+		switch op.method {
+		case "Insert", "Add", "Put":
+			rets = append(rets, retEvent{pos: op.ret, v: vals[op.arg]})
+		case "DeleteMin", "RemoveMin", "TryDeleteMin", "TryRemoveMin":
+			rets = append(rets, retEvent{pos: op.ret, v: vals[op.res], isDel: true})
+		}
+	}
+	sort.Slice(rets, func(i, j int) bool { return rets[i].pos < rets[j].pos })
+
+	present := newMinRankSet(len(byPrio))
+	for _, ev := range rets {
+		t := ev.pos
+		v := ev.v
+		if !ev.isDel {
+			if !v.simInserted {
+				v.simInserted = true
+				present.add(v.rank)
+			}
+			continue
+		}
+		if v.simDeleted {
+			continue // deleted during an earlier cascade
+		}
+		if !v.simInserted {
+			if !(v.insCall < t && t < v.insRet) {
+				return false, ErrAmbiguous
+			}
+			v.simInserted = true
+			present.add(v.rank)
+		}
+		// Delete every present value smaller than v; each needs its own
+		// open delete right now.
+		for {
+			r := present.min()
+			if r < 0 || r >= v.rank {
+				break
+			}
+			u := byPrio[r]
+			if !u.deleted || u.simDeleted || !(u.delCall < t && t < u.delRet) {
+				return false, ErrAmbiguous
+			}
+			u.simDeleted = true
+			present.remove(r)
+		}
+		if present.min() != v.rank {
+			return false, ErrAmbiguous // v is not the minimum: punt
+		}
+		v.simDeleted = true
+		present.remove(v.rank)
+	}
+	return true, nil
+}
+
+// maxFenwick is a Fenwick tree supporting point update with max and prefix
+// maximum queries (monotone updates only, which max is).
+type maxFenwick struct{ tree []int }
+
+func newMaxFenwick(n int) *maxFenwick {
+	t := make([]int, n+1)
+	for i := range t {
+		t[i] = -1
+	}
+	return &maxFenwick{tree: t}
+}
+
+func (f *maxFenwick) update(i, v int) {
+	for i++; i < len(f.tree); i += i & -i {
+		if v > f.tree[i] {
+			f.tree[i] = v
+		}
+	}
+}
+
+// prefixMax returns the maximum over indices < n, or -1 when empty.
+func (f *maxFenwick) prefixMax(n int) int {
+	best := -1
+	for ; n > 0; n -= n & -n {
+		if f.tree[n] > best {
+			best = f.tree[n]
+		}
+	}
+	return best
+}
+
+// minRankSet is a segment tree over ranks supporting add/remove and
+// minimum-present queries in O(log n).
+type minRankSet struct {
+	n    int
+	tree []int // counts
+}
+
+func newMinRankSet(n int) *minRankSet {
+	if n == 0 {
+		n = 1
+	}
+	return &minRankSet{n: n, tree: make([]int, 4*n)}
+}
+
+func (s *minRankSet) add(r int)    { s.change(1, 0, s.n-1, r, 1) }
+func (s *minRankSet) remove(r int) { s.change(1, 0, s.n-1, r, -1) }
+
+func (s *minRankSet) change(node, lo, hi, r, d int) {
+	s.tree[node] += d
+	if lo == hi {
+		return
+	}
+	mid := (lo + hi) / 2
+	if r <= mid {
+		s.change(2*node, lo, mid, r, d)
+	} else {
+		s.change(2*node+1, mid+1, hi, r, d)
+	}
+}
+
+// min returns the smallest present rank, or -1 when empty.
+func (s *minRankSet) min() int {
+	if s.tree[1] == 0 {
+		return -1
+	}
+	node, lo, hi := 1, 0, s.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.tree[2*node] > 0 {
+			node, hi = 2*node, mid
+		} else {
+			node, lo = 2*node+1, mid+1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,104 @@
+package fast
+
+import "sort"
+
+// queueVal is the lifetime of one distinct value through a FIFO queue: its
+// enqueue interval and, if it was ever dequeued, its dequeue interval
+// (inf/inf otherwise).
+type queueVal struct {
+	enqCall, enqRet int
+	deqCall, deqRet int
+	dequeued        bool
+}
+
+// checkQueue decides a complete FIFO queue history over the unambiguous
+// fragment: every enqueue returns ok, every dequeue returns a value, and
+// enqueued values are pairwise distinct. Emptiness observers (failed
+// TryDequeue, Peek, Count, IsEmpty, ToArray) are outside the fragment.
+//
+// On the fragment the classic characterization (Henzinger, Sezgin &
+// Vafeiadis; also Abdulla et al. arXiv:2509.17795) is exact — the history
+// is linearizable iff none of these certificates exists:
+//
+//  1. a dequeue of a value never enqueued, or dequeued twice;
+//  2. a value dequeued before its enqueue was called (deq <H enq);
+//  3. a FIFO inversion: values a, b with enq(a) <H enq(b) and
+//     deq(b) <H deq(a), where an undequeued a counts as deq at +inf —
+//     a entered the queue strictly first yet b left while a remained.
+//
+// The pair scan for certificate 3 is an O(n log n) sweep: values sorted by
+// enqueue call; a second cursor in enqueue-return order maintains the
+// running maximum dequeue-call over every value already enqueued-before.
+func checkQueue(ops []call) (bool, error) {
+	vals := make(map[string]*queueVal)
+	var order []string
+	for _, op := range ops {
+		switch op.method {
+		case "Enqueue", "Add", "Put":
+			if op.arg == "" || op.res != okResult {
+				return false, ErrAmbiguous
+			}
+			if _, dup := vals[op.arg]; dup {
+				return false, ErrAmbiguous // duplicate value: fragment excluded
+			}
+			vals[op.arg] = &queueVal{enqCall: op.call, enqRet: op.ret, deqCall: inf, deqRet: inf}
+			order = append(order, op.arg)
+		case "Dequeue", "Take", "TryDequeue", "TryTake":
+			if op.res == failResult {
+				return false, ErrAmbiguous // emptiness observation: outside fragment
+			}
+		default:
+			return false, ErrAmbiguous
+		}
+	}
+	// Second pass binds dequeues to values; enqueues are all registered so
+	// "never enqueued" is decidable regardless of event order.
+	for _, op := range ops {
+		switch op.method {
+		case "Dequeue", "Take", "TryDequeue", "TryTake":
+			v := vals[op.res]
+			if v == nil {
+				return false, nil // certificate 1: value never enqueued
+			}
+			if v.dequeued {
+				return false, nil // certificate 1: dequeued twice
+			}
+			if op.ret < v.enqCall {
+				return false, nil // certificate 2: dequeue precedes enqueue
+			}
+			v.dequeued = true
+			v.deqCall, v.deqRet = op.call, op.ret
+		}
+	}
+
+	// Certificate 3 sweep. byCall drives (each value as the "b" of the
+	// pair); byRet feeds the running max of deqCall over every "a" with
+	// enqRet(a) < enqCall(b). Undequeued values carry deqCall = inf, so a
+	// dequeued b trips the certificate against any earlier undequeued a.
+	byCall := make([]*queueVal, 0, len(order))
+	for _, name := range order {
+		byCall = append(byCall, vals[name])
+	}
+	byRet := append([]*queueVal(nil), byCall...)
+	sort.Slice(byCall, func(i, j int) bool { return byCall[i].enqCall < byCall[j].enqCall })
+	sort.Slice(byRet, func(i, j int) bool { return byRet[i].enqRet < byRet[j].enqRet })
+	maxDeqCall := -1
+	cursor := 0
+	for _, b := range byCall {
+		for cursor < len(byRet) && byRet[cursor].enqRet < b.enqCall {
+			if byRet[cursor].deqCall > maxDeqCall {
+				maxDeqCall = byRet[cursor].deqCall
+			}
+			cursor++
+		}
+		if b.dequeued && maxDeqCall > b.deqRet {
+			return false, nil // certificate 3: FIFO inversion
+		}
+	}
+	return true, nil
+}
+
+const (
+	okResult   = "ok"
+	failResult = "Fail"
+)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package fast
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation regression guard skips under it (shadow state inflates alloc
+// counts unpredictably).
+const raceEnabled = false

@@ -1,0 +1,119 @@
+package fast
+
+import "sort"
+
+// regCluster is one written value with the reads that observed it: under
+// distinct written values, a linearization orders the clusters and every
+// read of v lands between write(v)'s point and the next write's point.
+type regCluster struct {
+	hasWrite      bool
+	wrCall, wrRet int
+	reads         []ival
+	deadline      int // min return position over the cluster's ops
+}
+
+// checkRegister decides a complete atomic register history over the
+// unambiguous fragment: Write(v)→ok with pairwise-distinct values none of
+// which equals the initial value "0", and Read→v. CAS is outside the
+// fragment.
+//
+// Violation certificates: a read of a value never written (and not the
+// initial value), and a read returning before its value's write was called.
+// The witness is built greedily: clusters (a write plus its reads; the
+// initial value's reads form a writeless cluster scheduled first) are
+// laid out contiguously in ascending order of earliest deadline — the
+// classic earliest-deadline-first exchange argument for interval
+// scheduling. Each operation receives a linearization point at
+// max(current time, its call) and fails the greedy if that point reaches
+// its return. A completed layout is a valid atomic-register witness
+// (every read is adjacent to its write's cluster), so true is sound; a
+// stuck greedy reports ErrAmbiguous and falls back.
+func checkRegister(ops []call) (bool, error) {
+	const initVal = "0"
+	clusters := make(map[string]*regCluster)
+	get := func(v string) *regCluster {
+		c := clusters[v]
+		if c == nil {
+			c = &regCluster{deadline: inf}
+			clusters[v] = c
+		}
+		return c
+	}
+	for _, op := range ops {
+		switch op.method {
+		case "Write", "Set":
+			if op.arg == "" || op.res != okResult || op.arg == initVal {
+				return false, ErrAmbiguous
+			}
+			c := get(op.arg)
+			if c.hasWrite {
+				return false, ErrAmbiguous // duplicate written value
+			}
+			c.hasWrite, c.wrCall, c.wrRet = true, op.call, op.ret
+			if op.ret < c.deadline {
+				c.deadline = op.ret
+			}
+		case "Read", "Get":
+			if op.res == "" {
+				return false, ErrAmbiguous
+			}
+			c := get(op.res)
+			c.reads = append(c.reads, ival{op.call, op.ret})
+			if op.ret < c.deadline {
+				c.deadline = op.ret
+			}
+		default:
+			return false, ErrAmbiguous
+		}
+	}
+	init := clusters[initVal]
+	delete(clusters, initVal)
+	for _, c := range clusters {
+		if !c.hasWrite {
+			return false, nil // read of a value never written
+		}
+		for _, r := range c.reads {
+			if r.ret < c.wrCall {
+				return false, nil // read precedes its write
+			}
+		}
+	}
+
+	// Greedy earliest-deadline-first layout. t is the running point; the
+	// initial value's reads must come before every write, so that cluster
+	// is forced first.
+	ordered := make([]*regCluster, 0, len(clusters)+1)
+	if init != nil {
+		ordered = append(ordered, init)
+	}
+	rest := make([]*regCluster, 0, len(clusters))
+	for _, c := range clusters {
+		rest = append(rest, c)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].deadline < rest[j].deadline })
+	ordered = append(ordered, rest...)
+
+	t := -1 // strictly below every event position
+	for _, c := range ordered {
+		if c.hasWrite {
+			if c.wrCall > t {
+				t = c.wrCall
+			}
+			if t >= c.wrRet {
+				return false, ErrAmbiguous
+			}
+			// Write point sits in (t, wrRet); t advances to it.
+		}
+		reads := append([]ival(nil), c.reads...)
+		sort.Slice(reads, func(i, j int) bool { return reads[i].ret < reads[j].ret })
+		for _, r := range reads {
+			if r.call > t {
+				t = r.call
+			}
+			if t >= r.ret {
+				return false, ErrAmbiguous
+			}
+		}
+	}
+	return true, nil
+}

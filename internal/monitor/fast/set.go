@@ -1,0 +1,148 @@
+package fast
+
+import "sort"
+
+// setValOps gathers every operation on one set element: the at-most-one
+// successful Add and Remove (the element's presence transitions), plus the
+// observers that require it present (Contains→true, Add→false) or absent
+// (Contains→false, Remove→false).
+type setValOps struct {
+	hasAdd, hasRem   bool
+	addCall, addRet  int // successful Add interval
+	remCall, remRet  int // successful Remove interval
+	present          []ival
+	absent           []ival
+	addTrue, remTrue int // counts, for the duplicate gate
+}
+
+type ival struct{ call, ret int }
+
+// checkSet decides a complete set history over the unambiguous fragment:
+// Add/Remove/Contains with boolean results, and per element at most one
+// successful Add and at most one successful Remove (an element cycling
+// absent→present→absent→present is a duplicate in the papers' sense and
+// falls back). Count and other observers are outside the fragment.
+//
+// Set elements never interact, so the history is linearizable iff each
+// element's subhistory is — the same per-value partition the general
+// checker exploits for P-compositional models. Per element the problem is
+// exact two-point feasibility: choose the Add transition point t1 inside
+// the successful Add's interval and the Remove transition point t2 inside
+// the successful Remove's (t2 = +inf when never removed), t1 < t2, such
+// that every present observer overlaps (t1, t2) and every absent observer
+// has room outside it (call < t1 or t2 < ret). Sorting absent observers by
+// call position makes the optimal assignment a prefix split (an observer
+// satisfiable on the t1 side stays there without hurting the t2 side), so
+// one sweep over split points with a suffix-minimum of returns decides
+// feasibility in O(m log m). The answer is definite in both directions:
+// this checker never reports ErrAmbiguous on gated input.
+func checkSet(ops []call) (bool, error) {
+	vals := make(map[string]*setValOps)
+	get := func(arg string) *setValOps {
+		v := vals[arg]
+		if v == nil {
+			v = &setValOps{}
+			vals[arg] = v
+		}
+		return v
+	}
+	for _, op := range ops {
+		if op.arg == "" || (op.res != "true" && op.res != "false") {
+			return false, ErrAmbiguous
+		}
+		v := get(op.arg)
+		iv := ival{op.call, op.ret}
+		switch {
+		case op.method == "Add" && op.res == "true":
+			v.addTrue++
+			v.hasAdd, v.addCall, v.addRet = true, op.call, op.ret
+		case op.method == "Add" && op.res == "false":
+			v.present = append(v.present, iv)
+		case op.method == "Remove" && op.res == "true":
+			v.remTrue++
+			v.hasRem, v.remCall, v.remRet = true, op.call, op.ret
+		case op.method == "Remove" && op.res == "false":
+			v.absent = append(v.absent, iv)
+		case op.method == "Contains" && op.res == "true":
+			v.present = append(v.present, iv)
+		case op.method == "Contains" && op.res == "false":
+			v.absent = append(v.absent, iv)
+		default:
+			return false, ErrAmbiguous
+		}
+	}
+	for _, v := range vals {
+		if v.addTrue > 1 || v.remTrue > 1 {
+			return false, ErrAmbiguous // element re-added: duplicate fragment
+		}
+		ok, err := setValFeasible(v)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// setValFeasible decides one element's subhistory exactly.
+func setValFeasible(v *setValOps) (bool, error) {
+	if !v.hasAdd {
+		// Never successfully added: the element is absent throughout, so
+		// any present observer or successful Remove is a violation, and
+		// absent observers are all trivially satisfied.
+		return !v.hasRem && len(v.present) == 0, nil
+	}
+	// Bounds contributed by present observers: t1 < minPresRet, maxPresCall < t2.
+	minPresRet, maxPresCall := inf, -1
+	for _, p := range v.present {
+		if p.ret < minPresRet {
+			minPresRet = p.ret
+		}
+		if p.call > maxPresCall {
+			maxPresCall = p.call
+		}
+	}
+	// Absent observers sorted by call; suffix minimum of returns for the
+	// t2 side of each split.
+	abs := append([]ival(nil), v.absent...)
+	sort.Slice(abs, func(i, j int) bool { return abs[i].call < abs[j].call })
+	sufMinRet := make([]int, len(abs)+1)
+	sufMinRet[len(abs)] = inf
+	for i := len(abs) - 1; i >= 0; i-- {
+		sufMinRet[i] = abs[i].ret
+		if sufMinRet[i+1] < sufMinRet[i] {
+			sufMinRet[i] = sufMinRet[i+1]
+		}
+	}
+	// t2 interval: the successful Remove's, or exactly +inf when absent.
+	remCall, remRet := inf-1, inf+1
+	if v.hasRem {
+		remCall, remRet = v.remCall, v.remRet
+	}
+	for k := 0; k <= len(abs); k++ {
+		// First k absent observers go before t1, the rest after t2.
+		l1 := v.addCall
+		if k > 0 && abs[k-1].call > l1 {
+			l1 = abs[k-1].call
+		}
+		u1 := v.addRet
+		if minPresRet < u1 {
+			u1 = minPresRet
+		}
+		l2 := remCall
+		if maxPresCall > l2 {
+			l2 = maxPresCall
+		}
+		u2 := remRet
+		if sufMinRet[k] < u2 {
+			u2 = sufMinRet[k]
+		}
+		// Feasible split: nonempty t1 and t2 ranges with t1 < t2 possible.
+		if l1 < u1 && l2 < u2 && l1 < u2 {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,134 @@
+package fast
+
+import "sort"
+
+// stackVal is the lifetime of one distinct value through a LIFO stack.
+type stackVal struct {
+	pushCall, pushRet int
+	popCall, popRet   int
+	popped            bool // has a pop operation in the history
+	simPushed         bool // pushed in the greedy simulation
+	simPopped         bool // pop linearization point already assigned
+}
+
+// checkStack decides a complete LIFO stack history over the unambiguous
+// fragment: every push returns ok, every pop returns a value, and pushed
+// values are pairwise distinct (failed TryPop and Peek/Count observers are
+// outside the fragment).
+//
+// Violation certificates: a pop of a value never pushed or popped twice,
+// and a value popped before its push was called. Linearizability is then
+// established constructively by a greedy event-order simulation that only
+// performs legal moves:
+//
+//   - at push-return time, the value is pushed if not already on the
+//     simulated stack (linearization point inside its own interval);
+//   - at pop-return time, the value is force-pushed if its push is still
+//     open, then every value above it is popped — legal only if that
+//     value's own pop operation is open right now — and finally the value
+//     itself is popped from the top.
+//
+// Every simulated move assigns a linearization point strictly inside the
+// operation's interval and pops only the top of the stack, so a completed
+// simulation is a witness and the verdict true is sound. If the simulation
+// gets stuck (a value above has no open pop), the history may still be
+// linearizable via an ordering the greedy did not try, so the checker
+// reports ErrAmbiguous rather than guessing false.
+func checkStack(ops []call) (bool, error) {
+	vals := make(map[string]*stackVal)
+	for _, op := range ops {
+		switch op.method {
+		case "Push":
+			if op.arg == "" || op.res != okResult {
+				return false, ErrAmbiguous
+			}
+			if _, dup := vals[op.arg]; dup {
+				return false, ErrAmbiguous
+			}
+			vals[op.arg] = &stackVal{pushCall: op.call, pushRet: op.ret, popCall: inf, popRet: inf}
+		case "Pop", "TryPop":
+			if op.res == failResult {
+				return false, ErrAmbiguous
+			}
+		default:
+			return false, ErrAmbiguous
+		}
+	}
+	for _, op := range ops {
+		switch op.method {
+		case "Pop", "TryPop":
+			v := vals[op.res]
+			if v == nil {
+				return false, nil // pop of a value never pushed
+			}
+			if v.popped {
+				return false, nil // popped twice
+			}
+			if op.ret < v.pushCall {
+				return false, nil // pop precedes push
+			}
+			v.popped = true
+			v.popCall, v.popRet = op.call, op.ret
+		}
+	}
+
+	// Greedy simulation over return events in increasing position order.
+	// Event positions double as timestamps; rets is every (position, value,
+	// isPop) return in history order.
+	type retEvent struct {
+		pos   int
+		v     *stackVal
+		isPop bool
+	}
+	rets := make([]retEvent, 0, len(ops))
+	for _, op := range ops {
+		switch op.method {
+		case "Push":
+			rets = append(rets, retEvent{pos: op.ret, v: vals[op.arg], isPop: false})
+		case "Pop", "TryPop":
+			rets = append(rets, retEvent{pos: op.ret, v: vals[op.res], isPop: true})
+		}
+	}
+	// Event positions are the original indices, so sorting by pos replays
+	// the history's real-time return order.
+	sort.Slice(rets, func(i, j int) bool { return rets[i].pos < rets[j].pos })
+
+	var stack []*stackVal
+	for _, ev := range rets {
+		t := ev.pos
+		v := ev.v
+		if !ev.isPop {
+			if !v.simPushed {
+				v.simPushed = true
+				stack = append(stack, v)
+			}
+			continue
+		}
+		if v.simPopped {
+			continue // already popped during an earlier cascade
+		}
+		if !v.simPushed {
+			// Force-push: the push must be open right now.
+			if !(v.pushCall < t && t < v.pushRet) {
+				return false, ErrAmbiguous
+			}
+			v.simPushed = true
+			stack = append(stack, v)
+		}
+		// Pop everything above v; each such value's own pop must be open.
+		for len(stack) > 0 && stack[len(stack)-1] != v {
+			u := stack[len(stack)-1]
+			if !u.popped || u.simPopped || !(u.popCall < t && t < u.popRet) {
+				return false, ErrAmbiguous
+			}
+			u.simPopped = true
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return false, ErrAmbiguous // v vanished: internal inconsistency, punt
+		}
+		v.simPopped = true
+		stack = stack[:len(stack)-1]
+	}
+	return true, nil
+}

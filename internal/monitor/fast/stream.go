@@ -1,0 +1,213 @@
+package fast
+
+import (
+	"container/heap"
+	"sort"
+
+	"lineup/internal/history"
+)
+
+// QueueStream is the Incremental-compatible streaming form of the queue
+// monitor: events are applied one at a time in arrival order and the
+// verdict is exact at every quiescent cut, in amortized O(log n) per event.
+//
+// The queue is the one type of the five whose certificates localize to
+// event arrival: certificates 1 and 2 (unknown value, double dequeue,
+// dequeue preceding enqueue) are detected the moment a dequeue returns,
+// and the FIFO-inversion certificate 3 — values a, b with
+// enqRet(a) < enqCall(b) and deqRet(b) < deqCall(a), an undequeued a
+// counting as deqCall +inf — is recorded as a per-dequeue obligation and
+// settled at the next quiescent cut, once every concurrent dequeue call
+// has been attributed to its value. Violations are monotone: a certificate
+// in a prefix survives in every extension (positions never change), so a
+// false verdict at a cut is final, exactly as if the batch checker ran on
+// the growing history.
+//
+// Leaving the fragment (a duplicate value, a failed TryDequeue, an unknown
+// method) is terminal: Quiesce returns ErrAmbiguous from then on and the
+// caller falls back to the general incremental checker.
+type QueueStream struct {
+	pos       int // arrival-order position counter
+	ambiguous bool
+	violated  bool
+
+	vals     map[string]*qsVal // by enqueued value
+	deqCalls map[int]int       // op index -> call position of in-flight dequeues
+	enqCalls map[int]string    // op index -> value of in-flight enqueues
+	pending  int               // in-flight operations (quiescence detection)
+
+	alive aliveHeap // enq-completed, never dequeued so far (lazy deletion)
+
+	// Settled at the next quiescent cut.
+	obligations []qsObligation
+	candidates  []qsCandidate
+}
+
+type qsVal struct {
+	enqCall, enqRet int
+	deqCall, deqRet int
+	dequeued        bool
+}
+
+// qsObligation is the deferred certificate-3 check for one dequeued value
+// b: violated iff some other value a has enqRet(a) < enqCall(b) and a
+// dequeue call after deqRet(b), or no dequeue at all.
+type qsObligation struct {
+	enqCall, deqRet int
+}
+
+// qsCandidate is a value dequeued this window, a potential rival "a" for
+// obligations whose dequeue returned before this one's call. The enqueue
+// return is read at settlement time: the enqueue may still be in flight
+// when the dequeue returns, but is complete by the cut.
+type qsCandidate struct {
+	deqCall int
+	v       *qsVal
+}
+
+// NewQueueStream returns an empty stream positioned before any event.
+func NewQueueStream() *QueueStream {
+	return &QueueStream{
+		vals:     make(map[string]*qsVal),
+		deqCalls: make(map[int]int),
+		enqCalls: make(map[int]string),
+	}
+}
+
+// Ambiguous reports whether the stream has left the decidable fragment.
+func (s *QueueStream) Ambiguous() bool { return s.ambiguous }
+
+// Quiescent reports whether every applied operation has returned.
+func (s *QueueStream) Quiescent() bool { return s.pending == 0 }
+
+// Apply feeds one event in arrival order.
+func (s *QueueStream) Apply(e history.Event) {
+	t := s.pos
+	s.pos++
+	if s.ambiguous {
+		return
+	}
+	method, arg := splitOp(e.Op)
+	switch e.Kind {
+	case history.Call:
+		s.pending++
+		switch method {
+		case "Enqueue", "Add", "Put":
+			if arg == "" {
+				s.ambiguous = true
+				return
+			}
+			if _, dup := s.vals[arg]; dup {
+				s.ambiguous = true
+				return
+			}
+			s.vals[arg] = &qsVal{enqCall: t, deqCall: inf, deqRet: inf}
+			s.enqCalls[e.Index] = arg
+		case "Dequeue", "Take", "TryDequeue", "TryTake":
+			s.deqCalls[e.Index] = t
+		default:
+			s.ambiguous = true
+		}
+	case history.Return:
+		s.pending--
+		switch method {
+		case "Enqueue", "Add", "Put":
+			val, ok := s.enqCalls[e.Index]
+			delete(s.enqCalls, e.Index)
+			if !ok || e.Result != okResult {
+				s.ambiguous = true
+				return
+			}
+			v := s.vals[val]
+			v.enqRet = t
+			heap.Push(&s.alive, aliveEntry{enqRet: t, v: v})
+		case "Dequeue", "Take", "TryDequeue", "TryTake":
+			call, ok := s.deqCalls[e.Index]
+			delete(s.deqCalls, e.Index)
+			if !ok || e.Result == failResult {
+				s.ambiguous = true
+				return
+			}
+			v := s.vals[e.Result]
+			if v == nil || v.dequeued || t < v.enqCall {
+				s.violated = true // certificates 1 and 2
+				return
+			}
+			v.dequeued = true
+			v.deqCall, v.deqRet = call, t
+			s.obligations = append(s.obligations, qsObligation{enqCall: v.enqCall, deqRet: t})
+			s.candidates = append(s.candidates, qsCandidate{deqCall: call, v: v})
+		default:
+			s.ambiguous = true
+		}
+	}
+}
+
+// Quiesce settles the deferred obligations and reports the verdict for the
+// complete prefix applied so far. It must be called at a quiescent cut;
+// calling it mid-operation returns ErrAmbiguous (the prefix is not a
+// complete history). Once the stream has left the fragment the error is
+// permanent.
+func (s *QueueStream) Quiesce() (bool, error) {
+	if s.ambiguous || s.pending != 0 {
+		return false, ErrAmbiguous
+	}
+	if len(s.obligations) > 0 && !s.violated {
+		// Obligations descending by dequeue return, candidates descending
+		// by dequeue call: one merge pass maintains the minimum enqueue
+		// return over rivals dequeued late enough, and the alive heap
+		// supplies rivals never dequeued at all. A rival below the
+		// obligation's enqueue call is certificate 3. Values dequeued in
+		// earlier windows cannot qualify (their dequeue call precedes this
+		// window), so clearing both slices at the cut is safe.
+		sort.Slice(s.obligations, func(i, j int) bool { return s.obligations[i].deqRet > s.obligations[j].deqRet })
+		sort.Slice(s.candidates, func(i, j int) bool { return s.candidates[i].deqCall > s.candidates[j].deqCall })
+		minEnqRet := inf
+		ci := 0
+		for _, ob := range s.obligations {
+			for ci < len(s.candidates) && s.candidates[ci].deqCall > ob.deqRet {
+				if r := s.candidates[ci].v.enqRet; r < minEnqRet {
+					minEnqRet = r
+				}
+				ci++
+			}
+			rival := minEnqRet
+			for len(s.alive) > 0 && s.alive[0].v.dequeued {
+				heap.Pop(&s.alive)
+			}
+			if len(s.alive) > 0 && s.alive[0].enqRet < rival {
+				rival = s.alive[0].enqRet
+			}
+			if rival < ob.enqCall {
+				s.violated = true
+				break
+			}
+		}
+	}
+	s.obligations = s.obligations[:0]
+	s.candidates = s.candidates[:0]
+	return !s.violated, nil
+}
+
+type aliveEntry struct {
+	enqRet int
+	v      *qsVal
+}
+
+// aliveHeap is a min-heap over enqueue-return positions of values not yet
+// dequeued; entries whose value has since been dequeued are popped lazily.
+type aliveHeap []aliveEntry
+
+func (h aliveHeap) Len() int           { return len(h) }
+func (h aliveHeap) Less(i, j int) bool { return h[i].enqRet < h[j].enqRet }
+func (h aliveHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+func (h *aliveHeap) Push(x any) { *h = append(*h, x.(aliveEntry)) }
+
+func (h *aliveHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

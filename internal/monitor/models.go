@@ -42,6 +42,8 @@ func Builtin(name string) (*Model, bool) {
 		return SetModel(), true
 	case "register":
 		return RegisterModel(), true
+	case "pqueue":
+		return PQueueModel(), true
 	case "counter":
 		return CounterModel(), true
 	case "mre":
@@ -52,7 +54,7 @@ func Builtin(name string) (*Model, bool) {
 
 // BuiltinNames lists the built-in models in display order.
 func BuiltinNames() []string {
-	return []string{"queue", "stack", "set", "register", "counter", "mre"}
+	return []string{"queue", "stack", "set", "register", "pqueue", "counter", "mre"}
 }
 
 // QueueModel is a FIFO queue: Enqueue/Add/Put append and return "ok";
@@ -269,6 +271,66 @@ func MREModel() *Model {
 				return "", nil, ErrBlock
 			}
 			return okResult, set, nil
+		}
+		return "", nil, unknownOp(m, op)
+	}
+	return m
+}
+
+// PQueueModel is a min-priority queue: Insert/Add/Put place an element and
+// return "ok"; TryDeleteMin/TryRemoveMin remove and return the minimum or
+// "Fail"; DeleteMin/RemoveMin block on an empty queue; TryPeekMin/PeekMin
+// observe the minimum; Count and IsEmpty observe the size. Elements compare
+// numerically when both parse as integers and lexicographically otherwise
+// (the same order fast.Check uses, so the two stay cross-checkable).
+func PQueueModel() *Model {
+	m := &Model{Name: "pqueue", Init: func() any { return []string(nil) }}
+	jsonStateCodec[[]string](m)
+	m.Fingerprint = func(state any) string { return strings.Join(state.([]string), ",") }
+	less := func(a, b string) bool {
+		ai, aerr := strconv.Atoi(a)
+		bi, berr := strconv.Atoi(b)
+		if aerr == nil && berr == nil {
+			return ai < bi
+		}
+		return a < b
+	}
+	m.Step = func(state any, op string) (string, any, error) {
+		q := state.([]string)
+		method, args := SplitOp(op)
+		switch method {
+		case "Insert", "Add", "Put":
+			// Keep the state sorted so equal multisets fingerprint equally.
+			i := sort.Search(len(q), func(i int) bool { return !less(q[i], args) })
+			next := make([]string, 0, len(q)+1)
+			next = append(next, q[:i]...)
+			next = append(next, args)
+			next = append(next, q[i:]...)
+			return okResult, next, nil
+		case "TryDeleteMin", "TryRemoveMin":
+			if len(q) == 0 {
+				return failResult, q, nil
+			}
+			return q[0], q[1:], nil
+		case "DeleteMin", "RemoveMin":
+			if len(q) == 0 {
+				return "", nil, ErrBlock
+			}
+			return q[0], q[1:], nil
+		case "TryPeekMin":
+			if len(q) == 0 {
+				return failResult, q, nil
+			}
+			return q[0], q, nil
+		case "PeekMin":
+			if len(q) == 0 {
+				return "", nil, ErrBlock
+			}
+			return q[0], q, nil
+		case "Count":
+			return strconv.Itoa(len(q)), q, nil
+		case "IsEmpty":
+			return boolResult(len(q) == 0), q, nil
 		}
 		return "", nil, unknownOp(m, op)
 	}

@@ -2,10 +2,10 @@ package obsfile
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 
 	"lineup/internal/history"
 )
@@ -180,12 +180,16 @@ func (rr *RawReader) Next() (TraceEvent, error) {
 	}
 	for rr.sc.Scan() {
 		rr.line++
-		text := strings.TrimSpace(rr.sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		// Decode straight from the scanner's buffer: json.Unmarshal copies
+		// every string it keeps, so the volatile bytes never escape, and the
+		// per-line string allocation of Text() disappears from the ingest
+		// hot path.
+		line := bytes.TrimSpace(rr.sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
 		var ev TraceEvent
-		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+		if err := json.Unmarshal(line, &ev); err != nil {
 			rr.err = fmt.Errorf("obsfile: trace line %d: %w", rr.line, err)
 			return TraceEvent{}, rr.err
 		}
@@ -230,12 +234,14 @@ func (sr *StreamReader) Next() (StreamEvent, error) {
 	}
 	for sr.sc.Scan() {
 		sr.line++
-		text := strings.TrimSpace(sr.sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		// As in RawReader.Next: decode from the scanner's buffer without the
+		// per-line string copy; Unmarshal copies the strings it keeps.
+		line := bytes.TrimSpace(sr.sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
 		var ev TraceEvent
-		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+		if err := json.Unmarshal(line, &ev); err != nil {
 			sr.err = fmt.Errorf("obsfile: trace line %d: %w", sr.line, err)
 			return StreamEvent{}, sr.err
 		}

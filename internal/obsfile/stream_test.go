@@ -1,6 +1,8 @@
 package obsfile
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -87,6 +89,56 @@ func TestTrackerStateRoundTrip(t *testing.T) {
 	// And rejects a double call the same way.
 	if _, err := restored.Apply(TraceEvent{T: 2, K: "call", Op: "D()"}, 6); err == nil {
 		t.Fatal("restored tracker accepted a double call")
+	}
+}
+
+// benchTrace builds an in-memory JSONL trace of n call/return pairs with
+// comments and blank lines sprinkled in, the parse shape the ingest hot path
+// sees in production.
+func benchTrace(n int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("# generated benchmark trace\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&buf, "{\"t\":%d,\"k\":\"call\",\"op\":\"Enqueue(%d)\",\"p\":\"q%d\"}\n", i%8, i, i%4)
+		fmt.Fprintf(&buf, "{\"t\":%d,\"k\":\"ret\",\"res\":\"ok\"}\n", i%8)
+		if i%64 == 0 {
+			buf.WriteString("\n# checkpoint comment\n")
+		}
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkStreamReaderNext(b *testing.B) {
+	trace := benchTrace(1024)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(trace)))
+	for i := 0; i < b.N; i++ {
+		sr := NewStreamReader(bytes.NewReader(trace))
+		for {
+			if _, err := sr.Next(); err != nil {
+				if err != io.EOF {
+					b.Fatal(err)
+				}
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkRawReaderNext(b *testing.B) {
+	trace := benchTrace(1024)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(trace)))
+	for i := 0; i < b.N; i++ {
+		rr := NewRawReader(bytes.NewReader(trace))
+		for {
+			if _, err := rr.Next(); err != nil {
+				if err != io.EOF {
+					b.Fatal(err)
+				}
+				break
+			}
+		}
 	}
 }
 
