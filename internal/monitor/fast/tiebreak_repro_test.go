@@ -1,0 +1,26 @@
+package fast
+
+import (
+	"testing"
+
+	"lineup/internal/monitor"
+)
+
+func TestPQueueEqualPriorityTie(t *testing.T) {
+	// "01" and "1" are distinct strings with equal numeric priority.
+	h := newHB().
+		op(0, "Insert(01)", "ok").
+		op(0, "Insert(1)", "ok").
+		op(0, "DeleteMin()", "1").
+		op(0, "DeleteMin()", "01").
+		done()
+	fastVerdict := verdict(t, KindPQueue, h)
+	slow, err := monitor.NaiveCheck(monitor.PQueueModel(), h, monitor.Options{})
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	t.Logf("fast=%s naive=%v", fastVerdict, slow)
+	if (fastVerdict == "true") != slow && fastVerdict != "ambiguous" {
+		t.Fatalf("disagreement: fast=%s naive=%v", fastVerdict, slow)
+	}
+}
