@@ -56,13 +56,14 @@ fastmon-smoke:
 	$(GO) test -run 'TestFastBackendBitIdentical|TestFastWitnessEndToEnd|TestFastmon' ./internal/bench
 
 # Short coverage-guided fuzz pass over the external input parsers (the batch
-# JSONL trace reader and the incremental stream reader) and the test-matrix
-# mutator (well-formedness + schedule replayability of every mutant); the
-# seed corpus plus a few seconds of mutation on every `make check` keeps
-# crash regressions out of the hot paths.
+# JSONL trace reader, the incremental stream reader, and the binary batch
+# frame codec) and the test-matrix mutator (well-formedness + schedule
+# replayability of every mutant); the seed corpus plus a few seconds of
+# mutation on every `make check` keeps crash regressions out of the hot paths.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=5s ./internal/obsfile
 	$(GO) test -run='^$$' -fuzz=FuzzStreamReader -fuzztime=5s ./internal/obsfile
+	$(GO) test -run='^$$' -fuzz=FuzzBatchFrame -fuzztime=5s ./internal/obsfile
 	$(GO) test -run='^$$' -fuzz=FuzzMutate -fuzztime=5s ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzFastMonitor -fuzztime=5s ./internal/monitor/fast
 
@@ -87,13 +88,15 @@ bench: bench-telemetry
 bench-reduction:
 	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestReductionBaseline -v -timeout=30m ./internal/bench
 
-# Regenerate the kind=="serve" rows of BENCH_lineup.json: the streaming
-# service's sustained throughput replaying explorer-emitted histories at
-# >=1.2M checked operations per run, at 1 and 4 checker workers. Fails
-# without writing if any partition's verdict drifts from linearizable or the
-# op accounting does not balance.
+# Regenerate the kind=="serve" rows of BENCH_lineup.json: two row families.
+# TestServeBaseline measures end-to-end checking throughput (>=1.2M checked
+# operations per run, at 1 and 4 checker workers); TestServeIngestBaseline
+# measures the ingest path alone (checker pool held parked) over jsonl-vs-
+# batch wire encodings at 1 and 4 concurrent connections, gated on batch x 4
+# clearing 3x the single-connection JSONL rate. Fails without writing if any
+# verdict drifts from linearizable or the event accounting does not balance.
 bench-serve:
-	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run=TestServeBaseline -v -timeout=30m ./internal/bench
+	LINEUP_BENCH_FULL=1 LINEUP_UPDATE_BENCH=1 $(GO) test -run='TestServeBaseline|TestServeIngestBaseline' -v -timeout=30m ./internal/bench
 
 # Regenerate the kind=="telemetry" rows of BENCH_lineup.json: telemetry
 # off-vs-on wall times of the -scale workload (~80k schedules) at 1 and 4

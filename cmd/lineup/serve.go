@@ -21,7 +21,8 @@ import (
 // final verdict is printed when the stream ends; a violation exits 1.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	trace := fs.String("trace", "-", "JSONL history stream ('-' for a stdin pipe)")
+	trace := fs.String("trace", "-", "history stream ('-' for a stdin pipe)")
+	batch := fs.Bool("batch", false, "read -trace as length-prefixed binary batch frames instead of JSONL (HTTP ingest negotiates per request via Content-Type)")
 	modelName := fs.String("model", "", "sequential model: "+strings.Join(monitor.BuiltinNames(), ", "))
 	workers := fs.Int("workers", runtime.NumCPU(), "checker worker pool size")
 	window := fs.Int("window", 128, "completed operations per retired window")
@@ -119,8 +120,12 @@ func cmdServe(args []string) error {
 		defer f.Close()
 		r = f
 	}
+	var src obsfile.EventSource = obsfile.NewRawReader(r)
+	if *batch {
+		src = obsfile.NewFrameReader(r)
+	}
 	start := time.Now()
-	n, pumpErr := pumpStream(s, r, tr)
+	n, pumpErr := pumpStream(s, src, tr)
 	sum, closeErr := s.Close()
 	wall := time.Since(start)
 	if err := tr.finishAfter(firstErr(pumpErr, closeErr)); err != nil {
@@ -204,13 +209,13 @@ func monitorStream(model *monitor.Model, r io.Reader, opts monitor.Options, wind
 	return errViolation
 }
 
-// pumpStream feeds the reader's events into the server, ticking the live
-// progress line as it goes, and returns the count of raw events read.
-func pumpStream(s *serve.Server, r io.Reader, tr *telemetryRun) (int64, error) {
-	rr := obsfile.NewRawReader(r)
+// pumpStream feeds the source's events into the server, ticking the live
+// progress line as it goes, and returns the count of raw events read. The
+// source decides the wire encoding (JSONL or batch frames).
+func pumpStream(s *serve.Server, src obsfile.EventSource, tr *telemetryRun) (int64, error) {
 	var n int64
 	for {
-		ev, err := rr.Next()
+		ev, err := src.Next()
 		if err == io.EOF {
 			return n, nil
 		}
@@ -218,7 +223,7 @@ func pumpStream(s *serve.Server, r io.Reader, tr *telemetryRun) (int64, error) {
 			return n, err
 		}
 		if err := s.Ingest(ev); err != nil {
-			return n, fmt.Errorf("line %d: %w", rr.Line(), err)
+			return n, fmt.Errorf("line %d: %w", src.Line(), err)
 		}
 		n++
 		if tr.Prog != nil && n%4096 == 0 {

@@ -54,12 +54,12 @@ func genRegisterPartition(rng *rand.Rand, key string, base, nOps int) []obsfile.
 	return evs
 }
 
-// writeServeTrace writes a deterministic multi-partition register trace to
-// path: `partitions` independent partitions of `opsPer` operations each,
-// interleaved. The last partition is corrupted (one return result is
-// overwritten with an impossible value) so the trace is NOT linearizable.
-// Returns the total event count.
-func writeServeTrace(t *testing.T, path string, partitions, opsPer int) int {
+// genServeEvents generates the deterministic multi-partition register trace
+// of the serve CLI tests: `partitions` independent partitions of `opsPer`
+// operations each, interleaved. The last partition is corrupted (one return
+// result is overwritten with an impossible value) so the trace is NOT
+// linearizable.
+func genServeEvents(t *testing.T, partitions, opsPer int) []obsfile.TraceEvent {
 	t.Helper()
 	rng := rand.New(rand.NewSource(42))
 	parts := make([][]obsfile.TraceEvent, partitions)
@@ -79,8 +79,7 @@ func writeServeTrace(t *testing.T, path string, partitions, opsPer int) int {
 	if !corrupted {
 		t.Fatal("generated partition has no return past the 60% mark")
 	}
-	var buf bytes.Buffer
-	total := 0
+	var evs []obsfile.TraceEvent
 	idx := make([]int, partitions)
 	live := partitions
 	for live > 0 {
@@ -88,22 +87,51 @@ func writeServeTrace(t *testing.T, path string, partitions, opsPer int) int {
 		if idx[p] >= len(parts[p]) {
 			continue
 		}
-		line, err := json.Marshal(parts[p][idx[p]])
-		if err != nil {
-			t.Fatal(err)
-		}
-		buf.Write(line)
-		buf.WriteByte('\n')
+		evs = append(evs, parts[p][idx[p]])
 		idx[p]++
-		total++
 		if idx[p] == len(parts[p]) {
 			live--
+		}
+	}
+	return evs
+}
+
+// encodeServeTrace writes the events to path in the given wire encoding
+// ("jsonl" or "batch" frames) — the same sequence either way, so runs over
+// the two files must agree bit for bit on verdicts.
+func encodeServeTrace(t *testing.T, path, mode string, evs []obsfile.TraceEvent) {
+	t.Helper()
+	var buf bytes.Buffer
+	if mode == "batch" {
+		fw := obsfile.NewFrameWriter(&buf)
+		for _, ev := range evs {
+			if err := fw.WriteEvent(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		enc := json.NewEncoder(&buf)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	return total
+}
+
+// writeServeTrace writes the fixture trace as JSONL and returns the total
+// event count.
+func writeServeTrace(t *testing.T, path string, partitions, opsPer int) int {
+	t.Helper()
+	evs := genServeEvents(t, partitions, opsPer)
+	encodeServeTrace(t, path, "jsonl", evs)
+	return len(evs)
 }
 
 // serveVerdictLines keeps only the deterministic report lines of a serve
@@ -136,66 +164,86 @@ func runServe(t *testing.T, bin string, args ...string) string {
 }
 
 // TestServeCheckpointResumeAfterKill is the end-to-end acceptance check for
-// the streaming service's durability: a 'lineup serve -checkpoint' process
-// is SIGKILLed mid-stream, then resumed with '-resume'; the final verdicts
-// must match the uninterrupted run's bit for bit (one partition of the
-// fixture trace is corrupted, so the runs must agree on a violation).
+// the streaming service's durability, run once per wire encoding (JSONL and
+// -batch binary frames over the same event sequence): a 'lineup serve
+// -checkpoint' process is SIGKILLed mid-stream, then resumed with '-resume';
+// the final verdicts must match the uninterrupted run's bit for bit (one
+// partition of the fixture trace is corrupted, so the runs must agree on a
+// violation), and the two encodings' verdicts must match each other.
 func TestServeCheckpointResumeAfterKill(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and kills real processes; skipped in -short mode")
 	}
 	bin := buildLineup(t)
-	dir := t.TempDir()
-	trace := filepath.Join(dir, "trace.jsonl")
-	total := writeServeTrace(t, trace, 4, 30000)
+	evs := genServeEvents(t, 4, 30000)
+	total := len(evs)
 
-	args := func(extra ...string) []string {
-		return append([]string{
-			"serve", "-model", "register", "-trace", trace,
-			"-window", "64", "-workers", "2",
-		}, extra...)
-	}
-	base := runServe(t, bin, args()...)
-	want := serveVerdictLines(base)
-	if !strings.Contains(want, "NOT linearizable") || !strings.Contains(want, `partition "r3"`) {
-		t.Fatalf("baseline run missed the planted violation; fixture broken:\n%s", base)
-	}
+	// Verdict lines of the first (jsonl) baseline; the batch baseline must
+	// reproduce them exactly — the cross-encoding half of the gate.
+	crossWant := ""
+	for _, mode := range []string{"jsonl", "batch"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			trace := filepath.Join(dir, "trace."+mode)
+			encodeServeTrace(t, trace, mode, evs)
+			args := func(extra ...string) []string {
+				a := []string{
+					"serve", "-model", "register", "-trace", trace,
+					"-window", "64", "-workers", "2",
+				}
+				if mode == "batch" {
+					a = append(a, "-batch")
+				}
+				return append(a, extra...)
+			}
+			base := runServe(t, bin, args()...)
+			want := serveVerdictLines(base)
+			if !strings.Contains(want, "NOT linearizable") || !strings.Contains(want, `partition "r3"`) {
+				t.Fatalf("baseline run missed the planted violation; fixture broken:\n%s", base)
+			}
+			if crossWant == "" {
+				crossWant = want
+			} else if want != crossWant {
+				t.Fatalf("%s verdicts differ from jsonl verdicts:\n--- %s ---\n%s\n--- jsonl ---\n%s", mode, mode, want, crossWant)
+			}
 
-	ck := filepath.Join(dir, "serve.ckpt")
-	victim := exec.Command(bin, args("-checkpoint", ck, "-checkpoint-every", "2048")...)
-	if err := victim.Start(); err != nil {
-		t.Fatalf("starting victim: %v", err)
-	}
-	// Kill -9 as soon as the first automatic checkpoint lands.
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		if cp, err := serve.Load(ck); err == nil && cp.Tracker.Events >= 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			victim.Process.Kill()
-			victim.Wait()
-			t.Fatal("victim wrote no checkpoint within 60s")
-		}
-		time.Sleep(time.Millisecond)
-	}
-	if err := victim.Process.Kill(); err != nil {
-		t.Fatalf("SIGKILL: %v", err)
-	}
-	victim.Wait() // expected to report the kill; the checkpoint is what matters
+			ck := filepath.Join(dir, "serve.ckpt")
+			victim := exec.Command(bin, args("-checkpoint", ck, "-checkpoint-every", "2048")...)
+			if err := victim.Start(); err != nil {
+				t.Fatalf("starting victim: %v", err)
+			}
+			// Kill -9 as soon as the first automatic checkpoint lands.
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				if cp, err := serve.Load(ck); err == nil && cp.Tracker.Events >= 1 {
+					break
+				}
+				if time.Now().After(deadline) {
+					victim.Process.Kill()
+					victim.Wait()
+					t.Fatal("victim wrote no checkpoint within 60s")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if err := victim.Process.Kill(); err != nil {
+				t.Fatalf("SIGKILL: %v", err)
+			}
+			victim.Wait() // expected to report the kill; the checkpoint is what matters
 
-	cp, err := serve.Load(ck)
-	if err != nil {
-		t.Fatalf("checkpoint unreadable after SIGKILL (atomic write broken?): %v", err)
-	}
-	if cp.Tracker.Events >= int64(total) {
-		t.Fatalf("victim checkpointed all %d events before the kill; fixture too fast", total)
-	}
-	t.Logf("killed victim after %d of %d events", cp.Tracker.Events, total)
+			cp, err := serve.Load(ck)
+			if err != nil {
+				t.Fatalf("checkpoint unreadable after SIGKILL (atomic write broken?): %v", err)
+			}
+			if cp.Tracker.Events >= int64(total) {
+				t.Fatalf("victim checkpointed all %d events before the kill; fixture too fast", total)
+			}
+			t.Logf("killed %s victim after %d of %d events", mode, cp.Tracker.Events, total)
 
-	resumed := runServe(t, bin, args("-checkpoint", ck, "-resume")...)
-	if got := serveVerdictLines(resumed); got != want {
-		t.Errorf("resumed verdicts differ from uninterrupted run:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s", got, want)
+			resumed := runServe(t, bin, args("-checkpoint", ck, "-resume")...)
+			if got := serveVerdictLines(resumed); got != want {
+				t.Errorf("resumed verdicts differ from uninterrupted run:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s", got, want)
+			}
+		})
 	}
 }
 

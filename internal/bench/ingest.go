@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"lineup/internal/history"
+	"lineup/internal/obsfile"
+	"lineup/internal/serve"
+)
+
+// ServeIngestOptions configures an ingest-path throughput run: the same
+// replay corpus as RunServeLoad, but pre-encoded to wire form (JSONL bytes or
+// binary batch frames) and pushed through concurrent ingest connections, so
+// the measured phase is what a network producer exercises — decode, validate,
+// route — rather than the in-process Ingest call of the checking-load rows.
+type ServeIngestOptions struct {
+	// Ops is the target number of completed operations per run.
+	Ops int64
+	// Partitions is the number of distinct partition keys (default 16).
+	// Partitions are assigned to connections round-robin, so each partition
+	// (and its threads) stays on one connection — the determinism contract.
+	Partitions int
+	// WindowOps is the incremental checker's window size (default 128).
+	WindowOps int
+	// Conns are the concurrent-connection counts to measure (default {1, 4}).
+	Conns []int
+	// Modes are the wire encodings to measure: "jsonl", "batch"
+	// (default both).
+	Modes []string
+	// QueueDepth bounds the single checker's queue. The default sizes it to
+	// the whole run (one item per event plus slack): the checker pool is held
+	// parked during the ingest phase, so every routed event sits queued until
+	// the producers finish — that is what makes IngestWall the ingest path's
+	// own capacity rather than a pipeline rate shared with checking.
+	QueueDepth int
+}
+
+// ServeIngestRow is one measured ingest run.
+type ServeIngestRow struct {
+	Class      string        // subject whose histories were replayed
+	Mode       string        // "jsonl" or "batch"
+	Conns      int           // concurrent ingest connections
+	Ops        int64         // operations checked
+	Events     int64         // raw events ingested
+	Partitions int           // distinct partition keys
+	Window     int           // window size
+	IngestWall time.Duration // until every producer connection finished
+	TotalWall  time.Duration // including drain and final verdicts (Close)
+	Throughput float64       // Ops / IngestWall seconds
+	Verdict    string        // "PASS" when every partition is linearizable
+}
+
+// encodeIngestPayloads renders the replay corpus into per-connection wire
+// payloads: partition p goes to connection p%conns, each connection's events
+// in a fixed order. Returns the payloads plus the issued op and event counts.
+func encodeIngestPayloads(hists []*history.History, mode string, conns, partitions int, targetOps int64) ([][]byte, int64, int64, error) {
+	stride := 0
+	opsPer := make([]int64, len(hists))
+	for i, h := range hists {
+		for _, e := range h.Events {
+			if e.Thread >= stride {
+				stride = e.Thread + 1
+			}
+			if e.Kind == history.Return {
+				opsPer[i]++
+			}
+		}
+	}
+	bufs := make([]*bytes.Buffer, conns)
+	jsonW := make([]*json.Encoder, conns)
+	frameW := make([]*obsfile.FrameWriter, conns)
+	for c := range bufs {
+		bufs[c] = &bytes.Buffer{}
+		switch mode {
+		case "jsonl":
+			jsonW[c] = json.NewEncoder(bufs[c])
+		case "batch":
+			frameW[c] = obsfile.NewFrameWriter(bufs[c])
+		default:
+			return nil, 0, 0, fmt.Errorf("bench: unknown ingest mode %q (jsonl or batch)", mode)
+		}
+	}
+	var issued, events int64
+	for i := 0; issued < targetOps; i++ {
+		h := hists[i%len(hists)]
+		p := i % partitions
+		c := p % conns
+		base := p * stride
+		key := fmt.Sprintf("p%02d", p)
+		for _, e := range h.Events {
+			ev := obsfile.TraceEvent{T: base + e.Thread, Op: e.Op}
+			if e.Kind == history.Call {
+				ev.K, ev.P = "call", key
+			} else {
+				ev.K, ev.Res = "ret", e.Result
+			}
+			var err error
+			if jsonW[c] != nil {
+				err = jsonW[c].Encode(ev)
+			} else {
+				err = frameW[c].WriteEvent(ev)
+			}
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			events++
+		}
+		issued += opsPer[i%len(hists)]
+	}
+	out := make([][]byte, conns)
+	for c := range bufs {
+		if frameW[c] != nil {
+			if err := frameW[c].Close(); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+		out[c] = bufs[c].Bytes()
+	}
+	return out, issued, events, nil
+}
+
+// RunServeIngest measures ingest-path throughput: one row per mode ×
+// connection count. Each run decodes pre-encoded wire payloads through
+// concurrent connections into a single-checker server whose pool is held
+// parked (serve.Server.HoldWorkers) for the duration of the ingest phase, so
+// IngestWall is purely the decode-validate-route path — comparable across
+// machines where producers and checkers would otherwise share cores.
+// TotalWall adds the drain and final verdicts after release. Every run
+// asserts exact accounting and a PASS verdict on the all-linearizable corpus.
+func RunServeIngest(opts ServeIngestOptions, progress func(string)) ([]ServeIngestRow, error) {
+	if opts.Ops <= 0 {
+		opts.Ops = 1_000_000
+	}
+	if opts.Partitions <= 0 {
+		opts.Partitions = 16
+	}
+	if opts.WindowOps <= 0 {
+		opts.WindowOps = 128
+	}
+	if len(opts.Conns) == 0 {
+		opts.Conns = []int{1, 4}
+	}
+	if len(opts.Modes) == 0 {
+		opts.Modes = []string{"jsonl", "batch"}
+	}
+	hists, model, class, err := harvestServeHistories(256)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ServeIngestRow
+	for _, mode := range opts.Modes {
+		for _, conns := range opts.Conns {
+			if conns > opts.Partitions {
+				return nil, fmt.Errorf("bench: %d connections need at least as many partitions (have %d)", conns, opts.Partitions)
+			}
+			payloads, issued, events, err := encodeIngestPayloads(hists, mode, conns, opts.Partitions, opts.Ops)
+			if err != nil {
+				return nil, err
+			}
+			// Absorb the whole held-phase run: JSONL routes one queue item per
+			// event, the frame path one item per frame per worker.
+			depth := opts.QueueDepth
+			if depth <= 0 {
+				if mode == "batch" {
+					depth = int(events)/256 + conns + 64
+				} else {
+					depth = int(events) + 64
+				}
+			}
+			s, err := serve.New(serve.Config{
+				Model:      model,
+				Workers:    1,
+				WindowOps:  opts.WindowOps,
+				QueueDepth: depth,
+			})
+			if err != nil {
+				return nil, err
+			}
+			release, err := s.HoldWorkers()
+			if err != nil {
+				return nil, err
+			}
+			// The held pool makes the whole run live on the queue at once — an
+			// artifact of the measurement, not of the ingest path — so the
+			// default GC cadence would charge ever-growing mark phases to the
+			// ingest wall. Defer collection for the held phase (the run fits in
+			// memory by construction) and restore it for the drain.
+			gcPct := debug.SetGCPercent(-1)
+			errs := make([]error, conns)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for c := 0; c < conns; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					r := bytes.NewReader(payloads[c])
+					if mode == "batch" {
+						_, errs[c] = s.IngestFrames(r)
+					} else {
+						_, errs[c] = s.IngestReader(r)
+					}
+				}(c)
+			}
+			wg.Wait()
+			ingestWall := time.Since(start)
+			debug.SetGCPercent(gcPct)
+			release()
+			for c, err := range errs {
+				if err != nil {
+					_, _ = s.Close()
+					return nil, fmt.Errorf("bench: ingest conn %d: %w", c, err)
+				}
+			}
+			sum, err := s.Close()
+			totalWall := time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			st := sum.Stats
+			if st.OpsChecked != issued {
+				return nil, fmt.Errorf("bench: issued %d ops but the service checked %d", issued, st.OpsChecked)
+			}
+			if st.EventsShed != 0 {
+				return nil, fmt.Errorf("bench: block policy shed %d events", st.EventsShed)
+			}
+			if st.EventsRouted != st.EventsIngested {
+				return nil, fmt.Errorf("bench: routed %d != ingested %d", st.EventsRouted, st.EventsIngested)
+			}
+			verdict := "PASS"
+			if !sum.Linearizable {
+				verdict = "FAIL"
+			}
+			row := ServeIngestRow{
+				Class:      class,
+				Mode:       mode,
+				Conns:      conns,
+				Ops:        st.OpsChecked,
+				Events:     st.EventsIngested,
+				Partitions: opts.Partitions,
+				Window:     opts.WindowOps,
+				IngestWall: ingestWall,
+				TotalWall:  totalWall,
+				Throughput: float64(st.OpsChecked) / ingestWall.Seconds(),
+				Verdict:    verdict,
+			}
+			rows = append(rows, row)
+			if progress != nil {
+				progress(fmt.Sprintf("serve ingest %s mode=%s conns=%d: %d ops ingested in %v (%.0f ops/s; total %v, %s)",
+					class, mode, conns, row.Ops, ingestWall.Round(time.Millisecond), row.Throughput,
+					totalWall.Round(time.Millisecond), verdict))
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ServeIngestJSON converts ingest rows to JSON records (kind "serve", with
+// mode and connections distinguishing them from the checking-load rows).
+func ServeIngestJSON(rows []ServeIngestRow) []JSONRow {
+	out := make([]JSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, JSONRow{
+			Kind:       "serve",
+			Class:      r.Class,
+			Mode:       r.Mode,
+			Conns:      r.Conns,
+			Workers:    1,
+			Partitions: r.Partitions,
+			Window:     r.Window,
+			Ops:        r.Ops,
+			Events:     r.Events,
+			Throughput: r.Throughput,
+			IngestMS:   float64(r.IngestWall) / float64(time.Millisecond),
+			Verdict:    r.Verdict,
+			WallMS:     float64(r.TotalWall) / float64(time.Millisecond),
+		})
+	}
+	return out
+}

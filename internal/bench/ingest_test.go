@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestServeIngestBaseline is the ingest-path scaling gate. Smoke mode (every
+// `make check`, race-enabled via `make serve-smoke`) pushes a few thousand
+// operations through both wire encodings and concurrent connections and
+// checks the machinery: exact accounting, PASS verdicts, all rows present.
+// With LINEUP_BENCH_FULL=1 (`make bench-serve`) it measures the acceptance
+// shape — jsonl vs batch × 1 vs 4 connections — and gates the tentpole: batch
+// frames over 4 connections must ingest at least 3× the single-connection
+// JSONL rate of the same run (the sharded-tracker equivalent of the PR 6
+// single-tracker baseline). With LINEUP_UPDATE_BENCH=1 the measured rows are
+// merged into BENCH_lineup.json.
+func TestServeIngestBaseline(t *testing.T) {
+	opts := ServeIngestOptions{Ops: 20_000, Partitions: 8, Conns: []int{1, 2}}
+	full := os.Getenv("LINEUP_BENCH_FULL") == "1"
+	if full {
+		opts = ServeIngestOptions{Ops: 800_000, Partitions: 16, Conns: []int{1, 4}}
+	}
+	rows, err := RunServeIngest(opts, func(line string) { t.Log(line) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(opts.Conns); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	byKey := map[string]ServeIngestRow{}
+	for _, r := range rows {
+		if r.Ops < opts.Ops {
+			t.Errorf("%s conns=%d: checked %d ops, target %d", r.Mode, r.Conns, r.Ops, opts.Ops)
+		}
+		if r.Verdict != "PASS" {
+			t.Errorf("%s conns=%d: linearizable corpus judged %s", r.Mode, r.Conns, r.Verdict)
+		}
+		if r.Throughput <= 0 {
+			t.Errorf("%s conns=%d: no throughput measured", r.Mode, r.Conns)
+		}
+		byKey[r.Mode+"|"+strconv.Itoa(r.Conns)] = r
+	}
+	if full && !t.Failed() {
+		base := byKey["jsonl|1"].Throughput
+		fast := byKey["batch|4"].Throughput
+		if fast < 3*base {
+			t.Errorf("ingest scaling gate: batch×4conn %.0f ops/s < 3× jsonl×1conn %.0f ops/s", fast, base)
+		}
+		t.Logf("ingest scaling: jsonl×1 %.0f ops/s → batch×4 %.0f ops/s (%.1fx)", base, fast, fast/base)
+	}
+	if t.Failed() || !full || os.Getenv("LINEUP_UPDATE_BENCH") != "1" {
+		return
+	}
+	path := filepath.Join(moduleRoot(), JSONFile)
+	var all []JSONRow
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			t.Fatalf("committed %s is not valid JSON: %v", path, err)
+		}
+	}
+	fresh := ServeIngestJSON(rows)
+	measured := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		measured[serveKey(r)] = true
+	}
+	var merged []JSONRow
+	for _, r := range all {
+		if r.Kind == "serve" && measured[serveKey(r)] {
+			continue
+		}
+		merged = append(merged, r)
+	}
+	merged = append(merged, fresh...)
+	if err := WriteJSONRows(path, merged); err != nil {
+		t.Fatalf("updating %s: %v", path, err)
+	}
+	t.Logf("updated %s with %d serve ingest rows", path, len(fresh))
+}
+
+// TestServeIngestJSONFields pins the machine-readable schema of ingest rows.
+func TestServeIngestJSONFields(t *testing.T) {
+	rows := []ServeIngestRow{{
+		Class: "BlockingCollection", Mode: "batch", Conns: 4,
+		Ops: 800_000, Events: 1_600_000, Partitions: 16, Window: 128,
+		IngestWall: 200_000_000, TotalWall: 500_000_000,
+		Throughput: 4_000_000, Verdict: "PASS",
+	}}
+	js := ServeIngestJSON(rows)
+	if len(js) != 1 {
+		t.Fatalf("got %d rows", len(js))
+	}
+	r := js[0]
+	if r.Kind != "serve" || r.Mode != "batch" || r.Conns != 4 || r.Workers != 1 ||
+		r.Ops != 800_000 || r.Events != 1_600_000 || r.Throughput != 4_000_000 ||
+		r.IngestMS != 200 || r.WallMS != 500 || r.Verdict != "PASS" {
+		t.Fatalf("bad serve ingest JSON row: %+v", r)
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"mode", "connections", "ingest_ms", "ops_per_sec"} {
+		if !strings.Contains(string(data), `"`+field+`"`) {
+			t.Errorf("serialized row missing %q: %s", field, data)
+		}
+	}
+}

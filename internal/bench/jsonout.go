@@ -59,12 +59,17 @@ type JSONRow struct {
 	// the previous length exceeded the measurement budget); WallMS is the
 	// specialized monitor's.
 	WGLMS float64 `json:"wgl_ms,omitempty"`
-	// Serve rows: streaming-load shape and sustained throughput.
+	// Serve rows: streaming-load shape and sustained throughput. Ingest rows
+	// (Mode "jsonl"/"batch") additionally record the concurrent connection
+	// count and the ingest-phase wall (producers done; the checker then
+	// drains until WallMS).
 	Partitions int     `json:"partitions,omitempty"`
 	Window     int     `json:"window,omitempty"`
+	Conns      int     `json:"connections,omitempty"`
 	Ops        int64   `json:"ops_checked,omitempty"`
 	Events     int64   `json:"events_ingested,omitempty"`
 	Throughput float64 `json:"ops_per_sec,omitempty"`
+	IngestMS   float64 `json:"ingest_ms,omitempty"`
 	WallMS     float64 `json:"wall_ms"`
 }
 

@@ -11,8 +11,11 @@ import (
 	"lineup/internal/monitor"
 )
 
+// serveKey identifies a serve row's shape: checking-load rows have empty
+// Mode/Conns, ingest rows carry both, so the two families never collide when
+// LINEUP_UPDATE_BENCH merges fresh rows over committed ones.
 func serveKey(r JSONRow) string {
-	return fmt.Sprintf("%s|%d|%d|%d", r.Class, r.Workers, r.Partitions, r.Window)
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%d", r.Class, r.Mode, r.Workers, r.Conns, r.Partitions, r.Window)
 }
 
 // TestServeBaseline is the streaming-service load gate. The smoke mode

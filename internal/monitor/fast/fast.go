@@ -175,11 +175,24 @@ func splitOp(name string) (method, args string) {
 // valueLess orders priority-queue values: numerically when both parse as
 // integers, lexicographically otherwise. monitor.PQueueModel uses the same
 // order; the two must agree or cross-checking fails.
-func valueLess(a, b string) bool {
+func valueLess(a, b string) bool { return valueCmp(a, b) < 0 }
+
+// valueCmp is the three-way form of valueLess. Distinct strings can compare
+// equal ("01" vs "1" both parse as 1): equal-priority values are NOT
+// interchangeable under the model — PQueueModel inserts each value at the
+// head of its equal-priority block — so checkPQueue resolves ties by insert
+// time instead of inventing an arbitrary order.
+func valueCmp(a, b string) int {
 	ai, aerr := strconv.Atoi(a)
 	bi, berr := strconv.Atoi(b)
 	if aerr == nil && berr == nil {
-		return ai < bi
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		}
+		return 0
 	}
-	return a < b
+	return strings.Compare(a, b)
 }

@@ -149,11 +149,14 @@ func fuzzHistory(kind Kind, program []byte) *history.History {
 			}
 			return "Read()", v
 		default: // KindPQueue
+			// "01" collides with "1" in numeric priority while staying a
+			// distinct string, so equal-priority tiebreak paths get fuzzed.
+			pv := [4]string{"0", "1", "2", "01"}[b>>2&3]
 			switch b & 3 {
 			case 0:
-				return "Insert(" + v + ")", "ok"
+				return "Insert(" + pv + ")", "ok"
 			case 1:
-				return "TryDeleteMin()", v
+				return "TryDeleteMin()", pv
 			default:
 				return "TryDeleteMin()", "Fail"
 			}

@@ -17,7 +17,11 @@ type pqVal struct {
 // unambiguous fragment: Insert(v)→ok with pairwise-distinct values and
 // DeleteMin→v (failed TryDeleteMin and PeekMin are outside the fragment).
 // Priorities compare numerically when both values parse as integers,
-// lexicographically otherwise, matching monitor.PQueueModel.
+// lexicographically otherwise, matching monitor.PQueueModel. Distinct values
+// of equal priority are ordered newest-insert-first (the model's insertion
+// point), which is only a fixed order when their insert intervals are
+// disjoint; overlapping equal-priority inserts report ErrAmbiguous before
+// any certificate is emitted.
 //
 // Violation certificates: a delete of a value never inserted or deleted
 // twice; a value deleted before its insert was called; and the pairwise
@@ -72,12 +76,39 @@ func checkPQueue(ops []call) (bool, error) {
 		}
 	}
 
-	// Rank values by priority; rank insert-returns for the Fenwick index.
+	// Rank values by effective priority. Distinct values may compare equal
+	// ("01" vs "1" both parse as 1), and equal-priority values are not
+	// interchangeable: PQueueModel inserts each value at the head of its
+	// equal-priority block, so among equal priorities the queue holds values
+	// newest-insert-first. When their insert intervals do not overlap the
+	// insertion order is the same in every linearization, making
+	// (priority ascending, insert time descending) a strict total order the
+	// model follows; ties are broken by that order. Overlapping equal-priority
+	// inserts leave the queue order interleaving-dependent, so the history is
+	// punted to the full search before any certificate can fire on an
+	// arbitrary (and wrong) tie order.
 	byPrio := make([]*pqVal, 0, len(vals))
 	for _, v := range vals {
 		byPrio = append(byPrio, v)
 	}
-	sort.Slice(byPrio, func(i, j int) bool { return valueLess(byPrio[i].val, byPrio[j].val) })
+	sort.Slice(byPrio, func(i, j int) bool {
+		if c := valueCmp(byPrio[i].val, byPrio[j].val); c != 0 {
+			return c < 0
+		}
+		return byPrio[i].insCall > byPrio[j].insCall
+	})
+	for i := 1; i < len(byPrio); i++ {
+		newer, older := byPrio[i-1], byPrio[i]
+		if valueCmp(newer.val, older.val) != 0 {
+			continue
+		}
+		// Equal-priority run, sorted newest insert first: adjacent disjointness
+		// (older's insert returns before newer's is called) implies pairwise
+		// disjointness across the whole run.
+		if older.insRet > newer.insCall {
+			return false, ErrAmbiguous
+		}
+	}
 	for i, v := range byPrio {
 		v.rank = i
 	}

@@ -1,0 +1,191 @@
+package obsfile
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lineup/internal/history"
+)
+
+// indexBlock is the per-thread allocation granule of the shared op-index
+// counter: a shard claims this many indices in one atomic add and hands them
+// out privately, so the only cross-thread traffic on the ingest hot path is
+// one fetch-add per block. Indices are consequently sparse (a thread may
+// retire holding unconsumed indices); every consumer keys by index value,
+// never by density, so sparseness is verdict-neutral.
+const indexBlock = 64
+
+// ShardedTracker is the concurrent form of StreamTracker: thread discipline
+// is by definition thread-local, so the tracker keeps one shard per thread id
+// and Apply touches only its event's shard — no global lock. Several ingest
+// connections can validate in parallel as long as each thread id stays on one
+// connection (the serve contract); a thread migrating between concurrent
+// connections is still memory-safe (each shard has its own mutex) but its
+// event order, and therefore the validation outcome, would be racy.
+//
+// The global pieces are all atomics: the op-index high-water mark (allocated
+// to shards in indexBlock granules), the event and open-call counters, and
+// the stuck flag. State/RestoreShardedTracker round-trip the same
+// TrackerState as the single-goroutine tracker, so checkpoints are
+// interchangeable between the two.
+type ShardedTracker struct {
+	next   atomic.Int64 // op-index high water; indices below it are allocated
+	events atomic.Int64
+	open   atomic.Int64
+	stuck  atomic.Bool
+
+	// The shard map is copy-on-write: readers load the pointer and index the
+	// (immutable) map with no lock at all — the per-event fast path — while
+	// the rare insertion of a new thread's shard copies the map under mu and
+	// publishes the copy atomically.
+	shards atomic.Pointer[map[int]*threadShard]
+	mu     sync.Mutex // serializes shard-map copies
+}
+
+// threadShard is one thread's discipline state plus its private index block.
+type threadShard struct {
+	mu      sync.Mutex
+	busy    bool
+	cur     openCall
+	blockLo int64 // next unconsumed index of the private block
+	blockHi int64 // block end (exclusive); lo==hi means exhausted
+}
+
+// NewShardedTracker returns an empty concurrent tracker.
+func NewShardedTracker() *ShardedTracker {
+	t := &ShardedTracker{}
+	m := make(map[int]*threadShard)
+	t.shards.Store(&m)
+	return t
+}
+
+func (t *ShardedTracker) shard(thread int) *threadShard {
+	if sh := (*t.shards.Load())[thread]; sh != nil {
+		return sh
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := *t.shards.Load()
+	if sh := old[thread]; sh != nil {
+		return sh
+	}
+	next := make(map[int]*threadShard, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	sh := &threadShard{}
+	next[thread] = sh
+	t.shards.Store(&next)
+	return sh
+}
+
+// Apply validates one raw event against the trace discipline and resolves it,
+// exactly as StreamTracker.Apply. line is the caller's 1-based event ordinal
+// for error messages (per-connection under concurrent ingest). On error the
+// tracker is unchanged and the event is rejected.
+func (t *ShardedTracker) Apply(ev TraceEvent, line int) (StreamEvent, error) {
+	if t.stuck.Load() {
+		return StreamEvent{}, fmt.Errorf("obsfile: trace line %d: events after the stuck marker", line)
+	}
+	if ev.T < 0 {
+		return StreamEvent{}, fmt.Errorf("obsfile: trace line %d: negative thread index %d", line, ev.T)
+	}
+	switch ev.K {
+	case "call":
+		if ev.Op == "" {
+			return StreamEvent{}, fmt.Errorf("obsfile: trace line %d: call without an op name", line)
+		}
+		sh := t.shard(ev.T)
+		sh.mu.Lock()
+		if sh.busy {
+			cur := sh.cur.name
+			sh.mu.Unlock()
+			return StreamEvent{}, fmt.Errorf("obsfile: trace line %d: thread %d calls %s while %s is still open",
+				line, ev.T, ev.Op, cur)
+		}
+		if sh.blockLo == sh.blockHi {
+			sh.blockHi = t.next.Add(indexBlock)
+			sh.blockLo = sh.blockHi - indexBlock
+		}
+		idx := int(sh.blockLo)
+		sh.blockLo++
+		sh.busy = true
+		sh.cur = openCall{index: idx, name: ev.Op, part: ev.P}
+		sh.mu.Unlock()
+		t.events.Add(1)
+		t.open.Add(1)
+		return StreamEvent{Thread: ev.T, Kind: history.Call, Op: ev.Op, Part: ev.P, Index: idx, Line: line}, nil
+	case "ret":
+		sh := t.shard(ev.T)
+		sh.mu.Lock()
+		if !sh.busy {
+			sh.mu.Unlock()
+			return StreamEvent{}, fmt.Errorf("obsfile: trace line %d: thread %d returns without an open call", line, ev.T)
+		}
+		cur := sh.cur
+		if ev.Op != "" && ev.Op != cur.name {
+			sh.mu.Unlock()
+			return StreamEvent{}, fmt.Errorf("obsfile: trace line %d: thread %d returns from %s but %s is open",
+				line, ev.T, ev.Op, cur.name)
+		}
+		if ev.P != "" && ev.P != cur.part {
+			sh.mu.Unlock()
+			return StreamEvent{}, fmt.Errorf("obsfile: trace line %d: thread %d returns in partition %q but %s was called in partition %q",
+				line, ev.T, ev.P, cur.name, cur.part)
+		}
+		sh.busy = false
+		sh.mu.Unlock()
+		t.events.Add(1)
+		t.open.Add(-1)
+		return StreamEvent{Thread: ev.T, Kind: history.Return, Op: cur.name, Result: ev.Res, Part: cur.part, Index: cur.index, Line: line}, nil
+	case "stuck":
+		t.stuck.Store(true)
+		t.events.Add(1)
+		return StreamEvent{Stuck: true, Line: line}, nil
+	default:
+		return StreamEvent{}, fmt.Errorf("obsfile: trace line %d: unknown event kind %q", line, ev.K)
+	}
+}
+
+// Stuck reports whether the stuck marker has been applied.
+func (t *ShardedTracker) Stuck() bool { return t.stuck.Load() }
+
+// Events returns the count of events successfully applied.
+func (t *ShardedTracker) Events() int64 { return t.events.Load() }
+
+// OpenCalls returns the number of currently open operations.
+func (t *ShardedTracker) OpenCalls() int { return int(t.open.Load()) }
+
+// State snapshots the tracker into the same TrackerState a StreamTracker
+// produces. The caller must guarantee no concurrent Apply (the serve
+// checkpoint barrier does); Next is the index high-water mark, which under
+// block allocation may exceed the count of indices actually consumed.
+func (t *ShardedTracker) State() TrackerState {
+	out := TrackerState{Next: int(t.next.Load()), Stuck: t.stuck.Load(), Events: t.events.Load()}
+	for thread, sh := range *t.shards.Load() {
+		sh.mu.Lock()
+		if sh.busy {
+			out.Open = append(out.Open, OpenCallState{Thread: thread, Index: sh.cur.index, Op: sh.cur.name, Part: sh.cur.part})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// RestoreShardedTracker rebuilds a concurrent tracker from a snapshot
+// (written by either tracker flavor). Restored shards start with exhausted
+// index blocks, so fresh indices continue above the snapshot's high water.
+func RestoreShardedTracker(s TrackerState) *ShardedTracker {
+	t := NewShardedTracker()
+	t.next.Store(int64(s.Next))
+	t.events.Store(s.Events)
+	t.stuck.Store(s.Stuck)
+	m := make(map[int]*threadShard, len(s.Open))
+	for _, c := range s.Open {
+		m[c.Thread] = &threadShard{busy: true, cur: openCall{index: c.Index, name: c.Op, part: c.Part}}
+	}
+	t.shards.Store(&m)
+	t.open.Store(int64(len(s.Open)))
+	return t
+}

@@ -203,24 +203,48 @@ func (rr *RawReader) Next() (TraceEvent, error) {
 	return TraceEvent{}, io.EOF
 }
 
-// StreamReader reads a JSONL history trace incrementally from an io.Reader:
-// each Next call parses and validates one event without materializing the
-// whole history, so arbitrarily long traces are processed in constant memory.
-// Blank lines and '#' comments are skipped, exactly as in ReadTrace. The
-// reader is fail-stop: after any error every further Next returns the same
-// error, so a malformed stream can never wedge or half-advance a consumer.
-type StreamReader struct {
-	sc   *bufio.Scanner
-	tr   *StreamTracker
-	line int
-	err  error
+// EventSource yields raw (unvalidated) TraceEvents from some transport
+// encoding: the JSONL RawReader and the binary-frame FrameReader both
+// implement it, so consumers layered above (StreamReader, the serve ingest
+// pumps) are encoding-agnostic. Next returns io.EOF at a clean end of input;
+// any other error must be sticky. Line is the 1-based position of the last
+// event for error messages — a source line for JSONL, an event ordinal for
+// frames.
+type EventSource interface {
+	Next() (TraceEvent, error)
+	Line() int
 }
 
-// NewStreamReader wraps r in a streaming trace reader with a fresh tracker.
+// StreamReader reads a history trace incrementally from an EventSource:
+// each Next call parses and validates one event without materializing the
+// whole history, so arbitrarily long traces are processed in constant memory.
+// The JSONL form skips blank lines and '#' comments, exactly as in ReadTrace;
+// the batch-frame form (NewBatchStreamReader) surfaces a truncated final
+// frame as a sticky *TruncatedFrameError, never a clean EOF. The reader is
+// fail-stop: after any error every further Next returns the same error, so a
+// malformed stream can never wedge or half-advance a consumer.
+type StreamReader struct {
+	src EventSource
+	tr  *StreamTracker
+	err error
+}
+
+// NewStreamReader wraps r in a streaming JSONL trace reader with a fresh
+// tracker.
 func NewStreamReader(r io.Reader) *StreamReader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	return &StreamReader{sc: sc, tr: NewStreamTracker()}
+	return &StreamReader{src: NewRawReader(r), tr: NewStreamTracker()}
+}
+
+// NewBatchStreamReader wraps r — a length-prefixed binary batch frame
+// stream — in a streaming trace reader with a fresh tracker. It yields the
+// same StreamEvents the JSONL reader would for the equivalent event sequence.
+func NewBatchStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{src: NewFrameReader(r), tr: NewStreamTracker()}
+}
+
+// NewValidatingReader layers a fresh tracker over any event source.
+func NewValidatingReader(src EventSource) *StreamReader {
+	return &StreamReader{src: src, tr: NewStreamTracker()}
 }
 
 // Tracker exposes the reader's validation state (open calls, event count).
@@ -232,30 +256,15 @@ func (sr *StreamReader) Next() (StreamEvent, error) {
 	if sr.err != nil {
 		return StreamEvent{}, sr.err
 	}
-	for sr.sc.Scan() {
-		sr.line++
-		// As in RawReader.Next: decode from the scanner's buffer without the
-		// per-line string copy; Unmarshal copies the strings it keeps.
-		line := bytes.TrimSpace(sr.sc.Bytes())
-		if len(line) == 0 || line[0] == '#' {
-			continue
-		}
-		var ev TraceEvent
-		if err := json.Unmarshal(line, &ev); err != nil {
-			sr.err = fmt.Errorf("obsfile: trace line %d: %w", sr.line, err)
-			return StreamEvent{}, sr.err
-		}
-		out, err := sr.tr.Apply(ev, sr.line)
-		if err != nil {
-			sr.err = err
-			return StreamEvent{}, err
-		}
-		return out, nil
+	ev, err := sr.src.Next()
+	if err != nil {
+		sr.err = err
+		return StreamEvent{}, err
 	}
-	if err := sr.sc.Err(); err != nil {
-		sr.err = fmt.Errorf("obsfile: reading trace: %w", err)
-		return StreamEvent{}, sr.err
+	out, err := sr.tr.Apply(ev, sr.src.Line())
+	if err != nil {
+		sr.err = err
+		return StreamEvent{}, err
 	}
-	sr.err = io.EOF
-	return StreamEvent{}, io.EOF
+	return out, nil
 }

@@ -86,19 +86,32 @@ func (w *worker) snapshot() ([]PartCheckpoint, error) {
 
 // Checkpoint writes a durable snapshot now (independent of CheckpointEvery).
 func (s *Server) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	unlock := s.lockWorld()
+	defer unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	return s.checkpointLocked()
+	return s.checkpointStopped()
 }
 
-// checkpointLocked performs the barrier snapshot: with the ingest lock held
-// no new event enters, and the ctlSnapshot control drains each worker's
-// queue before it replies, so the snapshot is a consistent cut — exactly the
-// events the tracker has accepted, all folded into partition state.
-func (s *Server) checkpointLocked() error {
+// autoCheckpoint is the cadence-triggered checkpoint, called by a connection
+// after it has released its own lock (cpTick's contract): lockWorld may then
+// acquire every conn lock without deadlock.
+func (s *Server) autoCheckpoint() error {
+	unlock := s.lockWorld()
+	defer unlock()
+	if s.closed.Load() {
+		return nil // a concurrent Close already snapshotted
+	}
+	return s.checkpointStopped()
+}
+
+// checkpointStopped performs the barrier snapshot: with the world stopped no
+// new event enters, and the ctlSnapshot control drains each worker's queue
+// before it replies, so the snapshot is a consistent cut — exactly the events
+// the tracker has accepted, all folded into partition state. The caller must
+// hold the world lock.
+func (s *Server) checkpointStopped() error {
 	if s.cfg.CheckpointPath == "" {
 		return nil
 	}
@@ -111,12 +124,13 @@ func (s *Server) checkpointLocked() error {
 		Model:     s.cfg.Model.Name,
 		WindowOps: s.cfg.windowOps(),
 		Tracker:   s.tracker.State(),
-		Routed:    s.routed,
-		Shed:      s.shed,
+		Routed:    s.routed.Load(),
+		Shed:      s.shed.Load(),
 	}
-	for k := range s.poisoned {
-		cp.Poisoned = append(cp.Poisoned, k)
-	}
+	s.poisoned.Range(func(k, _ any) bool {
+		cp.Poisoned = append(cp.Poisoned, k.(string))
+		return true
+	})
 	sort.Strings(cp.Poisoned)
 	for _, r := range replies {
 		cp.Partitions = append(cp.Partitions, r.parts...)
@@ -178,12 +192,12 @@ func (s *Server) restore(cp *Checkpoint) error {
 	if dec == nil {
 		return fmt.Errorf("serve: resuming model %q requires DecodeState", s.cfg.Model.Name)
 	}
-	s.tracker = obsfile.RestoreStreamTracker(cp.Tracker)
-	s.routed = cp.Routed
-	s.shed = cp.Shed
+	s.tracker = obsfile.RestoreShardedTracker(cp.Tracker)
+	s.routed.Store(cp.Routed)
+	s.shed.Store(cp.Shed)
 	s.applied.Store(cp.Routed)
 	for _, k := range cp.Poisoned {
-		s.poisoned[k] = true
+		s.poison(k)
 	}
 	for _, pc := range cp.Partitions {
 		inc, err := monitor.NewIncremental(s.cfg.Model, s.stats)
@@ -215,7 +229,7 @@ func (s *Server) restore(cp *Checkpoint) error {
 		s.partsCreated.Add(1)
 	}
 	if s.partitionHint(cp) {
-		s.sawNamedKey = true
+		s.sawNamedKey.Store(true)
 	}
 	return nil
 }

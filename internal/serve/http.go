@@ -8,19 +8,26 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"lineup/internal/obsfile"
 )
 
 // StartHTTP starts the service's ingest endpoint on addr (e.g. ":8080" or
 // "127.0.0.1:0") and returns the bound address. The endpoint serves:
 //
-//	POST /ingest     — body is JSONL trace events, ingested in order
+//	POST /ingest     — body is trace events, ingested in order: JSONL by
+//	                   default, length-prefixed binary batch frames when the
+//	                   request Content-Type is obsfile.BatchContentType
 //	GET  /verdicts   — live per-partition status (JSON array)
 //	GET  /stats      — live counters (JSON)
 //	POST /checkpoint — write a durable snapshot now
 //
 // The listener is closed by Close. Ingest over HTTP shares the global
 // stream tracker with every other transport, so thread discipline spans
-// transports: a call may arrive on stdin and its return over HTTP.
+// transports: a call may arrive on stdin and its return over HTTP. Each
+// request ingests through its own connection, so concurrent POSTs proceed in
+// parallel; per-partition order is deterministic as long as each partition's
+// producers stay on one connection.
 func (s *Server) StartHTTP(addr string) (string, error) {
 	if s.httpCloser != nil {
 		return "", errors.New("serve: HTTP endpoint already started")
@@ -66,7 +73,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// transport-level error as it streams by so the producer gets a 413, not
 	// a misleading 400.
 	body := &errCapturingReader{r: http.MaxBytesReader(w, r.Body, limit)}
-	n, err := s.IngestReader(body)
+	var (
+		n   int64
+		err error
+	)
+	if r.Header.Get("Content-Type") == obsfile.BatchContentType {
+		n, err = s.IngestFrames(body)
+	} else {
+		n, err = s.IngestReader(body)
+	}
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) || errors.As(body.err, &tooBig) {

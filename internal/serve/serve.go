@@ -5,17 +5,28 @@
 //
 // Architecture, front to back:
 //
-//   - One global StreamTracker (package obsfile) validates thread discipline
+//   - One ShardedTracker (package obsfile) validates thread discipline
 //     across every transport and resolves each event's operation index and
-//     partition key. Ingest is serialized by a mutex, so several producers
-//     may feed one server.
+//     partition key. Thread discipline is thread-local, so validation locks
+//     nothing global: each thread id has its own shard and op indices are
+//     drawn from a shared atomic counter in per-thread blocks. Producers
+//     ingest through IngestConn handles — one per connection, each with its
+//     own mutex — so several connections validate and route concurrently.
+//     Per-partition event order is deterministic as long as each partition
+//     (and so each of its threads) stays on one connection; splitting a
+//     partition across connections makes its interleaving racy.
 //   - A router hashes the partition key onto a fixed pool of workers, each
 //     with a bounded FIFO queue. Events of one partition always land on the
-//     same worker, so partition state is worker-owned and lock-free. When
+//     same worker, so partition state is worker-owned and lock-free. The
+//     batch-frame ingest path routes whole per-worker sub-batches, one queue
+//     item per frame per worker, amortizing the channel handoff. When
 //     producers outrun the checkers the queue fills and the configured
 //     backpressure policy applies: BlockOnFull stalls the producer,
 //     ShedOnFull poisons the partition (its verdict would be meaningless on
 //     a gapped history, so all its subsequent events are counted shed too).
+//     The accounting invariant is exact under concurrency: every
+//     tracker-accepted event is counted exactly once as routed or shed
+//     (stuck markers excepted — they are control state, not partition data).
 //   - Each partition is checked by a monitor.Incremental: a window of events
 //     accumulates until the partition quiesces (no open calls) with at least
 //     WindowOps completed operations, then the window is retired through the
@@ -33,7 +44,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"runtime"
 	"sort"
@@ -189,17 +199,27 @@ type Server struct {
 	cache   *windowCache
 	workers []*worker
 
-	mu       sync.Mutex // ingest lock: tracker, routing tables, checkpoint barrier
-	tracker  *obsfile.StreamTracker
-	poisoned map[string]bool
-	skip     int64
-	routed   int64
-	shed     int64
-	sinceCp  int64
-	closed   bool
+	tracker *obsfile.ShardedTracker
 
-	sawNamedKey     bool // some op routed to a named partition
-	sawDerivedWhole bool // the model declared some op whole-object
+	// Ingest-side state, all safe under concurrent connections: counters are
+	// atomics, the poisoned set is a sync.Map, and the stop-the-world
+	// operations (checkpoint, drain, verdicts, close) serialize against every
+	// connection through lockWorld. Lock order: worldMu < connMu < conn.mu.
+	worldMu   sync.Mutex // serializes stop-the-world operations
+	connMu    sync.Mutex // guards the connection registry
+	conns     []*IngestConn
+	defOnce   sync.Once
+	defConn   *IngestConn
+	poisoned  sync.Map     // partition key -> struct{}
+	nPoisoned atomic.Int64 // count of keys in poisoned; 0 lets ingest skip the map probe
+	skip      atomic.Int64
+	routed    atomic.Int64
+	shed      atomic.Int64
+	sinceCp   atomic.Int64
+	closed    atomic.Bool
+
+	sawNamedKey     atomic.Bool // some op routed to a named partition
+	sawDerivedWhole atomic.Bool // the model declared some op whole-object
 
 	// Counters written by workers, read by Stats (atomics).
 	applied      atomic.Int64
@@ -233,12 +253,11 @@ func New(cfg Config) (*Server, error) {
 	mopts := cfg.Monitor
 	mopts.NoPartition = true // the stream is split before windowing
 	s := &Server{
-		cfg:      cfg,
-		stats:    mopts,
-		tracker:  obsfile.NewStreamTracker(),
-		poisoned: make(map[string]bool),
-		skip:     cfg.SkipEvents,
+		cfg:     cfg,
+		stats:   mopts,
+		tracker: obsfile.NewShardedTracker(),
 	}
+	s.skip.Store(cfg.SkipEvents)
 	if !cfg.NoDedup {
 		s.cache = newWindowCache()
 	}
@@ -263,12 +282,22 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// workItem is one unit on a worker queue: a routed event or a control
-// message (barrier, snapshot, finish).
+// workItem is one unit on a worker queue: a routed event, a routed sub-batch
+// (the frame ingest path groups a frame's events per worker and sends each
+// group as one item, amortizing the channel handoff), or a control message
+// (barrier, snapshot, finish). QueueDepth counts items, so a queue slot may
+// hold up to a frame's worth of events on the batch path.
 type workItem struct {
+	key   string
+	ev    obsfile.StreamEvent
+	batch []routedEvent
+	ctl   *ctlMsg
+}
+
+// routedEvent is one resolved event inside a batched workItem.
+type routedEvent struct {
 	key string
 	ev  obsfile.StreamEvent
-	ctl *ctlMsg
 }
 
 type ctlKind int
@@ -278,11 +307,13 @@ const (
 	ctlSnapshot
 	ctlStatus
 	ctlFinish
+	ctlHold
 )
 
 type ctlMsg struct {
 	kind  ctlKind
-	stuck bool // ctlFinish: global stuck flag for residual windows
+	stuck bool          // ctlFinish: global stuck flag for residual windows
+	hold  chan struct{} // ctlHold: closed to release the parked worker
 	ack   chan ctlReply
 }
 
@@ -309,100 +340,317 @@ func (s *Server) resolveKey(ev obsfile.StreamEvent) (string, error) {
 	// A whole-object operation observed alongside named partitions breaks
 	// P-compositionality: the batch monitor would refuse to split, so a
 	// split live stream could disagree with it. Fail stop either way round.
+	// The flags only ever flip false→true, so check-then-store is sound and
+	// keeps the hot path read-only once both regimes are known.
 	if derivedWhole {
-		s.sawDerivedWhole = true
+		if !s.sawDerivedWhole.Load() {
+			s.sawDerivedWhole.Store(true)
+		}
 	} else if key != "" {
-		s.sawNamedKey = true
+		if !s.sawNamedKey.Load() {
+			s.sawNamedKey.Store(true)
+		}
 	}
-	if s.sawDerivedWhole && s.sawNamedKey {
+	if s.sawDerivedWhole.Load() && s.sawNamedKey.Load() {
 		return "", fmt.Errorf("serve: operation %q observes the whole object but the stream is partitioned; supply explicit partition keys or a partitionable model", ev.Op)
 	}
 	return key, nil
 }
 
-// Ingest validates, routes, and (policy permitting) enqueues one raw trace
-// event. It returns a validation error for malformed events (the stream is
-// then unusable, matching the fail-stop StreamReader) and nil for shed
-// events, which are only counted.
-func (s *Server) Ingest(ev obsfile.TraceEvent) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ingestLocked(ev)
+// IngestConn is one producer's handle onto the server: each transport
+// connection (an HTTP request body, a stdin pipe, a bench producer goroutine)
+// ingests through its own conn, and conns ingest concurrently. A conn
+// serializes its own events (per-connection order is the order the producer
+// wrote) and tracks its own event ordinal for error messages. The
+// determinism contract is per-partition: events of one partition see a fixed
+// order iff that partition — and every thread contributing to it — stays on
+// one connection.
+type IngestConn struct {
+	srv  *Server
+	mu   sync.Mutex
+	line int64 // per-connection event ordinal, for error messages
+
+	// scratch holds IngestBatch's per-worker routing table (indexed by worker),
+	// reused across calls so the steady-state frame path allocates only the
+	// event buffers it hands off — no per-frame map.
+	scratch [][]routedEvent
 }
 
-func (s *Server) ingestLocked(ev obsfile.TraceEvent) error {
-	if s.closed {
-		return ErrClosed
+// NewConn registers a new ingest connection. Release it when the producer is
+// done; a conn used after server close just returns ErrClosed.
+func (s *Server) NewConn() *IngestConn {
+	c := &IngestConn{srv: s}
+	s.connMu.Lock()
+	s.conns = append(s.conns, c)
+	s.connMu.Unlock()
+	return c
+}
+
+// Release unregisters the connection.
+func (c *IngestConn) Release() {
+	s := c.srv
+	s.connMu.Lock()
+	for i, x := range s.conns {
+		if x == c {
+			s.conns = append(s.conns[:i], s.conns[i+1:]...)
+			break
+		}
 	}
-	if s.skip > 0 {
-		s.skip--
-		return nil
+	s.connMu.Unlock()
+}
+
+// skipOne consumes one unit of the resume skip budget. The counter may
+// transiently dip negative under concurrent connections; the loser restores
+// it, so exactly SkipEvents events are skipped in total.
+func (s *Server) skipOne() bool {
+	if s.skip.Load() <= 0 {
+		return false
 	}
-	line := int(s.tracker.Events() + 1) // event ordinal, for error messages
-	sev, err := s.tracker.Apply(ev, line)
-	if err != nil {
-		return err
+	if s.skip.Add(-1) < 0 {
+		s.skip.Add(1)
+		return false
 	}
+	return true
+}
+
+// poison marks a partition's stream as gapped. LoadOrStore keeps nPoisoned an
+// exact count of distinct poisoned keys, so the zero fast path in isPoisoned
+// stays truthful under concurrent and repeated poisonings.
+func (s *Server) poison(key string) {
+	if _, loaded := s.poisoned.LoadOrStore(key, struct{}{}); !loaded {
+		s.nPoisoned.Add(1)
+	}
+}
+
+// isPoisoned reports whether the partition was poisoned by an earlier shed.
+// The common case — nothing poisoned anywhere — is one atomic load, keeping
+// the sync.Map probe off the per-event hot path.
+func (s *Server) isPoisoned(key string) bool {
+	if s.nPoisoned.Load() == 0 {
+		return false
+	}
+	_, bad := s.poisoned.Load(key)
+	return bad
+}
+
+// shedOne counts one shed event.
+func (s *Server) shedOne() {
+	s.shed.Add(1)
 	if c := s.cfg.Telemetry; c != nil {
-		c.ServeEventsIngested.Add(1)
+		c.ServeEventsShed.Add(1)
 	}
+}
+
+// cpTick advances the checkpoint cadence counter and reports whether a
+// checkpoint is due. The caller must act on it only after releasing its conn
+// lock (checkpointing stops the world, which needs every conn lock).
+func (s *Server) cpTick() bool {
+	if s.cfg.CheckpointPath == "" || s.cfg.CheckpointEvery <= 0 {
+		return false
+	}
+	return s.sinceCp.Add(1)%s.cfg.CheckpointEvery == 0
+}
+
+// cpTickN advances the checkpoint cadence by n events in one atomic add (the
+// batch path's form of cpTick) and reports whether the window crossed a
+// checkpoint boundary.
+func (s *Server) cpTickN(n int64) bool {
+	if s.cfg.CheckpointPath == "" || s.cfg.CheckpointEvery <= 0 {
+		return false
+	}
+	now := s.sinceCp.Add(n)
+	return now/s.cfg.CheckpointEvery != (now-n)/s.cfg.CheckpointEvery
+}
+
+// ingestOne validates and routes one event. c.mu must be held. The returned
+// cpDue asks the caller to run an automatic checkpoint once it has released
+// the conn lock.
+func (c *IngestConn) ingestOne(ev obsfile.TraceEvent) (cpDue bool, err error) {
+	s := c.srv
+	if s.closed.Load() {
+		return false, ErrClosed
+	}
+	if s.skipOne() {
+		return false, nil
+	}
+	c.line++
+	sev, err := s.tracker.Apply(ev, int(c.line))
+	if err != nil {
+		return false, err
+	}
+	if tc := s.cfg.Telemetry; tc != nil {
+		tc.ServeEventsIngested.Add(1)
+	}
+	cpDue = s.cpTick()
 	if sev.Stuck {
-		return s.maybeCheckpointLocked()
+		return cpDue, nil
 	}
 	key, err := s.resolveKey(sev)
 	if err != nil {
-		return err
+		return cpDue, err
 	}
-	if s.poisoned[key] {
-		s.shedLocked()
-		return s.maybeCheckpointLocked()
+	if s.isPoisoned(key) {
+		s.shedOne()
+		return cpDue, nil
 	}
 	w := s.workers[s.workerFor(key)]
 	item := workItem{key: key, ev: sev}
 	if s.cfg.Backpressure == ShedOnFull {
 		select {
 		case w.ch <- item:
-			s.routed++
+			s.routed.Add(1)
 		default:
-			s.poisoned[key] = true
-			s.shedLocked()
+			s.poison(key)
+			s.shedOne()
 		}
 	} else {
 		w.ch <- item
-		s.routed++
+		s.routed.Add(1)
 	}
-	return s.maybeCheckpointLocked()
+	return cpDue, nil
 }
 
-func (s *Server) shedLocked() {
-	s.shed++
-	if c := s.cfg.Telemetry; c != nil {
-		c.ServeEventsShed.Add(1)
+// Ingest validates, routes, and (policy permitting) enqueues one raw trace
+// event on this connection. It returns a validation error for malformed
+// events (the stream is then unusable, matching the fail-stop StreamReader)
+// and nil for shed events, which are only counted.
+func (c *IngestConn) Ingest(ev obsfile.TraceEvent) error {
+	c.mu.Lock()
+	cpDue, err := c.ingestOne(ev)
+	c.mu.Unlock()
+	if cpDue {
+		if cperr := c.srv.autoCheckpoint(); cperr != nil && err == nil {
+			err = cperr
+		}
 	}
+	return err
 }
 
-func (s *Server) maybeCheckpointLocked() error {
-	if s.cfg.CheckpointPath == "" || s.cfg.CheckpointEvery <= 0 {
-		return nil
+// IngestBatch validates and routes a batch of raw events under one lock
+// acquisition, grouping the routed events per worker and handing each group
+// to its worker as a single queue item. Under ShedOnFull a full queue poisons
+// and sheds at sub-batch granularity — every partition in the rejected group —
+// which is coarser than the per-event path but preserves the exact
+// routed+shed accounting and the poisoned-partition semantics. Returns the
+// number of events consumed (validated or skipped) before any error.
+func (c *IngestConn) IngestBatch(evs []obsfile.TraceEvent) (int, error) {
+	s := c.srv
+	c.mu.Lock()
+	if c.scratch == nil {
+		c.scratch = make([][]routedEvent, len(s.workers))
 	}
-	s.sinceCp++
-	if s.sinceCp < s.cfg.CheckpointEvery {
-		return nil
+	var (
+		cpDue   bool
+		n       int
+		acc     int64 // events the tracker accepted (telemetry + cadence, batched)
+		err     error
+		batches = c.scratch
+	)
+	for _, ev := range evs {
+		if s.closed.Load() {
+			err = ErrClosed
+			break
+		}
+		if s.skipOne() {
+			n++
+			continue
+		}
+		c.line++
+		sev, aerr := s.tracker.Apply(ev, int(c.line))
+		if aerr != nil {
+			err = aerr
+			break
+		}
+		n++
+		acc++
+		if sev.Stuck {
+			continue
+		}
+		key, kerr := s.resolveKey(sev)
+		if kerr != nil {
+			err = kerr
+			break
+		}
+		if s.isPoisoned(key) {
+			s.shedOne()
+			continue
+		}
+		wi := s.workerFor(key)
+		if batches[wi] == nil {
+			// Exact capacity up front: the buffer is handed to the worker and
+			// cannot be recycled, so append-doubling would only churn copies.
+			batches[wi] = make([]routedEvent, 0, len(evs))
+		}
+		batches[wi] = append(batches[wi], routedEvent{key: key, ev: sev})
 	}
-	s.sinceCp = 0
-	return s.checkpointLocked()
+	if acc > 0 {
+		if tc := s.cfg.Telemetry; tc != nil {
+			tc.ServeEventsIngested.Add(acc)
+		}
+		if s.cpTickN(acc) {
+			cpDue = true
+		}
+	}
+	for wi, buf := range batches {
+		if buf == nil {
+			continue
+		}
+		batches[wi] = nil // handed off below; the worker owns the buffer now
+		w := s.workers[wi]
+		item := workItem{batch: buf}
+		if s.cfg.Backpressure == ShedOnFull {
+			select {
+			case w.ch <- item:
+				s.routed.Add(int64(len(buf)))
+			default:
+				for _, r := range buf {
+					s.poison(r.key)
+					s.shedOne()
+				}
+			}
+		} else {
+			w.ch <- item
+			s.routed.Add(int64(len(buf)))
+		}
+	}
+	c.mu.Unlock()
+	if cpDue {
+		if cperr := s.autoCheckpoint(); cperr != nil && err == nil {
+			err = cperr
+		}
+	}
+	return n, err
 }
 
+func (s *Server) defaultConn() *IngestConn {
+	s.defOnce.Do(func() { s.defConn = s.NewConn() })
+	return s.defConn
+}
+
+// Ingest validates, routes, and (policy permitting) enqueues one raw trace
+// event on the server's default connection. Concurrent producers should hold
+// their own connection (NewConn) instead of contending here.
+func (s *Server) Ingest(ev obsfile.TraceEvent) error {
+	return s.defaultConn().Ingest(ev)
+}
+
+// workerFor hashes a partition key onto a worker (FNV-1a, inlined to keep the
+// ingest hot path allocation-free).
 func (s *Server) workerFor(key string) int {
-	h := fnv.New32a()
-	_, _ = io.WriteString(h, key)
-	return int(h.Sum32() % uint32(len(s.workers)))
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(len(s.workers)))
 }
 
-// IngestReader pumps a JSONL trace stream (e.g. a stdin pipe) through
-// Ingest until EOF or the first error, returning the number of raw events
-// read. Blank lines and '#' comments are skipped.
+// IngestReader pumps a JSONL trace stream (e.g. a stdin pipe or one HTTP
+// request body) through its own connection until EOF or the first error,
+// returning the number of raw events read. Blank lines and '#' comments are
+// skipped.
 func (s *Server) IngestReader(r io.Reader) (int64, error) {
+	c := s.NewConn()
+	defer c.Release()
 	sr := obsfile.NewRawReader(r)
 	var n int64
 	for {
@@ -414,16 +662,61 @@ func (s *Server) IngestReader(r io.Reader) (int64, error) {
 			return n, err
 		}
 		n++
-		if err := s.Ingest(ev); err != nil {
+		if err := c.Ingest(ev); err != nil {
 			return n, err
 		}
 	}
 }
 
+// IngestFrames pumps a binary batch-frame stream through its own connection
+// until EOF or the first error, returning the number of raw events consumed.
+func (s *Server) IngestFrames(r io.Reader) (int64, error) {
+	c := s.NewConn()
+	defer c.Release()
+	fr := obsfile.NewFrameReader(r)
+	var n int64
+	for {
+		evs, err := fr.NextBatch()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		used, err := c.IngestBatch(evs)
+		n += int64(used)
+		if err != nil {
+			return n, err
+		}
+	}
+}
+
+// lockWorld stalls every ingest connection and returns the unlock function:
+// while held, no event moves and every counter is quiescent, so stop-the-world
+// operations (checkpoint, drain, verdicts, close) see a consistent snapshot.
+// Lock order is worldMu < connMu < conn.mu everywhere.
+func (s *Server) lockWorld() func() {
+	s.worldMu.Lock()
+	s.connMu.Lock()
+	conns := make([]*IngestConn, len(s.conns))
+	copy(conns, s.conns)
+	for _, c := range conns {
+		c.mu.Lock()
+	}
+	return func() {
+		for i := len(conns) - 1; i >= 0; i-- {
+			conns[i].mu.Unlock()
+		}
+		s.connMu.Unlock()
+		s.worldMu.Unlock()
+	}
+}
+
 // broadcast sends one control message to every worker and collects the
-// replies. The caller must hold s.mu (or otherwise guarantee no concurrent
-// ingest) for barrier semantics: with ingest stalled, the FIFO queues mean
-// every event routed before the control is applied before the reply.
+// replies. The caller must hold the world lock (or otherwise guarantee no
+// concurrent ingest) for barrier semantics: with ingest stalled, the FIFO
+// queues mean every event routed before the control is applied before the
+// reply.
 func (s *Server) broadcast(msg ctlMsg) ([]ctlReply, error) {
 	replies := make([]ctlReply, 0, len(s.workers))
 	for _, w := range s.workers {
@@ -441,12 +734,36 @@ func (s *Server) broadcast(msg ctlMsg) ([]ctlReply, error) {
 	return replies, nil
 }
 
+// HoldWorkers parks the checker pool: every worker acknowledges and then
+// waits until the returned release function is called. While held, ingest
+// keeps validating and routing — queued work just accumulates — so a load
+// harness can measure the ingest path's capacity separately from checking
+// throughput on machines where both share cores. The queues must be deep
+// enough to absorb everything ingested while held (BlockOnFull producers
+// stall against a full queue; ShedOnFull ones shed). Checkpoint, Drain,
+// Verdicts, and Close all barrier on the workers, so call release before
+// any of them.
+func (s *Server) HoldWorkers() (release func(), err error) {
+	unlock := s.lockWorld()
+	defer unlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	hold := make(chan struct{})
+	if _, err := s.broadcast(ctlMsg{kind: ctlHold, hold: hold}); err != nil {
+		close(hold)
+		return nil, err
+	}
+	var once sync.Once
+	return func() { once.Do(func() { close(hold) }) }, nil
+}
+
 // Drain blocks until every event ingested so far has been applied to its
 // partition.
 func (s *Server) Drain() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	unlock := s.lockWorld()
+	defer unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	_, err := s.broadcast(ctlMsg{kind: ctlDrain})
@@ -458,9 +775,9 @@ func (s *Server) Drain() error {
 // false; the rest are still in flight and report Linearizable true with
 // Final false.
 func (s *Server) Verdicts() ([]PartitionVerdict, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	unlock := s.lockWorld()
+	defer unlock()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	replies, err := s.broadcast(ctlMsg{kind: ctlStatus})
@@ -499,20 +816,18 @@ type Stats struct {
 	QueueDepths     []int `json:"queue_depths"`      // live per-worker backlog
 }
 
-// Stats snapshots the counters; safe to call concurrently with ingest.
+// Stats snapshots the counters; safe to call concurrently with ingest. All
+// counters are atomics, so the snapshot is lock-free but not a single instant:
+// routed+shed may momentarily trail ingested while events are in flight. At
+// any quiescent point (after Drain, inside a checkpoint, after Close) the
+// invariant routed+shed == ingested holds exactly, stuck markers excepted.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	ingested := s.tracker.Events()
-	open := s.tracker.OpenCalls()
-	stuck := s.tracker.Stuck()
-	routed, shed := s.routed, s.shed
-	s.mu.Unlock()
 	st := Stats{
-		EventsIngested:  ingested,
-		EventsRouted:    routed,
-		EventsShed:      shed,
-		OpenCalls:       open,
-		Stuck:           stuck,
+		EventsIngested:  s.tracker.Events(),
+		EventsRouted:    s.routed.Load(),
+		EventsShed:      s.shed.Load(),
+		OpenCalls:       s.tracker.OpenCalls(),
+		Stuck:           s.tracker.Stuck(),
 		EventsApplied:   s.applied.Load(),
 		Partitions:      s.partsCreated.Load(),
 		OpsChecked:      s.opsChecked.Load(),
@@ -556,21 +871,21 @@ type Summary struct {
 // file gets one last snapshot before the verdict pass so a crash during
 // shutdown still resumes.
 func (s *Server) Close() (*Summary, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	unlock := s.lockWorld()
+	if s.closed.Load() {
+		unlock()
 		return nil, ErrClosed
 	}
 	if s.cfg.CheckpointPath != "" {
-		if err := s.checkpointLocked(); err != nil {
-			s.mu.Unlock()
+		if err := s.checkpointStopped(); err != nil {
+			unlock()
 			return nil, err
 		}
 	}
-	s.closed = true
+	s.closed.Store(true)
 	stuck := s.tracker.Stuck()
 	replies, err := s.broadcast(ctlMsg{kind: ctlFinish, stuck: stuck})
-	s.mu.Unlock()
+	unlock()
 	s.shutdownWorkers()
 	if s.httpCloser != nil {
 		_ = s.httpCloser.Close()
@@ -578,10 +893,11 @@ func (s *Server) Close() (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	poisonedKeys := make(map[string]bool, len(s.poisoned))
-	for k := range s.poisoned {
-		poisonedKeys[k] = true
-	}
+	poisonedKeys := make(map[string]bool)
+	s.poisoned.Range(func(k, _ any) bool {
+		poisonedKeys[k.(string)] = true
+		return true
+	})
 	sum := &Summary{Verdicts: mergeVerdicts(replies), Linearizable: true}
 	for i := range sum.Verdicts {
 		v := &sum.Verdicts[i]

@@ -58,12 +58,18 @@ type part struct {
 func (w *worker) loop() {
 	defer close(w.done)
 	for item := range w.ch {
-		if item.ctl != nil {
+		switch {
+		case item.ctl != nil:
 			w.control(item.ctl)
-			continue
+		case item.batch != nil:
+			w.srv.applied.Add(int64(len(item.batch)))
+			for _, r := range item.batch {
+				w.apply(r.key, r.ev)
+			}
+		default:
+			w.srv.applied.Add(1)
+			w.apply(item.key, item.ev)
 		}
-		w.srv.applied.Add(1)
-		w.apply(item.key, item.ev)
 	}
 }
 
@@ -294,6 +300,12 @@ func (w *worker) control(msg *ctlMsg) {
 		reply.parts, reply.err = w.snapshot()
 	case ctlFinish:
 		reply.verds, reply.err = w.finish(msg.stuck)
+	case ctlHold:
+		// Acknowledge first so the holder learns every worker is parked, then
+		// wait for the release: queued work accumulates undrained meanwhile.
+		msg.ack <- reply
+		<-msg.hold
+		return
 	}
 	msg.ack <- reply
 }
